@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact (table/figure) has one benchmark module that
+regenerates it at a reduced time scale, attaches the reproduced numbers
+to the benchmark record (``extra_info``), and asserts the paper's shape
+claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each experiment executes exactly once per benchmark (rounds=1): the
+interesting output is the reproduced artifact, not the harness's wall
+time, and the simulator is deterministic anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return _run

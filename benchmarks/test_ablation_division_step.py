@@ -1,0 +1,49 @@
+"""Ablation: the division step size (DESIGN.md §4, paper §V-B).
+
+"The system takes a long time to converge to the optimal division point
+if we use a small step.  There will be large oscillation if we use a
+large step."  This bench quantifies both arms of that trade-off with the
+closed-loop divider.
+"""
+
+from repro.analysis.convergence import convergence_iteration
+from repro.core.config import GreenGpuConfig
+from repro.core.division import WorkloadDivider
+
+STEPS = (0.01, 0.05, 0.20)
+CPU_SPEED = 4.0          # balance at r* = 0.20 — on every grid tested
+R0 = 0.60
+
+
+def _closed_loop(step: float, iterations: int = 80) -> list[float]:
+    divider = WorkloadDivider(
+        GreenGpuConfig(division_step=step, initial_cpu_ratio=R0), r0=R0
+    )
+    ratios = []
+    for _ in range(iterations):
+        r = divider.r
+        ratios.append(r)
+        divider.update(r * CPU_SPEED, (1.0 - r) * 1.0)
+    return ratios
+
+
+def test_ablation_division_step(run_once, benchmark):
+    def sweep():
+        return {step: _closed_loop(step) for step in STEPS}
+
+    traces = run_once(sweep)
+    convergence = {
+        step: convergence_iteration(trace) for step, trace in traces.items()
+    }
+    benchmark.extra_info["convergence_iterations_by_step"] = {
+        str(s): c for s, c in convergence.items()
+    }
+
+    # Small steps converge slower (paper's first arm).
+    assert convergence[0.01] > convergence[0.05]
+    # The paper's 5 % step converges within a handful of iterations from
+    # a 40-point-distant start.
+    assert convergence[0.05] <= 10
+    # Large steps settle fast but park far from the optimum.
+    final_gap = {s: abs(traces[s][-1] - 0.20) for s in STEPS}
+    assert final_gap[0.20] >= final_gap[0.05]

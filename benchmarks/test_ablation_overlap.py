@@ -1,0 +1,59 @@
+"""Ablation: the roofline overlap exponent k (DESIGN.md §4).
+
+k controls how sharply the simulated GPU transitions from "throttling the
+non-bottleneck domain is free" to "it became the bottleneck" (the Fig. 1
+knee).  The substitution claim requires the paper's shapes to be robust
+across plausible k, not an artifact of the default k = 4.
+"""
+
+import dataclasses
+
+from repro.core.policies import StaticPolicy
+from repro.runtime.executor import run_workload
+from repro.sim.calibration import geforce_8800_gtx_spec, phenom_ii_x2_spec
+from repro.sim.perf import RooflineModel
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import get_profile
+
+EXPONENTS = (2.0, 4.0, 8.0)
+
+
+def _nbody_mem_sweep(overlap_exponent: float) -> list[float]:
+    """Relative GPU energy of nbody across the memory ladder at this k."""
+    gpu = dataclasses.replace(
+        geforce_8800_gtx_spec(), roofline=RooflineModel(overlap_exponent)
+    )
+    cpu = phenom_ii_x2_spec()
+    profile = dataclasses.replace(
+        get_profile("nbody"), gpu_seconds_per_iteration=3.0
+    )
+    workload = DemandModelWorkload(profile, gpu, cpu)
+    energies = []
+    baseline = None
+    for level in range(len(gpu.mem_ladder)):
+        result = run_workload(workload, StaticPolicy(0, level), n_iterations=1)
+        if baseline is None:
+            baseline = result.gpu_energy_j
+        energies.append(result.gpu_energy_j / baseline)
+    return energies
+
+
+def test_ablation_overlap_exponent(run_once, benchmark):
+    def sweep_all():
+        return {k: _nbody_mem_sweep(k) for k in EXPONENTS}
+
+    curves = run_once(sweep_all)
+    benchmark.extra_info["energy_curves_by_k"] = {
+        str(k): [round(v, 4) for v in vs] for k, vs in curves.items()
+    }
+
+    for k, energies in curves.items():
+        # The Fig. 1b shape must hold at every exponent: an interior
+        # memory level beats peak for core-bounded nbody.
+        best = min(range(len(energies)), key=lambda i: energies[i])
+        assert best > 0, f"k={k}: no interior minimum"
+        assert energies[best] < 1.0, f"k={k}: throttling never saved"
+
+    # Larger k (better overlap) hides more of the memory slowdown, so the
+    # floor level's energy penalty shrinks with k.
+    assert curves[8.0][-1] <= curves[2.0][-1]

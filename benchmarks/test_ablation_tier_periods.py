@@ -1,0 +1,53 @@
+"""Ablation: tier decoupling — iteration length vs scaling interval
+(DESIGN.md §4, paper §IV).
+
+The paper requires the division period (one iteration) to be >= 40x the
+GPU scaling interval so the WMA settles within each division interval.
+This bench sweeps that ratio: with too few scaling intervals per
+iteration the frequency tier never converges and contributes little.
+"""
+
+from repro.core.config import GreenGpuConfig
+from repro.core.policies import GreenGpuPolicy, RodiniaDefaultPolicy
+from repro.experiments.common import scaled_workload
+from repro.runtime.executor import ExecutorOptions, run_workload
+
+TIME_SCALE = 0.05
+#: scaling intervals per iteration (the paper mandates >= 40).
+RATIOS = (4.0, 40.0)
+
+
+def _saving(intervals_per_iteration: float) -> float:
+    workload = scaled_workload("kmeans", TIME_SCALE)
+    iteration_s = workload.profile.gpu_seconds_per_iteration
+    config = GreenGpuConfig(
+        scaling_interval_s=iteration_s / intervals_per_iteration,
+        ondemand_interval_s=0.1 * TIME_SCALE,
+        min_division_scaling_ratio=1.0,  # permit the degenerate setting
+    )
+    options = ExecutorOptions(repartition_overhead_s=0.5 * TIME_SCALE)
+    base = run_workload(
+        workload, RodiniaDefaultPolicy(), n_iterations=8, options=options
+    )
+    green = run_workload(
+        workload, GreenGpuPolicy(config=config), n_iterations=8, options=options
+    )
+    return green.energy_saving_vs(base)
+
+
+def test_ablation_tier_decoupling(run_once, benchmark):
+    def sweep():
+        return {ratio: _saving(ratio) for ratio in RATIOS}
+
+    savings = run_once(sweep)
+    benchmark.extra_info["saving_by_intervals_per_iteration"] = {
+        str(k): round(v, 4) for k, v in savings.items()
+    }
+
+    # Both settings must save vs the default (the division tier alone
+    # guarantees that)...
+    for ratio, saving in savings.items():
+        assert saving > 0.0, f"ratio={ratio}"
+    # ...and the paper's well-decoupled setting is at least as good as
+    # the degenerate one where the WMA barely gets to act.
+    assert savings[40.0] >= savings[4.0] - 0.01

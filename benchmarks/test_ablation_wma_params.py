@@ -1,0 +1,50 @@
+"""Ablation: the WMA trade-off parameters alpha, beta, phi (DESIGN.md §4).
+
+The paper hand-tunes alpha_c = 0.15, alpha_m = 0.02, beta = 0.2, phi = 0.3
+and acknowledges that as future work.  This bench maps the sensitivity:
+larger alphas push the scaler toward deeper throttling (more savings,
+more slowdown); the paper's point sits on the performance-protecting end.
+"""
+
+from repro.core.config import GreenGpuConfig
+from repro.core.policies import BestPerformancePolicy, FrequencyScalingOnlyPolicy
+from repro.experiments.common import scaled_workload
+from repro.runtime.executor import run_workload
+
+TIME_SCALE = 0.1
+ALPHAS = (0.02, 0.15, 0.50)
+
+
+def _measure(alpha_core: float, alpha_mem: float) -> tuple[float, float]:
+    """(gpu_saving, slowdown) of tier-2 on kmeans at these alphas."""
+    workload = scaled_workload("kmeans", TIME_SCALE)
+    config = GreenGpuConfig(
+        alpha_core=alpha_core,
+        alpha_mem=alpha_mem,
+        scaling_interval_s=3.0 * TIME_SCALE,
+        ondemand_interval_s=0.1 * TIME_SCALE,
+    )
+    base = run_workload(workload, BestPerformancePolicy(), n_iterations=3)
+    scaled = run_workload(
+        workload, FrequencyScalingOnlyPolicy(config=config), n_iterations=3
+    )
+    return scaled.gpu_energy_saving_vs(base), scaled.slowdown_vs(base)
+
+
+def test_ablation_alpha_tradeoff(run_once, benchmark):
+    def sweep():
+        return {a: _measure(a, a) for a in ALPHAS}
+
+    points = run_once(sweep)
+    benchmark.extra_info["saving_slowdown_by_alpha"] = {
+        str(a): (round(s, 4), round(d, 4)) for a, (s, d) in points.items()
+    }
+
+    # Energy-heavier alphas throttle at least as deep (>= slowdown).
+    slowdowns = [points[a][1] for a in ALPHAS]
+    assert slowdowns[-1] >= slowdowns[0] - 1e-6
+    # The paper's performance-protecting end keeps slowdown small.
+    assert points[0.02][1] < 0.05
+    # And every setting still saves GPU energy on kmeans.
+    for a, (saving, _) in points.items():
+        assert saving > 0.0, f"alpha={a}"

@@ -1,0 +1,51 @@
+"""Extension bench: full multi-GPU co-simulation scaling.
+
+Measures how the complete GreenGPU stack (per-card WMA + ondemand + N-way
+division) scales from one to three cards on kmeans.
+"""
+
+from repro.core.config import GreenGpuConfig
+from repro.extensions.multigpu_sim import (
+    MultiGreenGpuController,
+    MultiHeteroSystem,
+    run_multi_workload,
+)
+from repro.sim.calibration import geforce_8800_gtx_spec
+from repro.experiments.common import scaled_workload
+
+TIME_SCALE = 0.05
+
+
+def _run(n_gpus: int):
+    system = MultiHeteroSystem(
+        gpu_specs=[geforce_8800_gtx_spec() for _ in range(n_gpus)]
+    )
+    cfg = GreenGpuConfig(
+        scaling_interval_s=3.0 * TIME_SCALE, ondemand_interval_s=0.1 * TIME_SCALE
+    )
+    return run_multi_workload(
+        scaled_workload("kmeans", TIME_SCALE),
+        system=system,
+        controller=MultiGreenGpuController(system, cfg),
+        n_iterations=10,
+    )
+
+
+def test_extension_multigpu_scaling(run_once, benchmark):
+    def sweep():
+        return {n: _run(n) for n in (1, 2, 3)}
+
+    results = run_once(sweep)
+    benchmark.extra_info["time_by_gpu_count"] = {
+        str(n): round(r.total_s, 2) for n, r in results.items()
+    }
+    benchmark.extra_info["final_shares"] = {
+        str(n): [round(s, 3) for s in r.final_shares] for n, r in results.items()
+    }
+
+    # More cards -> shorter runs (work divides further).
+    assert results[2].total_s < results[1].total_s
+    assert results[3].total_s < results[2].total_s
+    # Identical cards split their portion roughly evenly.
+    shares3 = results[3].final_shares[1:]
+    assert max(shares3) - min(shares3) <= 0.101

@@ -1,0 +1,37 @@
+"""Regenerates paper Fig. 1: frequency sweeps on nbody and streamcluster.
+
+Paper shape: throttling the under-utilized domain is nearly free and
+saves energy (nbody/memory, SC/core up to ~410 MHz); throttling the
+bottleneck domain degrades both time and energy.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_regenerate(run_once, benchmark):
+    panels = run_once(fig1.run_all, n_iterations=1, time_scale=0.1)
+
+    nbody_mem = panels[("nbody", "mem")]
+    nbody_core = panels[("nbody", "core")]
+    sc_mem = panels[("streamcluster", "mem")]
+    sc_core = panels[("streamcluster", "core")]
+
+    benchmark.extra_info["nbody_mem_energy_curve"] = [
+        round(p.relative_energy, 4) for p in nbody_mem
+    ]
+    benchmark.extra_info["sc_core_energy_curve"] = [
+        round(p.relative_energy, 4) for p in sc_core
+    ]
+
+    # Fig. 1a/1b: core-bounded nbody tolerates memory throttling.
+    assert min(p.relative_energy for p in nbody_mem) < 1.0
+    assert nbody_mem[-1].normalized_time < 1.10
+    # Fig. 1c/1d: throttling nbody's cores hurts both metrics.
+    assert nbody_core[-1].normalized_time > 1.3
+    assert nbody_core[-1].relative_energy > 1.1
+    # Memory-bounded SC: memory throttling hurts...
+    assert sc_mem[-1].relative_energy > 1.05
+    # ...but its core has an interior energy minimum (the 410 MHz knee).
+    energies = [p.relative_energy for p in sc_core]
+    knee = min(range(len(energies)), key=lambda i: energies[i])
+    assert knee in (2, 3) and energies[knee] < 1.0

@@ -1,0 +1,30 @@
+"""Regenerates paper Fig. 2: kmeans energy vs static division ratio.
+
+Paper shape: U-curve with an interior minimum near 10 % CPU share.
+"""
+
+import numpy as np
+
+from repro.experiments import fig2
+
+
+def test_fig2_regenerate(run_once, benchmark):
+    result = run_once(
+        fig2.run,
+        ratios=[round(0.05 * i, 2) for i in range(19)],
+        n_iterations=2,
+        time_scale=0.05,
+    )
+
+    benchmark.extra_info["normalized_energy"] = [
+        round(float(v), 4) for v in result.normalized_energy
+    ]
+    benchmark.extra_info["optimal_r"] = result.optimal_r
+
+    assert result.has_interior_minimum
+    assert 0.05 <= result.optimal_r <= 0.20   # paper: ~0.10
+    # U shape: monotone down to the minimum, monotone up after.
+    energies = result.normalized_energy
+    arg = int(np.argmin(energies))
+    assert np.all(np.diff(energies[: arg + 1]) <= 1e-9)
+    assert np.all(np.diff(energies[arg:]) >= -1e-9)

@@ -1,0 +1,30 @@
+"""Regenerates paper Fig. 5: the streamcluster frequency-scaling trace.
+
+Paper anchors: clocks start at the GPU's lowest levels, rise with the
+utilization ramp, and the memory clock converges to 820 MHz — one level
+below peak — while average power drops below best-performance at similar
+execution time.
+"""
+
+import pytest
+
+from repro.experiments import fig5
+from repro.units import mhz
+
+
+def test_fig5_regenerate(run_once, benchmark):
+    result = run_once(fig5.run, n_iterations=3, time_scale=0.2)
+
+    benchmark.extra_info["converged_mem_mhz"] = result.converged_mem_mhz
+    benchmark.extra_info["converged_core_mhz"] = result.converged_core_mhz
+    benchmark.extra_info["avg_power_scaled_w"] = round(result.scaled.average_power_w, 2)
+    benchmark.extra_info["avg_power_baseline_w"] = round(
+        result.baseline.average_power_w, 2
+    )
+
+    assert result.converged_mem_mhz == pytest.approx(820.0)        # paper: 820 MHz
+    assert 410.0 <= result.converged_core_mhz < 576.0
+    assert result.core_freq_trace.values[0] == pytest.approx(mhz(300.0))
+    assert result.scaled.average_power_w < result.baseline.average_power_w
+    active = result.scaled.total_s - result.idle_lead_s
+    assert active / result.baseline.total_s < 1.12

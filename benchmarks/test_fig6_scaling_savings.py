@@ -1,0 +1,34 @@
+"""Regenerates paper Fig. 6: tier-2 savings vs best-performance.
+
+Paper anchors: (a) total GPU saving avg 5.97 % / max 14.53 %; (b) dynamic
+saving avg 29.2 % at <= 2.95 % slowdown; (c) emulated CPU+GPU saving avg
+12.48 %.  Shape claims: low-utilization workloads save most, saturated
+bfs least, fluctuating workloads still save, dynamic >> total.
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_regenerate(run_once, benchmark):
+    result = run_once(fig6.run, n_iterations=4, time_scale=0.2)
+    by_name = {r.name: r for r in result.rows}
+
+    benchmark.extra_info["per_workload_gpu_saving_pct"] = {
+        r.name: round(100 * r.gpu_saving, 2) for r in result.rows
+    }
+    benchmark.extra_info["avg_gpu_saving_pct"] = round(100 * result.average_gpu_saving, 2)
+    benchmark.extra_info["avg_dynamic_saving_pct"] = round(
+        100 * result.average_dynamic_saving, 2
+    )
+    benchmark.extra_info["avg_cpu_gpu_saving_pct"] = round(
+        100 * result.average_cpu_gpu_saving, 2
+    )
+    benchmark.extra_info["avg_slowdown_pct"] = round(100 * result.average_slowdown, 2)
+
+    assert 0.01 < result.average_gpu_saving < 0.15
+    assert result.max_gpu_saving > 0.08                       # paper max 14.53 %
+    assert result.average_dynamic_saving > 2.5 * result.average_gpu_saving
+    assert result.average_cpu_gpu_saving > result.average_gpu_saving
+    assert result.average_slowdown < 0.06                     # paper 2.95 %
+    assert by_name["pathfinder"].gpu_saving == max(r.gpu_saving for r in result.rows)
+    assert by_name["bfs"].gpu_saving == min(r.gpu_saving for r in result.rows)

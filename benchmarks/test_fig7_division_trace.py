@@ -1,0 +1,29 @@
+"""Regenerates paper Fig. 7: division traces for kmeans and hotspot.
+
+Paper anchors: kmeans converges to 20/80 (static optimum 15/85); hotspot
+converges exactly to the 50/50 optimum; the dynamic division costs only
+a few percent over the optimal static point (paper: 5.45 %).
+"""
+
+import pytest
+
+from repro.experiments import fig7
+
+
+def test_fig7_regenerate(run_once, benchmark):
+    results = run_once(fig7.run, n_iterations=12, time_scale=0.05)
+
+    for name, res in results.items():
+        benchmark.extra_info[f"{name}_converged_r"] = res.converged_r
+        benchmark.extra_info[f"{name}_static_optimal_r"] = res.static_optimal_r
+        benchmark.extra_info[f"{name}_overhead_pct"] = round(
+            100 * res.time_overhead_vs_optimal, 2
+        )
+
+    assert results["kmeans"].converged_r == pytest.approx(0.20)
+    assert results["kmeans"].static_optimal_r == pytest.approx(0.15)
+    assert results["kmeans"].convergence_iter <= 5
+    assert results["kmeans"].time_overhead_vs_optimal < 0.15
+
+    assert results["hotspot"].converged_r == pytest.approx(0.50)
+    assert results["hotspot"].static_optimal_r == pytest.approx(0.50)

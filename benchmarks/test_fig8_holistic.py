@@ -1,0 +1,28 @@
+"""Regenerates paper Fig. 8: GreenGPU vs Division-only vs Scaling-only.
+
+Paper anchors: the holistic solution wins on both workloads; hotspot —
++7.88 % over Division / +28.76 % over Frequency-scaling; kmeans — +1.6 %
+/ +12.05 %.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8_regenerate(run_once, benchmark):
+    results = run_once(fig8.run, n_iterations=10, time_scale=0.05)
+
+    for name, res in results.items():
+        benchmark.extra_info[f"{name}_saving_vs_division_pct"] = round(
+            100 * res.saving_vs_division, 2
+        )
+        benchmark.extra_info[f"{name}_saving_vs_scaling_pct"] = round(
+            100 * res.saving_vs_scaling, 2
+        )
+
+    for res in results.values():
+        assert res.ordering_holds
+        assert res.saving_vs_division > 0.0
+        assert res.saving_vs_scaling > res.saving_vs_division
+
+    assert results["hotspot"].saving_vs_scaling > 0.20      # paper 28.76 %
+    assert 0.04 < results["kmeans"].saving_vs_scaling < 0.20  # paper 12.05 %

@@ -1,0 +1,21 @@
+"""Regenerates the paper's headline number: 21.04 % average energy saving
+for kmeans + hotspot vs the Rodinia default, at only 1.7 % longer
+execution than division-only."""
+
+from repro.experiments import headline
+
+
+def test_headline_regenerate(run_once, benchmark):
+    result = run_once(headline.run, n_iterations=10, time_scale=0.05)
+
+    benchmark.extra_info["average_saving_pct"] = round(100 * result.average_saving, 2)
+    benchmark.extra_info["paper_saving_pct"] = 21.04
+    benchmark.extra_info["avg_slowdown_vs_division_pct"] = round(
+        100 * result.average_slowdown_vs_division, 2
+    )
+    benchmark.extra_info["paper_slowdown_pct"] = 1.7
+
+    assert 0.15 < result.average_saving < 0.30
+    assert abs(result.average_slowdown_vs_division) < 0.05
+    for row in result.rows:
+        assert row.saving_vs_default > 0.05

@@ -1,0 +1,73 @@
+"""Throughput microbenchmarks of the simulator's hot primitives.
+
+Unlike the artifact benches, these measure real wall time: the event
+loop, the roofline estimate, the WMA step and a full controlled run.
+They guard against performance regressions that would make the
+experiment suite impractically slow.
+"""
+
+import numpy as np
+
+from repro.core.wma import WmaFrequencyScaler
+from repro.sim.calibration import geforce_8800_gtx_spec
+from repro.sim.engine import SimClock
+from repro.sim.perf import RooflineModel
+
+
+def test_bench_roofline_estimate(benchmark):
+    model = RooflineModel(4.0)
+
+    def run():
+        for i in range(1000):
+            model.estimate(1e9 + i, 1e8, 345e9, 86e9, 0.1)
+
+    benchmark(run)
+
+
+def test_bench_clock_event_dispatch(benchmark):
+    def run():
+        clock = SimClock()
+        counter = [0]
+
+        def cb(t):
+            counter[0] += 1
+
+        clock.every(0.1, cb)
+        clock.every(0.37, cb)
+        clock.advance_to(100.0)
+        return counter[0]
+
+    count = benchmark(run)
+    assert count > 1000
+
+
+def test_bench_wma_step(benchmark):
+    spec = geforce_8800_gtx_spec()
+    scaler = WmaFrequencyScaler(spec.core_ladder, spec.mem_ladder)
+    rng = np.random.default_rng(0)
+    us = rng.uniform(0.0, 1.0, size=(500, 2))
+
+    def run():
+        for u_core, u_mem in us:
+            scaler.step(float(u_core), float(u_mem))
+
+    benchmark(run)
+
+
+def test_bench_full_controlled_run(benchmark):
+    """One GreenGPU iteration of fast kmeans, end to end."""
+    from repro.core.config import GreenGpuConfig
+    from repro.core.policies import GreenGpuPolicy
+    from repro.experiments.common import scaled_workload
+    from repro.runtime.executor import run_workload
+
+    workload = scaled_workload("kmeans", 0.02)
+    config = GreenGpuConfig(scaling_interval_s=0.06, ondemand_interval_s=0.002)
+
+    def run():
+        return run_workload(
+            workload, GreenGpuPolicy(config=config), n_iterations=2
+        ).total_energy_j
+
+    energy = benchmark(run)
+    assert energy > 0.0

@@ -1,0 +1,21 @@
+"""Bench: the utilization-plane savings map (§VII-A as a surface)."""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_map(run_once, benchmark):
+    result = run_once(
+        sensitivity.run,
+        grid=[0.15, 0.35, 0.55, 0.75],
+        time_scale=0.05,
+        n_iterations=1,
+    )
+    benchmark.extra_info["savings_grid"] = {
+        f"({p.u_core:.2f},{p.u_mem:.2f})": round(100 * p.gpu_saving, 2)
+        for p in result.points
+    }
+
+    # The surface slopes the way the paper's observations say it must.
+    assert result.best.u_core <= 0.35 and result.best.u_mem <= 0.35
+    assert result.at(0.15, 0.15).gpu_saving > result.at(0.75, 0.55).gpu_saving
+    assert result.best.gpu_saving > 0.08

@@ -1,0 +1,32 @@
+"""Regenerates paper Table II: the workload utilization characterization.
+
+Each measured (u_core, u_mem) class must match the paper's description
+column; fluctuating workloads must be flagged as such.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2_regenerate(run_once, benchmark):
+    rows = run_once(table2.run, n_iterations=1, time_scale=0.1)
+    by_name = {r.name: r for r in rows}
+
+    benchmark.extra_info["utilizations"] = {
+        r.name: (round(r.u_core, 3), round(r.u_mem, 3)) for r in rows
+    }
+
+    assert len(rows) == 9
+    assert table2.classify(by_name["bfs"].u_core) == "high"
+    assert table2.classify(by_name["bfs"].u_mem) == "high"
+    assert table2.classify(by_name["lud"].u_core) == "medium"
+    assert table2.classify(by_name["lud"].u_mem) == "low"
+    assert table2.classify(by_name["pathfinder"].u_core) == "low"
+    assert table2.classify(by_name["pathfinder"].u_mem) == "low"
+    assert table2.classify(by_name["srad_v2"].u_core) == "high"
+    assert table2.classify(by_name["srad_v2"].u_mem) == "medium"
+    assert table2.classify(by_name["hotspot"].u_core) == "medium"
+    assert table2.classify(by_name["hotspot"].u_mem) == "low"
+    assert table2.classify(by_name["kmeans"].u_core) == "medium"
+    assert table2.classify(by_name["kmeans"].u_mem) == "low"
+    assert by_name["quasirandom"].fluctuating
+    assert by_name["streamcluster"].fluctuating

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the GreenGPU paper in one run.
+
+Walks through the evaluation section in order — Fig. 1 and Fig. 2
+motivation studies, the Table II characterization, the Fig. 5 scaling
+trace, Fig. 6 savings, Fig. 7 division traces, Fig. 8 holistic
+comparison, and the 21.04 % headline — printing each artifact as a text
+table with the paper's reference numbers alongside.
+
+Usage:
+    python examples/reproduce_paper.py           # moderate scale, ~10 min
+    python examples/reproduce_paper.py --fast    # reduced scale, ~2 min
+    python examples/reproduce_paper.py --only fig7 headline
+"""
+
+import argparse
+import time
+
+from repro.experiments import fig1, fig2, fig5, fig6, fig7, fig8, headline, table2
+
+ARTIFACTS = {
+    "fig1": fig1.main,
+    "fig2": fig2.main,
+    "table2": table2.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "headline": headline.main,
+}
+
+FAST_OVERRIDES = {
+    "fig1": lambda: _print_fig1_fast(),
+    "fig2": lambda: _print_fig2_fast(),
+}
+
+
+def _print_fig1_fast() -> None:
+    panels = fig1.run_all(n_iterations=1, time_scale=0.1)
+    for (workload, domain), points in panels.items():
+        floor = points[-1]
+        best = min(points, key=lambda p: p.relative_energy)
+        print(f"fig1 {workload}/{domain}: floor-level time x{floor.normalized_time:.3f}, "
+              f"best energy x{best.relative_energy:.3f} at {best.f_mhz:.0f} MHz")
+
+
+def _print_fig2_fast() -> None:
+    result = fig2.run(n_iterations=2, time_scale=0.05)
+    print(f"fig2 kmeans: energy minimum at r={result.optimal_r:.2f} "
+          f"(x{result.normalized_energy.min():.3f} of all-GPU; paper: ~0.10)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced-scale summary output")
+    parser.add_argument("--only", nargs="*", choices=sorted(ARTIFACTS),
+                        help="run only these artifacts")
+    args = parser.parse_args()
+
+    names = args.only or list(ARTIFACTS)
+    for name in names:
+        print(f"\n{'=' * 72}\n{name.upper()}\n{'=' * 72}")
+        started = time.perf_counter()
+        runner = FAST_OVERRIDES.get(name) if args.fast else None
+        (runner or ARTIFACTS[name])()
+        print(f"[{name} regenerated in {time.perf_counter() - started:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Everything lives in pyproject.toml; this file only exists so that
+`pip install -e . --no-use-pep517` works on environments without the
+`wheel` package (modern PEP-517 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

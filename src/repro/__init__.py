@@ -1,0 +1,80 @@
+"""GreenGPU reproduction.
+
+A full reimplementation of "GreenGPU: A Holistic Approach to Energy
+Efficiency in GPU-CPU Heterogeneous Architectures" (Ma, Li, Chen, Zhang,
+Wang — ICPP 2012) on a simulated GPU-CPU testbed.
+
+Quickstart::
+
+    from repro import make_workload, run_workload, GreenGpuPolicy, RodiniaDefaultPolicy
+
+    workload = make_workload("kmeans")
+    baseline = run_workload(workload, RodiniaDefaultPolicy(), n_iterations=10)
+    green = run_workload(workload, GreenGpuPolicy(), n_iterations=10)
+    print(f"energy saving: {green.energy_saving_vs(baseline):.1%}")
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the paper's algorithms: WMA frequency scaling,
+  workload division, ondemand, the two-tier controller, policies.
+- :mod:`repro.sim` — the simulated testbed: GPU/CPU devices, PCIe bus,
+  power models, WattsUp-style meters, the event clock.
+- :mod:`repro.workloads` — Table II workload models + real numpy kernels.
+- :mod:`repro.runtime` — the heterogeneous executor and partitioner.
+- :mod:`repro.monitors` — nvidia-smi / proc-stat facades.
+- :mod:`repro.baselines` — static sweeps and exhaustive oracles.
+- :mod:`repro.analysis` — energy accounting and convergence metrics.
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core.config import GreenGpuConfig
+from repro.core.controller import GreenGpuController, TierMode
+from repro.core.division import WorkloadDivider
+from repro.core.ondemand import OndemandGovernor
+from repro.core.policies import (
+    BestPerformancePolicy,
+    DivisionOnlyPolicy,
+    FrequencyScalingOnlyPolicy,
+    GreenGpuPolicy,
+    Policy,
+    RodiniaDefaultPolicy,
+    StaticPolicy,
+)
+from repro.core.wma import WmaFrequencyScaler
+from repro.runtime.executor import ExecutorOptions, run_workload
+from repro.runtime.metrics import IterationMetrics, RunResult
+from repro.sim.platform import HeteroSystem, TestbedConfig, make_testbed
+from repro.workloads.characteristics import get_profile, make_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration & policies
+    "GreenGpuConfig",
+    "Policy",
+    "GreenGpuPolicy",
+    "BestPerformancePolicy",
+    "RodiniaDefaultPolicy",
+    "DivisionOnlyPolicy",
+    "FrequencyScalingOnlyPolicy",
+    "StaticPolicy",
+    # algorithms
+    "GreenGpuController",
+    "TierMode",
+    "WmaFrequencyScaler",
+    "WorkloadDivider",
+    "OndemandGovernor",
+    # testbed
+    "HeteroSystem",
+    "TestbedConfig",
+    "make_testbed",
+    # workloads & runtime
+    "make_workload",
+    "get_profile",
+    "workload_names",
+    "run_workload",
+    "ExecutorOptions",
+    "RunResult",
+    "IterationMetrics",
+]

@@ -1,0 +1,44 @@
+"""Post-run analysis: energy accounting, convergence detection, tables.
+
+These utilities compute exactly the derived quantities the paper's
+evaluation reports: total vs *dynamic* energy savings (Fig. 6a vs 6b),
+the emulated CPU+GPU scaling savings (Fig. 6c), division convergence
+(Fig. 7), and formatted result tables.
+"""
+
+from repro.analysis.energy import (
+    cpu_gpu_emulated_saving,
+    dynamic_gpu_energy,
+    dynamic_gpu_saving,
+    gpu_idle_wall_power,
+    total_gpu_saving,
+)
+from repro.analysis.convergence import (
+    converged_value,
+    convergence_iteration,
+    oscillation_amplitude,
+)
+from repro.analysis.ascii_plot import bar_chart, line_chart, sparkline
+from repro.analysis.fluctuation import FluctuationReport, detect_fluctuation, volatility
+from repro.analysis.report import comparison_report, run_report
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "run_report",
+    "comparison_report",
+    "sparkline",
+    "line_chart",
+    "bar_chart",
+    "detect_fluctuation",
+    "volatility",
+    "FluctuationReport",
+    "gpu_idle_wall_power",
+    "dynamic_gpu_energy",
+    "total_gpu_saving",
+    "dynamic_gpu_saving",
+    "cpu_gpu_emulated_saving",
+    "convergence_iteration",
+    "converged_value",
+    "oscillation_amplitude",
+    "format_table",
+]

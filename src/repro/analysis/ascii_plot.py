@@ -1,0 +1,126 @@
+"""Terminal plots: render the paper's figures without matplotlib.
+
+The experiment CLIs print their artifacts as tables; these helpers add a
+visual layer that works in any terminal:
+
+- :func:`sparkline` — one-line unicode block profile of a series;
+- :func:`line_chart` — multi-row scatter/line chart of (t, y) samples;
+- :func:`bar_chart` — horizontal labelled bars (the Fig. 6 savings view).
+
+All functions return strings (no printing, no I/O) so they are trivially
+testable and composable with the table formatter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _as_array(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ConfigError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ConfigError(f"{name} must be finite")
+    return arr
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character profile of a series.
+
+    Constant series render as a flat mid-height line.
+    """
+    arr = _as_array(values, "values")
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _BLOCKS[3] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+
+
+def line_chart(
+    times: Sequence[float],
+    values: Sequence[float],
+    width: int = 64,
+    height: int = 12,
+    title: str | None = None,
+    y_format: str = "{:8.1f}",
+) -> str:
+    """Character-grid chart of a time series with y-axis labels.
+
+    Samples are binned into ``width`` columns (mean per bin) and plotted
+    with '*' marks; the y axis is labelled at the top, middle and bottom.
+    """
+    if width < 8 or height < 3:
+        raise ConfigError("chart needs width >= 8 and height >= 3")
+    t = _as_array(times, "times")
+    y = _as_array(values, "values")
+    if t.size != y.size:
+        raise ConfigError("times and values must have equal length")
+
+    # Bin samples into columns by time.
+    t0, t1 = float(t.min()), float(t.max())
+    span = t1 - t0 or 1.0
+    cols = np.clip(((t - t0) / span * (width - 1)).astype(int), 0, width - 1)
+    col_values = np.full(width, np.nan)
+    for c in range(width):
+        mask = cols == c
+        if mask.any():
+            col_values[c] = y[mask].mean()
+
+    lo, hi = float(y.min()), float(y.max())
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for c, v in enumerate(col_values):
+        if np.isnan(v):
+            continue
+        row = int(round((v - lo) / (hi - lo) * (height - 1)))
+        grid[height - 1 - row][c] = "*"
+
+    labels = {0: hi, height // 2: (hi + lo) / 2.0, height - 1: lo}
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        label = y_format.format(labels[r]) if r in labels else " " * 8
+        lines.append(f"{label} |{''.join(grid[r])}")
+    axis = " " * 8 + " +" + "-" * width
+    lines.append(axis)
+    lines.append(" " * 10 + f"t = {t0:.1f} .. {t1:.1f} s")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    value_format: str = "{:6.2f}",
+) -> str:
+    """Horizontal bar chart; negative values extend left of the axis."""
+    if len(labels) != len(list(values)):
+        raise ConfigError("labels and values must have equal length")
+    arr = _as_array(values, "values")
+    if width < 8:
+        raise ConfigError("chart needs width >= 8")
+    label_width = max(len(str(l)) for l in labels)
+    scale = float(np.abs(arr).max()) or 1.0
+    neg_width = int(np.ceil(max(0.0, -float(arr.min())) / scale * width)) if arr.min() < 0 else 0
+    lines = [title] if title else []
+    for label, value in zip(labels, arr):
+        bar_len = int(round(abs(value) / scale * width))
+        if value >= 0.0:
+            bar = " " * neg_width + "|" + "#" * bar_len
+        else:
+            bar = " " * (neg_width - bar_len) + "#" * bar_len + "|"
+        lines.append(
+            f"{str(label).ljust(label_width)} {value_format.format(float(value))} {bar}"
+        )
+    return "\n".join(lines)

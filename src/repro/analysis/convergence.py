@@ -1,0 +1,50 @@
+"""Convergence detection for controller traces.
+
+The paper reports convergence qualitatively ("roughly the same after 4
+iterations", Fig. 7a); these helpers make the same judgements
+programmatically for tests and EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+
+
+def convergence_iteration(values: np.ndarray | list[float], tol: float = 0.0) -> int:
+    """First index from which the series never changes by more than ``tol``.
+
+    Raises :class:`ConvergenceError` if the series never settles (i.e.
+    the last step still moves more than ``tol``).
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ConvergenceError("empty series")
+    if v.size == 1:
+        return 0
+    moves = np.abs(np.diff(v)) > tol
+    if moves[-1]:
+        raise ConvergenceError("series still moving at its end")
+    last_move = np.flatnonzero(moves)
+    return int(last_move[-1] + 1) if last_move.size else 0
+
+
+def converged_value(values: np.ndarray | list[float], tol: float = 0.0) -> float:
+    """The settled value of a converging series."""
+    v = np.asarray(values, dtype=float)
+    idx = convergence_iteration(v, tol)
+    return float(v[idx])
+
+
+def oscillation_amplitude(values: np.ndarray | list[float], tail: int = 6) -> float:
+    """Peak-to-peak amplitude over the last ``tail`` samples.
+
+    Zero for a settled controller; the division-step ablation uses this
+    to quantify the large-step oscillation the paper warns about (§V-B).
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ConvergenceError("empty series")
+    window = v[-tail:]
+    return float(window.max() - window.min())

@@ -1,0 +1,65 @@
+"""Energy accounting for the paper's three savings metrics (Fig. 6).
+
+- **Total GPU saving** (Fig. 6a): Meter2 wall energy relative to the
+  best-performance run of the same workload.
+- **Dynamic GPU saving** (Fig. 6b): the paper computes dynamic energy "by
+  subtracting the idle energy from the runtime energy" — idle energy
+  being the card's idle wall power (at its default lowest clocks)
+  integrated over the run.
+- **Emulated CPU+GPU saving** (Fig. 6c): whole-system saving when, on top
+  of GPU scaling, every CPU busy-wait period is re-priced at the lowest
+  P-state's idle power (the paper's emulation of asynchronous
+  communication, §VII-A).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.runtime.metrics import RunResult
+from repro.sim.platform import TestbedConfig
+
+
+def gpu_idle_wall_power(config: TestbedConfig) -> float:
+    """Meter2 wall power of an idle card at its default (lowest) clocks."""
+    gpu = config.gpu
+    device_idle = gpu.power.idle_power(
+        gpu.core_ladder.floor / gpu.core_ladder.peak,
+        gpu.mem_ladder.floor / gpu.mem_ladder.peak,
+    )
+    return (device_idle + config.meter2_overhead_w) / config.meter2_efficiency
+
+
+def dynamic_gpu_energy(result: RunResult, config: TestbedConfig) -> float:
+    """GPU runtime energy minus idle energy over the run's duration."""
+    if result.total_s <= 0.0:
+        raise SimulationError("run has no elapsed time")
+    dynamic = result.gpu_energy_j - gpu_idle_wall_power(config) * result.total_s
+    return max(0.0, dynamic)
+
+
+def total_gpu_saving(result: RunResult, baseline: RunResult) -> float:
+    """Fig. 6a metric: fractional Meter2 energy saving vs baseline."""
+    return result.gpu_energy_saving_vs(baseline)
+
+
+def dynamic_gpu_saving(
+    result: RunResult, baseline: RunResult, config: TestbedConfig
+) -> float:
+    """Fig. 6b metric: fractional *dynamic* GPU energy saving vs baseline."""
+    base_dynamic = dynamic_gpu_energy(baseline, config)
+    if base_dynamic <= 0.0:
+        raise SimulationError("baseline has no dynamic GPU energy")
+    return 1.0 - dynamic_gpu_energy(result, config) / base_dynamic
+
+
+def cpu_gpu_emulated_saving(result: RunResult, baseline: RunResult) -> float:
+    """Fig. 6c metric: whole-system saving with spin re-priced as idle.
+
+    The scaled run's Meter1 energy is replaced by its emulated value
+    (busy-wait periods at the lowest P-state's idle power); the baseline
+    keeps its measured energy, exactly as in the paper's emulation.
+    """
+    if baseline.total_energy_j <= 0.0:
+        raise SimulationError("baseline has no energy measurement")
+    emulated_total = result.gpu_energy_j + result.cpu_energy_emulated_idle_spin_j
+    return 1.0 - emulated_total / baseline.total_energy_j

@@ -1,0 +1,78 @@
+"""Utilization-trace fluctuation detection.
+
+The paper classifies QG and streamcluster as "highly fluctuating" *by
+studying the utilization traces* (§VI) — a manual step.  This module
+automates it: given a sampled utilization series, decide whether the
+workload is phase-stable or fluctuating.
+
+The detector is deliberately simple and threshold-based (it must be
+explainable and cheap enough for a runtime): a trace is *fluctuating*
+when the mean absolute sample-to-sample change of either domain's
+utilization exceeds a threshold — i.e. the workload keeps moving between
+operating points faster than the scaler's sampling period, which is
+exactly the property that stresses the WMA loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Default deviation threshold separating stable from fluctuating traces.
+#: Phase-stable workloads deviate a few hundredths from their typical
+#: operating point; QG/SC's bimodal phase alternation deviates several
+#: times that.
+DEFAULT_THRESHOLD = 0.06
+
+
+@dataclass(frozen=True, slots=True)
+class FluctuationReport:
+    """Outcome of the detector on one (u_core, u_mem) trace."""
+
+    core_volatility: float
+    mem_volatility: float
+    threshold: float
+
+    @property
+    def volatility(self) -> float:
+        """The larger of the two domains' volatilities."""
+        return max(self.core_volatility, self.mem_volatility)
+
+    @property
+    def fluctuating(self) -> bool:
+        return self.volatility > self.threshold
+
+
+def volatility(series: np.ndarray | list[float]) -> float:
+    """Mean absolute deviation from the series median.
+
+    Robust to dwell time: a workload that spends 70 % of each iteration
+    in one phase and 30 % in another is just as bimodal whether it
+    switches every sample or every tenth sample, and the
+    deviation-from-median statistic scores both the same — unlike
+    sample-to-sample deltas, which vanish for slow alternation.
+    """
+    values = np.asarray(series, dtype=float)
+    if values.size < 2:
+        raise ConfigError("volatility needs at least two samples")
+    if np.any(values < -1e-9) or np.any(values > 1.0 + 1e-9):
+        raise ConfigError("utilizations must be in [0, 1]")
+    return float(np.abs(values - np.median(values)).mean())
+
+
+def detect_fluctuation(
+    u_core: np.ndarray | list[float],
+    u_mem: np.ndarray | list[float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> FluctuationReport:
+    """Classify a sampled utilization trace (see module docstring)."""
+    if threshold <= 0.0:
+        raise ConfigError("threshold must be positive")
+    return FluctuationReport(
+        core_volatility=volatility(u_core),
+        mem_volatility=volatility(u_mem),
+        threshold=threshold,
+    )

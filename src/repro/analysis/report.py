@@ -1,0 +1,76 @@
+"""Human-readable run reports.
+
+Renders a :class:`~repro.runtime.metrics.RunResult` (or a comparison of
+several) into the plain-text report the CLI prints: totals, per-iteration
+rows, tier activity, and savings versus a baseline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigError
+from repro.runtime.metrics import RunResult
+
+
+def run_report(result: RunResult, max_rows: int = 20) -> str:
+    """Single-run report: totals plus the per-iteration table."""
+    if max_rows < 1:
+        raise ConfigError("max_rows must be positive")
+    lines = [
+        f"workload : {result.workload}",
+        f"policy   : {result.policy}",
+        f"time     : {result.total_s:.1f} s over {result.n_iterations} iterations",
+        f"energy   : {result.total_energy_j / 1e3:.2f} kJ "
+        f"(GPU card {result.gpu_energy_j / 1e3:.2f} kJ, "
+        f"CPU box {result.cpu_energy_j / 1e3:.2f} kJ)",
+        f"avg power: {result.average_power_w:.1f} W wall",
+    ]
+    if result.cpu_spin_s > 0.0:
+        lines.append(
+            f"cpu spin : {result.cpu_spin_s:.1f} s busy-waiting "
+            f"({result.cpu_spin_energy_j / 1e3:.2f} kJ at the package)"
+        )
+    rows = [
+        (m.index + 1, f"{m.r:.2f}", m.tc, m.tg, m.energy_j / 1e3)
+        for m in result.iterations[:max_rows]
+    ]
+    lines.append("")
+    lines.append(
+        format_table(
+            ["iter", "r", "tc (s)", "tg (s)", "energy (kJ)"],
+            rows,
+            float_fmt="{:.2f}",
+        )
+    )
+    if result.n_iterations > max_rows:
+        lines.append(f"... {result.n_iterations - max_rows} more iterations")
+    return "\n".join(lines)
+
+
+def comparison_report(results: list[RunResult], baseline_index: int = 0) -> str:
+    """Multi-policy comparison with savings against one baseline."""
+    if not results:
+        raise ConfigError("need at least one run to report")
+    if not 0 <= baseline_index < len(results):
+        raise ConfigError("baseline index out of range")
+    baseline = results[baseline_index]
+    rows = []
+    for result in results:
+        saving = result.energy_saving_vs(baseline)
+        slowdown = result.slowdown_vs(baseline)
+        rows.append(
+            (
+                result.policy,
+                result.total_s,
+                result.total_energy_j / 1e3,
+                f"{100 * saving:+.2f}%",
+                f"{100 * slowdown:+.2f}%",
+                f"{result.final_ratio:.2f}",
+            )
+        )
+    return format_table(
+        ["policy", "time (s)", "energy (kJ)", "energy vs base", "time vs base", "final r"],
+        rows,
+        title=f"comparison on {baseline.workload!r} (baseline: {baseline.policy})",
+        float_fmt="{:.1f}",
+    )

@@ -1,0 +1,120 @@
+"""JSON serialization for run results and traces.
+
+Experiments are deterministic but not instantaneous; persisting results
+lets analysis and plotting iterate without re-simulating.  The format is
+plain JSON — stable keys, no pickling — so results can be diffed, stored
+in git, or consumed outside Python.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.runtime.metrics import IterationMetrics, RunResult
+from repro.sim.trace import Trace
+
+SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    return {
+        "name": trace.name,
+        "times": trace.times.tolist(),
+        "values": trace.values.tolist(),
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    return Trace(
+        name=data["name"],
+        times=np.asarray(data["times"], dtype=float),
+        values=np.asarray(data["values"], dtype=float),
+    )
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    """RunResult -> JSON-safe dict (schema-versioned)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "workload": result.workload,
+        "policy": result.policy,
+        "total_s": result.total_s,
+        "total_energy_j": result.total_energy_j,
+        "gpu_energy_j": result.gpu_energy_j,
+        "cpu_energy_j": result.cpu_energy_j,
+        "cpu_spin_s": result.cpu_spin_s,
+        "cpu_spin_energy_j": result.cpu_spin_energy_j,
+        "cpu_energy_emulated_idle_spin_j": result.cpu_energy_emulated_idle_spin_j,
+        "final_ratio": result.final_ratio,
+        "iterations": [
+            {
+                "index": m.index,
+                "r": m.r,
+                "tc": m.tc,
+                "tg": m.tg,
+                "wall_s": m.wall_s,
+                "energy_j": m.energy_j,
+                "gpu_energy_j": m.gpu_energy_j,
+                "cpu_energy_j": m.cpu_energy_j,
+            }
+            for m in result.iterations
+        ],
+        "traces": {name: trace_to_dict(t) for name, t in result.traces.items()},
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> RunResult:
+    """JSON dict -> RunResult (validates the schema version)."""
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported result schema {schema!r} (expected {SCHEMA_VERSION})"
+        )
+    iterations = [
+        IterationMetrics(
+            index=m["index"], r=m["r"], tc=m["tc"], tg=m["tg"], wall_s=m["wall_s"],
+            energy_j=m["energy_j"], gpu_energy_j=m["gpu_energy_j"],
+            cpu_energy_j=m["cpu_energy_j"],
+        )
+        for m in data["iterations"]
+    ]
+    return RunResult(
+        workload=data["workload"],
+        policy=data["policy"],
+        iterations=iterations,
+        total_s=data["total_s"],
+        total_energy_j=data["total_energy_j"],
+        gpu_energy_j=data["gpu_energy_j"],
+        cpu_energy_j=data["cpu_energy_j"],
+        cpu_spin_s=data["cpu_spin_s"],
+        cpu_spin_energy_j=data["cpu_spin_energy_j"],
+        cpu_energy_emulated_idle_spin_j=data["cpu_energy_emulated_idle_spin_j"],
+        final_ratio=data["final_ratio"],
+        traces={name: trace_from_dict(t) for name, t in data["traces"].items()},
+    )
+
+
+def dumps(result: RunResult, indent: int | None = 2) -> str:
+    """RunResult -> JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def loads(text: str) -> RunResult:
+    """JSON string -> RunResult."""
+    return result_from_dict(json.loads(text))
+
+
+def save(result: RunResult, path: str) -> None:
+    """Write a result to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(result))
+
+
+def load(path: str) -> RunResult:
+    """Read a result from a JSON file."""
+    with open(path) as handle:
+        return loads(handle.read())

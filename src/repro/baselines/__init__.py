@@ -1,0 +1,25 @@
+"""Baselines the paper compares GreenGPU against.
+
+Live-policy baselines (best-performance, Rodinia default, division-only,
+frequency-scaling-only) live in :mod:`repro.core.policies`; this package
+adds the *search* baselines:
+
+- :mod:`repro.baselines.static_division` — the static division sweep of
+  Fig. 2 and §VII-B ("we have also conducted a series of experiments to
+  test static workload division from 0/100 to 100/0 with a step size
+  of 5");
+- :mod:`repro.baselines.oracle` — exhaustive offline search over static
+  frequency pairs (and optionally divisions), the global-optimal
+  reference GreenGPU's light-weight heuristics are traded against (§V-B).
+"""
+
+from repro.baselines.static_division import DivisionSweepPoint, sweep_divisions
+from repro.baselines.oracle import OracleResult, oracle_frequency_search, oracle_search
+
+__all__ = [
+    "sweep_divisions",
+    "DivisionSweepPoint",
+    "oracle_frequency_search",
+    "oracle_search",
+    "OracleResult",
+]

@@ -1,0 +1,122 @@
+"""Exhaustive offline search baselines.
+
+GreenGPU deliberately uses light-weight heuristics "as a trade-off
+between solution performance and runtime overheads" (§V-B) and notes it
+"cannot completely guarantee to reach global optimal since we do not
+exhaust the searching space".  These oracles *do* exhaust it — offline,
+with perfect knowledge — providing the upper bound the heuristics are
+measured against in the ablation benches:
+
+- :func:`oracle_frequency_search` — best static (core, mem) frequency
+  pair for a workload by total energy, over all N x M pairs (36 on the
+  paper's testbed; cf. §IV's worst-case 36-period convergence argument);
+- :func:`oracle_search` — jointly best (division, core, mem) triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policies import StaticPolicy
+from repro.errors import ConfigError
+from repro.runtime.executor import ExecutorOptions, run_workload
+from repro.runtime.metrics import RunResult
+from repro.sim.calibration import default_testbed_config
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Best static configuration found by exhaustive search."""
+
+    core_level: int
+    mem_level: int
+    r: float
+    result: RunResult
+    evaluated: int
+
+    @property
+    def energy_j(self) -> float:
+        return self.result.total_energy_j
+
+
+def _evaluate(
+    workload: Workload,
+    core_level: int,
+    mem_level: int,
+    r: float,
+    n_iterations: int,
+    options: ExecutorOptions | None,
+) -> RunResult:
+    policy = StaticPolicy(
+        core_level, mem_level, ratio=r, name=f"oracle(c{core_level},m{mem_level},r{r:.2f})"
+    )
+    return run_workload(workload, policy, n_iterations=n_iterations, options=options)
+
+
+def oracle_frequency_search(
+    workload: Workload,
+    r: float = 0.0,
+    n_iterations: int = 2,
+    max_slowdown: float | None = None,
+    options: ExecutorOptions | None = None,
+) -> OracleResult:
+    """Exhaustive static frequency-pair search at a fixed division.
+
+    ``max_slowdown`` (e.g. 0.05) restricts the search to configurations
+    within that fractional slowdown of the best-performance point,
+    matching the paper's "negligible performance degradation" objective.
+    """
+    config = default_testbed_config()
+    n_core = len(config.gpu.core_ladder)
+    n_mem = len(config.gpu.mem_ladder)
+    baseline = _evaluate(workload, 0, 0, r, n_iterations, options)
+    best: OracleResult | None = None
+    evaluated = 0
+    for i in range(n_core):
+        for j in range(n_mem):
+            result = (
+                baseline
+                if (i, j) == (0, 0)
+                else _evaluate(workload, i, j, r, n_iterations, options)
+            )
+            evaluated += 1
+            if max_slowdown is not None and result.slowdown_vs(baseline) > max_slowdown:
+                continue
+            if best is None or result.total_energy_j < best.energy_j:
+                best = OracleResult(i, j, r, result, evaluated)
+    assert best is not None  # (0, 0) always qualifies: zero slowdown vs itself
+    return OracleResult(best.core_level, best.mem_level, r, best.result, evaluated)
+
+
+def oracle_search(
+    workload: Workload,
+    ratios: np.ndarray | list[float] | None = None,
+    n_iterations: int = 2,
+    options: ExecutorOptions | None = None,
+) -> OracleResult:
+    """Jointly optimal (division, core, mem) by exhaustive enumeration.
+
+    This is deliberately expensive — quadratic in ladder sizes times the
+    ratio grid — and exists as the global reference, not a usable policy.
+    """
+    if ratios is None:
+        ratios = np.arange(0.0, 0.901, 0.05)
+    if len(list(ratios)) == 0:
+        raise ConfigError("need at least one ratio")
+    config = default_testbed_config()
+    n_core = len(config.gpu.core_ladder)
+    n_mem = len(config.gpu.mem_ladder)
+    best: OracleResult | None = None
+    evaluated = 0
+    for r in ratios:
+        for i in range(n_core):
+            for j in range(n_mem):
+                result = _evaluate(workload, i, j, float(r), n_iterations, options)
+                evaluated += 1
+                if best is None or result.total_energy_j < best.energy_j:
+                    best = OracleResult(i, j, float(r), result, evaluated)
+    assert best is not None
+    return OracleResult(best.core_level, best.mem_level, best.r, best.result, evaluated)

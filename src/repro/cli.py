@@ -1,0 +1,265 @@
+"""Command-line interface: the ``greengpu`` tool.
+
+Subcommands:
+
+- ``run``          — run one workload under one policy, print the report;
+- ``compare``      — run every policy on a workload, print the comparison;
+- ``sweep``        — static division sweep (the Fig. 2 experiment on any
+  workload);
+- ``characterize`` — Table-II-style utilization characterization;
+- ``oracle``       — exhaustive static frequency/division search;
+- ``reproduce``    — regenerate one or all paper artifacts;
+- ``replay``       — build a workload from a ``time,u_core,u_mem`` CSV
+  trace (e.g. a polled nvidia-smi log) and run a policy on it.
+
+All simulation is deterministic; every command prints plain text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.report import comparison_report, run_report
+from repro.analysis.tables import format_table
+from repro.core.policies import (
+    BestPerformancePolicy,
+    DivisionOnlyPolicy,
+    FrequencyScalingOnlyPolicy,
+    GreenGpuPolicy,
+    Policy,
+    RodiniaDefaultPolicy,
+)
+from repro.errors import ConfigError, ReproError
+from repro.experiments.common import scaled_config, scaled_options, scaled_workload
+from repro.runtime.executor import run_workload
+from repro.workloads.characteristics import workload_names
+
+POLICY_FACTORIES = {
+    "greengpu": lambda cfg: GreenGpuPolicy(config=cfg),
+    "division-only": lambda cfg: DivisionOnlyPolicy(config=cfg),
+    "scaling-only": lambda cfg: FrequencyScalingOnlyPolicy(config=cfg),
+    "best-performance": lambda cfg: BestPerformancePolicy(),
+    "rodinia-default": lambda cfg: RodiniaDefaultPolicy(),
+}
+
+
+def _make_policy(name: str, time_scale: float) -> Policy:
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy {name!r}; choose from {sorted(POLICY_FACTORIES)}"
+        ) from None
+    return factory(scaled_config(time_scale))
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="kmeans",
+                        help=f"one of {workload_names()} (or a paper alias)")
+    parser.add_argument("--iterations", type=int, default=8)
+    parser.add_argument("--time-scale", type=float, default=0.1,
+                        help="shrink simulated durations by this factor")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = scaled_workload(args.workload, args.time_scale)
+    policy = _make_policy(args.policy, args.time_scale)
+    result = run_workload(
+        workload, policy, n_iterations=args.iterations,
+        options=scaled_options(args.time_scale),
+    )
+    print(run_report(result))
+    if args.save:
+        from repro.analysis import serialize
+
+        serialize.save(result, args.save)
+        print(f"\nresult written to {args.save}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    from repro.analysis import serialize
+
+    result = serialize.load(args.result)
+    print(run_report(result))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = scaled_workload(args.workload, args.time_scale)
+    options = scaled_options(args.time_scale)
+    results = [
+        run_workload(
+            workload, _make_policy(name, args.time_scale),
+            n_iterations=args.iterations, options=options,
+        )
+        for name in ("rodinia-default", "scaling-only", "division-only", "greengpu")
+    ]
+    print(comparison_report(results, baseline_index=0))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.baselines.static_division import best_point, sweep_divisions
+
+    workload = scaled_workload(args.workload, args.time_scale)
+    ratios = [round(args.step * i, 4) for i in range(int(args.max_ratio / args.step) + 1)]
+    points = sweep_divisions(
+        workload, ratios, n_iterations=args.iterations,
+        options=scaled_options(args.time_scale),
+    )
+    rows = [(f"{p.r:.2f}", p.energy_j / 1e3, p.time_s) for p in points]
+    print(format_table(["CPU share", "energy (kJ)", "time (s)"], rows,
+                       title=f"static division sweep — {args.workload}"))
+    optimum = best_point(points)
+    print(f"\nenergy minimum at r = {optimum.r:.2f} "
+          f"({optimum.energy_j / 1e3:.2f} kJ)")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.experiments import table2
+
+    rows = table2.run(n_iterations=args.iterations, time_scale=args.time_scale)
+    table_rows = [
+        (r.name, r.u_core, r.u_mem, r.measured_description) for r in rows
+    ]
+    print(format_table(["workload", "u_core", "u_mem", "class"], table_rows,
+                       title="workload characterization (all-GPU, peak clocks)"))
+    return 0
+
+
+def cmd_oracle(args: argparse.Namespace) -> int:
+    from repro.baselines.oracle import oracle_frequency_search
+    from repro.units import to_mhz
+
+    workload = scaled_workload(args.workload, args.time_scale)
+    result = oracle_frequency_search(
+        workload, r=args.ratio, n_iterations=args.iterations,
+        max_slowdown=args.max_slowdown,
+    )
+    from repro.sim.calibration import geforce_8800_gtx_spec
+
+    spec = geforce_8800_gtx_spec()
+    print(f"oracle optimum for {args.workload!r} at r={args.ratio:.2f}:")
+    print(f"  core {to_mhz(spec.core_ladder[result.core_level]):.1f} MHz "
+          f"(level {result.core_level})")
+    print(f"  mem  {to_mhz(spec.mem_ladder[result.mem_level]):.1f} MHz "
+          f"(level {result.mem_level})")
+    print(f"  energy {result.energy_j / 1e3:.2f} kJ over "
+          f"{result.result.total_s:.1f} s ({result.evaluated} configs searched)")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import fig1, fig2, fig5, fig6, fig7, fig8, headline, table2
+
+    artifacts = {
+        "fig1": fig1.main, "fig2": fig2.main, "table2": table2.main,
+        "fig5": fig5.main, "fig6": fig6.main, "fig7": fig7.main,
+        "fig8": fig8.main, "headline": headline.main,
+    }
+    names = args.artifacts or list(artifacts)
+    for name in names:
+        if name not in artifacts:
+            raise ConfigError(f"unknown artifact {name!r}; choose from {sorted(artifacts)}")
+        print(f"\n=== {name} ===")
+        artifacts[name]()
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sim.calibration import geforce_8800_gtx_spec, phenom_ii_x2_spec
+    from repro.workloads.base import DemandModelWorkload
+    from repro.workloads.trace_replay import parse_csv, profile_from_trace
+
+    text = Path(args.trace).read_text()
+    gpu, cpu = geforce_8800_gtx_spec(), phenom_ii_x2_spec()
+    profile = profile_from_trace(
+        parse_csv(text), gpu,
+        name=Path(args.trace).stem,
+        cpu_gpu_time_ratio=args.cpu_gpu_ratio,
+    )
+    workload = DemandModelWorkload(profile, gpu, cpu)
+    print(f"replaying {args.trace}: {profile.enlargement}, "
+          f"{profile.gpu_seconds_per_iteration:.1f} s per iteration")
+    policy = _make_policy(args.policy, args.time_scale)
+    result = run_workload(
+        workload, policy, n_iterations=args.iterations,
+        options=scaled_options(args.time_scale),
+    )
+    print(run_report(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="greengpu", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one workload under one policy")
+    _add_common(p)
+    p.add_argument("--policy", default="greengpu", choices=sorted(POLICY_FACTORIES))
+    p.add_argument("--save", default=None, metavar="FILE",
+                   help="write the full result (incl. traces) as JSON")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("show", help="re-render a saved JSON result")
+    p.add_argument("result", help="file written by 'run --save'")
+    p.set_defaults(func=cmd_show)
+
+    p = sub.add_parser("compare", help="all policies on one workload")
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="static division sweep (Fig. 2 style)")
+    _add_common(p)
+    p.add_argument("--step", type=float, default=0.05)
+    p.add_argument("--max-ratio", type=float, default=0.9)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("characterize", help="Table II utilization classes")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--time-scale", type=float, default=0.1)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("oracle", help="exhaustive static frequency search")
+    _add_common(p)
+    p.add_argument("--ratio", type=float, default=0.0)
+    p.add_argument("--max-slowdown", type=float, default=None)
+    p.set_defaults(func=cmd_oracle)
+
+    p = sub.add_parser("reproduce", help="regenerate paper artifacts")
+    p.add_argument("artifacts", nargs="*",
+                   help="fig1 fig2 table2 fig5 fig6 fig7 fig8 headline (default: all)")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("replay", help="run a policy on a utilization-trace CSV")
+    p.add_argument("trace", help="CSV with time_s,u_core,u_mem rows")
+    p.add_argument("--policy", default="scaling-only", choices=sorted(POLICY_FACTORIES))
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--time-scale", type=float, default=1.0)
+    p.add_argument("--cpu-gpu-ratio", type=float, default=4.0)
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

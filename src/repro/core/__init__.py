@@ -1,0 +1,53 @@
+"""GreenGPU's core algorithms (the paper's contribution).
+
+Two tiers (paper §IV-§V):
+
+1. **Workload division** (:mod:`repro.core.division`) — per-iteration
+   adjustment of the CPU work share ``r`` by a fixed step based on which
+   side finished last, with a linear-extrapolation oscillation safeguard.
+2. **Frequency scaling** (:mod:`repro.core.wma`) — a Weighted Majority
+   Algorithm over the N x M GPU core/memory frequency-pair table, driven
+   by the Table-I loss functions (:mod:`repro.core.loss`); plus the stock
+   Linux `ondemand` governor for the CPU (:mod:`repro.core.ondemand`).
+
+:mod:`repro.core.controller` composes both tiers with decoupled periods;
+:mod:`repro.core.policies` provides the paper's baselines.
+"""
+
+from repro.core.config import GreenGpuConfig
+from repro.core.loss import component_loss, loss_vector, total_loss_matrix
+from repro.core.weights import WeightTable
+from repro.core.wma import WmaFrequencyScaler
+from repro.core.ondemand import OndemandGovernor
+from repro.core.division import DivisionDecision, WorkloadDivider
+from repro.core.controller import GreenGpuController, TierMode
+from repro.core.policies import (
+    BestPerformancePolicy,
+    GreenGpuPolicy,
+    DivisionOnlyPolicy,
+    FrequencyScalingOnlyPolicy,
+    Policy,
+    RodiniaDefaultPolicy,
+    StaticPolicy,
+)
+
+__all__ = [
+    "GreenGpuConfig",
+    "component_loss",
+    "loss_vector",
+    "total_loss_matrix",
+    "WeightTable",
+    "WmaFrequencyScaler",
+    "OndemandGovernor",
+    "WorkloadDivider",
+    "DivisionDecision",
+    "GreenGpuController",
+    "TierMode",
+    "Policy",
+    "GreenGpuPolicy",
+    "BestPerformancePolicy",
+    "RodiniaDefaultPolicy",
+    "DivisionOnlyPolicy",
+    "FrequencyScalingOnlyPolicy",
+    "StaticPolicy",
+]

@@ -1,0 +1,96 @@
+"""All GreenGPU tunables, with the paper's published defaults.
+
+Every constant here is quoted from the paper:
+
+- ``alpha_core = 0.15``, ``alpha_mem = 0.02`` — the energy-vs-performance
+  trade-off weights in the Table-I loss functions ("we give a higher
+  weight to performance by setting alpha_c = 0.15 for cores and
+  alpha_m = 0.02 for memory", §V-A).
+- ``phi = 0.3`` — the core/memory blend in Eq. 3.
+- ``beta = 0.2`` — the history-vs-current trade-off in Eq. 4 ("to filter
+  out limited system noise with quick workload change response").
+- ``scaling_interval_s = 3.0`` — "our frequency scaling interval is 3 s in
+  this test" (§VII-A).
+- ``division_step = 0.05`` — "one fixed amount, 5 %" (§V-B).
+- ``initial_cpu_ratio = 0.3`` — Fig. 7a starts at 30 % CPU "in order to
+  have a faster convergence"; any value converges (§VII-B).
+- ``min_division_scaling_ratio = 40`` — "we select the workload division
+  interval long enough (e.g., no less than 40 times longer than that of
+  GPU frequency scaling interval)" (§IV).
+- `ondemand` thresholds follow the paper's description of the linux-2.6.32
+  governor: jump to the peak above the upper threshold, step down one
+  level below the lower threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GreenGpuConfig:
+    """Immutable bundle of every GreenGPU tunable (see module docstring)."""
+
+    # Tier 2: GPU core/memory WMA scaler (paper §V-A).
+    alpha_core: float = 0.15
+    alpha_mem: float = 0.02
+    phi: float = 0.3
+    beta: float = 0.2
+    scaling_interval_s: float = 3.0
+
+    # Tier 2: CPU ondemand governor (paper §IV).
+    ondemand_up_threshold: float = 0.80
+    ondemand_down_threshold: float = 0.30
+    ondemand_interval_s: float = 0.1
+
+    # Tier 1: workload division (paper §V-B).
+    division_step: float = 0.05
+    initial_cpu_ratio: float = 0.30
+    min_cpu_ratio: float = 0.0
+    max_cpu_ratio: float = 0.95
+    oscillation_safeguard: bool = True
+
+    # Tier decoupling (paper §IV).
+    min_division_scaling_ratio: float = 40.0
+
+    def __post_init__(self) -> None:
+        for name in ("alpha_core", "alpha_mem", "phi"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {v}")
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigError(f"beta must be in (0, 1), got {self.beta}")
+        if self.scaling_interval_s <= 0.0:
+            raise ConfigError("scaling interval must be positive")
+        if not 0.0 < self.ondemand_up_threshold <= 1.0:
+            raise ConfigError("ondemand up threshold must be in (0, 1]")
+        if not 0.0 <= self.ondemand_down_threshold < self.ondemand_up_threshold:
+            raise ConfigError(
+                "ondemand down threshold must be in [0, up_threshold)"
+            )
+        if self.ondemand_interval_s <= 0.0:
+            raise ConfigError("ondemand interval must be positive")
+        if not 0.0 < self.division_step <= 0.5:
+            raise ConfigError("division step must be in (0, 0.5]")
+        if not 0.0 <= self.min_cpu_ratio <= self.max_cpu_ratio <= 1.0:
+            raise ConfigError("need 0 <= min_cpu_ratio <= max_cpu_ratio <= 1")
+        if not self.min_cpu_ratio <= self.initial_cpu_ratio <= self.max_cpu_ratio:
+            raise ConfigError("initial ratio outside [min, max] bounds")
+        if self.min_division_scaling_ratio < 1.0:
+            raise ConfigError("division/scaling interval ratio must be >= 1")
+
+    def with_(self, **changes: Any) -> "GreenGpuConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **changes)
+
+    def min_iteration_length_s(self) -> float:
+        """Shortest iteration length honouring the tier-decoupling rule.
+
+        The paper requires the division period (one iteration) to be at
+        least ``min_division_scaling_ratio`` times the GPU scaling interval
+        so the WMA loop converges within one division interval (§IV).
+        """
+        return self.min_division_scaling_ratio * self.scaling_interval_s

@@ -1,0 +1,171 @@
+"""The assembled two-tier GreenGPU controller (paper §IV, Fig. 3).
+
+:class:`GreenGpuController` wires the paper's control loops onto a
+simulated :class:`~repro.sim.platform.HeteroSystem`:
+
+- **Tier 2, GPU**: every ``scaling_interval_s`` (3 s), read the windowed
+  core/memory utilizations through the ``nvidia-smi`` facade, run one WMA
+  step, and enforce the chosen frequency pair.
+- **Tier 2, CPU**: every ``ondemand_interval_s``, read /proc/stat-style
+  utilization and apply the `ondemand` rule.
+- **Tier 1**: at every iteration boundary the executor reports
+  ``(tc, tg)`` and receives the next division ratio.
+
+The two tiers are deliberately decoupled: division happens at iteration
+granularity (long), scaling at a short fixed period, so the WMA loop can
+settle within one division interval (§IV).  :class:`TierMode` selects
+which tiers are active, which is how the paper's *Division-only* and
+*Frequency-scaling-only* baselines are expressed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.config import GreenGpuConfig
+from repro.core.division import WorkloadDivider
+from repro.core.ondemand import OndemandGovernor
+from repro.core.wma import WmaFrequencyScaler
+from repro.errors import SimulationError
+from repro.monitors.cpustat import CpuStat
+from repro.monitors.nvsmi import NvidiaSmi
+from repro.sim.engine import TaskHandle
+from repro.sim.platform import HeteroSystem
+from repro.sim.trace import TraceRecorder
+
+
+class TierMode(enum.Enum):
+    """Which GreenGPU tiers are active."""
+
+    HOLISTIC = "holistic"              # both tiers (GreenGPU proper)
+    DIVISION_ONLY = "division-only"    # tier 1 only; frequencies pinned
+    SCALING_ONLY = "scaling-only"      # tier 2 only; division pinned
+    NONE = "none"                      # everything pinned (baselines)
+
+    @property
+    def division_enabled(self) -> bool:
+        return self in (TierMode.HOLISTIC, TierMode.DIVISION_ONLY)
+
+    @property
+    def scaling_enabled(self) -> bool:
+        return self in (TierMode.HOLISTIC, TierMode.SCALING_ONLY)
+
+
+class GreenGpuController:
+    """Runtime composition of the WMA scaler, ondemand and the divider."""
+
+    def __init__(
+        self,
+        mode: TierMode = TierMode.HOLISTIC,
+        config: GreenGpuConfig | None = None,
+        initial_ratio: float | None = None,
+        recorder: TraceRecorder | None = None,
+    ):
+        self.mode = mode
+        self.config = config or GreenGpuConfig()
+        self.recorder = recorder
+        self._initial_ratio = initial_ratio
+        self.scaler: WmaFrequencyScaler | None = None
+        self.governor: OndemandGovernor | None = None
+        self.divider: WorkloadDivider | None = None
+        self._system: HeteroSystem | None = None
+        self._nvsmi: NvidiaSmi | None = None
+        self._cpustat: CpuStat | None = None
+        self._tasks: list[TaskHandle] = []
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        return self._system is not None
+
+    def attach(self, system: HeteroSystem) -> None:
+        """Bind to a testbed and register the periodic tier-2 loops."""
+        if self.attached:
+            raise SimulationError("controller already attached")
+        self._system = system
+        cfg = self.config
+        if self.mode.division_enabled:
+            self.divider = WorkloadDivider(cfg, r0=self._initial_ratio)
+        else:
+            self.divider = None
+        if self.mode.scaling_enabled:
+            self.scaler = WmaFrequencyScaler(
+                system.gpu.spec.core_ladder, system.gpu.spec.mem_ladder, cfg
+            )
+            self.governor = OndemandGovernor(
+                system.cpu.spec.ladder,
+                up_threshold=cfg.ondemand_up_threshold,
+                down_threshold=cfg.ondemand_down_threshold,
+            )
+            self._nvsmi = NvidiaSmi(system.gpu)
+            self._cpustat = CpuStat(system.cpu)
+            self._tasks.append(
+                system.clock.every(
+                    cfg.scaling_interval_s, self._scaling_tick, name="wma-scaling"
+                )
+            )
+            self._tasks.append(
+                system.clock.every(
+                    cfg.ondemand_interval_s, self._ondemand_tick, name="ondemand"
+                )
+            )
+
+    def detach(self) -> None:
+        """Cancel the periodic loops and unbind from the testbed."""
+        for task in self._tasks:
+            task.cancel()
+        self._tasks.clear()
+        self._system = None
+        self._nvsmi = None
+        self._cpustat = None
+
+    # -- tier 2 ticks -----------------------------------------------------------------
+
+    def _scaling_tick(self, t: float) -> None:
+        assert self._system is not None and self._nvsmi is not None
+        assert self.scaler is not None
+        sample = self._nvsmi.query()
+        decision = self.scaler.step(sample.u_core, sample.u_mem)
+        self._system.gpu.set_frequencies(decision.f_core, decision.f_mem)
+        if self.recorder is not None:
+            self.recorder.record_many(
+                t,
+                gpu_u_core=sample.u_core,
+                gpu_u_mem=sample.u_mem,
+                gpu_f_core=decision.f_core,
+                gpu_f_mem=decision.f_mem,
+                system_power_w=self._system.system_power(),
+            )
+
+    def _ondemand_tick(self, t: float) -> None:
+        assert self._system is not None and self._cpustat is not None
+        assert self.governor is not None
+        sample = self._cpustat.query()
+        decision = self.governor.step(sample.u, self._system.cpu.f)
+        if decision.changed:
+            self._system.cpu.set_frequency(decision.f_target)
+        if self.recorder is not None:
+            self.recorder.record_many(t, cpu_u=sample.u, cpu_f=decision.f_target)
+
+    # -- tier 1 boundary -----------------------------------------------------------------
+
+    @property
+    def ratio(self) -> float:
+        """Current CPU work share."""
+        if self.divider is not None:
+            return self.divider.r
+        if self._initial_ratio is not None:
+            return self._initial_ratio
+        return 0.0  # paper default: everything on the GPU
+
+    def on_iteration_end(self, tc: float, tg: float) -> float:
+        """Tier-1 boundary: feed (tc, tg), get the next division ratio."""
+        if self.divider is None:
+            return self.ratio
+        decision = self.divider.update(tc, tg)
+        if self.recorder is not None and self._system is not None:
+            self.recorder.record_many(
+                self._system.now, division_r=decision.r_next, tc=tc, tg=tg
+            )
+        return decision.r_next

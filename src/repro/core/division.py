@@ -1,0 +1,133 @@
+"""Tier 1: the workload-division algorithm (paper §V-B).
+
+``r`` is the fraction of an iteration's work assigned to the CPU (the GPU
+takes ``1 - r``).  After each iteration the divider compares the two
+sides' execution times:
+
+- ``tc > tg`` — the CPU was the straggler: move one step of work to the
+  GPU (``r -= step``);
+- ``tc < tg`` — the GPU was the straggler: move one step to the CPU
+  (``r += step``).
+
+Oscillation safeguard
+---------------------
+Because divisions are quantized to the step size, the optimum may sit
+between two grid points and the raw rule would bounce between them
+forever, paying the division overhead each time.  Before committing a
+move, the divider linearly extrapolates both sides' times to the candidate
+division:
+
+    tc' = (r_candidate / r) * tc
+    tg' = ((1 - r_candidate) / (1 - r)) * tg
+
+If the predicted comparison *flips* (the side we are unloading would
+become the straggler), the move would be reverted next iteration, so the
+divider holds the current division instead.  This is the paper's exact
+example: at 10/90 with ``tc < tg`` the candidate is 15/85, and if
+``tc' > tg'`` the division stays at 10/90.
+
+Boundary behaviour: at ``r = 0`` the CPU has no work (``tc = 0``), linear
+extrapolation is undefined, and the safeguard is skipped — the divider
+simply probes one step toward the CPU when the GPU is the straggler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import GreenGpuConfig
+from repro.errors import PartitionError
+from repro.units import clamp
+
+#: Below this share a side's measured time carries no per-unit signal.
+_MIN_SIGNAL_RATIO = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class DivisionDecision:
+    """Outcome of one division update."""
+
+    r_next: float
+    moved: bool
+    held_by_safeguard: bool
+    tc: float
+    tg: float
+
+
+class WorkloadDivider:
+    """Stateful tier-1 controller for the CPU work share ``r``."""
+
+    def __init__(self, config: GreenGpuConfig | None = None, r0: float | None = None):
+        self.config = config or GreenGpuConfig()
+        r_init = self.config.initial_cpu_ratio if r0 is None else float(r0)
+        if not self.config.min_cpu_ratio <= r_init <= self.config.max_cpu_ratio:
+            raise PartitionError(
+                f"initial ratio {r_init} outside "
+                f"[{self.config.min_cpu_ratio}, {self.config.max_cpu_ratio}]"
+            )
+        self.r = r_init
+        self.iterations = 0
+        self.safeguard_holds = 0
+        self.history: list[DivisionDecision] = []
+
+    def _candidate(self, tc: float, tg: float) -> float:
+        cfg = self.config
+        if tc > tg:
+            return clamp(self.r - cfg.division_step, cfg.min_cpu_ratio, cfg.max_cpu_ratio)
+        if tc < tg:
+            return clamp(self.r + cfg.division_step, cfg.min_cpu_ratio, cfg.max_cpu_ratio)
+        return self.r
+
+    def _would_oscillate(self, candidate: float, tc: float, tg: float) -> bool:
+        """Linear extrapolation check from the module docstring.
+
+        Extrapolation needs a measured per-unit time for the side gaining
+        work, so the check is skipped only when the *current* ratio gives
+        that side zero work (probing up from r = 0, or down from r = 1).
+        A candidate at a boundary is fine: its predicted time is zero.
+        """
+        r = self.r
+        if tc < tg:
+            # Moving work toward the CPU; needs tc's per-unit rate.  A
+            # vanishing share carries no usable estimate (and dividing by
+            # it would overflow), so probe unconditionally.
+            if r <= _MIN_SIGNAL_RATIO:
+                return False
+            tc_pred = (candidate / r) * tc
+            tg_pred = ((1.0 - candidate) / (1.0 - r)) * tg
+            # Oscillation if the CPU would become the straggler.
+            return tc_pred > tg_pred
+        # Moving work toward the GPU; needs tg's per-unit rate.
+        if 1.0 - r <= _MIN_SIGNAL_RATIO:
+            return False
+        tc_pred = (candidate / r) * tc if r > _MIN_SIGNAL_RATIO else 0.0
+        tg_pred = ((1.0 - candidate) / (1.0 - r)) * tg
+        return tg_pred > tc_pred
+
+    def update(self, tc: float, tg: float) -> DivisionDecision:
+        """Consume one iteration's (tc, tg) and decide the next division."""
+        if tc < 0.0 or tg < 0.0:
+            raise PartitionError("execution times must be non-negative")
+        self.iterations += 1
+        candidate = self._candidate(tc, tg)
+        held = False
+        if candidate != self.r and self.config.oscillation_safeguard:
+            if self._would_oscillate(candidate, tc, tg):
+                candidate = self.r
+                held = True
+                self.safeguard_holds += 1
+        moved = candidate != self.r
+        self.r = candidate
+        decision = DivisionDecision(
+            r_next=self.r, moved=moved, held_by_safeguard=held, tc=tc, tg=tg
+        )
+        self.history.append(decision)
+        return decision
+
+    @property
+    def converged(self) -> bool:
+        """True once the divider has settled (held or stationary twice)."""
+        if len(self.history) < 2:
+            return False
+        last_two = self.history[-2:]
+        return all(not d.moved for d in last_two)

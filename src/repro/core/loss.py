@@ -1,0 +1,90 @@
+"""Table-I loss functions of the GreenGPU frequency-scaling algorithm.
+
+For each frequency level ``i`` of a component (GPU cores or GPU memory),
+``umean[i]`` is the utilization that level is "most suitable" for: the
+peak frequency suits 100 % utilization, the lowest suits 0 %, and the rest
+map linearly (paper §V-A, following Dhiman & Rosing's CPU formulation).
+
+Given the observed utilization ``u`` in the last interval:
+
+====================  =====================  ========================
+condition             energy loss l_e        performance loss l_p
+====================  =====================  ========================
+``u > umean[i]``      0                      ``u - umean[i]``
+``u < umean[i]``      ``umean[i] - u``       0
+====================  =====================  ========================
+
+and the per-level loss blends the two with the component's alpha:
+
+    l_i = alpha * l_e + (1 - alpha) * l_p                      (Eqs. 1-2)
+
+A *small* alpha weights performance (the paper uses 0.15 for cores and
+0.02 for memory).  Core and memory losses combine into the pair loss with
+
+    TotalLoss[i, j] = phi * l_core[i] + (1 - phi) * l_mem[j]   (Eq. 3)
+
+All losses are in [0, 1] by construction, which Eq. 4's multiplicative
+update relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def umean_vector(n_levels: int) -> np.ndarray:
+    """The linear utilization->level map for ``n_levels`` frequencies.
+
+    Index 0 is the peak level (umean = 1.0) and index ``n_levels - 1`` is
+    the floor (umean = 0.0), matching
+    :meth:`repro.sim.frequency.FrequencyLadder.umean` for equally spaced
+    ladders.  A single-level ladder gets umean = [1.0].
+    """
+    if n_levels < 1:
+        raise ConfigError("need at least one frequency level")
+    if n_levels == 1:
+        return np.ones(1)
+    return np.linspace(1.0, 0.0, n_levels)
+
+
+def component_loss(u: float, umean: float, alpha: float) -> float:
+    """Scalar Table-I loss for one level of one component."""
+    if not 0.0 <= u <= 1.0:
+        raise ConfigError(f"utilization must be in [0, 1], got {u}")
+    if not 0.0 <= umean <= 1.0:
+        raise ConfigError(f"umean must be in [0, 1], got {umean}")
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+    if u > umean:
+        return (1.0 - alpha) * (u - umean)
+    return alpha * (umean - u)
+
+
+def loss_vector(u: float, umeans: np.ndarray, alpha: float) -> np.ndarray:
+    """Vectorized Table-I loss across all levels of one component.
+
+    Equivalent to ``[component_loss(u, m, alpha) for m in umeans]``.
+    """
+    if not 0.0 <= u <= 1.0:
+        raise ConfigError(f"utilization must be in [0, 1], got {u}")
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+    diff = u - np.asarray(umeans, dtype=float)
+    perf_loss = np.maximum(diff, 0.0)      # u above umean: too slow a level
+    energy_loss = np.maximum(-diff, 0.0)   # u below umean: level too fast
+    return alpha * energy_loss + (1.0 - alpha) * perf_loss
+
+
+def total_loss_matrix(
+    core_loss: np.ndarray, mem_loss: np.ndarray, phi: float
+) -> np.ndarray:
+    """Eq. 3: blend per-component losses into the N x M pair-loss matrix."""
+    if not 0.0 <= phi <= 1.0:
+        raise ConfigError(f"phi must be in [0, 1], got {phi}")
+    core_loss = np.asarray(core_loss, dtype=float)
+    mem_loss = np.asarray(mem_loss, dtype=float)
+    if core_loss.ndim != 1 or mem_loss.ndim != 1:
+        raise ConfigError("component losses must be 1-D")
+    return phi * core_loss[:, None] + (1.0 - phi) * mem_loss[None, :]

@@ -1,0 +1,90 @@
+"""The N x M core-memory frequency-pair weight table (paper §V-A, Eq. 4).
+
+Each entry holds the weight of one (core level, memory level) pair.  After
+every scaling interval the whole table is multiplicatively discounted by
+its pair loss:
+
+    weight[i][j] <- weight[i][j] * (1 - (1 - beta) * TotalLoss[i][j])
+
+and the argmax pair is enforced for the next interval.
+
+Two implementation notes:
+
+- Algorithm 1's prose initializes the weights "to an equal value (e.g. 0)",
+  but a multiplicative update cannot ever leave zero; standard WMA
+  (Littlestone & Warmuth) initializes to 1, so we do too.  Any positive
+  equal value is equivalent — argmax is scale-invariant.
+- Repeated multiplication by values < 1 underflows after enough intervals,
+  so the table renormalizes by its maximum whenever that maximum drops
+  below a threshold.  Renormalization never changes the argmax.  (The
+  paper's sketched 8-bit hardware table has the same property: only the
+  relative order matters.)
+
+Ties in the argmax resolve to the *fastest* pair (lowest indices), which
+biases toward performance — consistent with the paper's stated goal of
+"energy savings with only negligible performance degradation".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_RENORM_THRESHOLD = 1e-30
+
+
+class WeightTable:
+    """Mutable N x M weight table with the Eq. 4 multiplicative update."""
+
+    def __init__(self, n_core_levels: int, n_mem_levels: int):
+        if n_core_levels < 1 or n_mem_levels < 1:
+            raise ConfigError("need at least one level per component")
+        self._weights = np.ones((n_core_levels, n_mem_levels))
+        self.updates = 0
+        self.renormalizations = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._weights.shape  # type: ignore[return-value]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Read-only view of the current weights."""
+        view = self._weights.view()
+        view.flags.writeable = False
+        return view
+
+    def update(self, total_loss: np.ndarray, beta: float) -> None:
+        """Apply Eq. 4 in place for one interval's loss matrix."""
+        if not 0.0 < beta < 1.0:
+            raise ConfigError(f"beta must be in (0, 1), got {beta}")
+        loss = np.asarray(total_loss, dtype=float)
+        if loss.shape != self._weights.shape:
+            raise ConfigError(
+                f"loss shape {loss.shape} != table shape {self._weights.shape}"
+            )
+        if np.any(loss < -1e-12) or np.any(loss > 1.0 + 1e-12):
+            raise ConfigError("losses must be in [0, 1]")
+        self._weights *= 1.0 - (1.0 - beta) * np.clip(loss, 0.0, 1.0)
+        self.updates += 1
+        peak = self._weights.max()
+        if peak < _RENORM_THRESHOLD:
+            if peak <= 0.0:
+                # Total collapse is impossible while beta > 0 keeps every
+                # factor >= beta > 0; guard against float underflow anyway.
+                self._weights[:] = 1.0
+            else:
+                self._weights /= peak
+            self.renormalizations += 1
+
+    def best_pair(self) -> tuple[int, int]:
+        """Indices of the highest-weight pair (ties -> fastest pair)."""
+        flat = int(np.argmax(self._weights))
+        return np.unravel_index(flat, self._weights.shape)  # type: ignore[return-value]
+
+    def reset(self) -> None:
+        """Return to the uniform initial state."""
+        self._weights[:] = 1.0
+        self.updates = 0
+        self.renormalizations = 0

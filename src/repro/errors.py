@@ -1,0 +1,41 @@
+"""Exception hierarchy for the GreenGPU reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate configuration problems from simulation
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulated testbed was driven into an invalid state."""
+
+
+class FrequencyError(ConfigError):
+    """A frequency value or level index is not in the device's ladder."""
+
+
+class WorkloadError(ReproError):
+    """A workload was constructed or executed with invalid parameters."""
+
+
+class PartitionError(ReproError):
+    """A work partition request is infeasible (e.g. ratio out of [0, 1])."""
+
+
+class MeterError(SimulationError):
+    """A power meter was queried outside its valid sampling window."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative search or controller failed to converge."""

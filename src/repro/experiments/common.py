@@ -1,0 +1,47 @@
+"""Shared plumbing for the paper-artifact experiments.
+
+Time scaling: one knob shrinks the workload iteration length and every
+controller period by the same factor, so the control dynamics (number of
+WMA intervals per iteration, ondemand ticks per interval, repartition
+overhead relative to iteration length) are preserved while wall-clock
+cost drops.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GreenGpuConfig
+from repro.errors import ConfigError
+from repro.runtime.executor import ExecutorOptions
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import get_profile, make_workload
+
+
+def scaled_config(time_scale: float = 1.0, **overrides: object) -> GreenGpuConfig:
+    """GreenGPU config with every period scaled by ``time_scale``."""
+    if time_scale <= 0.0:
+        raise ConfigError("time_scale must be positive")
+    cfg = GreenGpuConfig(
+        scaling_interval_s=3.0 * time_scale,
+        ondemand_interval_s=0.1 * time_scale,
+    )
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    return cfg
+
+
+def scaled_options(time_scale: float = 1.0) -> ExecutorOptions:
+    """Executor options with the repartition overhead scaled to match."""
+    if time_scale <= 0.0:
+        raise ConfigError("time_scale must be positive")
+    return ExecutorOptions(repartition_overhead_s=0.5 * time_scale)
+
+
+def scaled_workload(
+    name: str, time_scale: float = 1.0, **overrides: object
+) -> DemandModelWorkload:
+    """Table II workload with its iteration duration scaled."""
+    if time_scale <= 0.0:
+        raise ConfigError("time_scale must be positive")
+    profile = get_profile(name)
+    seconds = profile.gpu_seconds_per_iteration * time_scale
+    return make_workload(name, gpu_seconds_per_iteration=seconds, **overrides)

@@ -1,0 +1,108 @@
+"""Fig. 1: frequency-scaling case study on GPU cores and memory.
+
+Reproduces all four panels: normalized execution time and relative energy
+as one domain's frequency sweeps its ladder while the other stays at
+peak, for core-bounded *nbody* and memory-bounded *streamcluster*.
+
+Expected shapes (paper §III-A):
+
+- nbody, memory sweep (1a/1b): time nearly flat; energy *decreases* to an
+  interior minimum (the under-utilized memory can be throttled nearly for
+  free) before the memory domain becomes the bottleneck.
+- streamcluster, memory sweep: both time and energy increase — memory is
+  the bottleneck.
+- nbody, core sweep (1c/1d): both increase — cores are the bottleneck.
+- streamcluster, core sweep: energy dips to a minimum around 410 MHz,
+  then both degrade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.policies import StaticPolicy
+from repro.errors import ConfigError
+from repro.experiments.common import scaled_workload
+from repro.runtime.executor import run_workload
+from repro.sim.calibration import geforce_8800_gtx_spec
+from repro.units import to_mhz
+
+WORKLOADS = ("nbody", "streamcluster")
+DOMAINS = ("mem", "core")
+
+
+@dataclass(frozen=True)
+class Fig1Point:
+    """One sweep point: a frequency level and its normalized metrics."""
+
+    level: int
+    f_mhz: float
+    normalized_time: float
+    relative_energy: float
+
+
+def run(
+    workload_name: str,
+    domain: str,
+    n_iterations: int = 2,
+    time_scale: float = 0.4,
+) -> list[Fig1Point]:
+    """Sweep one domain's ladder for one workload (peak = index 0)."""
+    if workload_name not in WORKLOADS:
+        raise ConfigError(f"fig1 uses {WORKLOADS}, got {workload_name!r}")
+    if domain not in DOMAINS:
+        raise ConfigError(f"domain must be one of {DOMAINS}, got {domain!r}")
+    gpu = geforce_8800_gtx_spec()
+    ladder = gpu.mem_ladder if domain == "mem" else gpu.core_ladder
+    workload = scaled_workload(workload_name, time_scale)
+
+    points: list[Fig1Point] = []
+    baseline = None
+    for level in range(len(ladder)):
+        core_level, mem_level = (0, level) if domain == "mem" else (level, 0)
+        result = run_workload(
+            workload, StaticPolicy(core_level, mem_level), n_iterations=n_iterations
+        )
+        if baseline is None:
+            baseline = result
+        points.append(
+            Fig1Point(
+                level=level,
+                f_mhz=to_mhz(ladder[level]),
+                normalized_time=result.total_s / baseline.total_s,
+                relative_energy=result.gpu_energy_j / baseline.gpu_energy_j,
+            )
+        )
+    return points
+
+
+def run_all(
+    n_iterations: int = 2, time_scale: float = 0.4
+) -> dict[tuple[str, str], list[Fig1Point]]:
+    """All four panels: {(workload, domain): sweep points}."""
+    return {
+        (w, d): run(w, d, n_iterations=n_iterations, time_scale=time_scale)
+        for w in WORKLOADS
+        for d in DOMAINS
+    }
+
+
+def main() -> None:
+    panels = run_all()
+    for (workload, domain), points in panels.items():
+        rows = [
+            (p.level, f"{p.f_mhz:.1f}", p.normalized_time, p.relative_energy)
+            for p in points
+        ]
+        print(
+            format_table(
+                ["level", f"f_{domain} (MHz)", "normalized time", "relative energy"],
+                rows,
+                title=f"\nFig. 1 — {workload}, {domain}-frequency sweep (other domain at peak)",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

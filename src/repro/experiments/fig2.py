@@ -1,0 +1,73 @@
+"""Fig. 2: energy vs. workload-division ratio for *kmeans*.
+
+Sweeps the CPU work share from 0 % to 90 % at peak frequencies and
+measures whole-system wall energy.  Expected shape (paper §III-B): energy
+falls from r = 0 to an interior minimum near 10-15 % CPU — "the
+cooperation of the CPU and GPU parts can be more energy efficient than
+the GPU part taking all the work exclusively" — then rises as the slower
+CPU increasingly becomes the straggler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines.static_division import DivisionSweepPoint, sweep_divisions
+from repro.experiments.common import scaled_options, scaled_workload
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """The sweep plus its minimum."""
+
+    points: list[DivisionSweepPoint]
+    optimal_r: float
+    normalized_energy: np.ndarray  # relative to r = 0 (all-GPU)
+
+    @property
+    def has_interior_minimum(self) -> bool:
+        """True when some r > 0 beats the all-GPU configuration."""
+        return self.optimal_r > 0.0 and bool(self.normalized_energy.min() < 1.0)
+
+
+def run(
+    workload_name: str = "kmeans",
+    ratios: list[float] | None = None,
+    n_iterations: int = 3,
+    time_scale: float = 0.2,
+) -> Fig2Result:
+    """Run the static division sweep and locate the energy minimum."""
+    workload = scaled_workload(workload_name, time_scale)
+    if ratios is None:
+        ratios = [round(0.05 * i, 2) for i in range(19)]  # 0.00 .. 0.90
+    points = sweep_divisions(
+        workload, ratios, n_iterations=n_iterations, options=scaled_options(time_scale)
+    )
+    energies = np.array([p.energy_j for p in points])
+    normalized = energies / energies[0]
+    optimal_r = points[int(np.argmin(energies))].r
+    return Fig2Result(points=points, optimal_r=optimal_r, normalized_energy=normalized)
+
+
+def main() -> None:
+    result = run()
+    rows = [
+        (f"{p.r:.2f}", p.energy_j / 1e3, float(norm), p.time_s)
+        for p, norm in zip(result.points, result.normalized_energy)
+    ]
+    print(
+        format_table(
+            ["CPU share r", "energy (kJ)", "normalized", "time (s)"],
+            rows,
+            title="Fig. 2 — kmeans energy vs. static workload division",
+        )
+    )
+    print(f"\nenergy-minimum division: {result.optimal_r:.2f} CPU "
+          f"(paper: ~0.10; interior minimum: {result.has_interior_minimum})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Fig. 8: GreenGPU as a holistic solution (*hotspot* and *kmeans*).
+
+Runs the same workload under the holistic controller and both
+single-tier baselines, recording per-iteration whole-system energy.
+Expected ordering (paper §VII-C): GreenGPU consumes the least energy in
+steady state, Division-only next, Frequency-scaling-only most.
+
+Paper anchors: hotspot — GreenGPU saves 7.88 % more than Division and
+28.76 % more than Frequency-scaling; kmeans — 1.6 % and 12.05 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.policies import (
+    DivisionOnlyPolicy,
+    FrequencyScalingOnlyPolicy,
+    GreenGpuPolicy,
+)
+from repro.experiments.common import scaled_config, scaled_options, scaled_workload
+from repro.runtime.executor import run_workload
+from repro.runtime.metrics import RunResult
+
+WORKLOADS = ("hotspot", "kmeans")
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """The three runs of one workload."""
+
+    name: str
+    greengpu: RunResult
+    division_only: RunResult
+    scaling_only: RunResult
+
+    @property
+    def saving_vs_division(self) -> float:
+        """How much more GreenGPU saves than Division-only."""
+        return self.greengpu.energy_saving_vs(self.division_only)
+
+    @property
+    def saving_vs_scaling(self) -> float:
+        """How much more GreenGPU saves than Frequency-scaling-only."""
+        return self.greengpu.energy_saving_vs(self.scaling_only)
+
+    @property
+    def ordering_holds(self) -> bool:
+        """GreenGPU <= Division-only <= Frequency-scaling-only in energy."""
+        return (
+            self.greengpu.total_energy_j <= self.division_only.total_energy_j
+            and self.division_only.total_energy_j <= self.scaling_only.total_energy_j
+        )
+
+
+def run_one(name: str, n_iterations: int = 12, time_scale: float = 0.15) -> Fig8Result:
+    """Holistic vs single-tier comparison for one workload."""
+    workload = scaled_workload(name, time_scale)
+    config = scaled_config(time_scale)
+    options = scaled_options(time_scale)
+    green = run_workload(
+        workload, GreenGpuPolicy(config=config), n_iterations=n_iterations, options=options
+    )
+    division = run_workload(
+        workload, DivisionOnlyPolicy(config=config), n_iterations=n_iterations, options=options
+    )
+    scaling = run_workload(
+        workload,
+        FrequencyScalingOnlyPolicy(config=config),
+        n_iterations=n_iterations,
+        options=options,
+    )
+    return Fig8Result(
+        name=name, greengpu=green, division_only=division, scaling_only=scaling
+    )
+
+
+def run(
+    names: tuple[str, ...] = WORKLOADS,
+    n_iterations: int = 12,
+    time_scale: float = 0.15,
+) -> dict[str, Fig8Result]:
+    return {
+        n: run_one(n, n_iterations=n_iterations, time_scale=time_scale) for n in names
+    }
+
+
+def main() -> None:
+    results = run()
+    for name, res in results.items():
+        green_e = res.greengpu.iteration_energies()
+        div_e = res.division_only.iteration_energies()
+        scale_e = res.scaling_only.iteration_energies()
+        rows = [
+            (
+                i + 1,
+                f"{res.greengpu.iterations[i].r:.2f}",
+                float(green_e[i]) / 1e3,
+                float(div_e[i]) / 1e3,
+                float(scale_e[i]) / 1e3,
+            )
+            for i in range(len(green_e))
+        ]
+        print(
+            format_table(
+                ["iteration", "r (GreenGPU)", "GreenGPU kJ", "Division kJ", "Freq-scaling kJ"],
+                rows,
+                title=f"\nFig. 8 — {name} holistic comparison (per-iteration energy)",
+            )
+        )
+        print(
+            f"GreenGPU saves {100 * res.saving_vs_division:.2f}% vs Division-only "
+            f"and {100 * res.saving_vs_scaling:.2f}% vs Frequency-scaling-only "
+            f"(ordering holds: {res.ordering_holds})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""The headline result: 21.04 % average energy saving (paper §VII-C).
+
+"The default runtime configuration of Rodinia is that all the workloads
+are allocated to the GPU and all the frequencies are at their peak
+levels.  Compared with that, GreenGPU can achieve on average 21.04 %
+energy saving for kmeans and hotspot. ... GreenGPU has 1.7 % longer
+execution time than workload-division-only."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.policies import DivisionOnlyPolicy, GreenGpuPolicy, RodiniaDefaultPolicy
+from repro.experiments.common import scaled_config, scaled_options, scaled_workload
+from repro.runtime.executor import run_workload
+
+WORKLOADS = ("kmeans", "hotspot")
+
+
+@dataclass(frozen=True)
+class HeadlineRow:
+    name: str
+    saving_vs_default: float
+    slowdown_vs_division: float
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    rows: list[HeadlineRow]
+
+    @property
+    def average_saving(self) -> float:
+        """The 21.04 % analogue."""
+        return float(np.mean([r.saving_vs_default for r in self.rows]))
+
+    @property
+    def average_slowdown_vs_division(self) -> float:
+        """The 1.7 % analogue."""
+        return float(np.mean([r.slowdown_vs_division for r in self.rows]))
+
+
+def run(
+    names: tuple[str, ...] = WORKLOADS,
+    n_iterations: int = 12,
+    time_scale: float = 0.15,
+) -> HeadlineResult:
+    """GreenGPU vs Rodinia default (and division-only) on both workloads."""
+    rows = []
+    for name in names:
+        workload = scaled_workload(name, time_scale)
+        config = scaled_config(time_scale)
+        options = scaled_options(time_scale)
+        default = run_workload(
+            workload, RodiniaDefaultPolicy(), n_iterations=n_iterations, options=options
+        )
+        green = run_workload(
+            workload, GreenGpuPolicy(config=config), n_iterations=n_iterations, options=options
+        )
+        division = run_workload(
+            workload, DivisionOnlyPolicy(config=config), n_iterations=n_iterations, options=options
+        )
+        rows.append(
+            HeadlineRow(
+                name=name,
+                saving_vs_default=green.energy_saving_vs(default),
+                slowdown_vs_division=green.slowdown_vs(division),
+            )
+        )
+    return HeadlineResult(rows=rows)
+
+
+def main() -> None:
+    result = run()
+    table_rows = [
+        (r.name, 100.0 * r.saving_vs_default, 100.0 * r.slowdown_vs_division)
+        for r in result.rows
+    ]
+    print(
+        format_table(
+            ["workload", "saving vs Rodinia default %", "slowdown vs division-only %"],
+            table_rows,
+            title="Headline — GreenGPU vs the Rodinia default configuration",
+            float_fmt="{:.2f}",
+        )
+    )
+    print(
+        f"\naverage saving: {100 * result.average_saving:.2f}% (paper: 21.04%); "
+        f"average slowdown vs division-only: "
+        f"{100 * result.average_slowdown_vs_division:.2f}% (paper: 1.7%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Run the whole evaluation and emit a structured summary.
+
+``python -m repro.experiments.suite [--out summary.md]`` regenerates every
+paper artifact at configurable scale, collects the headline numbers into
+one :class:`SuiteSummary`, and optionally writes a markdown ledger — the
+machine-generated counterpart of the hand-annotated EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments import fig1, fig2, fig5, fig6, fig7, fig8, headline, table2
+
+
+@dataclass
+class SuiteSummary:
+    """The key number(s) from every artifact, in paper order."""
+
+    elapsed_s: float = 0.0
+    fig1_nbody_mem_best_energy: float = 0.0
+    fig1_sc_core_best_energy: float = 0.0
+    fig2_optimal_r: float = 0.0
+    table2_matches: int = 0
+    table2_total: int = 0
+    fig5_converged_mem_mhz: float = 0.0
+    fig6_avg_gpu_saving: float = 0.0
+    fig6_avg_dynamic_saving: float = 0.0
+    fig6_avg_cpu_gpu_saving: float = 0.0
+    fig7_kmeans_converged_r: float = 0.0
+    fig7_hotspot_converged_r: float = 0.0
+    fig8_ordering_holds: bool = False
+    headline_average_saving: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        rows = [
+            ("Fig. 1 — nbody best relative energy (memory sweep)",
+             f"{self.fig1_nbody_mem_best_energy:.3f}", "< 1.0 (interior minimum)"),
+            ("Fig. 1 — SC best relative energy (core sweep)",
+             f"{self.fig1_sc_core_best_energy:.3f}", "< 1.0, knee near 410 MHz"),
+            ("Fig. 2 — kmeans energy-minimum division",
+             f"{self.fig2_optimal_r:.2f}", "~0.10 (paper fig), 0.15 (paper §VII-B)"),
+            ("Table II — class matches",
+             f"{self.table2_matches}/{self.table2_total}", "9/9"),
+            ("Fig. 5 — SC memory convergence",
+             f"{self.fig5_converged_mem_mhz:.0f} MHz", "820 MHz"),
+            ("Fig. 6a — average GPU saving",
+             f"{100 * self.fig6_avg_gpu_saving:.2f}%", "5.97%"),
+            ("Fig. 6b — average dynamic saving",
+             f"{100 * self.fig6_avg_dynamic_saving:.2f}%", "29.2%"),
+            ("Fig. 6c — average CPU+GPU saving",
+             f"{100 * self.fig6_avg_cpu_gpu_saving:.2f}%", "12.48%"),
+            ("Fig. 7 — kmeans division", f"{self.fig7_kmeans_converged_r:.2f}", "0.20"),
+            ("Fig. 7 — hotspot division", f"{self.fig7_hotspot_converged_r:.2f}", "0.50"),
+            ("Fig. 8 — energy ordering holds", str(self.fig8_ordering_holds), "True"),
+            ("Headline — average saving vs default",
+             f"{100 * self.headline_average_saving:.2f}%", "21.04%"),
+        ]
+        lines = [
+            "# Evaluation suite summary (auto-generated)",
+            "",
+            f"Total simulation wall time: {self.elapsed_s:.1f} s.",
+            "",
+            "| artifact | measured | paper |",
+            "|---|---|---|",
+        ]
+        lines += [f"| {a} | {m} | {p} |" for a, m, p in rows]
+        if self.notes:
+            lines += ["", "Notes:"] + [f"- {n}" for n in self.notes]
+        return "\n".join(lines)
+
+
+def run(time_scale: float = 0.15, verbose: bool = False) -> SuiteSummary:
+    """Regenerate every artifact and collect the summary."""
+    summary = SuiteSummary()
+    started = time.perf_counter()
+
+    def log(msg: str) -> None:
+        if verbose:
+            print(msg)
+
+    log("fig1 ...")
+    panels = fig1.run_all(n_iterations=1, time_scale=min(time_scale, 0.2))
+    summary.fig1_nbody_mem_best_energy = min(
+        p.relative_energy for p in panels[("nbody", "mem")]
+    )
+    summary.fig1_sc_core_best_energy = min(
+        p.relative_energy for p in panels[("streamcluster", "core")]
+    )
+
+    log("fig2 ...")
+    fig2_result = fig2.run(n_iterations=2, time_scale=min(time_scale, 0.1))
+    summary.fig2_optimal_r = fig2_result.optimal_r
+
+    log("table2 ...")
+    rows = table2.run(n_iterations=1, time_scale=time_scale)
+    summary.table2_total = len(rows)
+    for row in rows:
+        measured_fluct = row.fluctuating
+        paper_fluct = "fluctuate" in row.paper_description.lower()
+        if measured_fluct == paper_fluct:
+            summary.table2_matches += 1
+        else:
+            summary.notes.append(f"table2 mismatch: {row.name}")
+
+    log("fig5 ...")
+    fig5_result = fig5.run(n_iterations=3, time_scale=max(time_scale, 0.2))
+    summary.fig5_converged_mem_mhz = fig5_result.converged_mem_mhz
+
+    log("fig6 ...")
+    fig6_result = fig6.run(n_iterations=3, time_scale=time_scale)
+    summary.fig6_avg_gpu_saving = fig6_result.average_gpu_saving
+    summary.fig6_avg_dynamic_saving = fig6_result.average_dynamic_saving
+    summary.fig6_avg_cpu_gpu_saving = fig6_result.average_cpu_gpu_saving
+
+    log("fig7 ...")
+    fig7_results = fig7.run(n_iterations=10, time_scale=min(time_scale, 0.1))
+    summary.fig7_kmeans_converged_r = fig7_results["kmeans"].converged_r
+    summary.fig7_hotspot_converged_r = fig7_results["hotspot"].converged_r
+
+    log("fig8 ...")
+    fig8_results = fig8.run(n_iterations=10, time_scale=min(time_scale, 0.1))
+    summary.fig8_ordering_holds = all(r.ordering_holds for r in fig8_results.values())
+
+    log("headline ...")
+    headline_result = headline.run(n_iterations=10, time_scale=min(time_scale, 0.1))
+    summary.headline_average_saving = headline_result.average_saving
+
+    summary.elapsed_s = time.perf_counter() - started
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--time-scale", type=float, default=0.15)
+    parser.add_argument("--out", default=None, help="write the markdown summary here")
+    args = parser.parse_args()
+    summary = run(time_scale=args.time_scale, verbose=True)
+    markdown = summary.to_markdown()
+    print("\n" + markdown)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(markdown + "\n")
+        print(f"\nwritten to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Measured CPU+GPU scaling with asynchronous communication.
+
+The paper could only *emulate* Fig. 6c's CPU-throttling savings because
+its benchmarks synchronize host and device with busy-waiting, pinning CPU
+utilization at 100 % and defeating `ondemand` (§VII-A).  Our runtime has
+the asynchronous mode the paper wished for (``ExecutorOptions.sync_spin =
+False``: the host blocks instead of spinning while the GPU computes), so
+the emulated claim can be *measured*:
+
+- with async communication the CPU's windowed utilization drops to ~0
+  during GPU-only phases, `ondemand` walks the P-states down, and the
+  Meter1 energy falls for real;
+- the measured saving should land in the same band as the paper's
+  conservative emulation (they assume the CPU can never throttle around
+  communication points; our ondemand takes a few sampling intervals to
+  walk down, a comparable haircut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.energy import cpu_gpu_emulated_saving
+from repro.core.policies import BestPerformancePolicy, FrequencyScalingOnlyPolicy
+from repro.experiments.common import scaled_config, scaled_workload
+from repro.runtime.executor import ExecutorOptions, run_workload
+
+
+@dataclass(frozen=True)
+class AsyncSavingsResult:
+    """Measured vs emulated whole-system tier-2 savings for one workload."""
+
+    workload: str
+    emulated_saving: float   # the paper's Fig. 6c methodology
+    measured_saving: float   # real async run, real ondemand throttling
+    cpu_floor_reached: bool  # did ondemand actually reach the lowest P-state?
+
+
+def measured_async_savings(
+    workload_name: str = "kmeans",
+    time_scale: float = 0.2,
+    n_iterations: int = 4,
+) -> AsyncSavingsResult:
+    """Run the Fig. 6c experiment for real instead of emulating it."""
+    workload = scaled_workload(workload_name, time_scale)
+    config = scaled_config(time_scale)
+
+    # Baseline: best-performance, synchronized (the paper's setup).
+    baseline = run_workload(
+        workload, BestPerformancePolicy(), n_iterations=n_iterations
+    )
+
+    # Emulated path: synchronized run + spin-repricing (Fig. 6c).
+    sync_scaled = run_workload(
+        workload, FrequencyScalingOnlyPolicy(config=config), n_iterations=n_iterations
+    )
+    emulated = cpu_gpu_emulated_saving(sync_scaled, baseline)
+
+    # Measured path: asynchronous communication, ondemand free to act.
+    from repro.sim.platform import make_testbed
+
+    system = make_testbed()
+    async_scaled = run_workload(
+        workload,
+        FrequencyScalingOnlyPolicy(config=config),
+        n_iterations=n_iterations,
+        system=system,
+        options=ExecutorOptions(sync_spin=False),
+    )
+    measured = 1.0 - async_scaled.total_energy_j / baseline.total_energy_j
+    floor = system.cpu.f == system.cpu.spec.ladder.floor
+
+    return AsyncSavingsResult(
+        workload=workload_name,
+        emulated_saving=emulated,
+        measured_saving=measured,
+        cpu_floor_reached=floor,
+    )

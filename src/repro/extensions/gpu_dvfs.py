@@ -1,0 +1,163 @@
+"""GPU voltage-and-frequency scaling (the paper's §VII-C expectation).
+
+The GeForce 8800 GTX only scales frequency, so GPU dynamic power falls
+linearly with f and the tier-2 savings are modest.  The paper expects
+more from a DVFS-capable GPU: "If DVFS is enabled, we expect more energy
+saving can be achieved from frequency scaling."
+
+This module builds a DVFS variant of the GPU power model — clock and
+activity power scale with f * V(f)^2, with the linear V(f) used for the
+CPU — and an experiment comparing the WMA scaler's savings on both cards.
+Nothing in the controller changes: it still only sees utilizations, which
+is the point of the paper's design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.policies import BestPerformancePolicy, FrequencyScalingOnlyPolicy
+from repro.errors import ConfigError
+from repro.experiments.common import scaled_config
+from repro.runtime.executor import run_workload
+from repro.sim.calibration import geforce_8800_gtx_spec, phenom_ii_x2_spec
+from repro.sim.gpu import GpuSpec
+from repro.sim.platform import HeteroSystem, TestbedConfig
+from repro.sim.power import GpuPowerModel
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import get_profile
+
+
+@dataclass(frozen=True, slots=True)
+class DvfsGpuPowerModel(GpuPowerModel):
+    """GPU power with voltage scaling: dynamic terms follow f * V(f)^2.
+
+    ``v_floor_ratio`` is the relative supply voltage at each domain's
+    lowest frequency; voltage interpolates linearly in the domain's
+    frequency ratio, like the CPU model.
+    """
+
+    v_floor_ratio: float = 0.80
+
+    def __post_init__(self) -> None:
+        # Explicit base call: zero-arg super() breaks in slots dataclasses
+        # (the decorator rebuilds the class, invalidating __class__).
+        GpuPowerModel.__post_init__(self)
+        if not 0.0 < self.v_floor_ratio <= 1.0:
+            raise ConfigError("v_floor_ratio must be in (0, 1]")
+
+    #: Relative frequency at which the voltage floor is reached.  Both
+    #: 8800 GTX ladders bottom out near half their peak (0.52 and 0.56).
+    _F_FLOOR = 0.5
+
+    def _v_sq(self, f_ratio: float) -> float:
+        """Squared relative voltage at a frequency ratio (linear V(f))."""
+        if f_ratio >= 1.0:
+            return 1.0
+        if f_ratio <= self._F_FLOOR:
+            return self.v_floor_ratio**2
+        frac = (f_ratio - self._F_FLOOR) / (1.0 - self._F_FLOOR)
+        v = self.v_floor_ratio + (1.0 - self.v_floor_ratio) * frac
+        return v * v
+
+    def power(
+        self,
+        f_core_ratio: float,
+        f_mem_ratio: float,
+        u_core: float,
+        u_mem: float,
+    ) -> float:
+        # Validate inputs via the base model, then rebuild the terms with
+        # each domain's frequency-dependent power scaled by its own rail's
+        # V(f)^2.  The static floor is voltage-insensitive (fans, board).
+        GpuPowerModel.power(self, f_core_ratio, f_mem_ratio, u_core, u_mem)
+        v_core_sq = self._v_sq(f_core_ratio)
+        v_mem_sq = self._v_sq(f_mem_ratio)
+        return (
+            self.static_w
+            + (self.clock_core_w + self.active_core_w * u_core)
+            * f_core_ratio * v_core_sq
+            + (self.clock_mem_w + self.active_mem_w * u_mem)
+            * f_mem_ratio * v_mem_sq
+        )
+
+
+def dvfs_gpu_spec(v_floor_ratio: float = 0.80) -> GpuSpec:
+    """The 8800 GTX card with hypothetical voltage scaling enabled."""
+    base = geforce_8800_gtx_spec()
+    model = base.power
+    dvfs = DvfsGpuPowerModel(
+        static_w=model.static_w,
+        clock_core_w=model.clock_core_w,
+        clock_mem_w=model.clock_mem_w,
+        active_core_w=model.active_core_w,
+        active_mem_w=model.active_mem_w,
+        v_floor_ratio=v_floor_ratio,
+    )
+    return dataclasses.replace(base, name=base.name + " (DVFS)", power=dvfs)
+
+
+@dataclass(frozen=True)
+class DvfsComparison:
+    """Tier-2 savings with and without GPU voltage scaling."""
+
+    workload: str
+    saving_frequency_only: float
+    saving_dvfs: float
+
+    @property
+    def dvfs_advantage(self) -> float:
+        return self.saving_dvfs - self.saving_frequency_only
+
+
+def _tier2_saving(gpu_spec: GpuSpec, workload_name: str, time_scale: float,
+                  n_iterations: int) -> float:
+    from repro.sim.calibration import default_testbed_config
+
+    cpu_spec = phenom_ii_x2_spec()
+    profile = dataclasses.replace(
+        get_profile(workload_name),
+        gpu_seconds_per_iteration=get_profile(workload_name).gpu_seconds_per_iteration
+        * time_scale,
+    )
+    workload = DemandModelWorkload(profile, gpu_spec, cpu_spec)
+    base_config = default_testbed_config()
+    testbed_config = TestbedConfig(
+        gpu=gpu_spec,
+        cpu=cpu_spec,
+        bus=base_config.bus,
+        meter1_overhead_w=base_config.meter1_overhead_w,
+        meter1_efficiency=base_config.meter1_efficiency,
+        meter2_overhead_w=base_config.meter2_overhead_w,
+        meter2_efficiency=base_config.meter2_efficiency,
+    )
+    baseline = run_workload(
+        workload, BestPerformancePolicy(), n_iterations=n_iterations,
+        system=HeteroSystem(testbed_config),
+    )
+    scaled = run_workload(
+        workload,
+        FrequencyScalingOnlyPolicy(config=scaled_config(time_scale)),
+        n_iterations=n_iterations,
+        system=HeteroSystem(testbed_config),
+    )
+    return scaled.gpu_energy_saving_vs(baseline)
+
+
+def dvfs_savings_comparison(
+    workload_name: str = "pathfinder",
+    time_scale: float = 0.2,
+    n_iterations: int = 4,
+    v_floor_ratio: float = 0.80,
+) -> DvfsComparison:
+    """Quantify the paper's 'more saving with DVFS' expectation."""
+    return DvfsComparison(
+        workload=workload_name,
+        saving_frequency_only=_tier2_saving(
+            geforce_8800_gtx_spec(), workload_name, time_scale, n_iterations
+        ),
+        saving_dvfs=_tier2_saving(
+            dvfs_gpu_spec(v_floor_ratio), workload_name, time_scale, n_iterations
+        ),
+    )

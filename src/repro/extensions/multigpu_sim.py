@@ -1,0 +1,274 @@
+"""Full multi-GPU co-simulation: N cards + CPU under GreenGPU control.
+
+:mod:`repro.extensions.multigpu` generalizes the tier-1 *algorithm*; this
+module runs it on a complete simulated platform — one CPU plus any number
+of (possibly heterogeneous) GPU cards, each with its own PCIe link, wall
+meter, utilization counters and per-card WMA frequency scaler.  It is the
+system §VI's runtime sketch describes ("one pthread for one GPU") but the
+paper never had the hardware to evaluate.
+
+Composition:
+
+- :class:`MultiHeteroSystem` — the platform: devices advance in lockstep
+  event-to-event like :class:`~repro.sim.platform.HeteroSystem`.
+- :class:`MultiGreenGpuController` — tier 2 per card (independent WMA
+  scalers, exactly the paper's controller replicated) + ondemand for the
+  CPU; tier 1 is a :class:`MultiwayDivider` over [cpu, gpu0, gpu1, ...].
+- :func:`run_multi_workload` — the executor loop: every iteration splits
+  the work by the current shares, runs all devices concurrently, feeds
+  the divider the per-device times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import GreenGpuConfig
+from repro.core.ondemand import OndemandGovernor
+from repro.core.wma import WmaFrequencyScaler
+from repro.errors import ConfigError, SimulationError
+from repro.extensions.multigpu import DeviceTiming, MultiwayDivider
+from repro.monitors.cpustat import CpuStat
+from repro.monitors.nvsmi import NvidiaSmi
+from repro.sim.activity import KernelActivity
+from repro.sim.bus import PcieBus
+from repro.sim.calibration import (
+    default_bus,
+    default_testbed_config,
+    geforce_8800_gtx_spec,
+    phenom_ii_x2_spec,
+)
+from repro.sim.cpu import CpuDevice, CpuSpec
+from repro.sim.engine import SimClock
+from repro.sim.gpu import GpuDevice, GpuSpec
+from repro.sim.meter import PowerMeter
+from repro.workloads.base import Workload
+
+_MAX_STEPS = 50_000_000
+
+
+class MultiHeteroSystem:
+    """One CPU + N GPU cards, co-simulated."""
+
+    def __init__(
+        self,
+        gpu_specs: list[GpuSpec] | None = None,
+        cpu_spec: CpuSpec | None = None,
+        bus: PcieBus | None = None,
+    ):
+        if gpu_specs is None:
+            gpu_specs = [geforce_8800_gtx_spec(), geforce_8800_gtx_spec()]
+        if not gpu_specs:
+            raise ConfigError("need at least one GPU")
+        base = default_testbed_config()
+        self.clock = SimClock()
+        self.cpu = CpuDevice(cpu_spec or phenom_ii_x2_spec())
+        self.gpus = [GpuDevice(spec) for spec in gpu_specs]
+        self.bus = bus or default_bus()
+        self.meter_cpu = PowerMeter(
+            "meter1-cpu-box",
+            [self.cpu.instantaneous_power],
+            overhead_w=base.meter1_overhead_w,
+            efficiency=base.meter1_efficiency,
+        )
+        self.meter_gpus = [
+            PowerMeter(
+                f"meter2-gpu{i}",
+                [gpu.instantaneous_power],
+                overhead_w=base.meter2_overhead_w,
+                efficiency=base.meter2_efficiency,
+            )
+            for i, gpu in enumerate(self.gpus)
+        ]
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.meter_cpu.energy_j + sum(m.energy_j for m in self.meter_gpus)
+
+    def reset_meters(self) -> None:
+        self.meter_cpu.reset()
+        for meter in self.meter_gpus:
+            meter.reset()
+
+    def step(self, horizon: float | None = None) -> float:
+        candidates: list[float] = []
+        deadline = self.clock.next_deadline()
+        if deadline is not None:
+            candidates.append(max(0.0, deadline - self.clock.now))
+        for device in (self.cpu, *self.gpus):
+            tte = device.time_to_event()
+            if tte is not None:
+                candidates.append(tte)
+        if horizon is not None:
+            candidates.append(horizon)
+        if not candidates:
+            raise SimulationError("nothing to simulate")
+        dt = min(candidates)
+        self.meter_cpu.accumulate(dt)
+        for meter in self.meter_gpus:
+            meter.accumulate(dt)
+        self.cpu.advance(dt)
+        for gpu in self.gpus:
+            gpu.advance(dt)
+        self.clock.advance_by(dt)
+        return dt
+
+    def any_gpu_busy(self) -> bool:
+        return any(gpu.busy for gpu in self.gpus)
+
+
+class MultiGreenGpuController:
+    """Per-card tier 2 + N-way tier 1 (see module docstring)."""
+
+    def __init__(
+        self,
+        system: MultiHeteroSystem,
+        config: GreenGpuConfig | None = None,
+        initial_cpu_share: float | None = None,
+    ):
+        self.system = system
+        self.config = config or GreenGpuConfig()
+        n_gpus = len(system.gpus)
+        names = ["cpu"] + [f"gpu{i}" for i in range(n_gpus)]
+        cpu_share = (
+            self.config.initial_cpu_ratio
+            if initial_cpu_share is None
+            else initial_cpu_share
+        )
+        gpu_share = (1.0 - cpu_share) / n_gpus
+        self.divider = MultiwayDivider(
+            names,
+            step=self.config.division_step,
+            initial_shares=[cpu_share] + [gpu_share] * n_gpus,
+        )
+        self.scalers = [
+            WmaFrequencyScaler(gpu.spec.core_ladder, gpu.spec.mem_ladder, self.config)
+            for gpu in system.gpus
+        ]
+        self._monitors = [NvidiaSmi(gpu) for gpu in system.gpus]
+        self.governor = OndemandGovernor(
+            system.cpu.spec.ladder,
+            up_threshold=self.config.ondemand_up_threshold,
+            down_threshold=self.config.ondemand_down_threshold,
+        )
+        self._cpustat = CpuStat(system.cpu)
+        self._tasks = [
+            system.clock.every(self.config.scaling_interval_s, self._scaling_tick),
+            system.clock.every(self.config.ondemand_interval_s, self._ondemand_tick),
+        ]
+
+    def _scaling_tick(self, t: float) -> None:
+        for gpu, scaler, monitor in zip(self.system.gpus, self.scalers, self._monitors):
+            sample = monitor.query()
+            decision = scaler.step(sample.u_core, sample.u_mem)
+            gpu.set_frequencies(decision.f_core, decision.f_mem)
+
+    def _ondemand_tick(self, t: float) -> None:
+        sample = self._cpustat.query()
+        decision = self.governor.step(sample.u, self.system.cpu.f)
+        if decision.changed:
+            self.system.cpu.set_frequency(decision.f_target)
+
+    def detach(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+
+
+@dataclass
+class MultiRunResult:
+    """Results of a multi-GPU run."""
+
+    workload: str
+    n_gpus: int
+    total_s: float = 0.0
+    total_energy_j: float = 0.0
+    final_shares: list[float] = field(default_factory=list)
+    iteration_times: list[float] = field(default_factory=list)
+
+
+def run_multi_workload(
+    workload: Workload,
+    system: MultiHeteroSystem | None = None,
+    controller: MultiGreenGpuController | None = None,
+    config: GreenGpuConfig | None = None,
+    n_iterations: int = 8,
+    timeout_s: float = 1.0e5,
+) -> MultiRunResult:
+    """Run divided iterations across the CPU and every GPU.
+
+    Each GPU gets its share as H2D -> kernel -> D2H (its own PCIe link),
+    the CPU runs its share, and the host spins when it has no work while
+    any GPU is busy (the paper's synchronized-communication semantics).
+    """
+    if n_iterations < 1:
+        raise SimulationError("need at least one iteration")
+    if system is None:
+        system = MultiHeteroSystem()
+    if controller is None:
+        controller = MultiGreenGpuController(system, config)
+    system.reset_meters()
+    t_start = system.now
+    result = MultiRunResult(workload=workload.name, n_gpus=len(system.gpus))
+
+    for _ in range(n_iterations):
+        shares = controller.divider.shares
+        t0 = system.now
+        cpu_share = shares[0]
+        if cpu_share > 0.0:
+            phases = workload.cpu_phases(float(cpu_share), 0)
+            if phases:
+                system.cpu.submit_kernel(KernelActivity(phases, label=workload.name))
+        for gpu, share in zip(system.gpus, shares[1:]):
+            share = float(share)
+            if share <= 0.0:
+                continue
+            gpu.submit_transfer(
+                system.bus.make_transfer(workload.h2d_bytes(share), label="h2d")
+            )
+            phases = workload.gpu_phases(share, 0)
+            if phases:
+                gpu.submit_kernel(KernelActivity(phases, label=workload.name))
+            gpu.submit_transfer(
+                system.bus.make_transfer(workload.d2h_bytes(share), label="d2h")
+            )
+
+        done_at: dict[str, float | None] = {"cpu": None if cpu_share > 0.0 else t0}
+        for i, share in enumerate(shares[1:]):
+            done_at[f"gpu{i}"] = None if share > 0.0 else t0
+
+        deadline = t0 + timeout_s
+        steps = 0
+        if not system.cpu.has_work and system.any_gpu_busy():
+            system.cpu.spin()
+        while system.any_gpu_busy() or system.cpu.has_work:
+            if system.now >= deadline:
+                raise SimulationError("multi-GPU iteration exceeded its timeout")
+            system.step(horizon=deadline - system.now)
+            steps += 1
+            if steps > _MAX_STEPS:
+                raise SimulationError("step explosion in multi-GPU iteration")
+            if done_at["cpu"] is None and not system.cpu.has_work:
+                done_at["cpu"] = system.now
+                if system.any_gpu_busy():
+                    system.cpu.spin()
+            for i, gpu in enumerate(system.gpus):
+                if done_at[f"gpu{i}"] is None and not gpu.busy:
+                    done_at[f"gpu{i}"] = system.now
+        system.cpu.stop_spin()
+
+        timings = [
+            DeviceTiming(name, (when if when is not None else t0) - t0)
+            for name, when in done_at.items()
+        ]
+        controller.divider.update(timings)
+        result.iteration_times.append(system.now - t0)
+
+    result.total_s = system.now - t_start
+    result.total_energy_j = system.total_energy_j
+    result.final_shares = [float(s) for s in controller.divider.shares]
+    controller.detach()
+    return result

@@ -1,0 +1,148 @@
+"""Offline tuning of the WMA trade-off parameters.
+
+The paper hand-tunes alpha_c = 0.15, alpha_m = 0.02, phi = 0.3, beta = 0.2
+and explicitly flags deriving them automatically as future work ("we
+derive alpha, beta, and phi from manual tuning due to the lack of
+accurate, general, and scalable performance/performance model for GPUs,
+which could be our future direction", §V-A).
+
+:func:`grid_search_wma_params` is that future direction on the simulated
+testbed: it sweeps a parameter grid, runs the frequency-scaling tier on a
+set of training workloads, and scores each point by energy saving subject
+to a slowdown budget — the paper's own objective ("save energy with only
+negligible performance degradation").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import GreenGpuConfig
+from repro.core.policies import BestPerformancePolicy, FrequencyScalingOnlyPolicy
+from repro.errors import ConfigError
+from repro.experiments.common import scaled_workload
+from repro.runtime.executor import run_workload
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One evaluated parameter combination."""
+
+    alpha_core: float
+    alpha_mem: float
+    phi: float
+    beta: float
+    mean_saving: float
+    mean_slowdown: float
+    feasible: bool
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Grid-search outcome."""
+
+    points: list[TuningPoint]
+    slowdown_budget: float
+
+    @property
+    def best(self) -> TuningPoint:
+        feasible = [p for p in self.points if p.feasible]
+        pool = feasible if feasible else self.points
+        return max(pool, key=lambda p: p.mean_saving)
+
+    def point_for(self, config: GreenGpuConfig) -> TuningPoint | None:
+        """The grid point matching a config's parameters, if present."""
+        for p in self.points:
+            if (
+                p.alpha_core == config.alpha_core
+                and p.alpha_mem == config.alpha_mem
+                and p.phi == config.phi
+                and p.beta == config.beta
+            ):
+                return p
+        return None
+
+
+def _evaluate(
+    alpha_core: float,
+    alpha_mem: float,
+    phi: float,
+    beta: float,
+    workloads: list[str],
+    time_scale: float,
+    n_iterations: int,
+    slowdown_budget: float,
+    baselines: dict[str, object],
+) -> TuningPoint:
+    config = GreenGpuConfig(
+        alpha_core=alpha_core,
+        alpha_mem=alpha_mem,
+        phi=phi,
+        beta=beta,
+        scaling_interval_s=3.0 * time_scale,
+        ondemand_interval_s=0.1 * time_scale,
+    )
+    savings, slowdowns = [], []
+    for name in workloads:
+        workload = scaled_workload(name, time_scale)
+        base = baselines[name]
+        scaled = run_workload(
+            workload, FrequencyScalingOnlyPolicy(config=config),
+            n_iterations=n_iterations,
+        )
+        savings.append(scaled.gpu_energy_saving_vs(base))
+        slowdowns.append(scaled.slowdown_vs(base))
+    mean_saving = float(np.mean(savings))
+    mean_slowdown = float(np.mean(slowdowns))
+    return TuningPoint(
+        alpha_core=alpha_core,
+        alpha_mem=alpha_mem,
+        phi=phi,
+        beta=beta,
+        mean_saving=mean_saving,
+        mean_slowdown=mean_slowdown,
+        feasible=mean_slowdown <= slowdown_budget,
+    )
+
+
+def grid_search_wma_params(
+    workloads: list[str] | None = None,
+    alpha_core_grid: tuple[float, ...] = (0.05, 0.15, 0.40),
+    alpha_mem_grid: tuple[float, ...] = (0.02, 0.15),
+    phi_grid: tuple[float, ...] = (0.3, 0.7),
+    beta_grid: tuple[float, ...] = (0.2,),
+    time_scale: float = 0.1,
+    n_iterations: int = 2,
+    slowdown_budget: float = 0.05,
+) -> TuningResult:
+    """Exhaustive grid search over the WMA trade-off parameters.
+
+    Returns every evaluated point so callers can inspect the whole
+    landscape, not just the winner.  Baselines are shared across points —
+    they do not depend on the parameters being tuned.
+    """
+    if workloads is None:
+        workloads = ["kmeans", "pathfinder", "streamcluster"]
+    if not workloads:
+        raise ConfigError("need at least one training workload")
+    baselines = {
+        name: run_workload(
+            scaled_workload(name, time_scale),
+            BestPerformancePolicy(),
+            n_iterations=n_iterations,
+        )
+        for name in workloads
+    }
+    points = [
+        _evaluate(
+            ac, am, phi, beta, workloads, time_scale, n_iterations,
+            slowdown_budget, baselines,
+        )
+        for ac, am, phi, beta in itertools.product(
+            alpha_core_grid, alpha_mem_grid, phi_grid, beta_grid
+        )
+    ]
+    return TuningResult(points=points, slowdown_budget=slowdown_budget)

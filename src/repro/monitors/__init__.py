@@ -1,0 +1,19 @@
+"""Utilization monitors: the ``nvidia-smi`` and ``/proc/stat`` analogues.
+
+The paper's GreenGPU daemon reads GPU core/memory utilizations with
+``nvidia-smi`` and CPU utilization from the kernel's accounting.  Both
+report *windowed averages*: the fraction of the sampling window each
+resource was busy.  Our monitors reproduce that by differentiating the
+devices' monotonically increasing busy-time counters between reads —
+exactly how the real tools work on top of hardware counters.
+"""
+
+from repro.monitors.nvsmi import GpuUtilizationSample, NvidiaSmi
+from repro.monitors.cpustat import CpuStat, CpuUtilizationSample
+
+__all__ = [
+    "NvidiaSmi",
+    "GpuUtilizationSample",
+    "CpuStat",
+    "CpuUtilizationSample",
+]

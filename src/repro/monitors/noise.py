@@ -1,0 +1,53 @@
+"""Measurement-noise injection for the utilization monitors.
+
+The paper chooses beta = 0.2 "to filter out limited system noise with
+quick workload change response" (§V-A) — a claim about robustness it
+never evaluates.  :class:`NoisyNvidiaSmi` makes it testable: it wraps the
+clean monitor and perturbs each windowed reading with seeded, bounded
+noise (clamped to [0, 1]), emulating the jitter of real counter sampling.
+
+Determinism: the noise stream is a seeded PCG64 sequence consumed one
+draw per query, so runs remain bit-reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.monitors.nvsmi import GpuUtilizationSample, NvidiaSmi
+from repro.sim.gpu import GpuDevice
+
+
+class NoisyNvidiaSmi:
+    """``nvidia-smi`` facade with additive uniform measurement noise.
+
+    ``amplitude`` is the half-width of the uniform perturbation: each
+    reading moves by up to +/- amplitude before clamping.
+    """
+
+    def __init__(self, gpu: GpuDevice, amplitude: float, seed: int = 0):
+        if not 0.0 <= amplitude <= 1.0:
+            raise ConfigError("noise amplitude must be in [0, 1]")
+        self._inner = NvidiaSmi(gpu)
+        self.amplitude = float(amplitude)
+        self._rng = np.random.default_rng(seed)
+        self.queries = 0
+
+    def query(self) -> GpuUtilizationSample:
+        sample = self._inner.query()
+        self.queries += 1
+        if self.amplitude == 0.0:
+            return sample
+        noise = self._rng.uniform(-self.amplitude, self.amplitude, size=2)
+        return GpuUtilizationSample(
+            t=sample.t,
+            window_s=sample.window_s,
+            u_core=float(np.clip(sample.u_core + noise[0], 0.0, 1.0)),
+            u_mem=float(np.clip(sample.u_mem + noise[1], 0.0, 1.0)),
+            f_core=sample.f_core,
+            f_mem=sample.f_mem,
+        )
+
+    def peek_clocks(self) -> tuple[float, float]:
+        return self._inner.peek_clocks()

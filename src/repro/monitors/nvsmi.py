@@ -1,0 +1,76 @@
+"""``nvidia-smi`` facade over the simulated GPU.
+
+Nvidia defines (paper §III-A, [19]):
+
+- core (GPU) utilization  = GPU busy cycles / total cycles,
+- memory utilization      = actual bandwidth / rated peak bandwidth.
+
+The simulated :class:`~repro.sim.gpu.GpuDevice` maintains busy-time
+integrals with exactly these semantics; :class:`NvidiaSmi` differentiates
+them over its sampling window, like the real tool's counter-delta readout.
+
+Note the memory-utilization subtlety: the device's ``busy_mem_seconds``
+integral advances by ``u_mem * dt`` where ``u_mem`` is bandwidth achieved
+relative to the *current* (possibly throttled) memory frequency.  Real
+``nvidia-smi`` reports relative to the current clock as well, so the
+controller sees utilization rise as it throttles — which is precisely the
+feedback the WMA loss function relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.gpu import GpuDevice
+
+
+@dataclass(frozen=True, slots=True)
+class GpuUtilizationSample:
+    """One windowed utilization reading plus the clocks it was taken at."""
+
+    t: float
+    window_s: float
+    u_core: float
+    u_mem: float
+    f_core: float
+    f_mem: float
+
+
+class NvidiaSmi:
+    """Windowed GPU utilization reader (counter-delta style)."""
+
+    def __init__(self, gpu: GpuDevice):
+        self._gpu = gpu
+        self._last_t = gpu.elapsed_seconds
+        self._last_core = gpu.busy_core_seconds
+        self._last_mem = gpu.busy_mem_seconds
+
+    def query(self) -> GpuUtilizationSample:
+        """Average utilizations since the previous :meth:`query` call.
+
+        The first call averages since monitor construction.  Querying twice
+        at the same instant (zero window) raises — real tools rate-limit
+        for the same reason.
+        """
+        now = self._gpu.elapsed_seconds
+        window = now - self._last_t
+        if window <= 0.0:
+            raise SimulationError("nvidia-smi queried with an empty window")
+        u_core = (self._gpu.busy_core_seconds - self._last_core) / window
+        u_mem = (self._gpu.busy_mem_seconds - self._last_mem) / window
+        self._last_t = now
+        self._last_core = self._gpu.busy_core_seconds
+        self._last_mem = self._gpu.busy_mem_seconds
+        return GpuUtilizationSample(
+            t=now,
+            window_s=window,
+            u_core=min(1.0, u_core),
+            u_mem=min(1.0, u_mem),
+            f_core=self._gpu.f_core,
+            f_mem=self._gpu.f_mem,
+        )
+
+    def peek_clocks(self) -> tuple[float, float]:
+        """Current (core, memory) clocks in Hz without consuming the window."""
+        return self._gpu.f_core, self._gpu.f_mem

@@ -1,0 +1,30 @@
+"""Heterogeneous execution runtime.
+
+The paper's implementation launches pthreads — one driving CUDA kernels,
+the rest running the OpenMP share — and re-invokes kernels with per-side
+data sizes every iteration (§VI).  Our runtime mirrors that structure on
+the simulated testbed:
+
+- :mod:`repro.runtime.partition` splits work units (and, for the real
+  numpy kernels, actual arrays) by the division ratio;
+- :mod:`repro.runtime.executor` co-runs the CPU and GPU shares of each
+  iteration in simulated time, with DMA transfers and synchronized
+  (spin-wait) host semantics;
+- :mod:`repro.runtime.metrics` collects per-iteration and whole-run
+  timing/energy results.
+"""
+
+from repro.runtime.partition import partition_array, partition_slices, split_units
+from repro.runtime.metrics import IterationMetrics, RunResult
+from repro.runtime.executor import ExecutorOptions, HeteroExecutor, run_workload
+
+__all__ = [
+    "split_units",
+    "partition_array",
+    "partition_slices",
+    "IterationMetrics",
+    "RunResult",
+    "HeteroExecutor",
+    "ExecutorOptions",
+    "run_workload",
+]

@@ -1,0 +1,94 @@
+"""Per-iteration and whole-run measurement records.
+
+Energy accounting follows the paper's meter boundaries: per-iteration and
+whole-run energies are *wall* energies (Meter1 + Meter2), with the GPU
+card's share (Meter2) also recorded separately, since Fig. 6a/6b report
+GPU-only savings while Figs. 2 and 8 report whole-system energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class IterationMetrics:
+    """Measurements for one tier-1 iteration."""
+
+    index: int
+    r: float                 # CPU work share used this iteration
+    tc: float                # CPU-side completion time (0 if no CPU share)
+    tg: float                # GPU-side completion time
+    wall_s: float            # iteration wall time (incl. division overhead)
+    energy_j: float          # whole-system wall energy over the iteration
+    gpu_energy_j: float      # Meter2 share
+    cpu_energy_j: float      # Meter1 share
+
+    def __post_init__(self) -> None:
+        if self.wall_s < 0.0 or self.energy_j < 0.0:
+            raise SimulationError("iteration metrics must be non-negative")
+
+
+@dataclass
+class RunResult:
+    """Results of one workload run under one policy."""
+
+    workload: str
+    policy: str
+    iterations: list[IterationMetrics] = field(default_factory=list)
+    total_s: float = 0.0
+    total_energy_j: float = 0.0
+    gpu_energy_j: float = 0.0
+    cpu_energy_j: float = 0.0
+    cpu_spin_s: float = 0.0
+    cpu_spin_energy_j: float = 0.0
+    cpu_energy_emulated_idle_spin_j: float = 0.0
+    final_ratio: float = 0.0
+    traces: dict = field(default_factory=dict)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def average_power_w(self) -> float:
+        if self.total_s <= 0.0:
+            raise SimulationError("run has no elapsed time")
+        return self.total_energy_j / self.total_s
+
+    def ratios(self) -> np.ndarray:
+        """Division ratio per iteration."""
+        return np.array([m.r for m in self.iterations])
+
+    def iteration_energies(self) -> np.ndarray:
+        """Whole-system energy per iteration (paper Fig. 8 y-axis)."""
+        return np.array([m.energy_j for m in self.iterations])
+
+    def iteration_times(self) -> tuple[np.ndarray, np.ndarray]:
+        """(tc, tg) arrays per iteration (paper Fig. 7 y-axis)."""
+        return (
+            np.array([m.tc for m in self.iterations]),
+            np.array([m.tg for m in self.iterations]),
+        )
+
+    def energy_saving_vs(self, baseline: "RunResult") -> float:
+        """Fractional whole-system energy saving relative to ``baseline``."""
+        if baseline.total_energy_j <= 0.0:
+            raise SimulationError("baseline has no energy measurement")
+        return 1.0 - self.total_energy_j / baseline.total_energy_j
+
+    def gpu_energy_saving_vs(self, baseline: "RunResult") -> float:
+        """Fractional GPU-card (Meter2) energy saving vs ``baseline``."""
+        if baseline.gpu_energy_j <= 0.0:
+            raise SimulationError("baseline has no GPU energy measurement")
+        return 1.0 - self.gpu_energy_j / baseline.gpu_energy_j
+
+    def slowdown_vs(self, baseline: "RunResult") -> float:
+        """Fractional execution-time increase relative to ``baseline``."""
+        if baseline.total_s <= 0.0:
+            raise SimulationError("baseline has no elapsed time")
+        return self.total_s / baseline.total_s - 1.0

@@ -1,0 +1,56 @@
+"""Work partitioning between the CPU and GPU shares.
+
+Two layers of partitioning exist in the reproduction, mirroring the
+paper's implementation (§VI: "we repeatedly call kernel functions with
+different data sizes to implement the workload division"):
+
+- **Unit split** (:func:`split_units`) — the simulator's view: an
+  iteration's normalized work divides into a CPU fraction ``r`` and a GPU
+  fraction ``1 - r``.
+- **Array partition** (:func:`partition_array`, :func:`partition_slices`)
+  — the functional view used by the real numpy kernels: the actual data
+  rows split at ``round(r * n)``, the CPU computes its slice, the "GPU"
+  computes the rest, and the merged result must equal the unpartitioned
+  reference (tested per workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+
+def split_units(total_units: float, r: float) -> tuple[float, float]:
+    """Split ``total_units`` into (cpu_units, gpu_units) by CPU share ``r``."""
+    if total_units < 0.0:
+        raise PartitionError("total units must be non-negative")
+    if not 0.0 <= r <= 1.0:
+        raise PartitionError(f"ratio must be in [0, 1], got {r}")
+    cpu_units = r * total_units
+    return cpu_units, total_units - cpu_units
+
+
+def partition_slices(n: int, r: float) -> tuple[slice, slice]:
+    """(cpu_slice, gpu_slice) over ``n`` rows for CPU share ``r``.
+
+    The boundary rounds to the nearest row, so tiny nonzero shares of a
+    small array may produce an empty CPU slice — exactly what happens with
+    real chunked dispatch.
+    """
+    if n < 0:
+        raise PartitionError("n must be non-negative")
+    if not 0.0 <= r <= 1.0:
+        raise PartitionError(f"ratio must be in [0, 1], got {r}")
+    boundary = int(round(r * n))
+    return slice(0, boundary), slice(boundary, n)
+
+
+def partition_array(arr: np.ndarray, r: float) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``arr`` along axis 0 into (cpu_part, gpu_part) views.
+
+    Views, not copies: the kernels may write results in place, as the
+    pthread/OpenMP implementation does with shared host memory.
+    """
+    cpu_slice, gpu_slice = partition_slices(arr.shape[0], r)
+    return arr[cpu_slice], arr[gpu_slice]

@@ -1,0 +1,45 @@
+"""Simulated GPU-CPU heterogeneous testbed.
+
+This subpackage replaces the paper's physical testbed (GeForce 8800 GTX +
+AMD Phenom II + two WattsUp Pro meters) with an analytic simulator that
+exposes the same observable and actuable surface the GreenGPU daemon used
+on real hardware:
+
+- discrete core/memory frequency ladders (``nvidia-settings`` equivalent),
+- per-domain utilization counters (``nvidia-smi`` equivalent),
+- CPU P-states with DVFS (cpufreq equivalent),
+- wall-power sampling on two meter boundaries (WattsUp equivalent).
+
+See DESIGN.md §1 for the substitution rationale.
+"""
+
+from repro.sim.frequency import FrequencyLadder
+from repro.sim.perf import ExecutionEstimate, RooflineModel
+from repro.sim.power import CpuPowerModel, GpuPowerModel
+from repro.sim.gpu import GpuDevice, GpuSpec
+from repro.sim.cpu import CpuDevice, CpuSpec
+from repro.sim.bus import PcieBus
+from repro.sim.meter import PowerMeter
+from repro.sim.engine import SimClock
+from repro.sim.platform import HeteroSystem, TestbedConfig, make_testbed
+from repro.sim.trace import Trace, TraceRecorder
+
+__all__ = [
+    "FrequencyLadder",
+    "ExecutionEstimate",
+    "RooflineModel",
+    "CpuPowerModel",
+    "GpuPowerModel",
+    "GpuDevice",
+    "GpuSpec",
+    "CpuDevice",
+    "CpuSpec",
+    "PcieBus",
+    "PowerMeter",
+    "SimClock",
+    "HeteroSystem",
+    "TestbedConfig",
+    "make_testbed",
+    "Trace",
+    "TraceRecorder",
+]

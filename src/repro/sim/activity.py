@@ -1,0 +1,176 @@
+"""Work activities executed by simulated devices.
+
+Devices execute a FIFO queue of *activities*.  Two kinds exist:
+
+- :class:`KernelActivity` — a sequence of roofline phases, each with a
+  compute demand (flops) and a memory-traffic demand (bytes).  Its duration
+  depends on the device's current frequencies and is re-evaluated whenever
+  they change (progress is tracked as the completed fraction of the current
+  phase, which is exact because utilizations are constant within a phase at
+  fixed frequencies).
+- :class:`TransferActivity` — a fixed-rate DMA transfer over the PCIe bus.
+  Its duration is set when the transfer starts and is insensitive to the
+  device's frequency settings (PCIe is the bottleneck).
+
+The executor composes iterations out of these primitives:
+H2D transfer -> kernel -> D2H transfer on the GPU; kernel on the CPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SimulationError, WorkloadError
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseDemand:
+    """Resource demand of one kernel phase.
+
+    ``flops`` is the total compute work, ``bytes`` the total DRAM traffic,
+    and ``stall_s`` the latency-bound wall-clock component of the phase
+    (see :mod:`repro.sim.perf`).  Any may be zero.
+    """
+
+    flops: float
+    bytes: float
+    stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0.0 or self.bytes < 0.0 or self.stall_s < 0.0:
+            raise WorkloadError("phase demands must be non-negative")
+
+    def scaled(self, factor: float) -> "PhaseDemand":
+        """Return this demand multiplied by ``factor`` (work-unit scaling)."""
+        if factor < 0.0:
+            raise WorkloadError("scale factor must be non-negative")
+        return PhaseDemand(
+            self.flops * factor, self.bytes * factor, self.stall_s * factor
+        )
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity in flop/byte (inf for pure-compute phases)."""
+        if self.bytes == 0.0:
+            return float("inf")
+        return self.flops / self.bytes
+
+
+class Activity:
+    """Base class for device activities (see module docstring)."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str = ""):
+        self.label = label
+
+    @property
+    def done(self) -> bool:
+        raise NotImplementedError
+
+
+class KernelActivity(Activity):
+    """A kernel run: an ordered list of roofline phases.
+
+    Progress is tracked per phase as a completed fraction in [0, 1].  The
+    owning device converts fractions to times using its current rates.
+    """
+
+    __slots__ = ("phases", "phase_index", "phase_fraction")
+
+    def __init__(self, phases: list[PhaseDemand] | tuple[PhaseDemand, ...], label: str = ""):
+        super().__init__(label)
+        phases = tuple(phases)
+        if not phases:
+            raise WorkloadError("a kernel needs at least one phase")
+        self.phases: tuple[PhaseDemand, ...] = phases
+        self.phase_index = 0
+        self.phase_fraction = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.phase_index >= len(self.phases)
+
+    @property
+    def current_phase(self) -> PhaseDemand:
+        if self.done:
+            raise SimulationError("kernel already complete")
+        return self.phases[self.phase_index]
+
+    def advance_fraction(self, df: float) -> None:
+        """Consume ``df`` of the current phase; roll over on completion.
+
+        ``df`` may complete the phase exactly; overshoot beyond a small
+        epsilon is a simulator bug and raises.
+        """
+        if self.done:
+            raise SimulationError("advancing a completed kernel")
+        new_fraction = self.phase_fraction + df
+        if new_fraction > 1.0 + 1e-9:
+            raise SimulationError(
+                f"phase overshoot: {self.phase_fraction} + {df} > 1"
+            )
+        if new_fraction >= 1.0 - 1e-12:
+            self.phase_index += 1
+            self.phase_fraction = 0.0
+        else:
+            self.phase_fraction = new_fraction
+
+    @property
+    def total_flops(self) -> float:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(p.bytes for p in self.phases)
+
+
+class TransferActivity(Activity):
+    """A DMA transfer with a fixed remaining duration in seconds."""
+
+    __slots__ = ("remaining_s", "bytes")
+
+    def __init__(self, duration_s: float, bytes_: float = 0.0, label: str = ""):
+        super().__init__(label)
+        if duration_s < 0.0:
+            raise SimulationError("transfer duration must be non-negative")
+        self.remaining_s = float(duration_s)
+        self.bytes = float(bytes_)
+
+    @property
+    def done(self) -> bool:
+        return self.remaining_s <= 1e-12
+
+    def advance_time(self, dt: float) -> None:
+        if dt > self.remaining_s + 1e-9:
+            raise SimulationError("transfer overshoot")
+        self.remaining_s = max(0.0, self.remaining_s - dt)
+
+
+class ActivityQueue:
+    """FIFO of activities with O(1) head access."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        self._queue: deque[Activity] = deque()
+
+    def push(self, activity: Activity) -> None:
+        self._queue.append(activity)
+
+    @property
+    def head(self) -> Activity | None:
+        while self._queue and self._queue[0].done:
+            self._queue.popleft()
+        return self._queue[0] if self._queue else None
+
+    @property
+    def busy(self) -> bool:
+        return self.head is not None
+
+    def __len__(self) -> int:
+        return sum(1 for a in self._queue if not a.done)
+
+    def clear(self) -> None:
+        self._queue.clear()

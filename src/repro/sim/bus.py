@@ -1,0 +1,46 @@
+"""PCIe/system-bus transfer model.
+
+The paper's testbed moves divided work between host memory and the GPU
+card over the system bus (with DMA).  We model a transfer as a fixed
+per-transfer latency plus a bandwidth term:
+
+    t(bytes) = latency + bytes / bandwidth
+
+PCIe 1.x x16 (the 8800 GTX era) delivers roughly 3-4 GB/s effective.
+Transfer time is insensitive to GPU core/memory frequency settings — the
+bus is the bottleneck — which is why the simulator charges it as a fixed
+duration activity on the GPU queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.activity import TransferActivity
+
+
+@dataclass(frozen=True, slots=True)
+class PcieBus:
+    """Host<->device interconnect with latency + bandwidth cost model."""
+
+    bandwidth: float          # bytes/s
+    latency_s: float = 10.0e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0.0:
+            raise ConfigError("bus bandwidth must be positive")
+        if self.latency_s < 0.0:
+            raise ConfigError("bus latency must be non-negative")
+
+    def transfer_time(self, bytes_: float) -> float:
+        """Seconds to move ``bytes_`` across the bus (0 bytes -> 0 s)."""
+        if bytes_ < 0.0:
+            raise ConfigError("transfer size must be non-negative")
+        if bytes_ == 0.0:
+            return 0.0
+        return self.latency_s + bytes_ / self.bandwidth
+
+    def make_transfer(self, bytes_: float, label: str = "dma") -> TransferActivity:
+        """Build a :class:`TransferActivity` for ``bytes_`` at current rates."""
+        return TransferActivity(self.transfer_time(bytes_), bytes_, label=label)

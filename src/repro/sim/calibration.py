@@ -1,0 +1,149 @@
+"""Calibrated constants for the default simulated testbed.
+
+Every number below is tied either to a published hardware datum of the
+paper's testbed or to a qualitative target the paper's figures impose.
+Changing them changes absolute results but the controllers never read
+them — they only observe utilizations, times and meter energies — so the
+reproduction's *shape* claims are robust to recalibration (the ablation
+benches sweep several of these).
+
+GPU — Nvidia GeForce 8800 GTX
+-----------------------------
+- Core ladder 576..300 MHz, 6 equal steps.  576 MHz is the stock shader
+  domain peak the paper quotes ("576 MHz for cores"); equal spacing down to
+  300 MHz puts a level at 410.4 MHz, matching the 410 MHz knee the paper
+  calls out for streamcluster in §III-A.
+- Memory ladder 900..500 MHz, 6 equal steps — the exact example levels in
+  §VI.
+- Peak bandwidth 86.4 GB/s and peak compute 345.6 Gflop/s are the 8800 GTX
+  datasheet numbers.
+- Power split: 2006-era GeForce cards have a substantial
+  frequency-independent floor (leakage + fan + board, ~60 W) plus large
+  per-domain *clock* power — the 90 nm G80 clock trees and GDDR3 I/O
+  termination toggle at full swing regardless of utilization, and the card
+  cannot scale voltage (§VII-C), so this is the only power frequency
+  scaling can recover.  The split below yields ~147 W fully busy at peak
+  clocks, ~83 W idle at the lowest clocks and ~102 W idle at peak clocks —
+  consistent with contemporary measurements — and reproduces the paper's
+  headline asymmetry that *dynamic*-energy savings (Fig. 6b, ~29 %) are
+  several times the total-energy savings (Fig. 6a, ~6 %).
+
+CPU — AMD Phenom II X2 (Callisto), 80 W TDP
+-------------------------------------------
+- P-states 2.8 / 2.1 / 1.3 / 0.8 GHz (§VI).
+- ~15 W package floor, ~40 W active swing at the peak P-state (the
+  benchmarks' busy-wait holds one of the two cores); voltage floor ratio
+  0.75 (1.05 V @ 0.8 GHz vs 1.40 V @ 2.8 GHz).
+- Host DRAM bandwidth 8 GB/s (DDR3-1066 era), not frequency scaled.
+
+Bus — PCIe 1.1 x16: ~3 GB/s effective, 10 us per-transfer latency.
+
+Meters — Meter1 adds the motherboard/disk/DRAM constant (~60 W) and the box
+PSU efficiency; Meter2 adds the standalone ATX supply's overhead and
+efficiency (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.sim.bus import PcieBus
+from repro.sim.cpu import CpuSpec
+from repro.sim.frequency import FrequencyLadder
+from repro.sim.gpu import GpuSpec
+from repro.sim.perf import RooflineModel
+from repro.sim.platform import TestbedConfig
+from repro.sim.power import CpuPowerModel, GpuPowerModel
+from repro.units import ghz, mhz
+
+# -- GPU: GeForce 8800 GTX ------------------------------------------------------
+
+GPU_CORE_LEVELS_MHZ = (576.0, 520.8, 465.6, 410.4, 355.2, 300.0)
+GPU_MEM_LEVELS_MHZ = (900.0, 820.0, 740.0, 660.0, 580.0, 500.0)
+GPU_PEAK_COMPUTE_FLOPS = 345.6e9
+GPU_PEAK_BANDWIDTH = 86.4e9
+
+GPU_POWER = GpuPowerModel(
+    static_w=60.0,
+    clock_core_w=25.0,
+    clock_mem_w=28.0,
+    active_core_w=22.0,
+    active_mem_w=12.0,
+)
+
+GPU_OVERLAP_EXPONENT = 4.0
+GPU_LAUNCH_OVERHEAD_S = 1.0e-4
+
+# -- CPU: AMD Phenom II X2 ---------------------------------------------------------
+
+CPU_LEVELS_GHZ = (2.8, 2.1, 1.3, 0.8)
+CPU_CORES = 2
+# 2 cores x 4 flop/cycle x 2.8 GHz = 22.4 Gflop/s theoretical peak.
+CPU_PEAK_COMPUTE_FLOPS = 22.4e9
+CPU_HOST_BANDWIDTH = 8.0e9
+
+CPU_POWER = CpuPowerModel(
+    static_w=15.0,
+    active_w=40.0,
+    v_floor_ratio=0.75,
+    f_floor_ratio=CPU_LEVELS_GHZ[-1] / CPU_LEVELS_GHZ[0],
+)
+
+# CPU kernels overlap compute and memory poorly compared to a GPU's
+# latency-hiding warps; exponent 2 gives a softer roofline.
+CPU_OVERLAP_EXPONENT = 2.0
+
+# -- Interconnect ---------------------------------------------------------------
+
+PCIE_BANDWIDTH = 3.0e9
+PCIE_LATENCY_S = 10.0e-6
+
+# -- Meter boundaries ---------------------------------------------------------------
+
+METER1_OVERHEAD_W = 60.0
+METER1_EFFICIENCY = 0.80
+METER2_OVERHEAD_W = 5.0
+METER2_EFFICIENCY = 0.78
+
+
+def geforce_8800_gtx_spec() -> GpuSpec:
+    """GpuSpec for the paper's GeForce 8800 GTX."""
+    return GpuSpec(
+        name="GeForce 8800 GTX",
+        core_ladder=FrequencyLadder([mhz(v) for v in GPU_CORE_LEVELS_MHZ]),
+        mem_ladder=FrequencyLadder([mhz(v) for v in GPU_MEM_LEVELS_MHZ]),
+        peak_compute_rate=GPU_PEAK_COMPUTE_FLOPS,
+        peak_bandwidth=GPU_PEAK_BANDWIDTH,
+        power=GPU_POWER,
+        roofline=RooflineModel(GPU_OVERLAP_EXPONENT),
+        launch_overhead_s=GPU_LAUNCH_OVERHEAD_S,
+    )
+
+
+def phenom_ii_x2_spec() -> CpuSpec:
+    """CpuSpec for the paper's AMD Phenom II X2."""
+    return CpuSpec(
+        name="AMD Phenom II X2",
+        ladder=FrequencyLadder([ghz(v) for v in CPU_LEVELS_GHZ]),
+        cores=CPU_CORES,
+        peak_compute_rate=CPU_PEAK_COMPUTE_FLOPS,
+        host_bandwidth=CPU_HOST_BANDWIDTH,
+        power=CPU_POWER,
+        roofline=RooflineModel(CPU_OVERLAP_EXPONENT),
+    )
+
+
+def default_bus() -> PcieBus:
+    """PCIe 1.1 x16 interconnect model."""
+    return PcieBus(bandwidth=PCIE_BANDWIDTH, latency_s=PCIE_LATENCY_S)
+
+
+def default_testbed_config() -> TestbedConfig:
+    """The full calibrated testbed (paper's Dell Optiplex 580 analogue)."""
+    return TestbedConfig(
+        gpu=geforce_8800_gtx_spec(),
+        cpu=phenom_ii_x2_spec(),
+        bus=default_bus(),
+        meter1_overhead_w=METER1_OVERHEAD_W,
+        meter1_efficiency=METER1_EFFICIENCY,
+        meter2_overhead_w=METER2_OVERHEAD_W,
+        meter2_efficiency=METER2_EFFICIENCY,
+    )

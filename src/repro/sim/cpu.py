@@ -1,0 +1,241 @@
+"""Simulated DVFS-capable multi-core CPU.
+
+Models the paper's AMD Phenom II X2: a small set of P-states
+(2.8/2.1/1.3/0.8 GHz), package-level DVFS, and a /proc/stat-style busy-time
+counter that the `ondemand` governor differentiates.
+
+Two execution modes matter for the reproduction:
+
+- **Working** — the CPU runs its share of the divided workload (an OpenMP
+  region in the paper).  Compute rate scales linearly with frequency; the
+  memory component uses fixed host-DRAM bandwidth.
+- **Spinning** — the paper's benchmarks use *synchronized* GPU-CPU
+  communication, so the host thread busy-waits at 100 % utilization while
+  the GPU computes (§VII-A: "the CPU has a utilization of 100 % even when
+  it is idling").  Spinning burns active power but makes no progress, and
+  it is why stock `ondemand` cannot throttle the CPU in the paper's
+  testbed.  Spin time and spin energy are tracked separately so the
+  paper's Fig. 6c emulation (replace spin energy with lowest-P-state idle
+  energy) can be computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FrequencyError, SimulationError
+from repro.sim.activity import ActivityQueue, KernelActivity, TransferActivity
+from repro.sim.frequency import FrequencyLadder
+from repro.sim.perf import ExecutionEstimate, RooflineModel
+from repro.sim.power import CpuPowerModel
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a simulated CPU package.
+
+    ``peak_compute_rate`` is the aggregate flop/s of all cores at the peak
+    P-state; ``host_bandwidth`` is the (frequency-independent) DRAM
+    bandwidth available to CPU kernels.
+    """
+
+    name: str
+    ladder: FrequencyLadder
+    cores: int
+    peak_compute_rate: float
+    host_bandwidth: float
+    power: CpuPowerModel
+    roofline: RooflineModel = field(default_factory=lambda: RooflineModel(2.0))
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise SimulationError("need at least one core")
+        if self.peak_compute_rate <= 0.0 or self.host_bandwidth <= 0.0:
+            raise SimulationError("rates must be positive")
+
+
+class CpuDevice:
+    """Stateful simulated CPU (see module docstring)."""
+
+    def __init__(self, spec: CpuSpec):
+        self.spec = spec
+        self._f = spec.ladder.peak
+        self._queue = ActivityQueue()
+        self._spinning = False
+        # /proc/stat-style integrals (monotonic).
+        self.busy_seconds = 0.0          # working or spinning
+        self.work_seconds = 0.0          # working only
+        self.spin_seconds = 0.0
+        self.energy_j = 0.0
+        self.spin_energy_j = 0.0
+        self.elapsed_seconds = 0.0
+        self.freq_transitions = 0
+
+    # -- P-state control (cpufreq surface) -------------------------------------
+
+    @property
+    def f(self) -> float:
+        """Current package frequency in Hz."""
+        return self._f
+
+    @property
+    def level(self) -> int:
+        """Current P-state index (0 = peak)."""
+        return self.spec.ladder.index_of(self._f)
+
+    def set_frequency(self, f: float) -> None:
+        """Set the package frequency (must be an exact P-state)."""
+        if f not in self.spec.ladder:
+            raise FrequencyError(f"{f} Hz is not a P-state of {self.spec.name}")
+        if f != self._f:
+            self.freq_transitions += 1
+        self._f = f
+
+    def set_peak(self) -> None:
+        self.set_frequency(self.spec.ladder.peak)
+
+    # -- rates ------------------------------------------------------------------
+
+    @property
+    def f_ratio(self) -> float:
+        return self._f / self.spec.ladder.peak
+
+    @property
+    def compute_rate(self) -> float:
+        """Aggregate compute rate in flop/s at the current P-state."""
+        return self.spec.peak_compute_rate * self.f_ratio
+
+    # -- work submission ----------------------------------------------------------
+
+    def submit_kernel(self, kernel: KernelActivity) -> None:
+        """Enqueue a CPU kernel (the OpenMP share of an iteration)."""
+        self._queue.push(kernel)
+
+    @property
+    def has_work(self) -> bool:
+        """True while queued kernels are unfinished (spin does not count)."""
+        return self._queue.busy
+
+    @property
+    def busy(self) -> bool:
+        """True while working or spinning (what /proc/stat reports)."""
+        return self._queue.busy or self._spinning
+
+    def spin(self) -> None:
+        """Enter busy-wait (synchronized GPU communication)."""
+        self._spinning = True
+
+    def stop_spin(self) -> None:
+        """Leave busy-wait."""
+        self._spinning = False
+
+    @property
+    def spinning(self) -> bool:
+        return self._spinning
+
+    def cancel_all(self) -> None:
+        self._queue.clear()
+        self._spinning = False
+
+    # -- simulation stepping --------------------------------------------------
+
+    def _phase_estimate(self, kernel: KernelActivity) -> ExecutionEstimate:
+        phase = kernel.current_phase
+        return self.spec.roofline.estimate(
+            phase.flops,
+            phase.bytes,
+            self.compute_rate,
+            self.spec.host_bandwidth,
+            phase.stall_s,
+        )
+
+    def time_to_event(self) -> float | None:
+        """Seconds to the next internal event; None when idle or spinning."""
+        head = self._queue.head
+        if head is None:
+            return None
+        if isinstance(head, TransferActivity):
+            return head.remaining_s
+        assert isinstance(head, KernelActivity)
+        est = self._phase_estimate(head)
+        if est.seconds == 0.0:
+            return 0.0
+        return (1.0 - head.phase_fraction) * est.seconds
+
+    def instantaneous_utilization(self) -> float:
+        """Package utilization as /proc/stat would report it."""
+        if self._queue.busy or self._spinning:
+            return 1.0
+        return 0.0
+
+    def instantaneous_power(self) -> float:
+        """Current package power in watts."""
+        return self.spec.power.power(self.f_ratio, self.instantaneous_utilization())
+
+    def advance(self, dt: float) -> None:
+        """Advance the device by ``dt`` seconds of simulated time."""
+        if dt < 0.0:
+            raise SimulationError("dt must be non-negative")
+        if dt == 0.0:
+            self._drain_zero_time_heads()
+            return
+        limit = self.time_to_event()
+        if limit is not None and dt > limit + 1e-9:
+            raise SimulationError(f"advance({dt}) past next CPU event at {limit}")
+        power = self.instantaneous_power()
+        self.energy_j += power * dt
+        self.elapsed_seconds += dt
+        working = self._queue.busy
+        if working:
+            self.busy_seconds += dt
+            self.work_seconds += dt
+        elif self._spinning:
+            self.busy_seconds += dt
+            self.spin_seconds += dt
+            self.spin_energy_j += power * dt
+
+        head = self._queue.head
+        if head is not None:
+            if isinstance(head, TransferActivity):
+                head.advance_time(min(dt, head.remaining_s))
+            else:
+                assert isinstance(head, KernelActivity)
+                est = self._phase_estimate(head)
+                if est.seconds == 0.0:
+                    head.advance_fraction(1.0 - head.phase_fraction)
+                else:
+                    head.advance_fraction(
+                        min(dt / est.seconds, 1.0 - head.phase_fraction)
+                    )
+        self._drain_zero_time_heads()
+
+    def _drain_zero_time_heads(self) -> None:
+        while True:
+            head = self._queue.head
+            if head is None:
+                return
+            if isinstance(head, TransferActivity):
+                if head.remaining_s > _EPS:
+                    return
+                head.advance_time(head.remaining_s)
+            else:
+                assert isinstance(head, KernelActivity)
+                est = self._phase_estimate(head)
+                if est.seconds > _EPS:
+                    return
+                head.advance_fraction(1.0 - head.phase_fraction)
+
+    # -- Fig. 6c emulation helper -------------------------------------------------
+
+    def emulated_energy_with_idle_spin(self) -> float:
+        """Total energy if every spin period had idled at the lowest P-state.
+
+        Implements the paper's §VII-A emulation: "we replace the CPU energy
+        with the average CPU energy at the lowest frequency level" whenever
+        the CPU is only waiting for the GPU.
+        """
+        floor_ratio = self.spec.ladder.floor / self.spec.ladder.peak
+        idle_floor_w = self.spec.power.idle_power(floor_ratio)
+        return self.energy_j - self.spin_energy_j + self.spin_seconds * idle_floor_w

@@ -1,0 +1,140 @@
+"""Simulation clock and periodic-task scheduling.
+
+The testbed is simulated with a piecewise-constant event model: device
+power and progress rates only change at *events* (a controller tick, a
+kernel phase boundary, a kernel completion, a DMA completion).  Between
+events everything is analytically integrable, so the simulator advances
+the clock directly from event to event instead of ticking at a fixed
+resolution.  This keeps multi-hundred-second runs cheap while remaining
+exact.
+
+:class:`SimClock` owns simulated time and a set of periodic tasks
+(controller loops, meter samplers).  Device/work completion events are
+handled by the executor, which asks the clock for the next task deadline
+and advances to ``min(deadline, completion)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledTask:
+    deadline: float
+    seq: int
+    period: float = field(compare=False)
+    callback: Callable[[float], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class TaskHandle:
+    """Opaque handle for cancelling a periodic task."""
+
+    __slots__ = ("_task",)
+
+    def __init__(self, task: _ScheduledTask):
+        self._task = task
+
+    def cancel(self) -> None:
+        """Stop the task from firing again (safe to call repeatedly)."""
+        self._task.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._task.cancelled
+
+
+class SimClock:
+    """Simulated wall clock with periodic callbacks.
+
+    Callbacks fire in deadline order; ties break by registration order so
+    runs are fully deterministic.  Callbacks receive the current simulated
+    time and may register or cancel tasks, but must not advance the clock.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list[_ScheduledTask] = []
+        self._seq = itertools.count()
+        self._in_dispatch = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[float], None],
+        *,
+        first_at: float | None = None,
+        name: str = "",
+    ) -> TaskHandle:
+        """Register ``callback`` to fire every ``period`` seconds.
+
+        The first firing is at ``first_at`` (default: ``now + period``).
+        """
+        if period <= 0.0:
+            raise SimulationError(f"task period must be positive, got {period}")
+        deadline = self._now + period if first_at is None else float(first_at)
+        if deadline < self._now:
+            raise SimulationError("first deadline is in the past")
+        task = _ScheduledTask(deadline, next(self._seq), period, callback, name)
+        heapq.heappush(self._heap, task)
+        return TaskHandle(task)
+
+    def at(self, when: float, callback: Callable[[float], None], *, name: str = "") -> TaskHandle:
+        """Register a one-shot callback at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError("cannot schedule in the past")
+        task = _ScheduledTask(float(when), next(self._seq), 0.0, callback, name)
+        heapq.heappush(self._heap, task)
+        return TaskHandle(task)
+
+    def next_deadline(self) -> float | None:
+        """Earliest pending task deadline, or None if no tasks are pending."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].deadline if self._heap else None
+
+    def advance_to(self, when: float) -> None:
+        """Advance simulated time to ``when``, firing all due tasks in order.
+
+        ``when`` must not be earlier than the current time.  Tasks whose
+        deadline is exactly ``when`` fire.
+        """
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot move time backwards (now={self._now}, target={when})"
+            )
+        if self._in_dispatch:
+            raise SimulationError("re-entrant clock advance from a callback")
+        while True:
+            deadline = self.next_deadline()
+            if deadline is None or deadline > when:
+                break
+            task = heapq.heappop(self._heap)
+            self._now = max(self._now, task.deadline)
+            if task.period > 0.0 and not task.cancelled:
+                task.deadline += task.period
+                heapq.heappush(self._heap, task)
+            self._in_dispatch = True
+            try:
+                task.callback(self._now)
+            finally:
+                self._in_dispatch = False
+        self._now = max(self._now, when)
+
+    def advance_by(self, dt: float) -> None:
+        """Advance simulated time by ``dt`` seconds (must be >= 0)."""
+        if dt < 0.0:
+            raise SimulationError(f"dt must be non-negative, got {dt}")
+        self.advance_to(self._now + dt)

@@ -1,0 +1,257 @@
+"""Simulated frequency-scalable GPU device.
+
+Models the observable/actuable surface of the paper's GeForce 8800 GTX:
+
+- two independent frequency domains (cores, memory) with discrete ladders,
+  set through :meth:`GpuDevice.set_frequencies` (``nvidia-settings``
+  equivalent);
+- hardware utilization counters per domain, exposed as monotonically
+  increasing busy-time integrals that a monitor differentiates over its
+  sampling window (``nvidia-smi`` equivalent);
+- an energy integral over the card power model (what the paper's Meter2
+  measures at the ATX supply).
+
+Default clocks are the *lowest* levels, matching the paper's observation
+that an idle GPU defaults to its lowest frequencies (Fig. 5 discussion).
+
+Execution-time semantics follow :mod:`repro.sim.perf`: kernels advance at
+rates proportional to domain frequencies, and a mid-phase frequency change
+re-times only the remaining fraction of the phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FrequencyError, SimulationError
+from repro.sim.activity import ActivityQueue, Activity, KernelActivity, TransferActivity
+from repro.sim.frequency import FrequencyLadder
+from repro.sim.perf import ExecutionEstimate, RooflineModel
+from repro.sim.power import GpuPowerModel
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a simulated GPU card.
+
+    ``peak_compute_rate`` is the flop/s delivered when every SM is busy at
+    the peak core frequency; ``peak_bandwidth`` is bytes/s at the peak
+    memory frequency.  Both scale linearly with their domain frequency.
+    ``launch_overhead_s`` is charged once per kernel launch (driver +
+    dispatch latency).
+    """
+
+    name: str
+    core_ladder: FrequencyLadder
+    mem_ladder: FrequencyLadder
+    peak_compute_rate: float
+    peak_bandwidth: float
+    power: GpuPowerModel
+    roofline: RooflineModel = field(default_factory=RooflineModel)
+    launch_overhead_s: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if self.peak_compute_rate <= 0.0 or self.peak_bandwidth <= 0.0:
+            raise SimulationError("peak rates must be positive")
+        if self.launch_overhead_s < 0.0:
+            raise SimulationError("launch overhead must be non-negative")
+
+
+class GpuDevice:
+    """Stateful simulated GPU (see module docstring)."""
+
+    def __init__(self, spec: GpuSpec):
+        self.spec = spec
+        self._f_core = spec.core_ladder.floor
+        self._f_mem = spec.mem_ladder.floor
+        self._queue = ActivityQueue()
+        # Hardware-counter-style integrals, all monotonically increasing.
+        self.busy_core_seconds = 0.0
+        self.busy_mem_seconds = 0.0
+        self.busy_seconds = 0.0
+        self.energy_j = 0.0
+        self.elapsed_seconds = 0.0
+        self.kernel_launches = 0
+        self.freq_transitions = 0
+
+    # -- frequency control (nvidia-settings surface) --------------------------
+
+    @property
+    def f_core(self) -> float:
+        """Current core-domain frequency in Hz."""
+        return self._f_core
+
+    @property
+    def f_mem(self) -> float:
+        """Current memory-domain frequency in Hz."""
+        return self._f_mem
+
+    @property
+    def core_level(self) -> int:
+        """Index of the current core frequency in the ladder (0 = peak)."""
+        return self.spec.core_ladder.index_of(self._f_core)
+
+    @property
+    def mem_level(self) -> int:
+        """Index of the current memory frequency in the ladder (0 = peak)."""
+        return self.spec.mem_ladder.index_of(self._f_mem)
+
+    def set_frequencies(self, f_core: float, f_mem: float) -> None:
+        """Set both domain frequencies (must be exact ladder levels).
+
+        Takes effect immediately; in-flight kernel phases keep their
+        completed fraction and re-time the remainder at the new rates.
+        """
+        if f_core not in self.spec.core_ladder:
+            raise FrequencyError(f"core frequency {f_core} not in ladder")
+        if f_mem not in self.spec.mem_ladder:
+            raise FrequencyError(f"memory frequency {f_mem} not in ladder")
+        if f_core != self._f_core or f_mem != self._f_mem:
+            self.freq_transitions += 1
+        self._f_core = f_core
+        self._f_mem = f_mem
+
+    def set_levels(self, core_level: int, mem_level: int) -> None:
+        """Set frequencies by ladder index (0 = peak)."""
+        self.set_frequencies(
+            self.spec.core_ladder[core_level], self.spec.mem_ladder[mem_level]
+        )
+
+    def set_peak(self) -> None:
+        """Run both domains at their peak frequencies (best-performance)."""
+        self.set_frequencies(self.spec.core_ladder.peak, self.spec.mem_ladder.peak)
+
+    # -- rates ----------------------------------------------------------------
+
+    @property
+    def compute_rate(self) -> float:
+        """Current compute rate in flop/s."""
+        return self.spec.peak_compute_rate * (self._f_core / self.spec.core_ladder.peak)
+
+    @property
+    def bandwidth(self) -> float:
+        """Current DRAM bandwidth in bytes/s."""
+        return self.spec.peak_bandwidth * (self._f_mem / self.spec.mem_ladder.peak)
+
+    # -- work submission -------------------------------------------------------
+
+    def submit_kernel(self, kernel: KernelActivity) -> None:
+        """Enqueue a kernel; a launch-overhead stall is charged first."""
+        if self.spec.launch_overhead_s > 0.0:
+            self._queue.push(
+                TransferActivity(self.spec.launch_overhead_s, label="launch")
+            )
+        self._queue.push(kernel)
+        self.kernel_launches += 1
+
+    def submit_transfer(self, transfer: TransferActivity) -> None:
+        """Enqueue a DMA transfer (duration fixed by the bus model)."""
+        self._queue.push(transfer)
+
+    @property
+    def busy(self) -> bool:
+        """True while any queued activity is unfinished."""
+        return self._queue.busy
+
+    def cancel_all(self) -> None:
+        """Drop all queued work (used by tests and failure injection)."""
+        self._queue.clear()
+
+    # -- simulation stepping ----------------------------------------------------
+
+    def _phase_estimate(self, kernel: KernelActivity) -> ExecutionEstimate:
+        phase = kernel.current_phase
+        return self.spec.roofline.estimate(
+            phase.flops, phase.bytes, self.compute_rate, self.bandwidth, phase.stall_s
+        )
+
+    def time_to_event(self) -> float | None:
+        """Seconds until the head activity finishes, or None when idle."""
+        head = self._queue.head
+        if head is None:
+            return None
+        if isinstance(head, TransferActivity):
+            return head.remaining_s
+        assert isinstance(head, KernelActivity)
+        est = self._phase_estimate(head)
+        if est.seconds == 0.0:
+            return 0.0
+        return (1.0 - head.phase_fraction) * est.seconds
+
+    def instantaneous_utilization(self) -> tuple[float, float]:
+        """Current (u_core, u_mem); zero when idle or stalled in a transfer."""
+        head = self._queue.head
+        if head is None or isinstance(head, TransferActivity):
+            return 0.0, 0.0
+        assert isinstance(head, KernelActivity)
+        est = self._phase_estimate(head)
+        return est.u_core, est.u_mem
+
+    def instantaneous_power(self) -> float:
+        """Current card power in watts."""
+        u_core, u_mem = self.instantaneous_utilization()
+        return self.spec.power.power(
+            self._f_core / self.spec.core_ladder.peak,
+            self._f_mem / self.spec.mem_ladder.peak,
+            u_core,
+            u_mem,
+        )
+
+    def advance(self, dt: float) -> None:
+        """Advance the device by ``dt`` seconds of simulated time.
+
+        ``dt`` must not run past the next internal event (the platform
+        loop guarantees this by construction).  Utilization and energy
+        integrals accumulate, and the head activity progresses.
+        """
+        if dt < 0.0:
+            raise SimulationError("dt must be non-negative")
+        if dt == 0.0:
+            # Still let zero-duration phases complete.
+            self._drain_zero_time_heads()
+            return
+        limit = self.time_to_event()
+        if limit is not None and dt > limit + 1e-9:
+            raise SimulationError(
+                f"advance({dt}) past next GPU event at {limit}"
+            )
+        u_core, u_mem = self.instantaneous_utilization()
+        self.energy_j += self.instantaneous_power() * dt
+        self.busy_core_seconds += u_core * dt
+        self.busy_mem_seconds += u_mem * dt
+        if self._queue.busy:
+            self.busy_seconds += dt
+        self.elapsed_seconds += dt
+
+        head = self._queue.head
+        if head is None:
+            return
+        if isinstance(head, TransferActivity):
+            head.advance_time(min(dt, head.remaining_s))
+        else:
+            assert isinstance(head, KernelActivity)
+            est = self._phase_estimate(head)
+            if est.seconds == 0.0:
+                head.advance_fraction(1.0 - head.phase_fraction)
+            else:
+                head.advance_fraction(min(dt / est.seconds, 1.0 - head.phase_fraction))
+        self._drain_zero_time_heads()
+
+    def _drain_zero_time_heads(self) -> None:
+        """Complete any queued activities that take zero time at current rates."""
+        while True:
+            head = self._queue.head
+            if head is None:
+                return
+            if isinstance(head, TransferActivity):
+                if head.remaining_s > _EPS:
+                    return
+                head.advance_time(head.remaining_s)
+            else:
+                assert isinstance(head, KernelActivity)
+                est = self._phase_estimate(head)
+                if est.seconds > _EPS:
+                    return
+                head.advance_fraction(1.0 - head.phase_fraction)

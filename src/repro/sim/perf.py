@@ -1,0 +1,165 @@
+"""Roofline-style execution-time and utilization model.
+
+A kernel (or kernel phase) is characterized by three demand components:
+
+- ``flops``   — compute work, drained at the core-frequency-scaled rate;
+- ``bytes``   — DRAM traffic, drained at the memory-frequency-scaled
+  bandwidth;
+- ``stall_s`` — latency-bound wall-clock time (DRAM access latency, warp
+  divergence serialization, dependency stalls).  Fixed in *seconds*: these
+  effects are dominated by constants (row-access nanoseconds, pipeline
+  depths) that do not scale with either frequency domain.
+
+Component times at the current operating point are
+
+    t_c = flops / compute_rate(f_core)
+    t_m = bytes / bandwidth(f_mem)
+    t_s = stall_s
+
+Real devices overlap these imperfectly.  We blend them with a p-norm
+
+    t = (t_c**k + t_m**k + t_s**k) ** (1/k)
+
+where the *overlap exponent* ``k`` interpolates between fully serialized
+execution (k = 1: plain sum) and perfect overlap (k -> inf: max of the
+three).  The default k = 4 reproduces the knee shape of the paper's
+Fig. 1: throttling a non-bottleneck domain barely moves ``t`` until its
+component time approaches the largest component, after which performance
+degrades roughly linearly in 1/f.
+
+Utilizations fall out of the same quantities using Nvidia's definitions
+(§III-A of the paper):
+
+    u_core = busy cycles / total cycles          = t_c / t
+    u_mem  = achieved bandwidth / peak bandwidth = (bytes / t) / bw = t_m / t
+
+Both are in [0, 1]; the stall component is what lets *both* be small
+simultaneously (e.g. the paper's PF workload: low core and memory
+utilization).  A feasibility check for target utilization pairs is
+provided by :meth:`RooflineModel.max_stall_norm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionEstimate:
+    """Execution time and per-domain busy fractions for one phase run."""
+
+    seconds: float
+    u_core: float
+    u_mem: float
+    t_compute: float
+    t_memory: float
+    t_stall: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0.0:
+            raise SimulationError("negative execution time")
+
+
+class RooflineModel:
+    """Blends compute, memory and stall component times into one duration.
+
+    Parameters
+    ----------
+    overlap_exponent:
+        The p-norm exponent ``k`` described in the module docstring.
+        Must be >= 1.  ``float('inf')`` selects the exact max() roofline.
+    """
+
+    __slots__ = ("overlap_exponent",)
+
+    def __init__(self, overlap_exponent: float = 4.0):
+        if not overlap_exponent >= 1.0:
+            raise SimulationError(
+                f"overlap exponent must be >= 1, got {overlap_exponent}"
+            )
+        self.overlap_exponent = float(overlap_exponent)
+
+    def combine(self, t_compute: float, t_memory: float, t_stall: float = 0.0) -> float:
+        """Combined execution time for component times (seconds)."""
+        parts = (t_compute, t_memory, t_stall)
+        if any(p < 0.0 for p in parts):
+            raise SimulationError("component times must be non-negative")
+        hi = max(parts)
+        if hi == 0.0:
+            return 0.0
+        k = self.overlap_exponent
+        if k == float("inf"):
+            return hi
+        # Factor out the largest term to keep the powers in a safe range.
+        acc = sum((p / hi) ** k for p in parts if p > 0.0)
+        return hi * acc ** (1.0 / k)
+
+    def estimate(
+        self,
+        flops: float,
+        bytes_: float,
+        compute_rate: float,
+        bandwidth: float,
+        stall_s: float = 0.0,
+    ) -> ExecutionEstimate:
+        """Estimate time and utilizations for a phase.
+
+        ``compute_rate`` is in flop/s at the current core frequency and
+        ``bandwidth`` in bytes/s at the current memory frequency; both must
+        be positive.  A phase with all-zero demand takes zero time.
+        """
+        if flops < 0.0 or bytes_ < 0.0 or stall_s < 0.0:
+            raise SimulationError("demands must be non-negative")
+        if compute_rate <= 0.0 or bandwidth <= 0.0:
+            raise SimulationError("rates must be positive")
+        t_c = flops / compute_rate
+        t_m = bytes_ / bandwidth
+        t = self.combine(t_c, t_m, stall_s)
+        if t == 0.0:
+            return ExecutionEstimate(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return ExecutionEstimate(
+            seconds=t,
+            u_core=min(1.0, t_c / t),
+            u_mem=min(1.0, t_m / t),
+            t_compute=t_c,
+            t_memory=t_m,
+            t_stall=stall_s,
+        )
+
+    # -- calibration helpers ------------------------------------------------------
+
+    def utilization_norm(self, u_core: float, u_mem: float) -> float:
+        """p-norm of a target utilization pair.
+
+        A pair is *achievable* by some stall component iff its norm is
+        <= 1; equality means zero stall (pure two-component roofline).
+        """
+        k = self.overlap_exponent
+        if k == float("inf"):
+            return max(u_core, u_mem)
+        return (u_core**k + u_mem**k) ** (1.0 / k)
+
+    def stall_for_utilizations(self, u_core: float, u_mem: float) -> float:
+        """Stall fraction (t_s / t) needed to realize a utilization pair.
+
+        Returns the per-unit-time stall component such that a phase built
+        with component fractions (u_core, u_mem, stall) has exactly the
+        requested utilizations at the calibration operating point.
+        Raises if the pair is infeasible for this overlap exponent.
+        """
+        if not 0.0 <= u_core <= 1.0 or not 0.0 <= u_mem <= 1.0:
+            raise SimulationError("utilizations must be in [0, 1]")
+        k = self.overlap_exponent
+        if k == float("inf"):
+            if max(u_core, u_mem) > 1.0:
+                raise SimulationError("infeasible utilization pair")
+            return 1.0 if max(u_core, u_mem) < 1.0 else 0.0
+        residual = 1.0 - u_core**k - u_mem**k
+        if residual < -1e-9:
+            raise SimulationError(
+                f"utilization pair ({u_core}, {u_mem}) infeasible for k={k}: "
+                f"norm {self.utilization_norm(u_core, u_mem):.3f} > 1"
+            )
+        return max(0.0, residual) ** (1.0 / k)

@@ -1,0 +1,158 @@
+"""Analytic power models for the simulated GPU and CPU.
+
+GPU (frequency-only scaling)
+----------------------------
+The GeForce 8800 GTX in the paper's testbed supports frequency scaling via
+``nvidia-settings`` but *not* voltage scaling (§VII-C: "nvidia-settings on
+GeForce8800 only conducts frequency scaling").  Power therefore splits into
+
+- a frequency-independent static floor (leakage, fans, board),
+- per-domain *clock* power that scales linearly with that domain's
+  frequency even when the domain is idle (clock tree, I/O termination), and
+- per-domain *activity* power proportional to utilization x frequency.
+
+    P_gpu = P_static
+          + P_clk_core * (f_c / f_c_peak) + P_clk_mem * (f_m / f_m_peak)
+          + P_act_core * u_c * (f_c / f_c_peak)
+          + P_act_mem  * u_m * (f_m / f_m_peak)
+
+The clock terms are what makes throttling an *under-utilized* domain save
+energy with negligible performance impact (paper Fig. 1, observation 1):
+execution time is unchanged while the clock power of that domain drops.
+The activity terms alone would not save anything, because halving a
+domain's frequency doubles its busy fraction on the same work.
+
+The large static floor mirrors 2006-era GPUs, and is what separates the
+paper's total-energy savings (Fig. 6a, ~6 %) from its dynamic-energy
+savings (Fig. 6b, ~29 %).
+
+CPU (full DVFS)
+---------------
+The AMD Phenom II scales voltage with frequency, so dynamic power follows
+the classic f * V(f)^2 law with a linear V(f) approximation:
+
+    P_cpu = P_static + P_act * u * (f / f_peak) * (V(f) / V_peak)^2
+    V(f)  = V_min + (V_peak - V_min) * (f - f_floor) / (f_peak - f_floor)
+
+This superlinear dependence is why CPU DVFS saves much more than GPU
+frequency-only scaling at equal throttling depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class GpuPowerModel:
+    """Frequency-only-scaling GPU power model (see module docstring).
+
+    All power coefficients are in watts; frequencies are normalized inside
+    :meth:`power` by the supplied peak values.
+    """
+
+    static_w: float
+    clock_core_w: float
+    clock_mem_w: float
+    active_core_w: float
+    active_mem_w: float
+
+    def __post_init__(self) -> None:
+        for name in ("static_w", "clock_core_w", "clock_mem_w", "active_core_w", "active_mem_w"):
+            if getattr(self, name) < 0.0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    def power(
+        self,
+        f_core_ratio: float,
+        f_mem_ratio: float,
+        u_core: float,
+        u_mem: float,
+    ) -> float:
+        """Instantaneous card power in watts.
+
+        ``f_*_ratio`` are current frequency / peak frequency in (0, 1];
+        ``u_*`` are the domain utilizations in [0, 1].
+        """
+        if f_core_ratio <= 0.0 or f_mem_ratio <= 0.0:
+            raise ConfigError("frequency ratios must be positive")
+        _check_fraction("u_core", u_core)
+        _check_fraction("u_mem", u_mem)
+        return (
+            self.static_w
+            + self.clock_core_w * f_core_ratio
+            + self.clock_mem_w * f_mem_ratio
+            + self.active_core_w * u_core * f_core_ratio
+            + self.active_mem_w * u_mem * f_mem_ratio
+        )
+
+    def idle_power(self, f_core_ratio: float, f_mem_ratio: float) -> float:
+        """Card power with both domains idle at the given frequencies."""
+        return self.power(f_core_ratio, f_mem_ratio, 0.0, 0.0)
+
+    @property
+    def peak_power(self) -> float:
+        """Card power fully busy at peak frequencies."""
+        return self.power(1.0, 1.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class CpuPowerModel:
+    """DVFS CPU power model (see module docstring).
+
+    ``v_floor_ratio`` is V_min / V_peak, the relative supply voltage at the
+    lowest P-state (e.g. ~0.75 for a Phenom II: 1.05 V vs 1.40 V).
+    """
+
+    static_w: float
+    active_w: float
+    v_floor_ratio: float = 0.75
+    f_floor_ratio: float = 0.285  # 800 MHz / 2.8 GHz on the paper's Phenom II
+
+    def __post_init__(self) -> None:
+        if self.static_w < 0.0 or self.active_w < 0.0:
+            raise ConfigError("power coefficients must be non-negative")
+        if not 0.0 < self.v_floor_ratio <= 1.0:
+            raise ConfigError("v_floor_ratio must be in (0, 1]")
+        if not 0.0 < self.f_floor_ratio <= 1.0:
+            raise ConfigError("f_floor_ratio must be in (0, 1]")
+
+    def voltage_ratio(self, f_ratio: float) -> float:
+        """Relative supply voltage V(f)/V_peak at frequency ratio ``f_ratio``.
+
+        Linear between (f_floor, v_floor) and (1, 1); clamped below the
+        floor so querying the exact floor frequency is safe against float
+        rounding.
+        """
+        if f_ratio <= self.f_floor_ratio:
+            return self.v_floor_ratio
+        if f_ratio >= 1.0:
+            return 1.0
+        span = 1.0 - self.f_floor_ratio
+        return self.v_floor_ratio + (1.0 - self.v_floor_ratio) * (
+            (f_ratio - self.f_floor_ratio) / span
+        )
+
+    def power(self, f_ratio: float, u: float) -> float:
+        """Instantaneous package power in watts."""
+        if f_ratio <= 0.0:
+            raise ConfigError("frequency ratio must be positive")
+        _check_fraction("u", u)
+        v = self.voltage_ratio(f_ratio)
+        return self.static_w + self.active_w * u * f_ratio * v * v
+
+    def idle_power(self, f_ratio: float) -> float:
+        """Package power at zero utilization."""
+        return self.power(f_ratio, 0.0)
+
+    @property
+    def peak_power(self) -> float:
+        """Package power fully busy at the peak P-state."""
+        return self.power(1.0, 1.0)

@@ -1,0 +1,70 @@
+"""Unit helpers and conversions used across the simulator.
+
+The simulator works internally in SI base units: seconds, joules, watts,
+hertz, bytes and flops.  The paper quotes frequencies in MHz/GHz, so this
+module provides thin, explicit converters instead of sprinkling magic
+``1e6`` constants through device code.
+
+These are deliberately plain functions (not a unit-checking framework):
+the hot paths of the simulator call them millions of times and must stay
+allocation-free.
+"""
+
+from __future__ import annotations
+
+MHZ = 1.0e6
+GHZ = 1.0e9
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+MS = 1.0e-3
+US = 1.0e-6
+
+
+def mhz(value: float) -> float:
+    """Convert a frequency given in MHz to Hz."""
+    return value * MHZ
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency given in GHz to Hz."""
+    return value * GHZ
+
+
+def to_mhz(hz: float) -> float:
+    """Convert a frequency in Hz to MHz (for display)."""
+    return hz / MHZ
+
+
+def gib_per_s(value: float) -> float:
+    """Convert a bandwidth in GiB/s to bytes/s."""
+    return value * GIB
+
+
+def gflops(value: float) -> float:
+    """Convert a compute rate in Gflop/s to flop/s."""
+    return value * 1.0e9
+
+
+def joules_to_wh(j: float) -> float:
+    """Convert joules to watt-hours (the unit WattsUp meters report)."""
+    return j / 3600.0
+
+
+def wh_to_joules(wh: float) -> float:
+    """Convert watt-hours to joules."""
+    return wh * 3600.0
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the closed interval [lo, hi]."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+def almost_equal(a: float, b: float, rel: float = 1e-9, abs_: float = 1e-12) -> bool:
+    """Tolerant float comparison used by invariant checks in the simulator."""
+    return abs(a - b) <= max(rel * max(abs(a), abs(b)), abs_)

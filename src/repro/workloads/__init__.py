@@ -1,0 +1,42 @@
+"""Rodinia / CUDA-SDK workload models.
+
+Each workload from the paper's Table II is implemented twice:
+
+1. **A real numpy kernel** — the actual algorithm (k-means clustering,
+   hotspot stencil, BFS, LU decomposition, n-body, pathfinder DP,
+   quasirandom sequences, SRAD diffusion, stream clustering), with a
+   partitioned variant proving that GreenGPU's work division preserves the
+   computation's result.
+2. **A resource-demand model** — flops/bytes/stall per work unit,
+   calibrated so the simulated device reproduces the Table II utilization
+   characterization at peak frequencies (see
+   :mod:`repro.workloads.characteristics`).
+
+The simulator runs on the demand models (Rodinia-scale inputs would be far
+too slow in pure Python); the numpy kernels back the examples and the
+functional correctness tests.
+"""
+
+from repro.workloads.base import (
+    DemandModelWorkload,
+    Phase,
+    Workload,
+    WorkloadProfile,
+)
+from repro.workloads.characteristics import (
+    TABLE_II,
+    get_profile,
+    make_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadProfile",
+    "Phase",
+    "DemandModelWorkload",
+    "TABLE_II",
+    "get_profile",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,270 @@
+"""Workload abstractions for the simulated testbed.
+
+A :class:`Workload` describes divisible, iterative work in the paper's
+sense: an *iteration* is "the execution of a fixed amount of work" (§IV) —
+a reduction point (kmeans), a barrier step (hotspot), or a data chunk —
+and its operations repeat across iterations, so the previous iteration
+predicts the next.
+
+Work within an iteration is measured in *units* (normalized to 1.0 per
+iteration).  The tier-1 divider assigns a fraction ``r`` of units to the
+CPU; each side's units are converted to device demands by the workload's
+phase generators.
+
+:class:`WorkloadProfile` is the declarative description used by
+:class:`DemandModelWorkload`: target utilizations at the calibration
+point (peak frequencies, all work on the GPU), the iteration's nominal
+GPU duration, the CPU/GPU per-unit speed ratio, and transfer sizes.
+Fluctuating workloads (the paper's QG and streamcluster) carry several
+:class:`Phase` entries that repeat within each iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.sim.activity import PhaseDemand
+from repro.sim.cpu import CpuSpec
+from repro.sim.gpu import GpuSpec
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """One utilization phase of a workload (weights sum to the iteration).
+
+    ``u_core``/``u_mem`` are the GPU utilizations this phase exhibits at
+    the calibration point; ``weight`` is the fraction of the iteration's
+    GPU time spent in this phase.
+    """
+
+    weight: float
+    u_core: float
+    u_mem: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise WorkloadError("phase weight must be positive")
+        for u in (self.u_core, self.u_mem):
+            if not 0.0 <= u <= 1.0:
+                raise WorkloadError("phase utilizations must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Declarative Table-II-style characterization of one workload."""
+
+    name: str
+    description: str                     # Table II "Description" column
+    enlargement: str                     # Table II "Enlargement" column
+    phases: tuple[Phase, ...]            # GPU utilization phases (weights sum to 1)
+    gpu_seconds_per_iteration: float     # at peak freqs, all work on the GPU
+    cpu_gpu_time_ratio: float            # per-unit CPU time / GPU time at peak
+    h2d_bytes_per_iteration: float       # input transfer if all on the GPU
+    d2h_bytes_per_iteration: float       # result transfer if all on the GPU
+    cpu_u_core: float = 0.80             # CPU-side compute busy fraction
+    cpu_u_mem: float = 0.40              # CPU-side memory busy fraction
+    # Non-divisible share of the iteration's GPU-side time: per-step grid
+    # synchronization, launch sequences and host<->device staging that are
+    # paid in full as long as the GPU participates at all, regardless of
+    # how little work it gets.  Large for hotspot (the CUDA version moves
+    # the grid every internal step), small for single-kernel workloads.
+    serial_fraction: float = 0.02
+    serial_u_core: float = 0.05          # GPU utilizations during serial part
+    serial_u_mem: float = 0.30
+    # How finely the serial tax interleaves with the divisible work.  On
+    # real hardware the synchronization cost is paid in slivers (per
+    # internal step / per chunk), far below nvidia-smi's sampling window,
+    # so a monitor sees the *blend*, not alternating phases.  1 = one
+    # contiguous serial block (only sensible for genuinely phase-like
+    # serial work).
+    serial_interleave: int = 32
+    default_iterations: int = 20
+    fluctuating: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError(f"{self.name}: need at least one phase")
+        total = sum(p.weight for p in self.phases)
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(
+                f"{self.name}: phase weights sum to {total}, expected 1.0"
+            )
+        if self.gpu_seconds_per_iteration <= 0.0:
+            raise WorkloadError(f"{self.name}: iteration duration must be positive")
+        if self.cpu_gpu_time_ratio <= 0.0:
+            raise WorkloadError(f"{self.name}: cpu/gpu time ratio must be positive")
+        if self.h2d_bytes_per_iteration < 0.0 or self.d2h_bytes_per_iteration < 0.0:
+            raise WorkloadError(f"{self.name}: transfer sizes must be non-negative")
+        for u in (self.cpu_u_core, self.cpu_u_mem, self.serial_u_core, self.serial_u_mem):
+            if not 0.0 <= u <= 1.0:
+                raise WorkloadError(f"{self.name}: utilizations must be in [0, 1]")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise WorkloadError(f"{self.name}: serial fraction must be in [0, 1)")
+        if self.serial_interleave < 1:
+            raise WorkloadError(f"{self.name}: serial interleave must be >= 1")
+        if self.default_iterations < 1:
+            raise WorkloadError(f"{self.name}: need at least one iteration")
+
+    @property
+    def mean_u_core(self) -> float:
+        """Time-weighted mean GPU core utilization at the calibration point."""
+        return sum(p.weight * p.u_core for p in self.phases)
+
+    @property
+    def mean_u_mem(self) -> float:
+        """Time-weighted mean GPU memory utilization at the calibration point."""
+        return sum(p.weight * p.u_mem for p in self.phases)
+
+
+class Workload:
+    """Interface consumed by the runtime executor."""
+
+    name: str = "abstract"
+
+    def gpu_phases(self, units: float, iteration: int) -> list[PhaseDemand]:
+        """Demands for ``units`` of this iteration's work on the GPU."""
+        raise NotImplementedError
+
+    def cpu_phases(self, units: float, iteration: int) -> list[PhaseDemand]:
+        """Demands for ``units`` of this iteration's work on the CPU."""
+        raise NotImplementedError
+
+    def h2d_bytes(self, units: float) -> float:
+        """Host-to-device transfer volume for ``units`` of work."""
+        raise NotImplementedError
+
+    def d2h_bytes(self, units: float) -> float:
+        """Device-to-host transfer volume for ``units`` of work."""
+        raise NotImplementedError
+
+    @property
+    def default_iterations(self) -> int:
+        return 20
+
+
+class DemandModelWorkload(Workload):
+    """Workload whose demands are synthesized from a :class:`WorkloadProfile`.
+
+    Calibration: at peak frequencies with all work on the GPU, one
+    iteration takes ``profile.gpu_seconds_per_iteration`` seconds, split
+    across the profile's phases by weight, and each phase exhibits exactly
+    its (u_core, u_mem) pair.  The stall component is solved per phase
+    from the GPU's roofline model (see
+    :meth:`repro.sim.perf.RooflineModel.stall_for_utilizations`).
+
+    CPU demands are analogous, calibrated against the CPU spec so that one
+    unit of work takes ``cpu_gpu_time_ratio`` times its GPU duration at
+    the CPU's peak P-state.
+    """
+
+    def __init__(self, profile: WorkloadProfile, gpu: GpuSpec, cpu: CpuSpec):
+        self.profile = profile
+        self.name = profile.name
+        self._gpu_unit_phases = self._build_gpu_unit_phases(profile, gpu)
+        self._gpu_serial_phase = self._build_gpu_serial_phase(profile, gpu)
+        self._cpu_unit_phase = self._build_cpu_unit_phase(profile, cpu)
+
+    @staticmethod
+    def _phase_for(
+        u_core: float,
+        u_mem: float,
+        seconds: float,
+        compute_rate: float,
+        bandwidth: float,
+        roofline,
+    ) -> PhaseDemand:
+        stall_fraction = roofline.stall_for_utilizations(u_core, u_mem)
+        return PhaseDemand(
+            flops=u_core * seconds * compute_rate,
+            bytes=u_mem * seconds * bandwidth,
+            stall_s=stall_fraction * seconds,
+        )
+
+    @classmethod
+    def _build_gpu_unit_phases(
+        cls, profile: WorkloadProfile, gpu: GpuSpec
+    ) -> tuple[PhaseDemand, ...]:
+        divisible_s = (1.0 - profile.serial_fraction) * profile.gpu_seconds_per_iteration
+        return tuple(
+            cls._phase_for(
+                phase.u_core,
+                phase.u_mem,
+                phase.weight * divisible_s,
+                gpu.peak_compute_rate,
+                gpu.peak_bandwidth,
+                gpu.roofline,
+            )
+            for phase in profile.phases
+        )
+
+    @classmethod
+    def _build_gpu_serial_phase(
+        cls, profile: WorkloadProfile, gpu: GpuSpec
+    ) -> PhaseDemand | None:
+        if profile.serial_fraction == 0.0:
+            return None
+        return cls._phase_for(
+            profile.serial_u_core,
+            profile.serial_u_mem,
+            profile.serial_fraction * profile.gpu_seconds_per_iteration,
+            gpu.peak_compute_rate,
+            gpu.peak_bandwidth,
+            gpu.roofline,
+        )
+
+    @classmethod
+    def _build_cpu_unit_phase(cls, profile: WorkloadProfile, cpu: CpuSpec) -> PhaseDemand:
+        divisible_s = (1.0 - profile.serial_fraction) * profile.gpu_seconds_per_iteration
+        return cls._phase_for(
+            profile.cpu_u_core,
+            profile.cpu_u_mem,
+            profile.cpu_gpu_time_ratio * divisible_s,
+            cpu.peak_compute_rate,
+            cpu.host_bandwidth,
+            cpu.roofline,
+        )
+
+    # -- Workload interface ---------------------------------------------------------
+
+    def gpu_phases(self, units: float, iteration: int) -> list[PhaseDemand]:
+        if units < 0.0:
+            raise WorkloadError("units must be non-negative")
+        if units == 0.0:
+            return []
+        divisible = [d.scaled(units) for d in self._gpu_unit_phases]
+        if self._gpu_serial_phase is None:
+            return divisible
+        # The serial part is paid in full whenever the GPU participates,
+        # interleaved in slivers *within* each divisible phase: a real
+        # sampling window sees the serial/compute blend, while the
+        # workload's macro phase structure (what makes QG and SC
+        # fluctuating) is preserved.  Serial time allocates to phases
+        # proportionally to their weights.
+        n = self.profile.serial_interleave
+        phases: list[PhaseDemand] = []
+        for demand, phase in zip(divisible, self.profile.phases):
+            chunks = max(1, round(n * phase.weight))
+            serial_chunk = self._gpu_serial_phase.scaled(phase.weight / chunks)
+            demand_chunk = demand.scaled(1.0 / chunks)
+            for _ in range(chunks):
+                phases.append(serial_chunk)
+                phases.append(demand_chunk)
+        return phases
+
+    def cpu_phases(self, units: float, iteration: int) -> list[PhaseDemand]:
+        if units < 0.0:
+            raise WorkloadError("units must be non-negative")
+        if units == 0.0:
+            return []
+        return [self._cpu_unit_phase.scaled(units)]
+
+    def h2d_bytes(self, units: float) -> float:
+        return units * self.profile.h2d_bytes_per_iteration
+
+    def d2h_bytes(self, units: float) -> float:
+        return units * self.profile.d2h_bytes_per_iteration
+
+    @property
+    def default_iterations(self) -> int:
+        return self.profile.default_iterations

@@ -1,0 +1,131 @@
+"""The *bfs* workload (Rodinia).
+
+Table II: "65536 iterations" — high core and memory utilization (graph
+traversal saturates both instruction issue and memory bandwidth with its
+irregular accesses).
+
+The functional kernel is level-synchronous breadth-first search in CSR
+form, the same structure as Rodinia's bfs: each level expands the current
+frontier and marks newly discovered vertices.  A level is a natural
+tier-1 iteration (a barrier separates levels), and the frontier vertices
+divide between the CPU and GPU — each side expands its slice of the
+frontier and the discoveries merge at the barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.partition import partition_slices
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import make_workload
+
+UNVISITED = -1
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """Compressed-sparse-row adjacency (directed edges)."""
+
+    indptr: np.ndarray   # (n + 1,)
+    indices: np.ndarray  # (m,)
+
+    def __post_init__(self) -> None:
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise WorkloadError("CSR arrays must be 1-D")
+        if len(self.indptr) < 2:
+            raise WorkloadError("graph needs at least one vertex")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise WorkloadError("malformed indptr")
+        if np.any(np.diff(self.indptr) < 0):
+            raise WorkloadError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.n
+        ):
+            raise WorkloadError("edge endpoint out of range")
+
+    @property
+    def n(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def m(self) -> int:
+        return len(self.indices)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+
+def generate_graph(n: int = 2048, avg_degree: int = 8, seed: int = 0) -> CsrGraph:
+    """Random graph in Rodinia's style (uniform degree-bounded edges).
+
+    A chain backbone guarantees connectivity so BFS reaches every vertex.
+    """
+    rng = np.random.default_rng(seed)
+    degrees = rng.poisson(max(avg_degree - 1, 1), size=n)
+    targets = [rng.integers(0, n, size=d) for d in degrees]
+    # Backbone edge v -> v+1 keeps the graph connected from vertex 0.
+    adjacency = [
+        np.concatenate((t, [v + 1])) if v + 1 < n else t
+        for v, t in enumerate(targets)
+    ]
+    counts = np.array([len(a) for a in adjacency])
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.concatenate(adjacency) if n else np.empty(0, dtype=np.int64)
+    return CsrGraph(indptr=indptr, indices=indices.astype(np.int64))
+
+
+def _expand(graph: CsrGraph, frontier: np.ndarray) -> np.ndarray:
+    """All neighbours of a frontier slice (with duplicates)."""
+    if frontier.size == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = graph.indptr[frontier + 1] - graph.indptr[frontier]
+    out = np.empty(int(counts.sum()), dtype=np.int64)
+    pos = 0
+    for v, c in zip(frontier, counts):
+        out[pos : pos + c] = graph.indices[graph.indptr[v] : graph.indptr[v] + c]
+        pos += c
+    return out
+
+
+def bfs_level(
+    graph: CsrGraph, depth: np.ndarray, frontier: np.ndarray, level: int, r: float = 0.0
+) -> np.ndarray:
+    """Expand one BFS level, optionally divided by CPU share ``r``.
+
+    Marks newly discovered vertices with ``level + 1`` in ``depth``
+    (in place) and returns the next frontier (sorted, unique).
+    """
+    cpu_sl, gpu_sl = partition_slices(len(frontier), r)
+    discovered_parts = [
+        _expand(graph, frontier[sl]) for sl in (cpu_sl, gpu_sl)
+    ]
+    discovered = np.concatenate(discovered_parts) if discovered_parts else frontier[:0]
+    if discovered.size == 0:
+        return discovered
+    fresh = np.unique(discovered[depth[discovered] == UNVISITED])
+    depth[fresh] = level + 1
+    return fresh
+
+
+def bfs(graph: CsrGraph, source: int = 0, r: float = 0.0) -> np.ndarray:
+    """Full BFS from ``source``; returns per-vertex depth (-1 unreachable)."""
+    if not 0 <= source < graph.n:
+        raise WorkloadError(f"source {source} out of range")
+    depth = np.full(graph.n, UNVISITED, dtype=np.int64)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        frontier = bfs_level(graph, depth, frontier, level, r)
+        level += 1
+    return depth
+
+
+def workload(**overrides: object) -> DemandModelWorkload:
+    """The simulator-facing bfs workload (Table II demand model)."""
+    return make_workload("bfs", **overrides)

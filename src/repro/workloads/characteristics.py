@@ -1,0 +1,257 @@
+"""Table II: the workload characterization registry.
+
+Each :class:`~repro.workloads.base.WorkloadProfile` below encodes one row
+of the paper's Table II.  Utilization targets translate the table's
+qualitative classes (high / medium / low / fluctuating) into calibration
+numbers, with three quantitative anchors from the paper's text:
+
+- *streamcluster* is memory-bounded (§III-A) and its memory frequency
+  converges to 820 MHz — one level below peak — in Fig. 5b, implying a
+  dominant-phase memory utilization near that level's umean (0.8);
+- *streamcluster*'s core frequency tolerates throttling to ~410 MHz before
+  becoming the bottleneck (§III-A), implying a core utilization near 0.55;
+- *nbody* is core-bounded (§III-A): memory can be throttled across the
+  whole ladder with minor loss, implying memory utilization <= ~0.5.
+
+``cpu_gpu_time_ratio`` (per-unit CPU time / GPU time at peak) anchors the
+tier-1 behaviour: kmeans' ratio puts the equal-finish division near the
+paper's 15-20 % CPU (Fig. 7a) and hotspot's near 50/50 (Fig. 7b —
+hotspot's CUDA version pays heavy per-step grid transfers, so its
+effective GPU advantage collapses to parity).
+
+Iteration durations honour the tier-decoupling rule (>= 40 x the 3 s
+scaling interval) for the workloads used in division experiments; the
+tier-2-only workloads use shorter iterations since their experiments run
+the GPU continuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import WorkloadError
+from repro.sim.cpu import CpuSpec
+from repro.sim.gpu import GpuSpec
+from repro.workloads.base import DemandModelWorkload, Phase, WorkloadProfile
+
+_MB = 1.0e6
+
+TABLE_II: dict[str, WorkloadProfile] = {}
+
+
+def _register(profile: WorkloadProfile) -> WorkloadProfile:
+    if profile.name in TABLE_II:
+        raise WorkloadError(f"duplicate workload {profile.name!r}")
+    TABLE_II[profile.name] = profile
+    return profile
+
+
+BFS = _register(
+    WorkloadProfile(
+        name="bfs",
+        description="High core and memory utilization",
+        enlargement="65536 iterations",
+        # Near-saturated on both domains: the WMA scaler correctly keeps
+        # the clocks at peak, so bfs shows the smallest saving of the
+        # suite (paper §VII-A: "for the applications with high
+        # utilization rates, such as bfs, the energy savings are
+        # smaller").
+        phases=(Phase(1.0, 0.85, 0.78),),
+        gpu_seconds_per_iteration=30.0,
+        cpu_gpu_time_ratio=3.0,
+        h2d_bytes_per_iteration=48.0 * _MB,
+        d2h_bytes_per_iteration=8.0 * _MB,
+        cpu_u_core=0.70,
+        cpu_u_mem=0.55,
+    )
+)
+
+LUD = _register(
+    WorkloadProfile(
+        name="lud",
+        description="Medium core utilization, low memory utilization",
+        enlargement="10 iterations; 8192 by 8192 matrix",
+        phases=(Phase(1.0, 0.55, 0.22),),
+        gpu_seconds_per_iteration=30.0,
+        cpu_gpu_time_ratio=4.0,
+        h2d_bytes_per_iteration=64.0 * _MB,
+        d2h_bytes_per_iteration=64.0 * _MB,
+        default_iterations=10,
+    )
+)
+
+NBODY = _register(
+    WorkloadProfile(
+        name="nbody",
+        description="High core and memory utilization",
+        enlargement="50 iterations",
+        phases=(Phase(1.0, 0.90, 0.42),),
+        gpu_seconds_per_iteration=30.0,
+        cpu_gpu_time_ratio=12.0,
+        h2d_bytes_per_iteration=16.0 * _MB,
+        d2h_bytes_per_iteration=16.0 * _MB,
+        cpu_u_core=0.90,
+        cpu_u_mem=0.20,
+        default_iterations=50,
+    )
+)
+
+PATHFINDER = _register(
+    WorkloadProfile(
+        name="pathfinder",
+        description="Low core and memory utilization",
+        enlargement="2048 by 2048 dimensions",
+        phases=(Phase(1.0, 0.30, 0.25),),
+        gpu_seconds_per_iteration=30.0,
+        cpu_gpu_time_ratio=2.5,
+        h2d_bytes_per_iteration=16.0 * _MB,
+        d2h_bytes_per_iteration=0.1 * _MB,
+    )
+)
+
+QUASIRANDOM = _register(
+    WorkloadProfile(
+        name="quasirandom",
+        description="Utilizations highly fluctuate",
+        enlargement="600 iterations; 16777216 points",
+        phases=(
+            Phase(0.5, 0.85, 0.20),
+            Phase(0.5, 0.25, 0.65),
+        ),
+        gpu_seconds_per_iteration=30.0,
+        cpu_gpu_time_ratio=6.0,
+        h2d_bytes_per_iteration=4.0 * _MB,
+        d2h_bytes_per_iteration=64.0 * _MB,
+        fluctuating=True,
+    )
+)
+
+SRAD = _register(
+    WorkloadProfile(
+        name="srad_v2",
+        description="High core utilization, medium memory utilization",
+        enlargement="2048 columns by 2048 rows",
+        phases=(Phase(1.0, 0.82, 0.45),),
+        gpu_seconds_per_iteration=30.0,
+        cpu_gpu_time_ratio=5.0,
+        h2d_bytes_per_iteration=32.0 * _MB,
+        d2h_bytes_per_iteration=32.0 * _MB,
+    )
+)
+
+HOTSPOT = _register(
+    WorkloadProfile(
+        name="hotspot",
+        description="Medium core utilization, low memory utilization",
+        enlargement="2048 by 2048 grids of 600 iterations",
+        # The divisible stencil phase runs at (0.62, 0.30); the 30 %
+        # serial synchronization tax at (0.05, 0.30) pulls the measured
+        # whole-iteration averages to ~(0.45, 0.30) — medium core, low
+        # memory, per Table II.
+        phases=(Phase(1.0, 0.62, 0.30),),
+        gpu_seconds_per_iteration=130.0,
+        # Hotspot's CUDA version synchronizes the whole grid across the bus
+        # every internal step, so ~30 % of the GPU-side iteration time is a
+        # non-divisible serial tax.  The divisible remainder runs ~1.75x
+        # slower per unit on the CPU, which puts both the equal-finish point
+        # and the static energy minimum exactly at 50/50 (paper Fig. 7b).
+        cpu_gpu_time_ratio=1.75,
+        serial_fraction=0.30,
+        # The grid sync is paid on every one of the 600 internal steps; a
+        # fine interleave keeps any sampling window seeing the blend.
+        serial_interleave=128,
+        h2d_bytes_per_iteration=32.0 * _MB,
+        d2h_bytes_per_iteration=32.0 * _MB,
+        cpu_u_core=0.75,
+        cpu_u_mem=0.50,
+    )
+)
+
+KMEANS = _register(
+    WorkloadProfile(
+        name="kmeans",
+        description="Medium core utilization, low memory utilization",
+        enlargement="988040 data points",
+        phases=(Phase(1.0, 0.60, 0.25),),
+        gpu_seconds_per_iteration=130.0,
+        # Equal-finish at r = 1/5.5 ~ 0.186: off the 5 % division grid, so
+        # the divider parks on {0.15, 0.20} via the oscillation safeguard —
+        # converging to 20/80 from above like the paper (§VII-B) — while
+        # the static energy minimum lands on 15/85, also like the paper.
+        cpu_gpu_time_ratio=4.5,
+        h2d_bytes_per_iteration=80.0 * _MB,
+        d2h_bytes_per_iteration=4.0 * _MB,
+        cpu_u_core=0.80,
+        cpu_u_mem=0.45,
+    )
+)
+
+STREAMCLUSTER = _register(
+    WorkloadProfile(
+        name="streamcluster",
+        description="Utilizations highly fluctuate",
+        enlargement="65536 points with 512 dimensions",
+        # The dominant pgain scan phase streams points at ~74 % of peak
+        # bandwidth; at 820 MHz the measured utilization sits just below
+        # that level's umean, so the WMA parks the memory clock one level
+        # below peak — the exact convergence the paper traces in Fig. 5b.
+        phases=(
+            Phase(0.7, 0.50, 0.74),
+            Phase(0.3, 0.30, 0.50),
+        ),
+        gpu_seconds_per_iteration=30.0,
+        cpu_gpu_time_ratio=4.0,
+        h2d_bytes_per_iteration=64.0 * _MB,
+        d2h_bytes_per_iteration=2.0 * _MB,
+        cpu_u_core=0.65,
+        cpu_u_mem=0.60,
+        fluctuating=True,
+    )
+)
+
+#: Short names used in the paper's figures.
+ALIASES = {
+    "PF": "pathfinder",
+    "QG": "quasirandom",
+    "SC": "streamcluster",
+    "srad": "srad_v2",
+}
+
+
+def workload_names() -> list[str]:
+    """Canonical Table II workload names, in the paper's order."""
+    return list(TABLE_II)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by canonical name or paper alias."""
+    canonical = ALIASES.get(name, name)
+    try:
+        return TABLE_II[canonical]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(TABLE_II)} "
+            f"plus aliases {sorted(ALIASES)}"
+        ) from None
+
+
+def make_workload(
+    name: str,
+    gpu: GpuSpec | None = None,
+    cpu: CpuSpec | None = None,
+    **overrides: object,
+) -> DemandModelWorkload:
+    """Instantiate a Table II workload against a testbed's device specs.
+
+    ``overrides`` replace profile fields (e.g. shorter iterations for
+    tests: ``make_workload("kmeans", gpu_seconds_per_iteration=5.0)``).
+    """
+    profile = get_profile(name)
+    if overrides:
+        profile = replace(profile, **overrides)  # type: ignore[arg-type]
+    if gpu is None or cpu is None:
+        from repro.sim.calibration import geforce_8800_gtx_spec, phenom_ii_x2_spec
+
+        gpu = gpu or geforce_8800_gtx_spec()
+        cpu = cpu or phenom_ii_x2_spec()
+    return DemandModelWorkload(profile, gpu, cpu)

@@ -1,0 +1,103 @@
+"""Synthetic workload generation for stress tests and ablations.
+
+The Table II workloads pin down nine specific utilization profiles; the
+generators here produce arbitrary ones — random stationary profiles,
+alternating-phase (fluctuating) profiles, and parametric families used by
+the ablation benches to map where GreenGPU's savings come from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.cpu import CpuSpec
+from repro.sim.gpu import GpuSpec
+from repro.sim.perf import RooflineModel
+from repro.workloads.base import DemandModelWorkload, Phase, WorkloadProfile
+
+
+def feasible_pair(
+    rng: np.random.Generator, roofline: RooflineModel, margin: float = 0.02
+) -> tuple[float, float]:
+    """Draw a (u_core, u_mem) pair achievable under ``roofline``.
+
+    Rejection-samples the unit square against the overlap-exponent
+    feasibility region (p-norm <= 1 - margin).
+    """
+    if not 0.0 <= margin < 1.0:
+        raise WorkloadError("margin must be in [0, 1)")
+    for _ in range(10_000):
+        u_core = float(rng.uniform(0.0, 1.0))
+        u_mem = float(rng.uniform(0.0, 1.0))
+        if roofline.utilization_norm(u_core, u_mem) <= 1.0 - margin:
+            return u_core, u_mem
+    raise WorkloadError("could not sample a feasible utilization pair")
+
+
+def random_profile(
+    seed: int,
+    gpu: GpuSpec,
+    n_phases: int = 1,
+    gpu_seconds_per_iteration: float = 20.0,
+    cpu_gpu_time_ratio: float | None = None,
+    name: str | None = None,
+) -> WorkloadProfile:
+    """A random, feasible workload profile (stationary or fluctuating)."""
+    if n_phases < 1:
+        raise WorkloadError("need at least one phase")
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(n_phases) * 4.0)
+    phases = tuple(
+        Phase(float(w), *feasible_pair(rng, gpu.roofline))
+        for w in weights
+    )
+    ratio = (
+        float(rng.uniform(1.0, 10.0))
+        if cpu_gpu_time_ratio is None
+        else cpu_gpu_time_ratio
+    )
+    return WorkloadProfile(
+        name=name or f"synthetic-{seed}",
+        description="randomly generated profile",
+        enlargement="n/a",
+        phases=phases,
+        gpu_seconds_per_iteration=gpu_seconds_per_iteration,
+        cpu_gpu_time_ratio=ratio,
+        h2d_bytes_per_iteration=float(rng.uniform(1e6, 1e8)),
+        d2h_bytes_per_iteration=float(rng.uniform(1e5, 1e7)),
+        fluctuating=n_phases > 1,
+    )
+
+
+def uniform_profile(
+    u_core: float,
+    u_mem: float,
+    gpu_seconds_per_iteration: float = 20.0,
+    cpu_gpu_time_ratio: float = 4.0,
+    serial_fraction: float = 0.02,
+    name: str | None = None,
+) -> WorkloadProfile:
+    """A single-phase profile at an exact utilization point.
+
+    The ablation benches sweep this over the utilization plane to map
+    the savings landscape of the WMA scaler.
+    """
+    return WorkloadProfile(
+        name=name or f"uniform-{u_core:.2f}-{u_mem:.2f}",
+        description="parametric single-phase profile",
+        enlargement="n/a",
+        phases=(Phase(1.0, u_core, u_mem),),
+        gpu_seconds_per_iteration=gpu_seconds_per_iteration,
+        cpu_gpu_time_ratio=cpu_gpu_time_ratio,
+        h2d_bytes_per_iteration=8.0e6,
+        d2h_bytes_per_iteration=1.0e6,
+        serial_fraction=serial_fraction,
+    )
+
+
+def synthetic_workload(
+    profile: WorkloadProfile, gpu: GpuSpec, cpu: CpuSpec
+) -> DemandModelWorkload:
+    """Instantiate a generated profile against device specs."""
+    return DemandModelWorkload(profile, gpu, cpu)

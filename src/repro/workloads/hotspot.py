@@ -1,0 +1,128 @@
+"""The *hotspot* workload (Rodinia).
+
+Table II: "2048 by 2048 grids of 600 iterations" — medium core
+utilization, low memory utilization.  Hotspot is the paper's second
+division case study (Fig. 7b, Fig. 8a): each thermal simulation step ends
+at a common barrier, which is the tier-1 iteration boundary ("the step in
+hotspot", §IV).
+
+The functional kernel is the real Rodinia update rule: a 5-point stencil
+that advances the chip temperature grid one timestep given a power
+density map.  The partitioned variant splits the grid by rows; each side
+needs one halo row from the other side's region — the data exchange that
+makes hotspot's divided CUDA version pay the per-step synchronization tax
+modelled by the demand profile's ``serial_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.partition import partition_slices
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import make_workload
+
+#: Rodinia hotspot physical constants (scaled for a unit grid cell).
+CAP = 0.5
+RX = 1.0
+RY = 1.0
+RZ = 4.0
+AMB = 80.0
+
+
+@dataclass(frozen=True)
+class HotspotProblem:
+    """A hotspot instance: temperature grid and power-density map."""
+
+    temp: np.ndarray   # (rows, cols)
+    power: np.ndarray  # (rows, cols)
+
+    def __post_init__(self) -> None:
+        if self.temp.ndim != 2 or self.temp.shape != self.power.shape:
+            raise WorkloadError("temp and power must be equal-shape 2-D grids")
+        if min(self.temp.shape) < 3:
+            raise WorkloadError("grid must be at least 3x3")
+
+
+def generate_problem(rows: int = 128, cols: int = 128, seed: int = 0) -> HotspotProblem:
+    """Synthetic chip floorplan with a few hot functional blocks."""
+    rng = np.random.default_rng(seed)
+    temp = np.full((rows, cols), AMB + 20.0)
+    power = rng.uniform(0.0, 0.5, size=(rows, cols))
+    for _ in range(4):  # hot blocks (e.g. ALUs)
+        r0 = rng.integers(0, max(1, rows - rows // 4))
+        c0 = rng.integers(0, max(1, cols - cols // 4))
+        power[r0 : r0 + rows // 4, c0 : c0 + cols // 4] += 2.0
+    return HotspotProblem(temp=temp, power=power)
+
+
+def _padded(temp: np.ndarray) -> np.ndarray:
+    """Grid with replicated (adiabatic) boundary padding."""
+    return np.pad(temp, 1, mode="edge")
+
+
+def step(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """One monolithic hotspot timestep (Rodinia's single_iteration)."""
+    p = _padded(temp)
+    center = p[1:-1, 1:-1]
+    north = p[:-2, 1:-1]
+    south = p[2:, 1:-1]
+    west = p[1:-1, :-2]
+    east = p[1:-1, 2:]
+    delta = (CAP) * (
+        power
+        + (north + south - 2.0 * center) / RY
+        + (east + west - 2.0 * center) / RX
+        + (AMB - center) / RZ
+    )
+    return center + delta
+
+
+def step_partitioned(temp: np.ndarray, power: np.ndarray, r: float) -> np.ndarray:
+    """One divided hotspot timestep with CPU share ``r`` (by rows).
+
+    Each side computes its row band using a one-row halo from the
+    neighbouring band (taken from the *previous* step's grid, like the
+    real implementation's pre-step exchange), so the merged result equals
+    the monolithic step exactly.
+    """
+    rows = temp.shape[0]
+    cpu_sl, gpu_sl = partition_slices(rows, r)
+    out = np.empty_like(temp)
+    for sl in (cpu_sl, gpu_sl):
+        if sl.stop - sl.start == 0:
+            continue
+        lo = max(sl.start - 1, 0)
+        hi = min(sl.stop + 1, rows)
+        band = step(temp[lo:hi], power[lo:hi])
+        # Drop the halo rows that belong to the other side.
+        out[sl] = band[sl.start - lo : band.shape[0] - (hi - sl.stop)]
+    return out
+
+
+def run(
+    problem: HotspotProblem, steps: int, r: float = 0.0
+) -> np.ndarray:
+    """Advance the grid ``steps`` timesteps, optionally divided."""
+    if steps < 1:
+        raise WorkloadError("need at least one step")
+    temp = problem.temp
+    for _ in range(steps):
+        if r > 0.0:
+            temp = step_partitioned(temp, problem.power, r)
+        else:
+            temp = step(temp, problem.power)
+    return temp
+
+
+def peak_temperature(temp: np.ndarray) -> float:
+    """Hottest cell — the quantity thermal management cares about."""
+    return float(temp.max())
+
+
+def workload(**overrides: object) -> DemandModelWorkload:
+    """The simulator-facing hotspot workload (Table II demand model)."""
+    return make_workload("hotspot", **overrides)

@@ -1,0 +1,151 @@
+"""The *kmeans* workload (Rodinia).
+
+Table II: "988040 data points" — medium core utilization, low memory
+utilization.  The paper uses kmeans as its primary division case study
+(Fig. 2, Fig. 7a, Fig. 8b): one Lloyd iteration (assignment + centroid
+update up to the reduction point) is one tier-1 iteration.
+
+This module provides the *functional* kernel: an actual Lloyd's-algorithm
+step over numpy arrays, in both monolithic and CPU/GPU-partitioned forms.
+The partitioned form splits the points at the division boundary, computes
+per-slice assignments and partial sums independently (what each side's
+kernel would do), and merges the partials at the reduction point — the
+merged result is bit-identical to the monolithic step, which is the
+correctness contract of GreenGPU's workload division.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.partition import partition_slices
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import make_workload
+
+
+@dataclass(frozen=True)
+class KMeansProblem:
+    """A k-means instance: points and the current centroids."""
+
+    points: np.ndarray     # (n, d)
+    centroids: np.ndarray  # (k, d)
+
+    def __post_init__(self) -> None:
+        if self.points.ndim != 2 or self.centroids.ndim != 2:
+            raise WorkloadError("points and centroids must be 2-D")
+        if self.points.shape[1] != self.centroids.shape[1]:
+            raise WorkloadError("dimension mismatch between points and centroids")
+        if len(self.centroids) == 0:
+            raise WorkloadError("need at least one centroid")
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+
+def generate_problem(
+    n: int = 4096, k: int = 8, d: int = 16, seed: int = 0
+) -> KMeansProblem:
+    """Synthetic clustered data (stand-in for Rodinia's kdd_cup input)."""
+    rng = np.random.default_rng(seed)
+    true_centers = rng.normal(0.0, 5.0, size=(k, d))
+    assignments = rng.integers(0, k, size=n)
+    points = true_centers[assignments] + rng.normal(0.0, 1.0, size=(n, d))
+    init = points[rng.choice(n, size=k, replace=False)]
+    return KMeansProblem(points=points, centroids=init)
+
+
+def assign_labels(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment (the GPU kernel's job)."""
+    # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2; the ||p||^2 term is constant
+    # per point and cannot change the argmin, so it is dropped.
+    cross = points @ centroids.T
+    c_norms = np.einsum("kd,kd->k", centroids, centroids)
+    return np.argmin(c_norms[None, :] - 2.0 * cross, axis=1)
+
+
+def partial_sums(
+    points: np.ndarray, labels: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cluster coordinate sums and counts for one slice of points."""
+    d = points.shape[1]
+    sums = np.zeros((k, d))
+    np.add.at(sums, labels, points)
+    counts = np.bincount(labels, minlength=k).astype(float)
+    return sums, counts
+
+
+def lloyd_step(problem: KMeansProblem) -> tuple[np.ndarray, np.ndarray]:
+    """One monolithic Lloyd iteration: (labels, new_centroids).
+
+    Empty clusters keep their previous centroid (Rodinia's behaviour).
+    """
+    labels = assign_labels(problem.points, problem.centroids)
+    sums, counts = partial_sums(problem.points, labels, problem.k)
+    new_centroids = problem.centroids.copy()
+    nonempty = counts > 0
+    new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+    return labels, new_centroids
+
+
+def lloyd_step_partitioned(
+    problem: KMeansProblem, r: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """One divided Lloyd iteration with CPU share ``r``.
+
+    The CPU slice and the GPU slice are assigned independently; the
+    reduction point merges the partial sums — exactly the structure the
+    paper's pthread/CUDA implementation uses ("the iteration in kmeans"
+    ends at the reduction point, §IV).
+    """
+    cpu_sl, gpu_sl = partition_slices(problem.n, r)
+    labels = np.empty(problem.n, dtype=np.intp)
+    total_sums = np.zeros_like(problem.centroids)
+    total_counts = np.zeros(problem.k)
+    for sl in (cpu_sl, gpu_sl):
+        pts = problem.points[sl]
+        if pts.shape[0] == 0:
+            continue
+        labels[sl] = assign_labels(pts, problem.centroids)
+        sums, counts = partial_sums(pts, labels[sl], problem.k)
+        total_sums += sums
+        total_counts += counts
+    new_centroids = problem.centroids.copy()
+    nonempty = total_counts > 0
+    new_centroids[nonempty] = total_sums[nonempty] / total_counts[nonempty, None]
+    return labels, new_centroids
+
+
+def run_lloyd(
+    problem: KMeansProblem, iterations: int, r: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run several (optionally divided) Lloyd iterations."""
+    if iterations < 1:
+        raise WorkloadError("need at least one iteration")
+    centroids = problem.centroids
+    labels = np.empty(problem.n, dtype=np.intp)
+    for _ in range(iterations):
+        step_problem = KMeansProblem(problem.points, centroids)
+        if r > 0.0:
+            labels, centroids = lloyd_step_partitioned(step_problem, r)
+        else:
+            labels, centroids = lloyd_step(step_problem)
+    return labels, centroids
+
+
+def inertia(problem: KMeansProblem, labels: np.ndarray) -> float:
+    """Sum of squared distances to assigned centroids (monotone under Lloyd)."""
+    diffs = problem.points - problem.centroids[labels]
+    return float(np.einsum("nd,nd->", diffs, diffs))
+
+
+def workload(**overrides: object) -> DemandModelWorkload:
+    """The simulator-facing kmeans workload (Table II demand model)."""
+    return make_workload("kmeans", **overrides)

@@ -1,0 +1,108 @@
+"""The *nbody* workload (CUDA SDK).
+
+Table II: "50 of iterations"; §III-A categorizes nbody as *core-bounded*
+(the all-pairs force kernel re-reads a small body set from cache while
+doing O(n^2) arithmetic), which is why throttling the GPU *memory*
+frequency saves energy with negligible performance loss (Fig. 1a/1b).
+
+The functional kernel is a softened-gravity all-pairs step with
+leapfrog-style integration, like the SDK demo.  The force computation
+divides by target bodies: each side computes accelerations for its slice
+against *all* bodies (the same all-to-all structure the SDK's tiled
+kernel has), so any split reproduces the monolithic result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.partition import partition_slices
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import make_workload
+
+SOFTENING_SQ = 1.0e-3
+
+
+@dataclass(frozen=True)
+class NBodySystem:
+    """Positions, velocities and masses of the bodies."""
+
+    pos: np.ndarray   # (n, 3)
+    vel: np.ndarray   # (n, 3)
+    mass: np.ndarray  # (n,)
+
+    def __post_init__(self) -> None:
+        n = self.pos.shape[0]
+        if self.pos.shape != (n, 3) or self.vel.shape != (n, 3):
+            raise WorkloadError("pos and vel must be (n, 3)")
+        if self.mass.shape != (n,):
+            raise WorkloadError("mass must be (n,)")
+        if np.any(self.mass <= 0.0):
+            raise WorkloadError("masses must be positive")
+
+
+def generate_system(n: int = 256, seed: int = 0) -> NBodySystem:
+    """A random Plummer-ish cluster."""
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(0.0, 1.0, size=(n, 3))
+    vel = rng.normal(0.0, 0.1, size=(n, 3))
+    mass = rng.uniform(0.5, 1.5, size=n)
+    return NBodySystem(pos=pos, vel=vel, mass=mass)
+
+
+def accelerations(
+    pos: np.ndarray, mass: np.ndarray, targets: slice | None = None
+) -> np.ndarray:
+    """Softened gravitational acceleration on ``targets`` from all bodies."""
+    tgt = pos if targets is None else pos[targets]
+    diff = pos[None, :, :] - tgt[:, None, :]          # (t, n, 3)
+    dist_sq = np.einsum("tnc,tnc->tn", diff, diff) + SOFTENING_SQ
+    inv_d3 = dist_sq ** -1.5
+    return np.einsum("tnc,tn,n->tc", diff, inv_d3, mass)
+
+
+def step(system: NBodySystem, dt: float = 1.0e-3, r: float = 0.0) -> NBodySystem:
+    """One integration step, optionally divided by CPU share ``r``.
+
+    Division splits the *target* bodies; both sides read the full body
+    set, so the merged accelerations equal the monolithic computation.
+    """
+    if dt <= 0.0:
+        raise WorkloadError("dt must be positive")
+    n = system.pos.shape[0]
+    acc = np.empty_like(system.pos)
+    cpu_sl, gpu_sl = partition_slices(n, r)
+    for sl in (cpu_sl, gpu_sl):
+        if sl.stop - sl.start == 0:
+            continue
+        acc[sl] = accelerations(system.pos, system.mass, sl)
+    vel = system.vel + dt * acc
+    pos = system.pos + dt * vel
+    return NBodySystem(pos=pos, vel=vel, mass=system.mass)
+
+
+def run(system: NBodySystem, steps: int, dt: float = 1.0e-3, r: float = 0.0) -> NBodySystem:
+    """Advance ``steps`` integration steps."""
+    if steps < 1:
+        raise WorkloadError("need at least one step")
+    for _ in range(steps):
+        system = step(system, dt=dt, r=r)
+    return system
+
+
+def total_energy(system: NBodySystem) -> float:
+    """Kinetic + softened potential energy (approximately conserved)."""
+    kinetic = 0.5 * float(np.einsum("n,nc,nc->", system.mass, system.vel, system.vel))
+    diff = system.pos[None, :, :] - system.pos[:, None, :]
+    dist = np.sqrt(np.einsum("ijc,ijc->ij", diff, diff) + SOFTENING_SQ)
+    pair = np.outer(system.mass, system.mass) / dist
+    potential = -0.5 * float(pair.sum() - np.trace(pair))
+    return kinetic + potential
+
+
+def workload(**overrides: object) -> DemandModelWorkload:
+    """The simulator-facing nbody workload (Table II demand model)."""
+    return make_workload("nbody", **overrides)

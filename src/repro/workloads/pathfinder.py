@@ -1,0 +1,84 @@
+"""The *PF* (pathfinder) workload (Rodinia).
+
+Table II: "2048 by 2048 dimensions" — low core and memory utilization
+(the per-row dynamic-programming kernel is short and latency-bound, which
+is exactly the profile that benefits most from frequency throttling,
+Fig. 6 discussion).
+
+The functional kernel is Rodinia's pathfinder dynamic program: find the
+minimum-cost bottom-to-top path through a weight grid where each step
+moves up-left, up, or up-right.  Each DP row is a barrier step; columns
+divide between CPU and GPU with a one-column halo on each side of the
+split (the same ghost-column trick Rodinia's blocked kernel uses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.partition import partition_slices
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import make_workload
+
+
+def generate_grid(rows: int = 256, cols: int = 256, seed: int = 0) -> np.ndarray:
+    """Random integer cost grid like Rodinia's input generator."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, 11, size=(rows, cols)).astype(np.int64)
+
+
+def _relax_row(prev: np.ndarray, costs: np.ndarray) -> np.ndarray:
+    """One DP row: best[j] = costs[j] + min(prev[j-1], prev[j], prev[j+1])."""
+    padded = np.pad(prev, 1, mode="edge")
+    best_neighbor = np.minimum(
+        np.minimum(padded[:-2], padded[1:-1]), padded[2:]
+    )
+    return costs + best_neighbor
+
+
+def _relax_row_partitioned(prev: np.ndarray, costs: np.ndarray, r: float) -> np.ndarray:
+    """Divided DP row with a one-column halo at the split boundary."""
+    cols = prev.shape[0]
+    cpu_sl, gpu_sl = partition_slices(cols, r)
+    out = np.empty_like(prev)
+    for sl in (cpu_sl, gpu_sl):
+        if sl.stop - sl.start == 0:
+            continue
+        lo = max(sl.start - 1, 0)
+        hi = min(sl.stop + 1, cols)
+        band = _relax_row(prev[lo:hi], costs[lo:hi])
+        # The halo columns were computed with a truncated neighbourhood;
+        # keep only this side's own columns.
+        out[sl] = band[sl.start - lo : band.shape[0] - (hi - sl.stop)]
+    return out
+
+
+def min_path_costs(grid: np.ndarray, r: float = 0.0) -> np.ndarray:
+    """Minimum path cost ending at each top-row cell.
+
+    The DP sweeps from the bottom row upward, one barrier per row,
+    optionally divided by columns with CPU share ``r``.
+    """
+    if grid.ndim != 2:
+        raise WorkloadError("grid must be 2-D")
+    rows = grid.shape[0]
+    if rows < 1:
+        raise WorkloadError("grid needs at least one row")
+    dp = grid[-1].astype(np.int64).copy()
+    for row in range(rows - 2, -1, -1):
+        if r > 0.0:
+            dp = _relax_row_partitioned(dp, grid[row], r)
+        else:
+            dp = _relax_row(dp, grid[row])
+    return dp
+
+
+def best_path_cost(grid: np.ndarray, r: float = 0.0) -> int:
+    """Cost of the cheapest bottom-to-top path."""
+    return int(min_path_costs(grid, r).min())
+
+
+def workload(**overrides: object) -> DemandModelWorkload:
+    """The simulator-facing pathfinder workload (Table II demand model)."""
+    return make_workload("pathfinder", **overrides)

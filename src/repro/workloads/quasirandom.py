@@ -1,0 +1,131 @@
+"""The *QG* (quasirandomGenerator) workload (CUDA SDK).
+
+Table II: "600 iterations; 16777216 points" — utilizations highly
+fluctuate.  The SDK program alternates two very different kernels: the
+Niederreiter/Sobol-style table-driven sequence generation (compute-heavy,
+bit manipulation in registers) and the inverse-CDF transform pass that
+streams the whole output array (memory-heavy).  The demand profile's two
+phases model exactly this alternation, which is what exercises the WMA
+scaler's responsiveness to phase changes (Fig. 6 discussion).
+
+The functional kernel generates a genuine quasirandom sequence: the
+binary (base-2) Van der Corput / Sobol' direction-number construction,
+followed by Moro's inverse-normal-CDF transform — the same two stages as
+the SDK sample.  Points divide by index range between the CPU and GPU;
+quasirandom sequences are index-addressable so any split reproduces the
+monolithic output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.partition import partition_slices
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import make_workload
+
+QRNG_BITS = 31
+
+
+def direction_numbers(dim: int) -> np.ndarray:
+    """Direction numbers for one Sobol'-style dimension.
+
+    Dimension 0 is the plain binary Van der Corput sequence; higher
+    dimensions XOR-shift the table with a dimension-dependent odd
+    multiplier, mirroring the SDK's precomputed tables.
+    """
+    if dim < 0:
+        raise WorkloadError("dimension must be non-negative")
+    v = np.zeros(QRNG_BITS, dtype=np.uint64)
+    for bit in range(QRNG_BITS):
+        v[bit] = np.uint64(1) << np.uint64(QRNG_BITS - 1 - bit)
+    if dim > 0:
+        scramble = np.uint64(2 * dim + 1)
+        for bit in range(1, QRNG_BITS):
+            v[bit] = v[bit] ^ ((v[bit - 1] * scramble) & np.uint64((1 << QRNG_BITS) - 1))
+    return v
+
+
+def sequence(start: int, count: int, dim: int = 0) -> np.ndarray:
+    """Quasirandom points ``start .. start+count-1`` in one dimension, in (0, 1)."""
+    if start < 0 or count < 0:
+        raise WorkloadError("start and count must be non-negative")
+    if count == 0:
+        return np.empty(0)
+    v = direction_numbers(dim)
+    idx = np.arange(start + 1, start + count + 1, dtype=np.uint64)  # skip 0
+    acc = np.zeros(count, dtype=np.uint64)
+    for bit in range(QRNG_BITS):
+        mask = (idx >> np.uint64(bit)) & np.uint64(1)
+        acc ^= mask * v[bit]
+    return (acc.astype(np.float64) + 0.5) / float(1 << QRNG_BITS)
+
+
+def moro_inverse_cdf(u: np.ndarray) -> np.ndarray:
+    """Moro's inverse normal CDF approximation (the SDK's second kernel)."""
+    u = np.asarray(u, dtype=float)
+    if np.any((u <= 0.0) | (u >= 1.0)):
+        raise WorkloadError("inputs must be strictly inside (0, 1)")
+    a = (2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637)
+    b = (-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833)
+    c = (
+        0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+        0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+        0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+    )
+    y = u - 0.5
+    out = np.empty_like(y)
+    central = np.abs(y) < 0.42
+    yc = y[central]
+    z = yc * yc
+    num = yc * (a[0] + z * (a[1] + z * (a[2] + z * a[3])))
+    den = 1.0 + z * (b[0] + z * (b[1] + z * (b[2] + z * b[3])))
+    out[central] = num / den
+    yt = y[~central]
+    x = np.where(yt > 0.0, 1.0 - u[~central], u[~central])
+    k = np.log(-np.log(x))
+    poly = np.zeros_like(k)
+    for coef in reversed(c):
+        poly = poly * k + coef
+    out[~central] = np.sign(yt) * poly
+    return out
+
+
+def generate(
+    count: int, dim: int = 0, r: float = 0.0, transform: bool = True
+) -> np.ndarray:
+    """Generate ``count`` (optionally normal-transformed) quasirandom points.
+
+    Division splits the index range: the CPU takes indices
+    ``[0, r*count)``, the GPU the rest — identical output for any ``r``.
+    """
+    cpu_sl, gpu_sl = partition_slices(count, r)
+    parts = []
+    for sl in (cpu_sl, gpu_sl):
+        n = sl.stop - sl.start
+        if n == 0:
+            continue
+        u = sequence(sl.start, n, dim)
+        parts.append(moro_inverse_cdf(u) if transform else u)
+    if not parts:
+        return np.empty(0)
+    return np.concatenate(parts)
+
+
+def star_discrepancy_proxy(points: np.ndarray, bins: int = 64) -> float:
+    """Cheap uniformity figure: max |empirical - uniform| CDF gap on a grid.
+
+    True star discrepancy is exponential to compute; the binned proxy is
+    enough to assert quasirandomness beats pseudorandomness in tests.
+    """
+    if points.size == 0:
+        raise WorkloadError("need at least one point")
+    grid = np.linspace(0.0, 1.0, bins + 1)[1:]
+    empirical = np.searchsorted(np.sort(points), grid, side="right") / points.size
+    return float(np.abs(empirical - grid).max())
+
+
+def workload(**overrides: object) -> DemandModelWorkload:
+    """The simulator-facing QG workload (Table II demand model)."""
+    return make_workload("quasirandom", **overrides)

@@ -1,0 +1,120 @@
+"""The *srad_v2* workload (Rodinia): speckle-reducing anisotropic diffusion.
+
+Table II: "2048 columns by 2048 rows" — high core utilization, medium
+memory utilization (two stencil passes with a division-heavy coefficient
+computation).
+
+The functional kernel is the real SRAD update used on ultrasound imagery:
+per step, (1) compute the instantaneous coefficient of variation from the
+image statistics, (2) derive the per-pixel diffusion coefficient, and
+(3) apply the divergence update.  Steps are barrier-separated tier-1
+iterations; rows divide between CPU and GPU with one-row halos, and the
+global image statistics reduce across both sides first — the same
+two-phase structure as Rodinia's srad_v2 kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.partition import partition_slices
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import make_workload
+
+
+def generate_image(rows: int = 128, cols: int = 128, seed: int = 0) -> np.ndarray:
+    """Synthetic speckled image: smooth regions + multiplicative noise."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.meshgrid(np.linspace(0, 1, rows), np.linspace(0, 1, cols), indexing="ij")
+    clean = 100.0 + 50.0 * np.sin(3.0 * np.pi * yy) * np.cos(2.0 * np.pi * xx)
+    speckle = rng.gamma(shape=10.0, scale=0.1, size=(rows, cols))
+    return np.abs(clean) * speckle + 1.0
+
+
+def _neighbors(img: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(N, S, W, E) differences with replicated boundaries."""
+    p = np.pad(img, 1, mode="edge")
+    c = p[1:-1, 1:-1]
+    return p[:-2, 1:-1] - c, p[2:, 1:-1] - c, p[1:-1, :-2] - c, p[1:-1, 2:] - c
+
+
+def diffusion_coefficient(img: np.ndarray, q0_sq: float) -> np.ndarray:
+    """Per-pixel SRAD conduction coefficient, clipped to [0, 1]."""
+    dn, ds, dw, de = _neighbors(img)
+    g2 = (dn**2 + ds**2 + dw**2 + de**2) / (img**2)
+    laplacian = (dn + ds + dw + de) / img
+    num = 0.5 * g2 - (1.0 / 16.0) * laplacian**2
+    den = (1.0 + 0.25 * laplacian) ** 2
+    q_sq = num / np.maximum(den, 1e-12)
+    coeff = 1.0 / (1.0 + (q_sq - q0_sq) / (q0_sq * (1.0 + q0_sq) + 1e-12))
+    return np.clip(coeff, 0.0, 1.0)
+
+
+def srad_step(img: np.ndarray, dt: float = 0.05) -> np.ndarray:
+    """One monolithic SRAD step over the whole image."""
+    mean = img.mean()
+    var = img.var()
+    q0_sq = var / (mean * mean + 1e-12)
+    coeff = diffusion_coefficient(img, q0_sq)
+    cp = np.pad(coeff, 1, mode="edge")
+    dn, ds, dw, de = _neighbors(img)
+    # Rodinia's divergence uses the south/east coefficients of the
+    # neighbour for the north/west fluxes.
+    div = cp[2:, 1:-1] * ds + coeff * dn + cp[1:-1, 2:] * de + coeff * dw
+    return img + (dt / 4.0) * div
+
+
+def srad_step_partitioned(img: np.ndarray, r: float, dt: float = 0.05) -> np.ndarray:
+    """One divided SRAD step with CPU share ``r`` (by rows).
+
+    The image statistics (q0) reduce over *both* sides' partial sums
+    first, then each side computes its row band with two-row halos (the
+    divergence needs the neighbour's coefficient, which itself needs one
+    more ring of image data).
+    """
+    rows = img.shape[0]
+    cpu_sl, gpu_sl = partition_slices(rows, r)
+    # Phase 1: global statistics from per-side partial reductions.
+    parts = [img[sl] for sl in (cpu_sl, gpu_sl) if sl.stop > sl.start]
+    count = sum(p.size for p in parts)
+    total = sum(float(p.sum()) for p in parts)
+    total_sq = sum(float((p * p).sum()) for p in parts)
+    mean = total / count
+    var = total_sq / count - mean * mean
+    q0_sq = var / (mean * mean + 1e-12)
+    # Phase 2: banded update with 2-row halos.
+    out = np.empty_like(img)
+    for sl in (cpu_sl, gpu_sl):
+        if sl.stop - sl.start == 0:
+            continue
+        lo = max(sl.start - 2, 0)
+        hi = min(sl.stop + 2, rows)
+        band = img[lo:hi]
+        coeff = diffusion_coefficient(band, q0_sq)
+        cp = np.pad(coeff, 1, mode="edge")
+        dn, ds, dw, de = _neighbors(band)
+        div = cp[2:, 1:-1] * ds + coeff * dn + cp[1:-1, 2:] * de + coeff * dw
+        updated = band + (dt / 4.0) * div
+        out[sl] = updated[sl.start - lo : updated.shape[0] - (hi - sl.stop)]
+    return out
+
+
+def run(img: np.ndarray, steps: int, r: float = 0.0, dt: float = 0.05) -> np.ndarray:
+    """Run ``steps`` SRAD iterations, optionally divided."""
+    if steps < 1:
+        raise WorkloadError("need at least one step")
+    for _ in range(steps):
+        img = srad_step_partitioned(img, r, dt) if r > 0.0 else srad_step(img, dt)
+    return img
+
+
+def speckle_index(img: np.ndarray) -> float:
+    """Variance-to-mean-squared ratio: decreases as SRAD denoises."""
+    m = float(img.mean())
+    return float(img.var()) / (m * m)
+
+
+def workload(**overrides: object) -> DemandModelWorkload:
+    """The simulator-facing srad_v2 workload (Table II demand model)."""
+    return make_workload("srad_v2", **overrides)

@@ -1,0 +1,130 @@
+"""The *streamcluster* (SC) workload (Rodinia / PARSEC).
+
+Table II: "65536 points with 512 dimensions" — utilizations highly
+fluctuate; §III-A categorizes SC as *memory-bounded* (the dominant
+``pgain`` kernel streams the full point set per candidate, so the memory
+frequency matters most — Fig. 1b/5b).
+
+The functional kernel implements the heart of streamcluster: online
+facility-location clustering.  ``pgain(x)`` evaluates whether opening a
+candidate centre ``x`` lowers total cost (assignment cost + facility
+cost); the main loop opens the candidate when the gain is positive.  The
+gain computation divides by points: each side accumulates its slice's
+savings and the partials reduce before the open/close decision — the
+exact parallel structure of Rodinia's version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.partition import partition_slices
+from repro.workloads.base import DemandModelWorkload
+from repro.workloads.characteristics import make_workload
+
+
+@dataclass
+class ClusterState:
+    """Current facility assignment of the streamed points."""
+
+    points: np.ndarray            # (n, d)
+    weights: np.ndarray           # (n,) point multiplicities
+    centers: list[int]            # indices of open facilities
+    assignment: np.ndarray        # (n,) index into ``points`` of each point's centre
+    costs: np.ndarray = field(init=False)  # (n,) weighted distance to centre
+
+    def __post_init__(self) -> None:
+        if self.points.ndim != 2:
+            raise WorkloadError("points must be 2-D")
+        if not self.centers:
+            raise WorkloadError("need at least one open centre")
+        self.refresh_costs()
+
+    def refresh_costs(self) -> None:
+        diffs = self.points - self.points[self.assignment]
+        self.costs = self.weights * np.einsum("nd,nd->n", diffs, diffs)
+
+    def total_cost(self, facility_cost: float) -> float:
+        return float(self.costs.sum()) + facility_cost * len(self.centers)
+
+
+def generate_stream(n: int = 512, d: int = 8, k: int = 6, seed: int = 0) -> ClusterState:
+    """Synthetic point stream with ``k`` latent clusters, 1 open centre."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 4.0, size=(k, d))
+    labels = rng.integers(0, k, size=n)
+    points = centers[labels] + rng.normal(0.0, 0.5, size=(n, d))
+    weights = np.ones(n)
+    return ClusterState(
+        points=points,
+        weights=weights,
+        centers=[0],
+        assignment=np.zeros(n, dtype=np.intp),
+    )
+
+
+def pgain(
+    state: ClusterState, candidate: int, facility_cost: float, r: float = 0.0
+) -> tuple[float, np.ndarray]:
+    """Gain from opening ``candidate``, and the points that would switch.
+
+    Divided by points with CPU share ``r``: each side computes its
+    slice's per-point savings; the reduction sums both (identical to the
+    monolithic result by construction).
+    """
+    if not 0 <= candidate < state.points.shape[0]:
+        raise WorkloadError("candidate index out of range")
+    n = state.points.shape[0]
+    switch = np.zeros(n, dtype=bool)
+    savings = 0.0
+    cand = state.points[candidate]
+    cpu_sl, gpu_sl = partition_slices(n, r)
+    for sl in (cpu_sl, gpu_sl):
+        if sl.stop - sl.start == 0:
+            continue
+        diffs = state.points[sl] - cand
+        cand_cost = state.weights[sl] * np.einsum("nd,nd->n", diffs, diffs)
+        delta = state.costs[sl] - cand_cost
+        gainers = delta > 0.0
+        switch[sl] = gainers
+        savings += float(delta[gainers].sum())
+    return savings - facility_cost, switch
+
+
+def open_if_gainful(
+    state: ClusterState, candidate: int, facility_cost: float, r: float = 0.0
+) -> bool:
+    """Run one pgain step and open the candidate when profitable."""
+    gain, switch = pgain(state, candidate, facility_cost, r)
+    if gain <= 0.0:
+        return False
+    state.centers.append(candidate)
+    state.assignment[switch] = candidate
+    state.refresh_costs()
+    return True
+
+
+def cluster_stream(
+    state: ClusterState,
+    facility_cost: float,
+    candidates: np.ndarray | None = None,
+    r: float = 0.0,
+) -> ClusterState:
+    """Facility-location pass over candidate centres (one per iteration).
+
+    ``candidates`` defaults to every point in stream order, mirroring the
+    online algorithm.  Returns the mutated state.
+    """
+    if candidates is None:
+        candidates = np.arange(state.points.shape[0])
+    for cand in candidates:
+        open_if_gainful(state, int(cand), facility_cost, r)
+    return state
+
+
+def workload(**overrides: object) -> DemandModelWorkload:
+    """The simulator-facing streamcluster workload (Table II demand model)."""
+    return make_workload("streamcluster", **overrides)

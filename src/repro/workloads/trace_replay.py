@@ -1,0 +1,165 @@
+"""Build workloads from recorded utilization traces.
+
+The paper characterizes workloads "by studying the utilization traces"
+collected with ``nvidia-smi`` (§VI).  This module closes that loop for
+users of the library: feed in a real (or synthetic) utilization log —
+rows of ``time_s, u_core, u_mem`` such as a polled ``nvidia-smi`` dump —
+and get back a :class:`WorkloadProfile` whose phases replay it on the
+simulated testbed.  That makes the whole GreenGPU stack (division,
+scaling, oracles, ablations) applicable to traces captured from machines
+that no longer exist.
+
+Infeasible samples (utilization pairs outside the roofline's reachable
+region, e.g. from measurement noise) are projected radially onto the
+feasible set; heavy traces are compressed by merging consecutive samples
+whose utilizations differ less than a tolerance.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.gpu import GpuSpec
+from repro.sim.perf import RooflineModel
+from repro.workloads.base import Phase, WorkloadProfile
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSample:
+    """One utilization observation."""
+
+    t: float
+    u_core: float
+    u_mem: float
+
+    def __post_init__(self) -> None:
+        if self.t < 0.0:
+            raise WorkloadError("sample time must be non-negative")
+        for u in (self.u_core, self.u_mem):
+            if not 0.0 <= u <= 1.0:
+                raise WorkloadError(f"utilization {u} out of [0, 1]")
+
+
+def parse_csv(text: str) -> list[TraceSample]:
+    """Parse ``time_s,u_core,u_mem`` rows (header and % values allowed).
+
+    Accepts the common ``nvidia-smi --query-gpu`` CSV shape: numbers may
+    carry a ``%`` suffix and utilizations may be given in 0-100.
+    """
+    samples: list[TraceSample] = []
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip().rstrip("%").strip() for p in line.split(",")]
+        if len(parts) != 3:
+            raise WorkloadError(f"line {lineno}: expected 3 columns, got {len(parts)}")
+        try:
+            t, u_core, u_mem = (float(p) for p in parts)
+        except ValueError:
+            if lineno == 1:
+                continue  # header row
+            raise WorkloadError(f"line {lineno}: non-numeric field") from None
+        if u_core > 1.0 or u_mem > 1.0:   # percentage convention
+            u_core, u_mem = u_core / 100.0, u_mem / 100.0
+        samples.append(TraceSample(t=t, u_core=u_core, u_mem=u_mem))
+    if len(samples) < 2:
+        raise WorkloadError("a trace needs at least two samples")
+    times = [s.t for s in samples]
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise WorkloadError("sample times must be strictly increasing")
+    return samples
+
+
+def project_feasible(
+    u_core: float, u_mem: float, roofline: RooflineModel, margin: float = 0.01
+) -> tuple[float, float]:
+    """Radially shrink an infeasible utilization pair onto the boundary."""
+    limit = 1.0 - margin
+    norm = roofline.utilization_norm(u_core, u_mem)
+    if norm <= limit:
+        return u_core, u_mem
+    scale = limit / norm
+    return u_core * scale, u_mem * scale
+
+
+def compress(
+    samples: list[TraceSample], tolerance: float = 0.05
+) -> list[tuple[float, float, float]]:
+    """Merge consecutive samples into (duration, u_core, u_mem) segments.
+
+    A new segment starts whenever either utilization moves more than
+    ``tolerance`` from the running segment mean.  The final sample's
+    timestamp closes the last segment, matching how a polled log bounds
+    its own duration.
+    """
+    if tolerance < 0.0:
+        raise WorkloadError("tolerance must be non-negative")
+    segments: list[tuple[float, float, float]] = []
+    start = samples[0].t
+    acc: list[TraceSample] = [samples[0]]
+
+    def flush(end: float) -> None:
+        duration = end - start
+        if duration <= 0.0:
+            return
+        u_core = float(np.mean([s.u_core for s in acc]))
+        u_mem = float(np.mean([s.u_mem for s in acc]))
+        segments.append((duration, u_core, u_mem))
+
+    for sample in samples[1:]:
+        mean_core = float(np.mean([s.u_core for s in acc]))
+        mean_mem = float(np.mean([s.u_mem for s in acc]))
+        if (
+            abs(sample.u_core - mean_core) > tolerance
+            or abs(sample.u_mem - mean_mem) > tolerance
+        ):
+            flush(sample.t)
+            start = sample.t
+            acc = [sample]
+        else:
+            acc.append(sample)
+    flush(samples[-1].t + (samples[-1].t - samples[-2].t))
+    if not segments:
+        raise WorkloadError("trace compressed to nothing (zero duration?)")
+    return segments
+
+
+def profile_from_trace(
+    samples: list[TraceSample],
+    gpu: GpuSpec,
+    name: str = "trace-replay",
+    cpu_gpu_time_ratio: float = 4.0,
+    tolerance: float = 0.05,
+    h2d_bytes_per_iteration: float = 8.0e6,
+    d2h_bytes_per_iteration: float = 1.0e6,
+) -> WorkloadProfile:
+    """Turn a utilization trace into a replayable workload profile.
+
+    The whole trace becomes one iteration whose phases follow the
+    compressed segments; infeasible pairs are projected onto the
+    roofline's reachable set.
+    """
+    segments = compress(samples, tolerance=tolerance)
+    total = sum(d for d, _, _ in segments)
+    phases = []
+    for duration, u_core, u_mem in segments:
+        u_core, u_mem = project_feasible(u_core, u_mem, gpu.roofline)
+        phases.append(Phase(duration / total, u_core, u_mem))
+    fluctuating = len(phases) > 1
+    return WorkloadProfile(
+        name=name,
+        description="replayed utilization trace",
+        enlargement=f"{len(samples)} samples, {len(phases)} phases",
+        phases=tuple(phases),
+        gpu_seconds_per_iteration=total,
+        cpu_gpu_time_ratio=cpu_gpu_time_ratio,
+        h2d_bytes_per_iteration=h2d_bytes_per_iteration,
+        d2h_bytes_per_iteration=d2h_bytes_per_iteration,
+        serial_fraction=0.0,
+        fluctuating=fluctuating,
+    )

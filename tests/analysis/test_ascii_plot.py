@@ -1,0 +1,96 @@
+"""Tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_chart, sparkline
+from repro.errors import ConfigError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline(np.linspace(0, 1, 8))
+        assert list(line) == sorted(line)
+
+    def test_extremes_use_extreme_blocks(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_constant_series_flat(self):
+        line = sparkline([5.0] * 6)
+        assert len(set(line)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigError):
+            sparkline([1.0, float("nan")])
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        chart = line_chart([0, 1, 2], [1.0, 2.0, 3.0], width=20, height=5)
+        body = [l for l in chart.splitlines() if "|" in l]
+        assert len(body) == 5
+
+    def test_title_included(self):
+        chart = line_chart([0, 1], [1.0, 2.0], title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_y_labels_span_range(self):
+        chart = line_chart([0, 1], [10.0, 20.0])
+        assert "20.0" in chart and "10.0" in chart
+
+    def test_rising_series_marks_rise(self):
+        chart = line_chart([0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0], width=16, height=4)
+        rows = [l.split("|", 1)[1] for l in chart.splitlines() if "|" in l]
+        # The top row's mark must be to the right of the bottom row's.
+        top = rows[0].index("*")
+        bottom = rows[-1].index("*")
+        assert top > bottom
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], [1.0])
+
+    def test_too_small_raises(self):
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], [1.0, 2.0], width=4)
+
+    def test_constant_series_renders(self):
+        chart = line_chart([0, 1, 2], [5.0, 5.0, 5.0])
+        assert "*" in chart
+
+
+class TestBarChart:
+    def test_bar_lengths_proportional(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_negative_bars_left_of_axis(self):
+        chart = bar_chart(["neg", "pos"], [-1.0, 1.0], width=10)
+        neg_line, pos_line = chart.splitlines()
+        assert neg_line.rstrip().endswith("|")
+        assert "|#" in pos_line
+
+    def test_values_printed(self):
+        chart = bar_chart(["x"], [3.14])
+        assert "3.14" in chart
+
+    def test_title(self):
+        chart = bar_chart(["x"], [1.0], title="Savings")
+        assert chart.splitlines()[0] == "Savings"
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_values_render(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in chart

@@ -1,0 +1,55 @@
+"""Tests for convergence detection."""
+
+import pytest
+
+from repro.analysis.convergence import (
+    converged_value,
+    convergence_iteration,
+    oscillation_amplitude,
+)
+from repro.errors import ConvergenceError
+
+
+class TestConvergenceIteration:
+    def test_settled_series(self):
+        assert convergence_iteration([0.3, 0.25, 0.2, 0.2, 0.2]) == 2
+
+    def test_constant_series(self):
+        assert convergence_iteration([0.5, 0.5, 0.5]) == 0
+
+    def test_single_element(self):
+        assert convergence_iteration([1.0]) == 0
+
+    def test_tolerance(self):
+        series = [0.3, 0.2, 0.201, 0.199]
+        assert convergence_iteration(series, tol=0.01) == 1
+
+    def test_still_moving_raises(self):
+        with pytest.raises(ConvergenceError):
+            convergence_iteration([0.1, 0.2, 0.3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ConvergenceError):
+            convergence_iteration([])
+
+
+class TestConvergedValue:
+    def test_returns_settled_value(self):
+        assert converged_value([0.3, 0.25, 0.2, 0.2]) == 0.2
+
+
+class TestOscillationAmplitude:
+    def test_settled_zero(self):
+        assert oscillation_amplitude([0.2] * 10) == 0.0
+
+    def test_bouncing_pair(self):
+        series = [0.1, 0.2] * 5
+        assert oscillation_amplitude(series) == pytest.approx(0.1)
+
+    def test_tail_window(self):
+        series = [0.9, 0.1] + [0.5] * 6
+        assert oscillation_amplitude(series, tail=6) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConvergenceError):
+            oscillation_amplitude([])

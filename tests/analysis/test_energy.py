@@ -1,0 +1,80 @@
+"""Tests for the energy accounting metrics."""
+
+import pytest
+
+from repro.analysis.energy import (
+    cpu_gpu_emulated_saving,
+    dynamic_gpu_energy,
+    dynamic_gpu_saving,
+    gpu_idle_wall_power,
+    total_gpu_saving,
+)
+from repro.errors import SimulationError
+from repro.runtime.metrics import RunResult
+
+
+def _run(gpu_j=1000.0, total_s=10.0, cpu_j=500.0, emulated_cpu_j=400.0):
+    return RunResult(
+        workload="w", policy="p",
+        total_s=total_s, total_energy_j=gpu_j + cpu_j,
+        gpu_energy_j=gpu_j, cpu_energy_j=cpu_j,
+        cpu_energy_emulated_idle_spin_j=emulated_cpu_j,
+    )
+
+
+class TestIdleWallPower:
+    def test_uses_floor_clocks_and_meter2_boundary(self, testbed_config):
+        p = gpu_idle_wall_power(testbed_config)
+        gpu = testbed_config.gpu
+        device = gpu.power.idle_power(
+            gpu.core_ladder.floor / gpu.core_ladder.peak,
+            gpu.mem_ladder.floor / gpu.mem_ladder.peak,
+        )
+        expected = (device + testbed_config.meter2_overhead_w) / testbed_config.meter2_efficiency
+        assert p == pytest.approx(expected)
+
+
+class TestDynamicEnergy:
+    def test_subtracts_idle_energy(self, testbed_config):
+        run = _run(gpu_j=2000.0, total_s=10.0)
+        idle = gpu_idle_wall_power(testbed_config) * 10.0
+        assert dynamic_gpu_energy(run, testbed_config) == pytest.approx(2000.0 - idle)
+
+    def test_clamped_at_zero(self, testbed_config):
+        run = _run(gpu_j=1.0, total_s=100.0)
+        assert dynamic_gpu_energy(run, testbed_config) == 0.0
+
+    def test_requires_elapsed_time(self, testbed_config):
+        with pytest.raises(SimulationError):
+            dynamic_gpu_energy(_run(total_s=0.0), testbed_config)
+
+
+class TestSavings:
+    def test_total_gpu_saving(self):
+        assert total_gpu_saving(_run(gpu_j=900.0), _run(gpu_j=1000.0)) == pytest.approx(0.1)
+
+    def test_dynamic_saving_amplifies_total_saving(self, testbed_config):
+        """The paper's Fig. 6a-vs-6b asymmetry: with a large idle floor,
+        the same absolute saving is a much bigger dynamic fraction."""
+        base = _run(gpu_j=1600.0, total_s=10.0)
+        scaled = _run(gpu_j=1500.0, total_s=10.0)
+        total = total_gpu_saving(scaled, base)
+        dynamic = dynamic_gpu_saving(scaled, base, testbed_config)
+        assert dynamic > 2.0 * total
+
+    def test_dynamic_saving_requires_dynamic_baseline(self, testbed_config):
+        tiny = _run(gpu_j=1.0, total_s=100.0)
+        with pytest.raises(SimulationError):
+            dynamic_gpu_saving(_run(), tiny, testbed_config)
+
+    def test_emulated_cpu_gpu_saving(self):
+        base = _run(gpu_j=1000.0, cpu_j=500.0)
+        scaled = _run(gpu_j=950.0, cpu_j=500.0, emulated_cpu_j=350.0)
+        saving = cpu_gpu_emulated_saving(scaled, base)
+        assert saving == pytest.approx(1.0 - (950.0 + 350.0) / 1500.0)
+
+    def test_emulated_saving_exceeds_gpu_only(self):
+        base = _run()
+        scaled = _run(gpu_j=950.0, emulated_cpu_j=300.0)
+        gpu_only_system = 1.0 - (950.0 + 500.0) / 1500.0
+        assert cpu_gpu_emulated_saving(scaled, base) > gpu_only_system

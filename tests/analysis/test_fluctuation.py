@@ -1,0 +1,77 @@
+"""Tests for the utilization fluctuation detector."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fluctuation import (
+    DEFAULT_THRESHOLD,
+    detect_fluctuation,
+    volatility,
+)
+from repro.errors import ConfigError
+
+
+class TestVolatility:
+    def test_constant_series_zero(self):
+        assert volatility([0.5] * 10) == 0.0
+
+    def test_bimodal_series_scores_deviation(self):
+        series = [0.2] * 5 + [0.8] * 5
+        assert volatility(series) == pytest.approx(0.3)
+
+    def test_dwell_time_invariance(self):
+        """Slow and fast alternation between the same two operating
+        points must score identically (the detector's design point)."""
+        fast = [0.2, 0.8] * 10
+        slow = [0.2] * 10 + [0.8] * 10
+        assert volatility(fast) == pytest.approx(volatility(slow))
+
+    def test_small_noise_scores_low(self):
+        rng = np.random.default_rng(0)
+        series = 0.5 + rng.normal(0.0, 0.01, size=100)
+        assert volatility(np.clip(series, 0, 1)) < 0.02
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigError):
+            volatility([0.5])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            volatility([0.5, 1.5])
+
+
+class TestDetector:
+    def test_stable_trace_not_flagged(self):
+        report = detect_fluctuation([0.6] * 20, [0.25] * 20)
+        assert not report.fluctuating
+        assert report.volatility == 0.0
+
+    def test_fluctuating_core_flagged(self):
+        report = detect_fluctuation([0.85, 0.25] * 10, [0.4] * 20)
+        assert report.fluctuating
+        assert report.core_volatility > report.mem_volatility
+
+    def test_fluctuating_memory_flagged(self):
+        report = detect_fluctuation([0.5] * 20, [0.74, 0.50] * 10)
+        assert report.fluctuating
+
+    def test_threshold_boundary(self):
+        series = [0.5 - DEFAULT_THRESHOLD / 2, 0.5 + DEFAULT_THRESHOLD / 2] * 10
+        report = detect_fluctuation(series, [0.3] * 20)
+        assert report.volatility == pytest.approx(DEFAULT_THRESHOLD / 2)
+        assert not report.fluctuating
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            detect_fluctuation([0.5, 0.5], [0.5, 0.5], threshold=0.0)
+
+
+class TestEndToEndClassification:
+    def test_paper_classification_reproduced(self):
+        """The measured classification must match the paper's Table II:
+        exactly QG and streamcluster fluctuate."""
+        from repro.experiments import table2
+
+        rows = table2.run(n_iterations=1, time_scale=0.15)
+        flagged = {r.name for r in rows if r.fluctuating}
+        assert flagged == {"quasirandom", "streamcluster"}

@@ -1,0 +1,61 @@
+"""Tests for the run reports."""
+
+import pytest
+
+from repro.analysis.report import comparison_report, run_report
+from repro.errors import ConfigError
+from repro.runtime.metrics import IterationMetrics, RunResult
+
+
+def _result(policy="greengpu", energy=1000.0, total_s=10.0, n=3, spin=0.0):
+    iterations = [
+        IterationMetrics(i, 0.2, 1.0, 2.0, 2.0, energy / n, energy / n * 0.6,
+                         energy / n * 0.4)
+        for i in range(n)
+    ]
+    return RunResult(
+        workload="kmeans", policy=policy, iterations=iterations,
+        total_s=total_s, total_energy_j=energy,
+        gpu_energy_j=0.6 * energy, cpu_energy_j=0.4 * energy,
+        cpu_spin_s=spin, cpu_spin_energy_j=spin * 50.0, final_ratio=0.2,
+    )
+
+
+class TestRunReport:
+    def test_contains_totals(self):
+        report = run_report(_result())
+        assert "workload : kmeans" in report
+        assert "policy   : greengpu" in report
+        assert "1.00 kJ" in report
+
+    def test_spin_line_only_when_spinning(self):
+        assert "spin" not in run_report(_result(spin=0.0))
+        assert "spin" in run_report(_result(spin=5.0))
+
+    def test_row_truncation(self):
+        report = run_report(_result(n=30), max_rows=5)
+        assert "... 25 more iterations" in report
+
+    def test_rejects_bad_max_rows(self):
+        with pytest.raises(ConfigError):
+            run_report(_result(), max_rows=0)
+
+
+class TestComparisonReport:
+    def test_savings_relative_to_baseline(self):
+        base = _result(policy="rodinia-default", energy=1000.0)
+        green = _result(policy="greengpu", energy=800.0)
+        report = comparison_report([base, green])
+        assert "+20.00%" in report
+        assert "rodinia-default" in report and "greengpu" in report
+
+    def test_baseline_shows_zero(self):
+        base = _result(policy="base")
+        report = comparison_report([base])
+        assert "+0.00%" in report
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            comparison_report([])
+        with pytest.raises(ConfigError):
+            comparison_report([_result()], baseline_index=5)

@@ -1,0 +1,81 @@
+"""Tests for JSON result serialization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import serialize
+from repro.errors import ConfigError
+from repro.runtime.metrics import IterationMetrics, RunResult
+from repro.sim.trace import Trace
+
+
+def _result():
+    return RunResult(
+        workload="kmeans",
+        policy="greengpu",
+        iterations=[
+            IterationMetrics(0, 0.3, 1.5, 2.0, 2.1, 500.0, 300.0, 200.0),
+            IterationMetrics(1, 0.25, 1.2, 2.0, 2.0, 480.0, 290.0, 190.0),
+        ],
+        total_s=4.1,
+        total_energy_j=980.0,
+        gpu_energy_j=590.0,
+        cpu_energy_j=390.0,
+        cpu_spin_s=1.0,
+        cpu_spin_energy_j=55.0,
+        cpu_energy_emulated_idle_spin_j=350.0,
+        final_ratio=0.25,
+        traces={
+            "gpu_f_core": Trace(
+                "gpu_f_core", np.array([0.0, 1.0]), np.array([3.0e8, 5.76e8])
+            )
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_scalar_fields_survive(self):
+        original = _result()
+        restored = serialize.loads(serialize.dumps(original))
+        assert restored.workload == original.workload
+        assert restored.policy == original.policy
+        assert restored.total_energy_j == original.total_energy_j
+        assert restored.final_ratio == original.final_ratio
+        assert restored.cpu_spin_s == original.cpu_spin_s
+
+    def test_iterations_survive(self):
+        restored = serialize.loads(serialize.dumps(_result()))
+        assert restored.n_iterations == 2
+        assert restored.iterations[1].r == 0.25
+        assert restored.iterations[0].energy_j == 500.0
+
+    def test_traces_survive(self):
+        restored = serialize.loads(serialize.dumps(_result()))
+        trace = restored.traces["gpu_f_core"]
+        assert isinstance(trace, Trace)
+        assert trace.values[1] == 5.76e8
+
+    def test_derived_metrics_work_after_restore(self):
+        restored = serialize.loads(serialize.dumps(_result()))
+        assert restored.average_power_w == pytest.approx(980.0 / 4.1)
+        assert restored.ratios().tolist() == [0.3, 0.25]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "result.json"
+        serialize.save(_result(), str(path))
+        restored = serialize.load(str(path))
+        assert restored.total_s == 4.1
+
+    def test_unknown_schema_rejected(self):
+        import json
+
+        data = serialize.result_to_dict(_result())
+        data["schema"] = 999
+        with pytest.raises(ConfigError):
+            serialize.result_from_dict(data)
+
+    def test_json_is_stable_text(self):
+        a = serialize.dumps(_result())
+        b = serialize.dumps(_result())
+        assert a == b
+        assert '"workload": "kmeans"' in a

@@ -1,0 +1,44 @@
+"""Tests for the text table formatter."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigError
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in out
+        assert "3.250" in out
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        out = format_table(["col"], [["short"], ["much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) or lines[2].startswith("short")
+
+    def test_custom_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out and "1.23" not in out
+
+    def test_ints_not_float_formatted(self):
+        out = format_table(["x"], [[7]])
+        assert "7" in out and "7.000" not in out
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [[1]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ConfigError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,60 @@
+"""Tests for the exhaustive oracle baselines."""
+
+import pytest
+
+from repro.baselines.oracle import oracle_frequency_search, oracle_search
+from repro.core.policies import BestPerformancePolicy
+from repro.runtime.executor import run_workload
+from tests.conftest import fast_workload
+
+
+@pytest.fixture(scope="module")
+def pf_oracle():
+    """Pathfinder: low utilizations, so the oracle must throttle a lot."""
+    return oracle_frequency_search(fast_workload("pathfinder"), n_iterations=1)
+
+
+class TestFrequencyOracle:
+    def test_covers_all_36_pairs(self, pf_oracle):
+        assert pf_oracle.evaluated == 36
+
+    def test_beats_best_performance_on_low_util_workload(self, pf_oracle):
+        base = run_workload(
+            fast_workload("pathfinder"), BestPerformancePolicy(), n_iterations=1
+        )
+        assert pf_oracle.energy_j < base.total_energy_j
+
+    def test_oracle_throttles_low_util_workload(self, pf_oracle):
+        assert pf_oracle.core_level > 0
+        assert pf_oracle.mem_level > 0
+
+    def test_oracle_keeps_saturated_workload_fast(self):
+        result = oracle_frequency_search(fast_workload("bfs"), n_iterations=1)
+        assert result.core_level <= 1 and result.mem_level <= 1
+
+    def test_slowdown_constraint_respected(self):
+        constrained = oracle_frequency_search(
+            fast_workload("pathfinder"), n_iterations=1, max_slowdown=0.02
+        )
+        base = run_workload(
+            fast_workload("pathfinder"), BestPerformancePolicy(), n_iterations=1
+        )
+        assert constrained.result.slowdown_vs(base) <= 0.02 + 1e-9
+
+
+class TestJointOracle:
+    def test_joint_search_finds_division_for_hotspot(self):
+        """Hotspot's big win is division; the joint oracle must pick a
+        non-zero CPU share."""
+        result = oracle_search(
+            fast_workload("hotspot"), ratios=[0.0, 0.5], n_iterations=1
+        )
+        assert result.r == 0.5
+        assert result.evaluated == 72
+
+    def test_rejects_empty_ratio_grid(self):
+        import pytest as _pytest
+        from repro.errors import ConfigError
+
+        with _pytest.raises(ConfigError):
+            oracle_search(fast_workload("lud"), ratios=[], n_iterations=1)

@@ -1,0 +1,44 @@
+"""Tests for the static division sweep baseline."""
+
+import pytest
+
+from repro.baselines.static_division import best_point, sweep_divisions
+from repro.errors import ConfigError
+from tests.conftest import FAST_SCALE, fast_workload
+
+
+@pytest.fixture(scope="module")
+def kmeans_sweep():
+    w = fast_workload("kmeans")
+    return sweep_divisions(w, ratios=[0.0, 0.1, 0.15, 0.2, 0.4, 0.7], n_iterations=2)
+
+
+class TestSweep:
+    def test_one_point_per_ratio(self, kmeans_sweep):
+        assert [p.r for p in kmeans_sweep] == [0.0, 0.1, 0.15, 0.2, 0.4, 0.7]
+
+    def test_u_shape_for_kmeans(self, kmeans_sweep):
+        """Paper Fig. 2: interior minimum beats both extremes."""
+        energies = {p.r: p.energy_j for p in kmeans_sweep}
+        assert energies[0.15] < energies[0.0]
+        assert energies[0.15] < energies[0.7]
+
+    def test_best_point(self, kmeans_sweep):
+        assert best_point(kmeans_sweep).r == pytest.approx(0.15)
+
+    def test_energy_and_time_positive(self, kmeans_sweep):
+        for p in kmeans_sweep:
+            assert p.energy_j > 0.0 and p.time_s > 0.0
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ConfigError):
+            sweep_divisions(fast_workload("kmeans"), ratios=[1.2], n_iterations=1)
+
+    def test_best_point_empty_raises(self):
+        with pytest.raises(ConfigError):
+            best_point([])
+
+    def test_default_grid(self):
+        w = fast_workload("lud")
+        points = sweep_divisions(w, ratios=[0.0, 0.05], n_iterations=1)
+        assert len(points) == 2

@@ -1,0 +1,81 @@
+"""Shared fixtures for the GreenGPU reproduction test suite.
+
+Fast variants of the workloads (seconds-scale iterations) keep the full
+suite quick while exercising identical code paths; the experiment tests
+that need paper-scale dynamics scale the controller periods down with
+the same factor, preserving the control-loop ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GreenGpuConfig
+from repro.runtime.executor import ExecutorOptions
+from repro.sim.calibration import (
+    default_testbed_config,
+    geforce_8800_gtx_spec,
+    phenom_ii_x2_spec,
+)
+from repro.sim.platform import HeteroSystem, make_testbed
+from repro.workloads.characteristics import make_workload
+
+#: One simulated-time scale used across the suite's fast runs.
+FAST_SCALE = 0.05
+
+
+@pytest.fixture
+def gpu_spec():
+    return geforce_8800_gtx_spec()
+
+
+@pytest.fixture
+def cpu_spec():
+    return phenom_ii_x2_spec()
+
+
+@pytest.fixture
+def testbed() -> HeteroSystem:
+    return make_testbed()
+
+
+@pytest.fixture
+def testbed_config():
+    return default_testbed_config()
+
+
+@pytest.fixture
+def fast_config() -> GreenGpuConfig:
+    """Controller periods scaled to match the fast workloads."""
+    return GreenGpuConfig(
+        scaling_interval_s=3.0 * FAST_SCALE,
+        ondemand_interval_s=0.1 * FAST_SCALE,
+    )
+
+
+@pytest.fixture
+def fast_options() -> ExecutorOptions:
+    return ExecutorOptions(repartition_overhead_s=0.5 * FAST_SCALE)
+
+
+def fast_workload(name: str, **overrides):
+    """Module-level helper: a Table II workload at the fast time scale."""
+    from repro.workloads.characteristics import get_profile
+
+    seconds = get_profile(name).gpu_seconds_per_iteration * FAST_SCALE
+    return make_workload(name, gpu_seconds_per_iteration=seconds, **overrides)
+
+
+@pytest.fixture
+def fast_kmeans():
+    return fast_workload("kmeans")
+
+
+@pytest.fixture
+def fast_hotspot():
+    return fast_workload("hotspot")
+
+
+@pytest.fixture
+def fast_streamcluster():
+    return fast_workload("streamcluster")

@@ -1,0 +1,64 @@
+"""Tests for the GreenGPU configuration bundle."""
+
+import pytest
+
+from repro.core.config import GreenGpuConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_published_values(self):
+        cfg = GreenGpuConfig()
+        assert cfg.alpha_core == 0.15
+        assert cfg.alpha_mem == 0.02
+        assert cfg.phi == 0.3
+        assert cfg.beta == 0.2
+        assert cfg.scaling_interval_s == 3.0
+        assert cfg.division_step == 0.05
+        assert cfg.initial_cpu_ratio == 0.30
+        assert cfg.min_division_scaling_ratio == 40.0
+
+    def test_min_iteration_length_honours_decoupling(self):
+        cfg = GreenGpuConfig()
+        assert cfg.min_iteration_length_s() == pytest.approx(120.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("alpha_core", -0.1), ("alpha_core", 1.1),
+        ("alpha_mem", 2.0), ("phi", -1.0),
+        ("beta", 0.0), ("beta", 1.0),
+        ("scaling_interval_s", 0.0),
+        ("ondemand_up_threshold", 0.0), ("ondemand_up_threshold", 1.1),
+        ("ondemand_interval_s", -1.0),
+        ("division_step", 0.0), ("division_step", 0.6),
+        ("min_division_scaling_ratio", 0.5),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ConfigError):
+            GreenGpuConfig(**{field: value})
+
+    def test_down_threshold_must_be_below_up(self):
+        with pytest.raises(ConfigError):
+            GreenGpuConfig(ondemand_up_threshold=0.5, ondemand_down_threshold=0.6)
+
+    def test_initial_ratio_must_be_within_bounds(self):
+        with pytest.raises(ConfigError):
+            GreenGpuConfig(initial_cpu_ratio=0.99, max_cpu_ratio=0.95)
+
+    def test_ratio_bounds_ordered(self):
+        with pytest.raises(ConfigError):
+            GreenGpuConfig(min_cpu_ratio=0.5, max_cpu_ratio=0.4)
+
+
+class TestWith:
+    def test_with_replaces_and_validates(self):
+        cfg = GreenGpuConfig().with_(beta=0.5)
+        assert cfg.beta == 0.5
+        with pytest.raises(ConfigError):
+            GreenGpuConfig().with_(beta=2.0)
+
+    def test_with_leaves_original_untouched(self):
+        cfg = GreenGpuConfig()
+        cfg.with_(phi=0.9)
+        assert cfg.phi == 0.3

@@ -1,0 +1,107 @@
+"""Tests for the assembled two-tier controller."""
+
+import pytest
+
+from repro.core.controller import GreenGpuController, TierMode
+from repro.errors import SimulationError
+from repro.sim.trace import TraceRecorder
+
+
+class TestTierMode:
+    def test_holistic_enables_both(self):
+        assert TierMode.HOLISTIC.division_enabled
+        assert TierMode.HOLISTIC.scaling_enabled
+
+    def test_division_only(self):
+        assert TierMode.DIVISION_ONLY.division_enabled
+        assert not TierMode.DIVISION_ONLY.scaling_enabled
+
+    def test_scaling_only(self):
+        assert not TierMode.SCALING_ONLY.division_enabled
+        assert TierMode.SCALING_ONLY.scaling_enabled
+
+    def test_none_disables_both(self):
+        assert not TierMode.NONE.division_enabled
+        assert not TierMode.NONE.scaling_enabled
+
+
+class TestLifecycle:
+    def test_attach_builds_components(self, testbed, fast_config):
+        ctrl = GreenGpuController(TierMode.HOLISTIC, fast_config)
+        ctrl.attach(testbed)
+        assert ctrl.scaler is not None
+        assert ctrl.governor is not None
+        assert ctrl.divider is not None
+        ctrl.detach()
+
+    def test_none_mode_builds_nothing(self, testbed, fast_config):
+        ctrl = GreenGpuController(TierMode.NONE, fast_config)
+        ctrl.attach(testbed)
+        assert ctrl.scaler is None and ctrl.divider is None
+
+    def test_double_attach_raises(self, testbed, fast_config):
+        ctrl = GreenGpuController(TierMode.NONE, fast_config)
+        ctrl.attach(testbed)
+        with pytest.raises(SimulationError):
+            ctrl.attach(testbed)
+
+    def test_detach_cancels_ticks(self, testbed, fast_config):
+        ctrl = GreenGpuController(TierMode.SCALING_ONLY, fast_config)
+        ctrl.attach(testbed)
+        ctrl.detach()
+        decisions_before = ctrl.scaler.decisions
+        testbed.run_for(10 * fast_config.scaling_interval_s)
+        assert ctrl.scaler.decisions == decisions_before
+
+
+class TestScalingLoop:
+    def test_idle_system_throttles_gpu_to_floor(self, testbed, fast_config):
+        testbed.gpu.set_peak()
+        ctrl = GreenGpuController(TierMode.SCALING_ONLY, fast_config)
+        ctrl.attach(testbed)
+        testbed.run_for(10 * fast_config.scaling_interval_s)
+        assert testbed.gpu.f_core == testbed.gpu.spec.core_ladder.floor
+        assert testbed.gpu.f_mem == testbed.gpu.spec.mem_ladder.floor
+
+    def test_idle_cpu_walks_down(self, testbed, fast_config):
+        ctrl = GreenGpuController(TierMode.SCALING_ONLY, fast_config)
+        ctrl.attach(testbed)
+        testbed.run_for(20 * fast_config.ondemand_interval_s)
+        assert testbed.cpu.f == testbed.cpu.spec.ladder.floor
+
+    def test_spinning_cpu_stays_at_peak(self, testbed, fast_config):
+        ctrl = GreenGpuController(TierMode.SCALING_ONLY, fast_config)
+        ctrl.attach(testbed)
+        testbed.cpu.spin()
+        testbed.run_for(20 * fast_config.ondemand_interval_s)
+        assert testbed.cpu.f == testbed.cpu.spec.ladder.peak
+
+    def test_recorder_collects_channels(self, testbed, fast_config):
+        rec = TraceRecorder()
+        ctrl = GreenGpuController(TierMode.SCALING_ONLY, fast_config, recorder=rec)
+        ctrl.attach(testbed)
+        testbed.run_for(3 * fast_config.scaling_interval_s)
+        for channel in ("gpu_u_core", "gpu_f_core", "gpu_f_mem", "cpu_f"):
+            assert channel in rec
+
+
+class TestDivisionBoundary:
+    def test_ratio_updates_on_iteration_end(self, testbed, fast_config):
+        ctrl = GreenGpuController(
+            TierMode.DIVISION_ONLY, fast_config, initial_ratio=0.30
+        )
+        ctrl.attach(testbed)
+        r = ctrl.on_iteration_end(tc=10.0, tg=1.0)
+        assert r == pytest.approx(0.25)
+        assert ctrl.ratio == pytest.approx(0.25)
+
+    def test_ratio_fixed_without_division_tier(self, testbed, fast_config):
+        ctrl = GreenGpuController(
+            TierMode.SCALING_ONLY, fast_config, initial_ratio=0.40
+        )
+        ctrl.attach(testbed)
+        assert ctrl.on_iteration_end(10.0, 1.0) == 0.40
+
+    def test_default_ratio_is_all_gpu(self, fast_config):
+        ctrl = GreenGpuController(TierMode.NONE, fast_config)
+        assert ctrl.ratio == 0.0

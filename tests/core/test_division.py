@@ -1,0 +1,148 @@
+"""Tests for the tier-1 workload-division algorithm."""
+
+import pytest
+
+from repro.core.config import GreenGpuConfig
+from repro.core.division import WorkloadDivider
+from repro.errors import PartitionError
+
+
+def fresh(r0=0.30, **cfg):
+    return WorkloadDivider(GreenGpuConfig(**cfg) if cfg else None, r0=r0)
+
+
+class TestBasicRule:
+    def test_cpu_slower_moves_work_to_gpu(self):
+        d = fresh(r0=0.30)
+        decision = d.update(tc=100.0, tg=50.0)
+        assert decision.r_next == pytest.approx(0.25)
+
+    def test_gpu_slower_moves_work_to_cpu(self):
+        d = fresh(r0=0.30)
+        decision = d.update(tc=50.0, tg=100.0)
+        assert decision.r_next == pytest.approx(0.35)
+
+    def test_equal_times_hold(self):
+        d = fresh(r0=0.30)
+        decision = d.update(tc=50.0, tg=50.0)
+        assert decision.r_next == pytest.approx(0.30)
+        assert not decision.moved
+
+    def test_clamped_at_bounds(self):
+        d = fresh(r0=0.0)
+        assert d.update(tc=0.0, tg=100.0).r_next == pytest.approx(0.05)
+        d2 = fresh(r0=0.95)
+        # tc >> tg pushes down, never above max.
+        assert d2.update(tc=200.0, tg=1.0).r_next == pytest.approx(0.90)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(PartitionError):
+            fresh().update(-1.0, 1.0)
+
+    def test_rejects_bad_initial_ratio(self):
+        with pytest.raises(PartitionError):
+            fresh(r0=1.5)
+
+
+class TestOscillationSafeguard:
+    def test_paper_example_holds_at_10_90(self):
+        """§V-B worked example: at 10/90 with tc < tg, the extrapolated
+        15/85 prediction flips the comparison, so the division holds."""
+        d = fresh(r0=0.10)
+        # Optimal division r* = 0.125: tc = r * k_c with k_c chosen so
+        # tc(0.125) = tg(0.125).  At r = 0.10: tc < tg, but at 0.15 the
+        # CPU would become the straggler.
+        tc, tg = 0.10 * 8.0, 0.90 * 1.0  # tc = 0.8 < tg = 0.9
+        decision = d.update(tc, tg)
+        assert decision.held_by_safeguard
+        assert decision.r_next == pytest.approx(0.10)
+
+    def test_clear_imbalance_not_held(self):
+        d = fresh(r0=0.30)
+        decision = d.update(tc=10.0, tg=100.0)
+        assert not decision.held_by_safeguard
+        assert decision.moved
+
+    def test_safeguard_disabled_moves_anyway(self):
+        d = fresh(r0=0.10, oscillation_safeguard=False)
+        decision = d.update(0.8, 0.9)
+        assert decision.r_next == pytest.approx(0.15)
+
+    def test_safeguard_skipped_at_zero_ratio(self):
+        """No CPU time exists to extrapolate from at r = 0."""
+        d = fresh(r0=0.0)
+        decision = d.update(tc=0.0, tg=10.0)
+        assert decision.moved
+        assert not decision.held_by_safeguard
+
+    def test_hold_counter(self):
+        d = fresh(r0=0.10)
+        d.update(0.8, 0.9)
+        assert d.safeguard_holds == 1
+
+
+class TestConvergence:
+    @staticmethod
+    def _simulate(divider, cpu_per_unit, gpu_per_unit, iterations=20):
+        """Feedback loop: times derive from the current division."""
+        for _ in range(iterations):
+            r = divider.r
+            tc = r * cpu_per_unit
+            tg = (1.0 - r) * gpu_per_unit
+            divider.update(tc, tg)
+        return divider.r
+
+    def test_converges_near_balance_point(self):
+        # cpu 4x slower per unit -> balance at r* = 1/5 = 0.20 (on-grid).
+        d = fresh(r0=0.30)
+        final = self._simulate(d, 4.0, 1.0)
+        assert final == pytest.approx(0.20)
+
+    def test_converges_from_any_initial_ratio(self):
+        """Paper §VII-B: convergence is independent of the initial ratio."""
+        for r0 in (0.0, 0.15, 0.50, 0.75):
+            d = fresh(r0=r0)
+            final = self._simulate(d, 4.0, 1.0, iterations=30)
+            assert final == pytest.approx(0.20, abs=0.051)
+
+    def test_off_grid_optimum_parks_on_adjacent_point(self):
+        # cpu 4.5x slower -> r* = 1/5.5 ~ 0.182, between 0.15 and 0.20.
+        d = fresh(r0=0.30)
+        final = self._simulate(d, 4.5, 1.0)
+        assert final in (pytest.approx(0.15), pytest.approx(0.20))
+
+    def test_no_oscillation_once_settled(self):
+        d = fresh(r0=0.30)
+        self._simulate(d, 4.5, 1.0, iterations=10)
+        settled = [self._simulate(d, 4.5, 1.0, iterations=1) for _ in range(5)]
+        assert len(set(settled)) == 1
+
+    def test_converged_property(self):
+        d = fresh(r0=0.30)
+        assert not d.converged
+        self._simulate(d, 4.0, 1.0, iterations=20)
+        assert d.converged
+
+    def test_large_step_oscillates_without_safeguard(self):
+        """The paper's §V-B warning: a large step with the safeguard off
+        bounces around the optimum forever."""
+        d = WorkloadDivider(
+            GreenGpuConfig(division_step=0.25, oscillation_safeguard=False),
+            r0=0.75,
+        )
+        # cpu 1.5x slower per unit -> balance at r* = 0.4, squarely
+        # between the 0.25 grid points.
+        ratios = []
+        for _ in range(12):
+            r = d.r
+            ratios.append(r)
+            d.update(r * 1.5, (1.0 - r) * 1.0)
+        tail = ratios[-6:]
+        assert max(tail) - min(tail) >= 0.25
+
+    def test_history_records_every_decision(self):
+        d = fresh()
+        d.update(1.0, 2.0)
+        d.update(2.0, 1.0)
+        assert len(d.history) == 2
+        assert d.iterations == 2

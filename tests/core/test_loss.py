@@ -1,0 +1,114 @@
+"""Tests for the Table-I loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import component_loss, loss_vector, total_loss_matrix, umean_vector
+from repro.errors import ConfigError
+
+
+class TestUmeanVector:
+    def test_endpoints(self):
+        um = umean_vector(6)
+        assert um[0] == 1.0 and um[-1] == 0.0
+
+    def test_linear_spacing(self):
+        um = umean_vector(6)
+        assert np.allclose(np.diff(um), -0.2)
+
+    def test_single_level(self):
+        assert umean_vector(1) == pytest.approx([1.0])
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ConfigError):
+            umean_vector(0)
+
+
+class TestComponentLoss:
+    def test_exact_match_zero_loss(self):
+        assert component_loss(0.6, 0.6, 0.15) == 0.0
+
+    def test_u_above_umean_is_performance_loss(self):
+        """Table I: u > umean -> loss = (1 - alpha) * (u - umean)."""
+        assert component_loss(0.8, 0.6, 0.15) == pytest.approx(0.85 * 0.2)
+
+    def test_u_below_umean_is_energy_loss(self):
+        """Table I: u < umean -> loss = alpha * (umean - u)."""
+        assert component_loss(0.4, 0.6, 0.15) == pytest.approx(0.15 * 0.2)
+
+    def test_small_alpha_favours_performance(self):
+        """A level that is too slow must look much worse than one that is
+        too fast, under the paper's small alphas."""
+        too_slow = component_loss(0.9, 0.6, 0.02)
+        too_fast = component_loss(0.3, 0.6, 0.02)
+        assert too_slow > too_fast
+
+    def test_loss_bounded_to_unit_interval(self):
+        assert 0.0 <= component_loss(1.0, 0.0, 0.5) <= 1.0
+        assert 0.0 <= component_loss(0.0, 1.0, 0.5) <= 1.0
+
+    @pytest.mark.parametrize("u,umean,alpha", [
+        (-0.1, 0.5, 0.5), (1.1, 0.5, 0.5),
+        (0.5, -0.1, 0.5), (0.5, 1.1, 0.5),
+        (0.5, 0.5, -0.1), (0.5, 0.5, 1.1),
+    ])
+    def test_rejects_out_of_range(self, u, umean, alpha):
+        with pytest.raises(ConfigError):
+            component_loss(u, umean, alpha)
+
+
+class TestLossVector:
+    def test_matches_scalar_elementwise(self):
+        umeans = umean_vector(6)
+        u, alpha = 0.45, 0.15
+        vec = loss_vector(u, umeans, alpha)
+        expected = [component_loss(u, m, alpha) for m in umeans]
+        assert np.allclose(vec, expected)
+
+    def test_minimum_at_closest_umean_above(self):
+        """With small alpha, the best level has umean just above u."""
+        umeans = umean_vector(6)  # 1.0, 0.8, 0.6, 0.4, 0.2, 0.0
+        vec = loss_vector(0.55, umeans, 0.02)
+        assert int(np.argmin(vec)) == 2  # umean 0.6
+
+    def test_saturated_utilization_prefers_peak(self):
+        vec = loss_vector(1.0, umean_vector(6), 0.15)
+        assert int(np.argmin(vec)) == 0
+
+    def test_idle_prefers_floor(self):
+        vec = loss_vector(0.0, umean_vector(6), 0.15)
+        assert int(np.argmin(vec)) == 5
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ConfigError):
+            loss_vector(1.5, umean_vector(3), 0.1)
+
+
+class TestTotalLossMatrix:
+    def test_shape_is_outer(self):
+        total = total_loss_matrix(np.zeros(6), np.zeros(4), 0.3)
+        assert total.shape == (6, 4)
+
+    def test_blend_formula(self):
+        """Eq. 3: phi * l_c + (1 - phi) * l_m."""
+        total = total_loss_matrix(np.array([0.4]), np.array([0.8]), 0.3)
+        assert total[0, 0] == pytest.approx(0.3 * 0.4 + 0.7 * 0.8)
+
+    def test_phi_extremes(self):
+        lc, lm = np.array([0.5, 0.1]), np.array([0.9, 0.2])
+        assert np.allclose(total_loss_matrix(lc, lm, 1.0), lc[:, None].repeat(2, 1))
+        assert np.allclose(total_loss_matrix(lc, lm, 0.0), lm[None, :].repeat(2, 0))
+
+    def test_losses_stay_in_unit_interval(self):
+        lc = loss_vector(0.9, umean_vector(6), 0.15)
+        lm = loss_vector(0.1, umean_vector(6), 0.02)
+        total = total_loss_matrix(lc, lm, 0.3)
+        assert np.all(total >= 0.0) and np.all(total <= 1.0)
+
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ConfigError):
+            total_loss_matrix(np.zeros(2), np.zeros(2), 1.5)
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ConfigError):
+            total_loss_matrix(np.zeros((2, 2)), np.zeros(2), 0.3)

@@ -1,0 +1,76 @@
+"""Tests for the policy definitions."""
+
+import pytest
+
+from repro.core.controller import TierMode
+from repro.core.policies import (
+    BestPerformancePolicy,
+    DivisionOnlyPolicy,
+    FrequencyScalingOnlyPolicy,
+    GreenGpuPolicy,
+    Policy,
+    RodiniaDefaultPolicy,
+    StaticPolicy,
+)
+from repro.errors import ConfigError
+
+
+class TestInitialStates:
+    def test_rodinia_default_all_gpu_peak(self, testbed):
+        policy = RodiniaDefaultPolicy()
+        policy.apply_initial_state(testbed)
+        assert policy.ratio == 0.0
+        assert testbed.gpu.core_level == 0 and testbed.gpu.mem_level == 0
+        assert testbed.cpu.level == 0
+
+    def test_best_performance_pins_peak(self, testbed):
+        BestPerformancePolicy().apply_initial_state(testbed)
+        assert testbed.gpu.f_core == testbed.gpu.spec.core_ladder.peak
+        assert testbed.gpu.f_mem == testbed.gpu.spec.mem_ladder.peak
+
+    def test_scaling_only_starts_at_floor(self, testbed):
+        """Paper Fig. 5: the run starts at the GPU's lowest clocks."""
+        testbed.gpu.set_peak()
+        FrequencyScalingOnlyPolicy().apply_initial_state(testbed)
+        assert testbed.gpu.f_core == testbed.gpu.spec.core_ladder.floor
+        assert testbed.gpu.f_mem == testbed.gpu.spec.mem_ladder.floor
+
+    def test_static_policy_levels(self, testbed):
+        StaticPolicy(2, 3, ratio=0.4).apply_initial_state(testbed)
+        assert testbed.gpu.core_level == 2
+        assert testbed.gpu.mem_level == 3
+
+    def test_none_levels_leave_device_untouched(self, testbed):
+        testbed.gpu.set_levels(4, 4)
+        Policy(gpu_core_level=None, gpu_mem_level=None, cpu_level=None).apply_initial_state(testbed)
+        assert testbed.gpu.core_level == 4 and testbed.gpu.mem_level == 4
+
+
+class TestModesAndRatios:
+    def test_greengpu_is_holistic(self):
+        assert GreenGpuPolicy().mode is TierMode.HOLISTIC
+
+    def test_division_only_mode(self):
+        assert DivisionOnlyPolicy().mode is TierMode.DIVISION_ONLY
+
+    def test_scaling_only_mode(self):
+        assert FrequencyScalingOnlyPolicy().mode is TierMode.SCALING_ONLY
+
+    def test_division_default_initial_ratio_from_config(self):
+        assert DivisionOnlyPolicy().ratio == pytest.approx(0.30)
+
+    def test_division_explicit_initial_ratio(self):
+        assert DivisionOnlyPolicy(initial_ratio=0.5).ratio == 0.5
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ConfigError):
+            StaticPolicy(0, 0, ratio=1.5)
+
+    def test_controller_inherits_mode_and_ratio(self):
+        ctrl = GreenGpuPolicy(initial_ratio=0.4).make_controller()
+        assert ctrl.mode is TierMode.HOLISTIC
+        assert ctrl.ratio == 0.4
+
+    def test_policy_names(self):
+        assert RodiniaDefaultPolicy().name == "rodinia-default"
+        assert "static" in StaticPolicy(1, 2).name

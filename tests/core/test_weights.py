@@ -1,0 +1,93 @@
+"""Tests for the core-memory weight table (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightTable
+from repro.errors import ConfigError
+
+
+class TestUpdate:
+    def test_eq4_single_step(self):
+        table = WeightTable(1, 1)
+        table.update(np.array([[0.5]]), beta=0.2)
+        # w <- 1 * (1 - 0.8 * 0.5) = 0.6
+        assert table.weights[0, 0] == pytest.approx(0.6)
+
+    def test_zero_loss_keeps_weight(self):
+        table = WeightTable(2, 2)
+        table.update(np.zeros((2, 2)), beta=0.2)
+        assert np.allclose(table.weights, 1.0)
+
+    def test_max_loss_scales_by_beta(self):
+        table = WeightTable(1, 1)
+        table.update(np.ones((1, 1)), beta=0.2)
+        assert table.weights[0, 0] == pytest.approx(0.2)
+
+    def test_best_pair_tracks_lowest_cumulative_loss(self):
+        table = WeightTable(2, 2)
+        loss = np.array([[0.5, 0.1], [0.9, 0.7]])
+        for _ in range(10):
+            table.update(loss, beta=0.2)
+        assert table.best_pair() == (0, 1)
+
+    def test_tie_break_prefers_fastest_pair(self):
+        table = WeightTable(3, 3)
+        table.update(np.zeros((3, 3)), beta=0.5)
+        assert table.best_pair() == (0, 0)
+
+    def test_weights_never_reach_zero(self):
+        """beta > 0 keeps every multiplicative factor positive."""
+        table = WeightTable(2, 2)
+        for _ in range(100):
+            table.update(np.ones((2, 2)), beta=0.2)
+        assert np.all(table.weights > 0.0)
+
+    def test_renormalization_preserves_argmax(self):
+        table = WeightTable(2, 2)
+        loss = np.array([[0.9, 0.2], [0.95, 0.99]])
+        for _ in range(2000):
+            table.update(loss, beta=0.2)
+        assert table.best_pair() == (0, 1)
+        assert table.renormalizations > 0
+        assert np.isfinite(table.weights).all()
+
+    def test_update_counter(self):
+        table = WeightTable(2, 2)
+        table.update(np.zeros((2, 2)), 0.2)
+        table.update(np.zeros((2, 2)), 0.2)
+        assert table.updates == 2
+
+
+class TestValidation:
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ConfigError):
+            WeightTable(0, 3)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            WeightTable(2, 2).update(np.zeros((3, 2)), 0.2)
+
+    def test_rejects_loss_out_of_range(self):
+        with pytest.raises(ConfigError):
+            WeightTable(1, 1).update(np.array([[1.5]]), 0.2)
+        with pytest.raises(ConfigError):
+            WeightTable(1, 1).update(np.array([[-0.5]]), 0.2)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ConfigError):
+            WeightTable(1, 1).update(np.zeros((1, 1)), 0.0)
+        with pytest.raises(ConfigError):
+            WeightTable(1, 1).update(np.zeros((1, 1)), 1.0)
+
+    def test_weights_view_read_only(self):
+        table = WeightTable(2, 2)
+        with pytest.raises(ValueError):
+            table.weights[0, 0] = 5.0
+
+    def test_reset(self):
+        table = WeightTable(2, 2)
+        table.update(np.full((2, 2), 0.5), 0.2)
+        table.reset()
+        assert np.allclose(table.weights, 1.0)
+        assert table.updates == 0

@@ -1,0 +1,140 @@
+"""Tests for Algorithm 1: the coordinated WMA frequency scaler."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GreenGpuConfig
+from repro.core.wma import WmaFrequencyScaler
+from repro.sim.frequency import FrequencyLadder
+from repro.units import mhz
+
+
+@pytest.fixture
+def scaler(gpu_spec):
+    return WmaFrequencyScaler(gpu_spec.core_ladder, gpu_spec.mem_ladder)
+
+
+class TestStationaryConvergence:
+    def test_saturated_utilizations_drive_to_peak(self, scaler):
+        for _ in range(20):
+            decision = scaler.step(1.0, 1.0)
+        assert decision.core_level == 0
+        assert decision.mem_level == 0
+
+    def test_idle_utilizations_drive_to_floor(self, scaler):
+        for _ in range(20):
+            decision = scaler.step(0.0, 0.0)
+        assert decision.core_level == len(scaler.core_ladder) - 1
+        assert decision.mem_level == len(scaler.mem_ladder) - 1
+
+    def test_medium_core_low_mem_picks_interior_levels(self, scaler):
+        """kmeans-like utilizations: neither domain at peak nor floor."""
+        for _ in range(20):
+            decision = scaler.step(0.6, 0.25)
+        assert 0 < decision.core_level < len(scaler.core_ladder) - 1
+        assert 0 < decision.mem_level < len(scaler.mem_ladder) - 1
+
+    def test_converges_to_memoryless_optimum(self, scaler):
+        """Under stationary utilizations the weighted history agrees with
+        the single-shot minimum-loss pair."""
+        u = (0.45, 0.70)
+        expected = scaler.uniform_choice(*u)
+        for _ in range(30):
+            decision = scaler.step(*u)
+        assert (decision.core_level, decision.mem_level) == expected
+
+    def test_asymmetric_domains(self, scaler):
+        for _ in range(20):
+            decision = scaler.step(0.9, 0.1)
+        assert decision.core_level <= 1
+        assert decision.mem_level >= 3
+
+
+class TestDynamics:
+    def test_upshift_reacts_within_one_interval(self, scaler):
+        """Utilization ramp after a short idle lead drives the clocks up
+        at the next interval (paper Fig. 5a: 'the immediate next period
+        after the utilization increase').  Fast upshift is by design: the
+        performance-loss term carries weight (1 - alpha) = 0.85."""
+        for _ in range(3):
+            scaler.step(0.0, 0.0)   # idle lead-in (Fig. 5 starts this way)
+        d = scaler.step(0.95, 0.9)
+        assert d.core_level == 0
+        assert d.mem_level <= 1
+
+    def test_downshift_slower_but_eventual(self, scaler):
+        """After a sustained high phase, a drop in utilization is absorbed
+        gradually — the energy-loss term only carries alpha = 0.15, so the
+        peak level's weight decays slowly.  This conservatism is the
+        paper's stated trade-off ('our target is to save energy with only
+        negligible performance degradation')."""
+        for _ in range(3):
+            scaler.step(0.95, 0.5)
+        first = scaler.step(0.1, 0.5)
+        assert first.core_level <= 1  # no immediate plunge
+        for _ in range(40):
+            d = scaler.step(0.1, 0.5)
+        assert d.core_level >= 3      # but it does come down
+
+    def test_single_outlier_does_not_flip_choice(self, scaler):
+        """The weight history smooths one noisy sample."""
+        for _ in range(20):
+            stable = scaler.step(0.9, 0.9)
+        noisy = scaler.step(0.05, 0.05)
+        assert noisy.core_level <= stable.core_level + 1
+
+    def test_decision_counter(self, scaler):
+        scaler.step(0.5, 0.5)
+        scaler.step(0.5, 0.5)
+        assert scaler.decisions == 2
+
+    def test_reset_forgets_history(self, scaler):
+        for _ in range(20):
+            scaler.step(0.0, 0.0)
+        scaler.reset()
+        assert scaler.decisions == 0
+        decision = scaler.step(1.0, 1.0)
+        assert decision.core_level == 0
+
+
+class TestDecisionContents:
+    def test_frequencies_match_levels(self, scaler):
+        d = scaler.step(0.5, 0.5)
+        assert d.f_core == scaler.core_ladder[d.core_level]
+        assert d.f_mem == scaler.mem_ladder[d.mem_level]
+
+    def test_loss_vectors_have_ladder_lengths(self, scaler):
+        d = scaler.step(0.5, 0.5)
+        assert d.core_loss.shape == (len(scaler.core_ladder),)
+        assert d.mem_loss.shape == (len(scaler.mem_ladder),)
+
+    def test_umeans_match_ladder_map(self, scaler):
+        assert np.allclose(scaler.umean_core, np.linspace(1.0, 0.0, 6))
+        assert np.allclose(scaler.umean_mem, np.linspace(1.0, 0.0, 6))
+
+
+class TestConfigSensitivity:
+    def test_performance_heavy_alpha_keeps_higher_levels(self, gpu_spec):
+        """Smaller alpha (performance weighted) picks faster clocks than a
+        larger alpha (energy weighted) at the same utilization."""
+        perf = WmaFrequencyScaler(
+            gpu_spec.core_ladder, gpu_spec.mem_ladder,
+            GreenGpuConfig(alpha_core=0.02, alpha_mem=0.02),
+        )
+        energy = WmaFrequencyScaler(
+            gpu_spec.core_ladder, gpu_spec.mem_ladder,
+            GreenGpuConfig(alpha_core=0.6, alpha_mem=0.6),
+        )
+        for _ in range(20):
+            d_perf = perf.step(0.5, 0.5)
+            d_energy = energy.step(0.5, 0.5)
+        assert d_perf.core_level <= d_energy.core_level
+        assert d_perf.mem_level <= d_energy.mem_level
+
+    def test_uneven_ladder_supported(self):
+        core = FrequencyLadder([mhz(600), mhz(500), mhz(200)])
+        mem = FrequencyLadder([mhz(900), mhz(400)])
+        scaler = WmaFrequencyScaler(core, mem)
+        d = scaler.step(1.0, 1.0)
+        assert d.f_core == mhz(600)
+        assert d.f_mem == mhz(900)

@@ -1,0 +1,59 @@
+"""Tests for the shared experiment plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import scaled_config, scaled_options, scaled_workload
+
+
+class TestScaledConfig:
+    def test_scales_both_periods_together(self):
+        cfg = scaled_config(0.1)
+        assert cfg.scaling_interval_s == pytest.approx(0.3)
+        assert cfg.ondemand_interval_s == pytest.approx(0.01)
+        # The decoupling ratio is scale-invariant.
+        assert cfg.scaling_interval_s / cfg.ondemand_interval_s == pytest.approx(30.0)
+
+    def test_unit_scale_is_paper_config(self):
+        cfg = scaled_config(1.0)
+        assert cfg.scaling_interval_s == 3.0
+        assert cfg.alpha_core == 0.15
+
+    def test_overrides_pass_through(self):
+        cfg = scaled_config(1.0, beta=0.5)
+        assert cfg.beta == 0.5
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigError):
+            scaled_config(0.0)
+
+
+class TestScaledOptions:
+    def test_repartition_scales(self):
+        assert scaled_options(0.1).repartition_overhead_s == pytest.approx(0.05)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigError):
+            scaled_options(-1.0)
+
+
+class TestScaledWorkload:
+    def test_duration_scales(self):
+        w = scaled_workload("kmeans", 0.1)
+        assert w.profile.gpu_seconds_per_iteration == pytest.approx(13.0)
+
+    def test_other_fields_preserved(self):
+        w = scaled_workload("kmeans", 0.1)
+        assert w.profile.cpu_gpu_time_ratio == 4.5
+        assert w.profile.name == "kmeans"
+
+    def test_extra_overrides(self):
+        w = scaled_workload("kmeans", 0.1, default_iterations=3)
+        assert w.default_iterations == 3
+
+    def test_aliases_work(self):
+        assert scaled_workload("SC", 0.1).name == "streamcluster"
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigError):
+            scaled_workload("kmeans", 0.0)

@@ -1,0 +1,88 @@
+"""Shape tests for the Fig. 1 frequency sweeps."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import fig1
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def nbody_mem():
+    return fig1.run("nbody", "mem", n_iterations=1, time_scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def nbody_core():
+    return fig1.run("nbody", "core", n_iterations=1, time_scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def sc_mem():
+    return fig1.run("streamcluster", "mem", n_iterations=1, time_scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def sc_core():
+    return fig1.run("streamcluster", "core", n_iterations=1, time_scale=SCALE)
+
+
+class TestStructure:
+    def test_six_points_per_sweep(self, nbody_mem):
+        assert len(nbody_mem) == 6
+
+    def test_baseline_normalized_to_one(self, nbody_mem):
+        assert nbody_mem[0].normalized_time == pytest.approx(1.0)
+        assert nbody_mem[0].relative_energy == pytest.approx(1.0)
+
+    def test_frequencies_descend(self, nbody_mem):
+        freqs = [p.f_mhz for p in nbody_mem]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            fig1.run("kmeans", "mem")
+
+    def test_rejects_unknown_domain(self):
+        with pytest.raises(ConfigError):
+            fig1.run("nbody", "cache")
+
+
+class TestPaperShapes:
+    def test_nbody_mem_throttle_nearly_free(self, nbody_mem):
+        """Fig. 1a: core-bounded nbody barely slows when memory throttles."""
+        assert nbody_mem[-1].normalized_time < 1.10
+
+    def test_nbody_mem_throttle_saves_energy(self, nbody_mem):
+        """Fig. 1b: an interior memory level minimizes nbody's energy."""
+        energies = [p.relative_energy for p in nbody_mem]
+        best = min(range(6), key=lambda i: energies[i])
+        assert 0 < best
+        assert energies[best] < 1.0
+
+    def test_nbody_core_throttle_hurts_both(self, nbody_core):
+        """Fig. 1c/1d: throttling the bottleneck degrades time and energy."""
+        assert nbody_core[-1].normalized_time > 1.3
+        assert nbody_core[-1].relative_energy > 1.1
+
+    def test_sc_mem_throttle_hurts_both(self, sc_mem):
+        """Memory-bounded streamcluster: Fig. 1a/1b other series."""
+        assert sc_mem[-1].normalized_time > 1.15
+        assert sc_mem[-1].relative_energy > 1.05
+
+    def test_sc_core_knee_near_410(self, sc_core):
+        """§III-A: SC's core can drop to ~410 MHz (level 3) with energy
+        gain; beyond that both metrics degrade."""
+        energies = [p.relative_energy for p in sc_core]
+        best = min(range(6), key=lambda i: energies[i])
+        assert best in (2, 3)
+        assert energies[best] < 1.0
+        assert energies[5] > energies[best]
+
+    def test_run_all_covers_four_panels(self):
+        panels = fig1.run_all(n_iterations=1, time_scale=0.05)
+        assert set(panels) == {
+            ("nbody", "mem"), ("nbody", "core"),
+            ("streamcluster", "mem"), ("streamcluster", "core"),
+        }

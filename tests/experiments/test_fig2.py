@@ -1,0 +1,42 @@
+"""Shape tests for the Fig. 2 division sweep."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2.run(
+        ratios=[0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.7, 0.9],
+        n_iterations=2,
+        time_scale=0.05,
+    )
+
+
+class TestPaperShapes:
+    def test_interior_minimum_exists(self, result):
+        """The headline claim of §III-B: cooperation beats GPU-only."""
+        assert result.has_interior_minimum
+
+    def test_minimum_near_paper_point(self, result):
+        """Paper Fig. 2 minimum at ~10 % CPU; ours lands on 10-20 %."""
+        assert 0.05 <= result.optimal_r <= 0.20
+
+    def test_energy_rises_steeply_past_minimum(self, result):
+        energies = result.normalized_energy
+        assert energies[-1] > 1.5  # r = 0.9 is far worse than all-GPU
+
+    def test_u_shape(self, result):
+        """Down from r=0 to the minimum, then up to r=0.9."""
+        energies = result.normalized_energy
+        arg = int(np.argmin(energies))
+        falling = energies[: arg + 1]
+        rising = energies[arg:]
+        assert np.all(np.diff(falling) <= 1e-9)
+        assert np.all(np.diff(rising) >= -1e-9)
+
+    def test_points_match_ratio_grid(self, result):
+        assert [p.r for p in result.points][0] == 0.0
+        assert len(result.points) == 9

@@ -1,0 +1,54 @@
+"""Shape tests for the Fig. 5 scaling trace."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5
+from repro.units import mhz
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5.run(n_iterations=3, time_scale=0.2)
+
+
+class TestPaperShapes:
+    def test_memory_converges_one_level_below_peak(self, result):
+        """Fig. 5b's anchor: memory settles at 820 MHz."""
+        assert result.converged_mem_mhz == pytest.approx(820.0)
+
+    def test_core_converges_below_peak(self, result):
+        """SC's core tolerates throttling (§III-A knee near 410 MHz)."""
+        assert 410.0 <= result.converged_core_mhz < 576.0
+
+    def test_clocks_start_low_then_ramp(self, result):
+        """The run begins at the GPU's default lowest clocks."""
+        trace = result.core_freq_trace
+        assert trace.values[0] == pytest.approx(mhz(300.0))
+        assert trace.values.max() > trace.values[0]
+
+    def test_frequency_follows_utilization_ramp(self, result):
+        """During the idle lead the scaler holds the floor; the clocks
+        rise only after the workload's utilization appears."""
+        f = result.mem_freq_trace
+        lead_mask = f.times <= result.idle_lead_s
+        assert np.all(f.values[lead_mask] == mhz(500.0))
+
+    def test_average_power_below_best_performance(self, result):
+        assert result.scaled.average_power_w < result.baseline.average_power_w
+
+    def test_execution_time_similar(self, result):
+        """Fig. 5c: 'the execution time is similar'.  Excluding the idle
+        lead-in, the scaled run is within a few percent."""
+        scaled_active = result.scaled.total_s - result.idle_lead_s
+        assert scaled_active / result.baseline.total_s < 1.12
+
+    def test_energy_efficiency_improved(self, result):
+        scaled_rate = result.scaled.gpu_energy_j / result.scaled.total_s
+        base_rate = result.baseline.gpu_energy_j / result.baseline.total_s
+        assert scaled_rate < base_rate
+
+    def test_traces_present(self, result):
+        for name in ("gpu_u_core", "gpu_u_mem", "gpu_f_core", "gpu_f_mem",
+                     "system_power_w"):
+            assert name in result.scaled.traces

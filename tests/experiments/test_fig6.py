@@ -1,0 +1,60 @@
+"""Shape tests for the Fig. 6 frequency-scaling savings."""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig6.run(n_iterations=3, time_scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def by_name(result):
+    return {r.name: r for r in result.rows}
+
+
+class TestPaperShapes:
+    def test_positive_average_gpu_saving(self, result):
+        """Fig. 6a: positive average total-GPU saving."""
+        assert 0.01 < result.average_gpu_saving < 0.15
+
+    def test_dynamic_savings_amplify_total(self, result):
+        """Fig. 6b vs 6a: dynamic savings are several times total ones."""
+        assert result.average_dynamic_saving > 2.5 * result.average_gpu_saving
+
+    def test_cpu_gpu_emulation_adds_savings(self, result):
+        """Fig. 6c: throttling the CPU too saves more than GPU alone."""
+        assert result.average_cpu_gpu_saving > result.average_gpu_saving
+
+    def test_slowdown_negligible(self, result):
+        """Paper: only 2.95 % longer execution on average."""
+        assert result.average_slowdown < 0.06
+
+    def test_low_utilization_workloads_save_most(self, by_name):
+        """§VII-A: PF and lud (low/medium utilization) lead the pack."""
+        leaders = sorted(by_name.values(), key=lambda r: -r.gpu_saving)[:3]
+        leader_names = {r.name for r in leaders}
+        assert "pathfinder" in leader_names
+        assert "lud" in leader_names
+
+    def test_saturated_workload_saves_least(self, by_name):
+        """§VII-A: bfs's high utilizations leave nothing to throttle."""
+        min_saving = min(r.gpu_saving for r in by_name.values())
+        assert by_name["bfs"].gpu_saving == min_saving
+        assert abs(by_name["bfs"].gpu_saving) < 0.03  # ~zero, not a loss
+
+    def test_fluctuating_workloads_still_save(self, by_name):
+        """§VII-A: phase tracking wins on QG and streamcluster."""
+        assert by_name["quasirandom"].dynamic_saving > 0.0
+        assert by_name["streamcluster"].dynamic_saving > 0.0
+
+    def test_max_saving_substantial(self, result):
+        """Paper: 'up to 14.53 %' — ours must reach near 10 %."""
+        assert result.max_gpu_saving > 0.08
+
+    def test_subset_run(self):
+        subset = fig6.run(names=["lud"], n_iterations=1, time_scale=0.1)
+        assert len(subset.rows) == 1
+        assert subset.rows[0].name == "lud"

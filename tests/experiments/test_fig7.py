@@ -1,0 +1,54 @@
+"""Shape tests for the Fig. 7 division traces."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig7
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig7.run(n_iterations=12, time_scale=0.05)
+
+
+class TestKmeansTrace:
+    def test_converges_to_20_80(self, results):
+        """Paper §VII-B: 'our algorithm converges to 20/80'."""
+        assert results["kmeans"].converged_r == pytest.approx(0.20)
+
+    def test_static_optimum_is_15_85(self, results):
+        """Paper §VII-B: 'the energy-minimum division is 15/85'."""
+        assert results["kmeans"].static_optimal_r == pytest.approx(0.15)
+
+    def test_converges_within_handful_of_iterations(self, results):
+        assert results["kmeans"].convergence_iter <= 5
+
+    def test_overhead_vs_optimal_modest(self, results):
+        """Paper: 5.45 % longer than the optimal static division."""
+        assert results["kmeans"].time_overhead_vs_optimal < 0.15
+
+    def test_ratio_monotone_descent_from_30(self, results):
+        ratios = results["kmeans"].ratios
+        assert ratios[0] == pytest.approx(0.30)
+        assert np.all(np.diff(ratios) <= 1e-12)
+
+
+class TestHotspotTrace:
+    def test_converges_exactly_to_50_50(self, results):
+        """Paper §VII-B: hotspot converges exactly to the optimum."""
+        assert results["hotspot"].converged_r == pytest.approx(0.50)
+
+    def test_static_optimum_is_50_50(self, results):
+        assert results["hotspot"].static_optimal_r == pytest.approx(0.50)
+
+    def test_execution_times_converge(self, results):
+        """Fig. 7's visual: |tc - tg| shrinks to near balance."""
+        tc, tg = results["hotspot"].run.iteration_times()
+        first_gap = abs(tc[0] - tg[0])
+        last_gap = abs(tc[-1] - tg[-1])
+        assert last_gap < first_gap
+
+    def test_no_oscillation_after_convergence(self, results):
+        ratios = results["hotspot"].ratios
+        conv = results["hotspot"].convergence_iter
+        assert len(set(np.round(ratios[conv:], 6))) == 1

@@ -1,0 +1,62 @@
+"""Shape tests for the Fig. 8 holistic comparison."""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig8.run(n_iterations=10, time_scale=0.05)
+
+
+class TestOrdering:
+    def test_hotspot_ordering_holds(self, results):
+        """GreenGPU <= Division-only <= Frequency-scaling-only."""
+        assert results["hotspot"].ordering_holds
+
+    def test_kmeans_ordering_holds(self, results):
+        assert results["kmeans"].ordering_holds
+
+    def test_greengpu_beats_division(self, results):
+        """The frequency tier adds savings on top of division."""
+        for res in results.values():
+            assert res.saving_vs_division > 0.0
+
+    def test_greengpu_beats_scaling_substantially(self, results):
+        """The division tier is the larger contributor (paper §VII-C:
+        'Division contribute more to energy saving than
+        Frequency-scaling in holistic solution')."""
+        for res in results.values():
+            assert res.saving_vs_scaling > res.saving_vs_division
+
+    def test_hotspot_gap_vs_scaling_large(self, results):
+        """Paper: 28.76 % more saving than frequency-scaling-only."""
+        assert results["hotspot"].saving_vs_scaling > 0.20
+
+    def test_kmeans_gaps_in_paper_ballpark(self, results):
+        """Paper: 1.6 % vs division, 12.05 % vs scaling."""
+        res = results["kmeans"]
+        assert 0.0 < res.saving_vs_division < 0.10
+        assert 0.04 < res.saving_vs_scaling < 0.20
+
+
+class TestTraces:
+    def test_greengpu_division_ratio_converges(self, results):
+        ratios = results["hotspot"].greengpu.ratios()
+        assert ratios[-1] == pytest.approx(0.50)
+
+    def test_per_iteration_energies_available(self, results):
+        res = results["kmeans"]
+        assert len(res.greengpu.iteration_energies()) == 10
+        assert len(res.division_only.iteration_energies()) == 10
+        assert len(res.scaling_only.iteration_energies()) == 10
+
+    def test_steady_state_energy_ordering_per_iteration(self, results):
+        """Once converged, each GreenGPU iteration costs least (Fig. 8's
+        per-iteration view)."""
+        res = results["hotspot"]
+        g = res.greengpu.iteration_energies()[-3:].mean()
+        d = res.division_only.iteration_energies()[-3:].mean()
+        s = res.scaling_only.iteration_energies()[-3:].mean()
+        assert g < d < s

@@ -1,0 +1,30 @@
+"""Tests for the headline 21.04 % reproduction."""
+
+import pytest
+
+from repro.experiments import headline
+
+
+@pytest.fixture(scope="module")
+def result():
+    return headline.run(n_iterations=10, time_scale=0.05)
+
+
+class TestHeadline:
+    def test_average_saving_near_paper(self, result):
+        """Paper: 21.04 % average saving over kmeans + hotspot vs the
+        Rodinia default.  The simulator must land in the same band."""
+        assert 0.15 < result.average_saving < 0.30
+
+    def test_both_workloads_save(self, result):
+        for row in result.rows:
+            assert row.saving_vs_default > 0.05
+
+    def test_hotspot_saves_more_than_kmeans(self, result):
+        """Hotspot's 50/50 division dwarfs kmeans' 20/80 rebalance."""
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["hotspot"].saving_vs_default > by_name["kmeans"].saving_vs_default
+
+    def test_slowdown_vs_division_only_small(self, result):
+        """Paper: GreenGPU is only 1.7 % slower than division-only."""
+        assert abs(result.average_slowdown_vs_division) < 0.05

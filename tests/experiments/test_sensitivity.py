@@ -1,0 +1,51 @@
+"""Tests for the utilization-plane sensitivity map."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import sensitivity
+
+
+@pytest.fixture(scope="module")
+def small_map():
+    return sensitivity.run(
+        grid=[0.2, 0.5, 0.85], time_scale=0.05, n_iterations=1, iteration_seconds=20.0
+    )
+
+
+class TestGrid:
+    def test_infeasible_corner_skipped(self, small_map):
+        """(0.85, 0.85) violates the k=4 feasibility bound and is absent."""
+        pairs = {(p.u_core, p.u_mem) for p in small_map.points}
+        assert (0.85, 0.85) not in pairs
+        assert (0.2, 0.2) in pairs
+
+    def test_all_points_have_metrics(self, small_map):
+        for p in small_map.points:
+            assert -0.05 < p.gpu_saving < 0.5
+            assert -0.01 < p.slowdown < 0.2
+
+    def test_nearest_lookup(self, small_map):
+        p = small_map.at(0.21, 0.19)
+        assert (p.u_core, p.u_mem) == (0.2, 0.2)
+
+    def test_empty_lookup_raises(self):
+        with pytest.raises(ConfigError):
+            sensitivity.SensitivityMap(points=[]).at(0.5, 0.5)
+
+
+class TestPaperSurface:
+    def test_savings_fall_as_utilization_rises(self, small_map):
+        """§VII-A's observation as a surface property: the low-low corner
+        saves more than any saturated point."""
+        low = small_map.at(0.2, 0.2)
+        for p in small_map.points:
+            if p.u_core >= 0.85 or p.u_mem >= 0.85:
+                assert low.gpu_saving > p.gpu_saving
+
+    def test_best_is_low_utilization(self, small_map):
+        assert small_map.best.u_core <= 0.5
+        assert small_map.best.u_mem <= 0.5
+
+    def test_worst_is_high_utilization(self, small_map):
+        assert max(small_map.worst.u_core, small_map.worst.u_mem) >= 0.5

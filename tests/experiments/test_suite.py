@@ -1,0 +1,37 @@
+"""Tests for the one-shot evaluation suite."""
+
+import pytest
+
+from repro.experiments import suite
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return suite.run(time_scale=0.08)
+
+
+class TestSuite:
+    def test_all_table2_classes_match(self, summary):
+        assert summary.table2_matches == summary.table2_total == 9
+
+    def test_paper_anchors(self, summary):
+        assert summary.fig5_converged_mem_mhz == pytest.approx(820.0)
+        assert summary.fig7_kmeans_converged_r == pytest.approx(0.20)
+        assert summary.fig7_hotspot_converged_r == pytest.approx(0.50)
+        assert summary.fig8_ordering_holds
+
+    def test_headline_in_band(self, summary):
+        assert 0.15 < summary.headline_average_saving < 0.30
+
+    def test_fig1_minima_exist(self, summary):
+        assert summary.fig1_nbody_mem_best_energy < 1.0
+        assert summary.fig1_sc_core_best_energy < 1.0
+
+    def test_markdown_renders(self, summary):
+        md = summary.to_markdown()
+        assert md.startswith("# Evaluation suite summary")
+        assert "| Fig. 5" in md
+        assert "820 MHz" in md
+
+    def test_elapsed_recorded(self, summary):
+        assert summary.elapsed_s > 0.0

@@ -1,0 +1,64 @@
+"""Tests that the measured Table II characterization matches the paper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {r.name: r for r in table2.run(n_iterations=1, time_scale=0.1)}
+
+
+class TestClassify:
+    def test_bands(self):
+        assert table2.classify(0.9) == "high"
+        assert table2.classify(0.7) == "high"
+        assert table2.classify(0.5) == "medium"
+        assert table2.classify(0.1) == "low"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            table2.classify(1.5)
+
+
+class TestMeasuredCharacterization:
+    def test_all_nine_workloads_measured(self, rows):
+        assert len(rows) == 9
+
+    def test_bfs_high_high(self, rows):
+        assert table2.classify(rows["bfs"].u_core) == "high"
+        assert table2.classify(rows["bfs"].u_mem) == "high"
+
+    def test_lud_medium_low(self, rows):
+        assert table2.classify(rows["lud"].u_core) == "medium"
+        assert table2.classify(rows["lud"].u_mem) == "low"
+
+    def test_nbody_core_dominant(self, rows):
+        assert table2.classify(rows["nbody"].u_core) == "high"
+        assert rows["nbody"].u_core > rows["nbody"].u_mem
+
+    def test_pathfinder_low_low(self, rows):
+        assert table2.classify(rows["pathfinder"].u_core) == "low"
+        assert table2.classify(rows["pathfinder"].u_mem) == "low"
+
+    def test_srad_high_medium(self, rows):
+        assert table2.classify(rows["srad_v2"].u_core) == "high"
+        assert table2.classify(rows["srad_v2"].u_mem) == "medium"
+
+    def test_hotspot_medium_low(self, rows):
+        assert table2.classify(rows["hotspot"].u_core) == "medium"
+        assert table2.classify(rows["hotspot"].u_mem) == "low"
+
+    def test_kmeans_medium_low(self, rows):
+        assert table2.classify(rows["kmeans"].u_core) == "medium"
+        assert table2.classify(rows["kmeans"].u_mem) == "low"
+
+    def test_fluctuating_workloads_flagged(self, rows):
+        assert rows["quasirandom"].fluctuating
+        assert rows["streamcluster"].fluctuating
+        assert "fluctuate" in rows["streamcluster"].measured_description
+
+    def test_enlargement_carried_from_paper(self, rows):
+        assert rows["kmeans"].enlargement == "988040 data points"

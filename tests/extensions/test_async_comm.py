@@ -1,0 +1,32 @@
+"""Tests for measured (non-emulated) async CPU+GPU scaling."""
+
+import pytest
+
+from repro.extensions.async_comm import measured_async_savings
+
+
+@pytest.fixture(scope="module")
+def result():
+    return measured_async_savings("kmeans", time_scale=0.1, n_iterations=3)
+
+
+class TestMeasuredAsync:
+    def test_ondemand_reaches_floor_pstate(self, result):
+        """Without busy-waiting, the governor actually throttles — the
+        behaviour the paper could only assume (§VII-A)."""
+        assert result.cpu_floor_reached
+
+    def test_measured_saving_positive(self, result):
+        assert result.measured_saving > 0.05
+
+    def test_measured_in_band_of_emulation(self, result):
+        """The paper's emulation was 'conservative'; the measured saving
+        should be in the same band (within a few points either way —
+        ondemand takes sampling intervals to walk down, the emulation
+        assumes instant repricing)."""
+        assert result.measured_saving == pytest.approx(
+            result.emulated_saving, abs=0.06
+        )
+
+    def test_emulated_saving_positive(self, result):
+        assert result.emulated_saving > 0.05

@@ -1,0 +1,61 @@
+"""Tests for the coupled-tier alternative (§IV's rejected design)."""
+
+import pytest
+
+from repro.core.config import GreenGpuConfig
+from repro.errors import ConfigError
+from repro.extensions.coupled import CoupledController, compare_coupling
+from tests.conftest import FAST_SCALE, fast_workload
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    config = GreenGpuConfig(
+        scaling_interval_s=3.0 * FAST_SCALE,
+        ondemand_interval_s=0.1 * FAST_SCALE,
+    )
+    return compare_coupling(
+        fast_workload("kmeans"),
+        config,
+        n_iterations=4,
+        subdivisions=8,
+        repartition_overhead_s=0.5 * FAST_SCALE,
+    )
+
+
+class TestCoupledController:
+    def test_micro_workload_divides_divisible_work_only(self):
+        shim = CoupledController(subdivisions=10)
+        base = fast_workload("kmeans")
+        micro = shim.micro_workload(base)
+        base_serial = (
+            base.profile.serial_fraction * base.profile.gpu_seconds_per_iteration
+        )
+        micro_serial = (
+            micro.profile.serial_fraction * micro.profile.gpu_seconds_per_iteration
+        )
+        # The barrier/reduction cost is per invocation: unchanged.
+        assert micro_serial == pytest.approx(base_serial)
+        # The divisible work splits ten ways.
+        base_divisible = base.profile.gpu_seconds_per_iteration - base_serial
+        micro_divisible = micro.profile.gpu_seconds_per_iteration - micro_serial
+        assert micro_divisible == pytest.approx(base_divisible / 10)
+
+    def test_rejects_zero_subdivisions(self):
+        with pytest.raises(ConfigError):
+            CoupledController(subdivisions=0)
+
+
+class TestDecouplingArgument:
+    def test_same_total_work_executed(self, comparison):
+        """4 full iterations == 32 micro-iterations of 1/8 the work."""
+        assert comparison.coupled.n_iterations == 32
+        assert comparison.decoupled.n_iterations == 4
+
+    def test_decoupled_design_wins_on_energy(self, comparison):
+        """The paper's §IV claim: coupling pays repartitioning and
+        serial-tax overheads every micro-iteration and loses."""
+        assert comparison.decoupled_advantage > 0.0
+
+    def test_coupled_also_slower(self, comparison):
+        assert comparison.coupled.total_s > comparison.decoupled.total_s

@@ -1,0 +1,124 @@
+"""Tests for the N-way workload divider."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.extensions.multigpu import DeviceTiming, MultiwayDivider
+
+
+class TestConstruction:
+    def test_defaults_to_uniform_shares(self):
+        d = MultiwayDivider(["cpu", "gpu0", "gpu1"])
+        assert np.allclose(d.shares, 1.0 / 3.0)
+
+    def test_explicit_initial_shares(self):
+        d = MultiwayDivider(["a", "b"], initial_shares=[0.3, 0.7])
+        assert np.allclose(d.shares, [0.3, 0.7])
+
+    def test_rejects_single_device(self):
+        with pytest.raises(PartitionError):
+            MultiwayDivider(["solo"])
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(PartitionError):
+            MultiwayDivider(["a", "b"], initial_shares=[0.3, 0.3])
+        with pytest.raises(PartitionError):
+            MultiwayDivider(["a", "b"], initial_shares=[-0.1, 1.1])
+        with pytest.raises(PartitionError):
+            MultiwayDivider(["a", "b"], initial_shares=[1.0])
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(PartitionError):
+            MultiwayDivider(["a", "b"], step=0.0)
+
+
+class TestUpdateRule:
+    def test_moves_from_slowest_to_fastest(self):
+        d = MultiwayDivider(["a", "b", "c"], step=0.1)
+        decision = d.update([
+            DeviceTiming("a", 3.0), DeviceTiming("b", 1.0), DeviceTiming("c", 2.0),
+        ])
+        assert decision.donor == 0 and decision.receiver == 1
+        assert np.allclose(d.shares, [1/3 - 0.1, 1/3 + 0.1, 1/3])
+
+    def test_equal_times_hold(self):
+        d = MultiwayDivider(["a", "b"])
+        decision = d.update([DeviceTiming("a", 2.0), DeviceTiming("b", 2.0)])
+        assert decision.donor is None and not decision.held_by_safeguard
+
+    def test_shares_always_sum_to_one(self):
+        d = MultiwayDivider(["a", "b", "c"], step=0.07)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            times = [DeviceTiming(n, float(rng.uniform(0.1, 5.0))) for n in d.names]
+            d.update(times)
+            assert d.shares.sum() == pytest.approx(1.0)
+            assert np.all(d.shares >= -1e-12)
+
+    def test_rejects_wrong_timing_count(self):
+        d = MultiwayDivider(["a", "b"])
+        with pytest.raises(PartitionError):
+            d.update([DeviceTiming("a", 1.0)])
+
+    def test_rejects_unknown_device_name(self):
+        d = MultiwayDivider(["a", "b"])
+        with pytest.raises(PartitionError):
+            d.update([DeviceTiming("a", 1.0), DeviceTiming("z", 1.0)])
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(PartitionError):
+            DeviceTiming("a", -1.0)
+
+
+class TestClosedLoopConvergence:
+    def test_two_device_case_reduces_to_paper_algorithm(self):
+        """With two devices the multiway rule converges to the same
+        grid point as the pairwise divider."""
+        d = MultiwayDivider(["cpu", "gpu"], initial_shares=[0.30, 0.70])
+        shares = d.drive([4.5, 1.0], iterations=20)
+        assert shares[0] == pytest.approx(0.20)  # kmeans-like parking
+
+    def test_three_devices_approach_balance(self):
+        d = MultiwayDivider(["cpu", "gpu0", "gpu1"])
+        unit_times = [5.0, 1.0, 1.5]
+        d.drive(unit_times, iterations=40)
+        # Perfect balance gives imbalance 1.0; step quantization plus the
+        # safeguard can park within one step of it.
+        assert d.imbalance(unit_times) < 1.5
+
+    def test_parked_state_is_stable(self):
+        d = MultiwayDivider(["cpu", "gpu0", "gpu1"])
+        unit_times = [5.0, 1.0, 1.5]
+        settled = d.drive(unit_times, iterations=40)
+        again = d.drive(unit_times, iterations=10)
+        assert np.allclose(settled, again)
+
+    def test_smaller_step_balances_tighter(self):
+        unit_times = [5.0, 1.0, 1.5]
+        coarse = MultiwayDivider(["a", "b", "c"], step=0.10)
+        fine = MultiwayDivider(["a", "b", "c"], step=0.01)
+        coarse.drive(unit_times, iterations=60)
+        fine.drive(unit_times, iterations=200)
+        assert fine.imbalance(unit_times) <= coarse.imbalance(unit_times)
+        assert fine.imbalance(unit_times) < 1.12
+
+    def test_four_devices(self):
+        d = MultiwayDivider(["cpu", "g0", "g1", "g2"], step=0.02)
+        unit_times = [6.0, 1.0, 1.2, 0.8]
+        d.drive(unit_times, iterations=150)
+        # The slow CPU's balanced share (~0.05) is only 2.5 steps wide, so
+        # step quantization can park it up to ~step/share away from
+        # perfect balance.
+        assert d.imbalance(unit_times) < 1.5
+
+    def test_dead_slow_device_starved(self):
+        """A device 100x slower ends up with (almost) no work."""
+        d = MultiwayDivider(["turtle", "gpu"], step=0.05)
+        shares = d.drive([100.0, 1.0], iterations=40)
+        assert shares[0] <= 0.05 + 1e-9
+
+    def test_imbalance_requires_work(self):
+        d = MultiwayDivider(["a", "b"], initial_shares=[1.0, 0.0])
+        with pytest.raises(PartitionError):
+            d.imbalance([0.0, 0.0])

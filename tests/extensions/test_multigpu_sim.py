@@ -1,0 +1,133 @@
+"""Tests for the full multi-GPU co-simulation."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import GreenGpuConfig
+from repro.errors import ConfigError, SimulationError
+from repro.extensions.multigpu_sim import (
+    MultiGreenGpuController,
+    MultiHeteroSystem,
+    run_multi_workload,
+)
+from repro.sim.calibration import geforce_8800_gtx_spec
+from tests.conftest import FAST_SCALE, fast_workload
+
+
+@pytest.fixture
+def fast_cfg():
+    return GreenGpuConfig(
+        scaling_interval_s=3.0 * FAST_SCALE,
+        ondemand_interval_s=0.1 * FAST_SCALE,
+    )
+
+
+def _run(n_gpus, workload_name="kmeans", n_iterations=8, cfg=None, gpu_specs=None):
+    if gpu_specs is None:
+        gpu_specs = [geforce_8800_gtx_spec() for _ in range(n_gpus)]
+    system = MultiHeteroSystem(gpu_specs=gpu_specs)
+    cfg = cfg or GreenGpuConfig(
+        scaling_interval_s=3.0 * FAST_SCALE, ondemand_interval_s=0.1 * FAST_SCALE
+    )
+    return run_multi_workload(
+        fast_workload(workload_name),
+        system=system,
+        controller=MultiGreenGpuController(system, cfg),
+        n_iterations=n_iterations,
+    )
+
+
+class TestPlatform:
+    def test_requires_one_gpu(self):
+        with pytest.raises(ConfigError):
+            MultiHeteroSystem(gpu_specs=[])
+
+    def test_default_is_dual_gpu(self):
+        assert len(MultiHeteroSystem().gpus) == 2
+
+    def test_one_meter_per_card(self):
+        system = MultiHeteroSystem(
+            gpu_specs=[geforce_8800_gtx_spec()] * 3
+        )
+        assert len(system.meter_gpus) == 3
+
+    def test_energy_sums_all_meters(self):
+        system = MultiHeteroSystem()
+        system.step(horizon=2.0)
+        expected = system.meter_cpu.energy_j + sum(
+            m.energy_j for m in system.meter_gpus
+        )
+        assert system.total_energy_j == pytest.approx(expected)
+
+
+class TestDualGpuRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return _run(n_gpus=2, n_iterations=10)
+
+    def test_identical_cards_share_equally(self, result):
+        """Two identical GPUs must end with (near) equal shares."""
+        _, g0, g1 = result.final_shares
+        assert g0 == pytest.approx(g1, abs=0.051)
+
+    def test_cpu_share_shrinks_from_uniform(self, result):
+        """The slow CPU gives up work to the cards."""
+        assert result.final_shares[0] < 0.30
+
+    def test_shares_sum_to_one(self, result):
+        assert sum(result.final_shares) == pytest.approx(1.0)
+
+    def test_iteration_times_decrease_with_balance(self, result):
+        assert result.iteration_times[-1] < result.iteration_times[0]
+
+    def test_two_gpus_faster_than_one(self):
+        one = _run(n_gpus=1, n_iterations=8)
+        two = _run(n_gpus=2, n_iterations=8)
+        assert two.total_s < one.total_s
+
+    def test_result_metadata(self, result):
+        assert result.workload == "kmeans"
+        assert result.n_gpus == 2
+
+
+class TestHeterogeneousCards:
+    def test_slower_card_gets_less_work(self):
+        fast_card = geforce_8800_gtx_spec()
+        slow_card = dataclasses.replace(
+            fast_card,
+            name="half-speed card",
+            peak_compute_rate=fast_card.peak_compute_rate / 2.0,
+            peak_bandwidth=fast_card.peak_bandwidth / 2.0,
+        )
+        result = _run(
+            n_gpus=2, n_iterations=14, gpu_specs=[fast_card, slow_card]
+        )
+        _, g_fast, g_slow = result.final_shares
+        assert g_fast > g_slow
+
+
+class TestControllerIntegration:
+    def test_per_card_scalers_independent(self, fast_cfg):
+        system = MultiHeteroSystem()
+        controller = MultiGreenGpuController(system, fast_cfg)
+        assert len(controller.scalers) == 2
+        assert controller.scalers[0] is not controller.scalers[1]
+        controller.detach()
+
+    def test_scaling_throttles_idle_cards(self, fast_cfg):
+        system = MultiHeteroSystem()
+        for gpu in system.gpus:
+            gpu.set_peak()
+        controller = MultiGreenGpuController(system, fast_cfg)
+        # No work: run the clock alone for several scaling intervals.
+        end = system.now + 10 * fast_cfg.scaling_interval_s
+        while system.now < end:
+            system.step(horizon=end - system.now)
+        for gpu in system.gpus:
+            assert gpu.f_core == gpu.spec.core_ladder.floor
+        controller.detach()
+
+    def test_run_validates_iterations(self):
+        with pytest.raises(SimulationError):
+            run_multi_workload(fast_workload("kmeans"), n_iterations=0)

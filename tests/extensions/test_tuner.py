@@ -1,0 +1,51 @@
+"""Tests for the WMA parameter grid search."""
+
+import pytest
+
+from repro.core.config import GreenGpuConfig
+from repro.errors import ConfigError
+from repro.extensions.tuner import grid_search_wma_params
+
+
+@pytest.fixture(scope="module")
+def result():
+    return grid_search_wma_params(
+        workloads=["kmeans", "pathfinder"],
+        alpha_core_grid=(0.05, 0.15, 0.40),
+        alpha_mem_grid=(0.02, 0.15),
+        phi_grid=(0.3,),
+        beta_grid=(0.2,),
+        time_scale=0.05,
+        n_iterations=2,
+        slowdown_budget=0.05,
+    )
+
+
+class TestGridSearch:
+    def test_evaluates_full_grid(self, result):
+        assert len(result.points) == 6
+
+    def test_best_point_feasible_when_possible(self, result):
+        if any(p.feasible for p in result.points):
+            assert result.best.feasible
+
+    def test_best_point_maximizes_saving(self, result):
+        feasible = [p for p in result.points if p.feasible]
+        pool = feasible if feasible else result.points
+        assert result.best.mean_saving == max(p.mean_saving for p in pool)
+
+    def test_paper_config_is_on_grid_and_competitive(self, result):
+        """The paper's hand-tuned point must be found and must respect
+        the paper's own slowdown objective."""
+        paper = result.point_for(GreenGpuConfig())
+        assert paper is not None
+        assert paper.feasible
+        assert paper.mean_saving > 0.0
+
+    def test_point_for_missing_config(self, result):
+        off_grid = GreenGpuConfig(alpha_core=0.11)
+        assert result.point_for(off_grid) is None
+
+    def test_rejects_empty_training_set(self):
+        with pytest.raises(ConfigError):
+            grid_search_wma_params(workloads=[])

@@ -1,0 +1,60 @@
+"""Determinism: identical runs must produce identical results.
+
+The whole simulator is deterministic by construction (no wall-clock, no
+RNG in the control path); these tests pin that property, which the
+workflow-style experiments rely on for reproducibility.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import GreenGpuPolicy, RodiniaDefaultPolicy
+from repro.runtime.executor import run_workload
+from tests.conftest import fast_workload
+
+
+def _run_once(policy_factory, name="kmeans", n=5):
+    from repro.core.config import GreenGpuConfig
+    from repro.runtime.executor import ExecutorOptions
+    from tests.conftest import FAST_SCALE
+
+    cfg = GreenGpuConfig(
+        scaling_interval_s=3.0 * FAST_SCALE, ondemand_interval_s=0.1 * FAST_SCALE
+    )
+    return run_workload(
+        fast_workload(name),
+        policy_factory(cfg),
+        n_iterations=n,
+        options=ExecutorOptions(repartition_overhead_s=0.5 * FAST_SCALE),
+    )
+
+
+class TestBitwiseReproducibility:
+    def test_static_runs_identical(self):
+        a = _run_once(lambda cfg: RodiniaDefaultPolicy())
+        b = _run_once(lambda cfg: RodiniaDefaultPolicy())
+        assert a.total_energy_j == b.total_energy_j
+        assert a.total_s == b.total_s
+
+    def test_controlled_runs_identical(self):
+        a = _run_once(lambda cfg: GreenGpuPolicy(config=cfg))
+        b = _run_once(lambda cfg: GreenGpuPolicy(config=cfg))
+        assert a.total_energy_j == b.total_energy_j
+        assert np.array_equal(a.ratios(), b.ratios())
+        assert np.array_equal(a.iteration_energies(), b.iteration_energies())
+
+    def test_traces_identical(self):
+        a = _run_once(lambda cfg: GreenGpuPolicy(config=cfg))
+        b = _run_once(lambda cfg: GreenGpuPolicy(config=cfg))
+        for channel in ("gpu_f_core", "gpu_f_mem"):
+            assert np.array_equal(a.traces[channel].values, b.traces[channel].values)
+
+    def test_workload_kernels_deterministic(self):
+        from repro.workloads import kmeans
+
+        pa = kmeans.generate_problem(seed=42)
+        pb = kmeans.generate_problem(seed=42)
+        la, ca = kmeans.run_lloyd(pa, 3, r=0.25)
+        lb, cb = kmeans.run_lloyd(pb, 3, r=0.25)
+        assert np.array_equal(la, lb)
+        assert np.array_equal(ca, cb)

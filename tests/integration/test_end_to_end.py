@@ -1,0 +1,103 @@
+"""End-to-end integration: full policies on full workloads.
+
+These tests run the complete stack — testbed, monitors, two-tier
+controller, executor, meters — and assert the paper's headline orderings
+hold for every Table II workload, not just the figures' subjects.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    DivisionOnlyPolicy,
+    FrequencyScalingOnlyPolicy,
+    GreenGpuPolicy,
+    RodiniaDefaultPolicy,
+)
+from repro.runtime.executor import run_workload
+from repro.workloads.characteristics import workload_names
+from tests.conftest import fast_workload
+
+
+@pytest.fixture(scope="module")
+def comparisons(fast_config, fast_options):
+    """GreenGPU vs default for kmeans and hotspot at fast scale."""
+    out = {}
+    for name in ("kmeans", "hotspot"):
+        w = fast_workload(name)
+        out[name] = {
+            "default": run_workload(w, RodiniaDefaultPolicy(), n_iterations=8,
+                                    options=fast_options),
+            "green": run_workload(w, GreenGpuPolicy(config=fast_config),
+                                  n_iterations=8, options=fast_options),
+            "division": run_workload(w, DivisionOnlyPolicy(config=fast_config),
+                                     n_iterations=8, options=fast_options),
+            "scaling": run_workload(w, FrequencyScalingOnlyPolicy(config=fast_config),
+                                    n_iterations=8, options=fast_options),
+        }
+    return out
+
+
+# conftest fixtures are function-scoped; redefine at module scope here.
+@pytest.fixture(scope="module")
+def fast_config():
+    from repro.core.config import GreenGpuConfig
+    from tests.conftest import FAST_SCALE
+
+    return GreenGpuConfig(
+        scaling_interval_s=3.0 * FAST_SCALE, ondemand_interval_s=0.1 * FAST_SCALE
+    )
+
+
+@pytest.fixture(scope="module")
+def fast_options():
+    from repro.runtime.executor import ExecutorOptions
+    from tests.conftest import FAST_SCALE
+
+    return ExecutorOptions(repartition_overhead_s=0.5 * FAST_SCALE)
+
+
+class TestHeadlineOrdering:
+    def test_greengpu_saves_vs_default(self, comparisons):
+        for name, runs in comparisons.items():
+            saving = runs["green"].energy_saving_vs(runs["default"])
+            assert saving > 0.05, name
+
+    def test_greengpu_beats_both_single_tiers(self, comparisons):
+        for name, runs in comparisons.items():
+            assert runs["green"].total_energy_j <= runs["division"].total_energy_j
+            assert runs["green"].total_energy_j <= runs["scaling"].total_energy_j
+
+    def test_division_beats_scaling_on_divisible_workloads(self, comparisons):
+        """§VII-C: division contributes more than frequency scaling."""
+        for name, runs in comparisons.items():
+            assert runs["division"].total_energy_j < runs["scaling"].total_energy_j
+
+    def test_kmeans_converges_to_20_80(self, comparisons):
+        assert comparisons["kmeans"]["green"].final_ratio == pytest.approx(0.20)
+
+    def test_hotspot_converges_to_50_50(self, comparisons):
+        assert comparisons["hotspot"]["green"].final_ratio == pytest.approx(0.50)
+
+
+class TestAllWorkloadsRunnable:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_scaling_only_never_catastrophic(self, name, fast_config):
+        """Tier 2 must never blow up time or energy on any workload."""
+        w = fast_workload(name)
+        from repro.core.policies import BestPerformancePolicy
+
+        base = run_workload(w, BestPerformancePolicy(), n_iterations=2)
+        scaled = run_workload(
+            w, FrequencyScalingOnlyPolicy(config=fast_config), n_iterations=2
+        )
+        assert scaled.slowdown_vs(base) < 0.15
+        assert scaled.gpu_energy_saving_vs(base) > -0.05
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_greengpu_runs_on_everything(self, name, fast_config, fast_options):
+        w = fast_workload(name)
+        result = run_workload(
+            w, GreenGpuPolicy(config=fast_config), n_iterations=3, options=fast_options
+        )
+        assert result.n_iterations == 3
+        assert result.total_energy_j > 0.0

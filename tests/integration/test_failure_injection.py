@@ -1,0 +1,102 @@
+"""Failure injection: the stack must fail loudly, not silently.
+
+A control framework that silently mis-measures energy is worse than one
+that crashes; these tests pin the guard rails."""
+
+import pytest
+
+from repro.core.controller import GreenGpuController, TierMode
+from repro.core.policies import RodiniaDefaultPolicy, StaticPolicy
+from repro.errors import ReproError, SimulationError
+from repro.runtime.executor import ExecutorOptions, HeteroExecutor, run_workload
+from repro.sim.activity import KernelActivity, PhaseDemand
+from repro.sim.platform import make_testbed
+from tests.conftest import fast_workload
+
+
+class TestTimeoutGuards:
+    def test_iteration_timeout_fires(self, fast_kmeans):
+        """A pathologically short timeout must raise, not hang."""
+        with pytest.raises(SimulationError, match="exceeded"):
+            run_workload(
+                fast_kmeans,
+                RodiniaDefaultPolicy(),
+                n_iterations=1,
+                options=ExecutorOptions(iteration_timeout_s=0.001),
+            )
+
+    def test_run_until_idle_timeout_fires(self, testbed):
+        testbed.gpu.submit_kernel(
+            KernelActivity([PhaseDemand(flops=1e20, bytes=0.0)])
+        )
+        with pytest.raises(SimulationError, match="busy"):
+            testbed.run_until_devices_idle(timeout_s=0.5)
+
+
+class TestMidRunCancellation:
+    def test_cancelled_gpu_work_leaves_consistent_state(self, testbed):
+        testbed.gpu.set_peak()
+        testbed.gpu.submit_kernel(
+            KernelActivity([PhaseDemand(flops=1e12, bytes=1e10, stall_s=1.0)])
+        )
+        testbed.run_for(0.5)
+        testbed.gpu.cancel_all()
+        assert not testbed.gpu.busy
+        # The system keeps simulating fine afterwards.
+        testbed.run_for(1.0)
+        assert testbed.now == pytest.approx(1.5)
+
+
+class TestControllerMisuse:
+    def test_detached_controller_never_touches_devices(self, testbed, fast_config):
+        ctrl = GreenGpuController(TierMode.SCALING_ONLY, fast_config)
+        ctrl.attach(testbed)
+        ctrl.detach()
+        testbed.gpu.set_peak()
+        testbed.run_for(1.0)
+        assert testbed.gpu.core_level == 0  # nothing throttled it
+
+    def test_iteration_end_without_division_is_safe(self, fast_config):
+        ctrl = GreenGpuController(TierMode.NONE, fast_config, initial_ratio=0.3)
+        assert ctrl.on_iteration_end(1.0, 2.0) == 0.3
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_catchable_as_repro_error(self):
+        from repro import errors
+
+        for name in ("ConfigError", "SimulationError", "FrequencyError",
+                      "WorkloadError", "PartitionError", "MeterError",
+                      "ConvergenceError"):
+            assert issubclass(getattr(errors, name), ReproError)
+
+    def test_policy_misuse_raises_repro_error(self, testbed):
+        with pytest.raises(ReproError):
+            StaticPolicy(99, 0).apply_initial_state(testbed)
+
+
+class TestExecutorRobustness:
+    def test_executor_survives_zero_ratio_forever(self, fast_kmeans, fast_config):
+        """All-GPU with division enabled: the divider probes the CPU and
+        must not deadlock at the boundary."""
+        from repro.core.policies import DivisionOnlyPolicy
+
+        result = run_workload(
+            fast_kmeans,
+            DivisionOnlyPolicy(initial_ratio=0.0, config=fast_config),
+            n_iterations=4,
+            options=ExecutorOptions(repartition_overhead_s=0.0),
+        )
+        assert result.n_iterations == 4
+
+    def test_max_ratio_cap_respected(self, fast_kmeans, fast_config):
+        from repro.core.policies import DivisionOnlyPolicy
+
+        cfg = fast_config.with_(max_cpu_ratio=0.10, initial_cpu_ratio=0.10)
+        result = run_workload(
+            fast_kmeans,
+            DivisionOnlyPolicy(config=cfg),
+            n_iterations=3,
+            options=ExecutorOptions(repartition_overhead_s=0.0),
+        )
+        assert all(m.r <= 0.10 + 1e-12 for m in result.iterations)

@@ -1,0 +1,92 @@
+"""Tests for the noise-injecting monitor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitors.noise import NoisyNvidiaSmi
+from repro.sim.gpu import GpuDevice
+
+
+def _advance(gpu, dt):
+    """Advance a device by dt, stepping through its internal events."""
+    remaining = dt
+    while remaining > 1e-12:
+        step = gpu.time_to_event()
+        step = remaining if step is None else min(step, remaining)
+        gpu.advance(step)
+        remaining -= step
+
+
+@pytest.fixture
+def busy_gpu(gpu_spec):
+    from repro.sim.activity import KernelActivity, PhaseDemand
+
+    gpu = GpuDevice(gpu_spec)
+    gpu.set_peak()
+    stall = gpu_spec.roofline.stall_for_utilizations(0.6, 0.25)
+    gpu.submit_kernel(KernelActivity([
+        PhaseDemand(
+            flops=0.6 * 100.0 * gpu_spec.peak_compute_rate,
+            bytes=0.25 * 100.0 * gpu_spec.peak_bandwidth,
+            stall_s=stall * 100.0,
+        )
+    ]))
+    return gpu
+
+
+class TestNoisyMonitor:
+    def test_zero_amplitude_is_transparent(self, busy_gpu):
+        noisy = NoisyNvidiaSmi(busy_gpu, amplitude=0.0)
+        _advance(busy_gpu, 5.0)
+        sample = noisy.query()
+        assert sample.u_core == pytest.approx(0.6, rel=0.05)
+
+    def test_noise_bounded_by_amplitude(self, busy_gpu):
+        noisy = NoisyNvidiaSmi(busy_gpu, amplitude=0.05, seed=3)
+        readings = []
+        for _ in range(50):
+            _advance(busy_gpu, 1.0)
+            readings.append(noisy.query().u_core)
+        readings = np.array(readings)
+        assert np.all(np.abs(readings - 0.6) <= 0.05 + 0.01)
+
+    def test_readings_clamped_to_unit_interval(self, gpu_spec):
+        gpu = GpuDevice(gpu_spec)  # idle: true utilization 0
+        noisy = NoisyNvidiaSmi(gpu, amplitude=0.5, seed=1)
+        for _ in range(20):
+            _advance(gpu, 1.0)
+            sample = noisy.query()
+            assert 0.0 <= sample.u_core <= 1.0
+            assert 0.0 <= sample.u_mem <= 1.0
+
+    def test_deterministic_by_seed(self, busy_gpu, gpu_spec):
+        from repro.sim.activity import KernelActivity, PhaseDemand
+
+        def trace(seed):
+            gpu = GpuDevice(gpu_spec)
+            noisy = NoisyNvidiaSmi(gpu, amplitude=0.1, seed=seed)
+            out = []
+            for _ in range(10):
+                _advance(gpu, 1.0)
+                out.append(noisy.query().u_core)
+            return out
+
+        assert trace(5) == trace(5)
+        assert trace(5) != trace(6)
+
+    def test_clocks_passthrough(self, busy_gpu):
+        noisy = NoisyNvidiaSmi(busy_gpu, amplitude=0.1)
+        assert noisy.peek_clocks() == (busy_gpu.f_core, busy_gpu.f_mem)
+
+    def test_query_counter(self, busy_gpu):
+        noisy = NoisyNvidiaSmi(busy_gpu, amplitude=0.1)
+        _advance(busy_gpu, 1.0)
+        noisy.query()
+        assert noisy.queries == 1
+
+    def test_rejects_bad_amplitude(self, busy_gpu):
+        with pytest.raises(ConfigError):
+            NoisyNvidiaSmi(busy_gpu, amplitude=-0.1)
+        with pytest.raises(ConfigError):
+            NoisyNvidiaSmi(busy_gpu, amplitude=1.5)

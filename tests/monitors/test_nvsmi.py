@@ -1,0 +1,89 @@
+"""Tests for the nvidia-smi facade."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.monitors.nvsmi import NvidiaSmi
+from repro.sim.activity import KernelActivity, PhaseDemand
+from repro.sim.gpu import GpuDevice
+
+
+def _kernel(spec, seconds, u_core, u_mem):
+    stall = spec.roofline.stall_for_utilizations(u_core, u_mem)
+    return KernelActivity([
+        PhaseDemand(
+            flops=u_core * seconds * spec.peak_compute_rate,
+            bytes=u_mem * seconds * spec.peak_bandwidth,
+            stall_s=stall * seconds,
+        )
+    ])
+
+
+class TestWindowedSampling:
+    def test_idle_window_reads_zero(self, gpu_spec):
+        gpu = GpuDevice(gpu_spec)
+        smi = NvidiaSmi(gpu)
+        gpu.advance(1.0)
+        sample = smi.query()
+        assert sample.u_core == 0.0 and sample.u_mem == 0.0
+        assert sample.window_s == pytest.approx(1.0)
+
+    def test_busy_window_reads_target_utilizations(self, gpu_spec):
+        gpu = GpuDevice(gpu_spec)
+        gpu.set_peak()
+        smi = NvidiaSmi(gpu)
+        gpu.submit_kernel(_kernel(gpu_spec, 10.0, 0.6, 0.25))
+        while gpu.busy:
+            gpu.advance(gpu.time_to_event())
+        sample = smi.query()
+        assert sample.u_core == pytest.approx(0.6, rel=0.01)
+        assert sample.u_mem == pytest.approx(0.25, rel=0.01)
+
+    def test_windows_are_independent(self, gpu_spec):
+        """Busy first window, idle second window."""
+        gpu = GpuDevice(gpu_spec)
+        gpu.set_peak()
+        smi = NvidiaSmi(gpu)
+        gpu.submit_kernel(_kernel(gpu_spec, 2.0, 0.8, 0.2))
+        while gpu.busy:
+            gpu.advance(gpu.time_to_event())
+        busy = smi.query()
+        gpu.advance(2.0)
+        idle = smi.query()
+        assert busy.u_core > 0.7
+        assert idle.u_core == 0.0
+
+    def test_utilization_relative_to_current_clock(self, gpu_spec):
+        """Throttling memory raises measured memory utilization — the
+        feedback the WMA loss function relies on."""
+        def measure(mem_level):
+            gpu = GpuDevice(gpu_spec)
+            gpu.set_levels(0, mem_level)
+            smi = NvidiaSmi(gpu)
+            gpu.submit_kernel(_kernel(gpu_spec, 5.0, 0.4, 0.4))
+            while gpu.busy:
+                gpu.advance(gpu.time_to_event())
+            return smi.query().u_mem
+
+        assert measure(3) > measure(0)
+
+    def test_empty_window_raises(self, gpu_spec):
+        smi = NvidiaSmi(GpuDevice(gpu_spec))
+        with pytest.raises(SimulationError):
+            smi.query()
+
+    def test_sample_carries_current_clocks(self, gpu_spec):
+        gpu = GpuDevice(gpu_spec)
+        gpu.set_levels(1, 2)
+        smi = NvidiaSmi(gpu)
+        gpu.advance(1.0)
+        sample = smi.query()
+        assert sample.f_core == gpu_spec.core_ladder[1]
+        assert sample.f_mem == gpu_spec.mem_ladder[2]
+
+    def test_peek_clocks_does_not_consume_window(self, gpu_spec):
+        gpu = GpuDevice(gpu_spec)
+        smi = NvidiaSmi(gpu)
+        gpu.advance(1.0)
+        assert smi.peek_clocks() == (gpu.f_core, gpu.f_mem)
+        assert smi.query().window_s == pytest.approx(1.0)

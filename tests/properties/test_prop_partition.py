@@ -1,0 +1,66 @@
+"""Property-based tests for partitioning and kernel division contracts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.runtime.partition import partition_slices, split_units
+from repro.workloads import hotspot, kmeans, pathfinder
+
+ratios = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestPartitionProperties:
+    @given(n=st.integers(0, 10_000), r=ratios)
+    def test_slices_partition_exactly(self, n, r):
+        cpu, gpu = partition_slices(n, r)
+        assert cpu.start == 0
+        assert cpu.stop == gpu.start
+        assert gpu.stop == n
+
+    @given(total=st.floats(0.0, 1e9), r=ratios)
+    def test_units_conserved(self, total, r):
+        cpu, gpu = split_units(total, r)
+        assert cpu + gpu == np.float64(total) or abs(cpu + gpu - total) < 1e-6 * max(total, 1.0)
+        assert cpu >= 0.0 and gpu >= 0.0
+
+    @given(n=st.integers(1, 1000), r=ratios)
+    def test_boundary_proportional(self, n, r):
+        cpu, _ = partition_slices(n, r)
+        assert abs(cpu.stop - r * n) <= 0.5 + 1e-9
+
+
+class TestKernelDivisionContracts:
+    @given(r=ratios, seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_kmeans_any_split_matches(self, r, seed):
+        problem = kmeans.generate_problem(n=128, k=4, d=3, seed=seed)
+        labels_m, cent_m = kmeans.lloyd_step(problem)
+        labels_p, cent_p = kmeans.lloyd_step_partitioned(problem, r)
+        assert np.array_equal(labels_m, labels_p)
+        assert np.allclose(cent_m, cent_p)
+
+    @given(r=ratios, seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_hotspot_any_split_matches(self, r, seed):
+        problem = hotspot.generate_problem(rows=16, cols=12, seed=seed)
+        assert np.allclose(
+            hotspot.step(problem.temp, problem.power),
+            hotspot.step_partitioned(problem.temp, problem.power, r),
+        )
+
+    @given(
+        r=ratios,
+        grid=hnp.arrays(
+            dtype=np.int64,
+            shape=st.tuples(st.integers(2, 12), st.integers(2, 12)),
+            elements=st.integers(1, 100),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pathfinder_any_split_any_grid(self, r, grid):
+        assert np.array_equal(
+            pathfinder.min_path_costs(grid, 0.0),
+            pathfinder.min_path_costs(grid, r),
+        )

@@ -1,0 +1,73 @@
+"""Property-based tests for the roofline model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.perf import RooflineModel
+
+exponents = st.sampled_from([1.0, 2.0, 4.0, 8.0, float("inf")])
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+positive_rates = st.floats(min_value=1e-3, max_value=1e15, allow_nan=False)
+demands = st.floats(min_value=0.0, max_value=1e18, allow_nan=False)
+utils = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestCombineProperties:
+    @given(k=exponents, tc=times, tm=times, ts=times)
+    def test_bounded_between_max_and_sum(self, k, tc, tm, ts):
+        t = RooflineModel(k).combine(tc, tm, ts)
+        assert t >= max(tc, tm, ts) - 1e-9 * max(tc, tm, ts, 1.0)
+        assert t <= tc + tm + ts + 1e-9 * (tc + tm + ts + 1.0)
+
+    @given(tc=times, tm=times, ts=times)
+    def test_larger_exponent_never_slower(self, tc, tm, ts):
+        """More overlap (larger k) can only reduce the combined time."""
+        t2 = RooflineModel(2.0).combine(tc, tm, ts)
+        t8 = RooflineModel(8.0).combine(tc, tm, ts)
+        assert t8 <= t2 * (1.0 + 1e-12)
+
+    @given(k=exponents, tc=times, tm=times, scale=st.floats(1e-3, 1e3))
+    def test_positively_homogeneous(self, k, tc, tm, scale):
+        """combine(s*tc, s*tm) == s * combine(tc, tm)."""
+        m = RooflineModel(k)
+        lhs = m.combine(tc * scale, tm * scale)
+        rhs = scale * m.combine(tc, tm)
+        assert math.isclose(lhs, rhs, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestEstimateProperties:
+    @given(
+        k=exponents, flops=demands, bytes_=demands,
+        rate=positive_rates, bw=positive_rates,
+        stall=st.floats(min_value=0.0, max_value=1e6),
+    )
+    @settings(max_examples=200)
+    def test_utilizations_always_valid(self, k, flops, bytes_, rate, bw, stall):
+        est = RooflineModel(k).estimate(flops, bytes_, rate, bw, stall)
+        assert 0.0 <= est.u_core <= 1.0
+        assert 0.0 <= est.u_mem <= 1.0
+        assert est.seconds >= 0.0
+
+    @given(k=exponents, u_core=utils, u_mem=utils)
+    def test_stall_solution_round_trips(self, k, u_core, u_mem):
+        """Whenever a pair is feasible, the solved stall reproduces it."""
+        m = RooflineModel(k)
+        if m.utilization_norm(u_core, u_mem) > 1.0:
+            return
+        stall = m.stall_for_utilizations(u_core, u_mem)
+        est = m.estimate(u_core * 10.0, u_mem * 10.0, 10.0, 10.0, stall * 1.0)
+        assert math.isclose(est.u_core, u_core, rel_tol=1e-6, abs_tol=1e-9)
+        assert math.isclose(est.u_mem, u_mem, rel_tol=1e-6, abs_tol=1e-9)
+
+    @given(
+        flops=st.floats(1.0, 1e12), bytes_=st.floats(1.0, 1e12),
+        rate=positive_rates, bw=positive_rates,
+        throttle=st.floats(0.1, 1.0),
+    )
+    def test_throttling_never_speeds_up(self, flops, bytes_, rate, bw, throttle):
+        m = RooflineModel(4.0)
+        base = m.estimate(flops, bytes_, rate, bw)
+        slow = m.estimate(flops, bytes_, rate * throttle, bw)
+        assert slow.seconds >= base.seconds * (1.0 - 1e-12)

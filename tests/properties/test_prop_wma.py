@@ -1,0 +1,104 @@
+"""Property-based tests for the WMA scaler and its building blocks."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GreenGpuConfig
+from repro.core.loss import loss_vector, total_loss_matrix, umean_vector
+from repro.core.weights import WeightTable
+from repro.core.wma import WmaFrequencyScaler
+from repro.sim.frequency import FrequencyLadder
+
+utils = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+level_counts = st.integers(min_value=2, max_value=8)
+
+
+class TestLossProperties:
+    @given(u=utils, alpha=alphas, n=level_counts)
+    def test_losses_in_unit_interval(self, u, alpha, n):
+        vec = loss_vector(u, umean_vector(n), alpha)
+        assert np.all(vec >= 0.0) and np.all(vec <= 1.0)
+
+    @given(u=utils, n=level_counts)
+    def test_zero_loss_only_at_exact_umean(self, u, n):
+        """Loss vanishes only where u (essentially) equals the level's
+        umean — "essentially" because subnormal |u - umean| gaps can
+        underflow to a zero loss after the alpha multiply."""
+        umeans = umean_vector(n)
+        vec = loss_vector(u, umeans, 0.5)
+        for loss, umean in zip(vec, umeans):
+            if loss == 0.0:
+                assert abs(u - umean) < 1e-300
+            else:
+                assert u != umean
+
+    @given(u=utils, alpha=alphas, phi=utils, n=level_counts, m=level_counts)
+    def test_total_loss_in_unit_interval(self, u, alpha, phi, n, m):
+        lc = loss_vector(u, umean_vector(n), alpha)
+        lm = loss_vector(1.0 - u, umean_vector(m), alpha)
+        total = total_loss_matrix(lc, lm, phi)
+        assert total.shape == (n, m)
+        assert np.all(total >= 0.0) and np.all(total <= 1.0)
+
+
+class TestWeightTableProperties:
+    @given(
+        n=level_counts, m=level_counts,
+        beta=st.floats(0.01, 0.99),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_weights_stay_positive_and_ordered_by_loss(self, n, m, beta, data):
+        """After any sequence of identical loss matrices, weights order
+        inversely to cumulative loss."""
+        table = WeightTable(n, m)
+        loss = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.floats(0.0, 1.0), min_size=m, max_size=m),
+                    min_size=n, max_size=n,
+                )
+            )
+        )
+        for _ in range(data.draw(st.integers(1, 10))):
+            table.update(loss, beta)
+        w = table.weights
+        assert np.all(w > 0.0)
+        i, j = table.best_pair()
+        # Float ties: losses within one ulp of the minimum share the top
+        # weight after rounding, so allow a hair of slack.
+        assert loss[i, j] <= loss.min() + 1e-12
+
+    @given(n=level_counts, m=level_counts)
+    def test_initial_best_pair_is_fastest(self, n, m):
+        assert WeightTable(n, m).best_pair() == (0, 0)
+
+
+class TestScalerProperties:
+    @given(u_core=utils, u_mem=utils, steps=st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_stationary_input_settles(self, u_core, u_mem, steps):
+        """Driving with a constant utilization pair always converges to a
+        fixed frequency pair within the table horizon."""
+        ladder = FrequencyLadder.equally_spaced(100.0, 600.0, 6)
+        scaler = WmaFrequencyScaler(ladder, ladder, GreenGpuConfig())
+        decisions = [scaler.step(u_core, u_mem) for _ in range(30 + steps)]
+        tail = decisions[-5:]
+        pairs = {(d.core_level, d.mem_level) for d in tail}
+        assert len(pairs) == 1
+
+    @given(u=utils)
+    @settings(max_examples=30, deadline=None)
+    def test_higher_utilization_never_lower_frequency(self, u):
+        """Monotonicity of the settled choice in utilization."""
+        ladder = FrequencyLadder.equally_spaced(100.0, 600.0, 6)
+        low = WmaFrequencyScaler(ladder, ladder)
+        high = WmaFrequencyScaler(ladder, ladder)
+        u_hi = min(1.0, u + 0.3)
+        for _ in range(25):
+            d_low = low.step(u, u)
+            d_high = high.step(u_hi, u_hi)
+        assert d_high.core_level <= d_low.core_level
+        assert d_high.mem_level <= d_low.mem_level

@@ -1,0 +1,129 @@
+"""Tests for the heterogeneous executor."""
+
+import pytest
+
+from repro.core.policies import (
+    BestPerformancePolicy,
+    DivisionOnlyPolicy,
+    RodiniaDefaultPolicy,
+    StaticPolicy,
+)
+from repro.errors import SimulationError
+from repro.runtime.executor import ExecutorOptions, run_workload
+from repro.sim.platform import make_testbed
+from tests.conftest import FAST_SCALE, fast_workload
+
+
+class TestSingleIterations:
+    def test_all_gpu_iteration_timing(self, fast_kmeans):
+        result = run_workload(fast_kmeans, RodiniaDefaultPolicy(), n_iterations=1)
+        m = result.iterations[0]
+        assert m.tc == 0.0
+        # tg ~ scaled iteration seconds + transfers + launch overhead.
+        nominal = fast_kmeans.profile.gpu_seconds_per_iteration
+        assert m.tg == pytest.approx(nominal, rel=0.02)
+        assert m.wall_s >= m.tg
+
+    def test_divided_iteration_reports_both_times(self, fast_kmeans):
+        result = run_workload(
+            fast_kmeans, StaticPolicy(0, 0, ratio=0.2), n_iterations=1
+        )
+        m = result.iterations[0]
+        assert m.tc > 0.0 and m.tg > 0.0
+
+    def test_cpu_spins_while_gpu_works(self, fast_kmeans):
+        system = make_testbed()
+        run_workload(fast_kmeans, RodiniaDefaultPolicy(), n_iterations=1, system=system)
+        # Synchronized communication: CPU busy-waits the entire GPU run.
+        assert system.cpu.spin_seconds > 0.9 * system.now
+
+    def test_async_mode_no_spin(self, fast_kmeans):
+        system = make_testbed()
+        run_workload(
+            fast_kmeans,
+            RodiniaDefaultPolicy(),
+            n_iterations=1,
+            system=system,
+            options=ExecutorOptions(sync_spin=False),
+        )
+        assert system.cpu.spin_seconds == 0.0
+
+    def test_energy_split_across_meters(self, fast_kmeans):
+        result = run_workload(fast_kmeans, RodiniaDefaultPolicy(), n_iterations=1)
+        assert result.total_energy_j == pytest.approx(
+            result.gpu_energy_j + result.cpu_energy_j
+        )
+        assert result.gpu_energy_j > 0.0 and result.cpu_energy_j > 0.0
+
+
+class TestDivisionDynamics:
+    def test_balanced_division_shorter_than_all_gpu(self, fast_hotspot, fast_options, fast_config):
+        base = run_workload(fast_hotspot, RodiniaDefaultPolicy(), n_iterations=6,
+                            options=fast_options)
+        divided = run_workload(
+            fast_hotspot, DivisionOnlyPolicy(config=fast_config),
+            n_iterations=6, options=fast_options,
+        )
+        assert divided.total_s < base.total_s
+
+    def test_repartition_overhead_charged_on_ratio_change(self, fast_kmeans, fast_config):
+        heavy = ExecutorOptions(repartition_overhead_s=1.0)
+        light = ExecutorOptions(repartition_overhead_s=0.0)
+        slow = run_workload(fast_kmeans, DivisionOnlyPolicy(config=fast_config),
+                            n_iterations=4, options=heavy)
+        fast = run_workload(fast_kmeans, DivisionOnlyPolicy(config=fast_config),
+                            n_iterations=4, options=light)
+        assert slow.total_s > fast.total_s
+
+    def test_final_ratio_reported(self, fast_kmeans, fast_config, fast_options):
+        result = run_workload(
+            fast_kmeans, DivisionOnlyPolicy(config=fast_config),
+            n_iterations=10, options=fast_options,
+        )
+        assert result.final_ratio == pytest.approx(0.20)
+
+    def test_iteration_count(self, fast_kmeans):
+        result = run_workload(fast_kmeans, RodiniaDefaultPolicy(), n_iterations=5)
+        assert result.n_iterations == 5
+        assert [m.index for m in result.iterations] == list(range(5))
+
+
+class TestRunWorkloadPlumbing:
+    def test_default_iterations_from_workload(self):
+        w = fast_workload("lud")
+        result = run_workload(w, RodiniaDefaultPolicy())
+        assert result.n_iterations == w.default_iterations
+
+    def test_meters_reset_before_run(self, fast_kmeans):
+        system = make_testbed()
+        system.run_for(5.0)  # pre-run activity must not leak into results
+        result = run_workload(
+            fast_kmeans, RodiniaDefaultPolicy(), n_iterations=1, system=system
+        )
+        assert result.total_s < 5.0 + 60.0
+        assert result.total_energy_j / result.total_s < 500.0
+
+    def test_warmup_included_in_measurement(self, fast_kmeans):
+        base = run_workload(fast_kmeans, RodiniaDefaultPolicy(), n_iterations=1)
+        warm = run_workload(
+            fast_kmeans, RodiniaDefaultPolicy(), n_iterations=1, warmup_s=2.0
+        )
+        assert warm.total_s == pytest.approx(base.total_s + 2.0, rel=0.01)
+
+    def test_negative_warmup_raises(self, fast_kmeans):
+        with pytest.raises(SimulationError):
+            run_workload(fast_kmeans, RodiniaDefaultPolicy(), n_iterations=1, warmup_s=-1.0)
+
+    def test_zero_iterations_raises(self, fast_kmeans):
+        with pytest.raises(SimulationError):
+            run_workload(fast_kmeans, RodiniaDefaultPolicy(), n_iterations=0)
+
+    def test_spin_emulation_energy_below_measured(self, fast_kmeans):
+        result = run_workload(fast_kmeans, BestPerformancePolicy(), n_iterations=1)
+        assert result.cpu_energy_emulated_idle_spin_j < result.cpu_energy_j
+
+    def test_options_validation(self):
+        with pytest.raises(SimulationError):
+            ExecutorOptions(repartition_overhead_s=-1.0)
+        with pytest.raises(SimulationError):
+            ExecutorOptions(iteration_timeout_s=0.0)

@@ -1,0 +1,64 @@
+"""Tests for the run metrics records."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.metrics import IterationMetrics, RunResult
+
+
+def _iteration(i, r=0.2, tc=1.0, tg=2.0, energy=100.0):
+    return IterationMetrics(
+        index=i, r=r, tc=tc, tg=tg, wall_s=max(tc, tg),
+        energy_j=energy, gpu_energy_j=energy * 0.6, cpu_energy_j=energy * 0.4,
+    )
+
+
+def _run(n=3, energy=100.0, total_s=10.0, policy="p"):
+    iterations = [_iteration(i, energy=energy) for i in range(n)]
+    return RunResult(
+        workload="w", policy=policy, iterations=iterations,
+        total_s=total_s, total_energy_j=energy * n,
+        gpu_energy_j=energy * n * 0.6, cpu_energy_j=energy * n * 0.4,
+    )
+
+
+class TestRunResult:
+    def test_average_power(self):
+        assert _run().average_power_w == pytest.approx(30.0)
+
+    def test_average_power_requires_time(self):
+        with pytest.raises(SimulationError):
+            _run(total_s=0.0).average_power_w
+
+    def test_arrays(self):
+        run = _run(4)
+        assert run.ratios().shape == (4,)
+        assert run.iteration_energies().sum() == pytest.approx(400.0)
+        tc, tg = run.iteration_times()
+        assert np.all(tc == 1.0) and np.all(tg == 2.0)
+
+    def test_energy_saving_vs(self):
+        a, b = _run(energy=80.0), _run(energy=100.0)
+        assert a.energy_saving_vs(b) == pytest.approx(0.2)
+        assert b.energy_saving_vs(a) == pytest.approx(-0.25)
+
+    def test_gpu_energy_saving_vs(self):
+        a, b = _run(energy=80.0), _run(energy=100.0)
+        assert a.gpu_energy_saving_vs(b) == pytest.approx(0.2)
+
+    def test_slowdown_vs(self):
+        a, b = _run(total_s=11.0), _run(total_s=10.0)
+        assert a.slowdown_vs(b) == pytest.approx(0.1)
+
+    def test_saving_vs_empty_baseline_raises(self):
+        empty = RunResult(workload="w", policy="p")
+        with pytest.raises(SimulationError):
+            _run().energy_saving_vs(empty)
+        with pytest.raises(SimulationError):
+            _run().slowdown_vs(empty)
+
+    def test_iteration_validation(self):
+        with pytest.raises(SimulationError):
+            IterationMetrics(0, 0.0, 1.0, 1.0, wall_s=-1.0,
+                             energy_j=1.0, gpu_energy_j=0.5, cpu_energy_j=0.5)

@@ -1,0 +1,63 @@
+"""Tests for the work partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.runtime.partition import partition_array, partition_slices, split_units
+
+
+class TestSplitUnits:
+    def test_basic_split(self):
+        assert split_units(1.0, 0.3) == (pytest.approx(0.3), pytest.approx(0.7))
+
+    def test_extremes(self):
+        assert split_units(1.0, 0.0) == (0.0, 1.0)
+        assert split_units(1.0, 1.0) == (1.0, pytest.approx(0.0))
+
+    def test_conservation(self):
+        for r in np.linspace(0, 1, 21):
+            cpu, gpu = split_units(5.0, float(r))
+            assert cpu + gpu == pytest.approx(5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PartitionError):
+            split_units(-1.0, 0.5)
+        with pytest.raises(PartitionError):
+            split_units(1.0, 1.5)
+
+
+class TestPartitionSlices:
+    def test_rounding_to_nearest_row(self):
+        cpu, gpu = partition_slices(10, 0.34)
+        assert (cpu.stop, gpu.start) == (3, 3)
+
+    def test_cover_everything_disjointly(self):
+        for n in (0, 1, 7, 100):
+            for r in (0.0, 0.01, 0.5, 0.99, 1.0):
+                cpu, gpu = partition_slices(n, r)
+                assert cpu.start == 0 and gpu.stop == n
+                assert cpu.stop == gpu.start
+
+    def test_tiny_share_small_array_empty_cpu(self):
+        cpu, _ = partition_slices(4, 0.05)
+        assert cpu.stop - cpu.start == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PartitionError):
+            partition_slices(-1, 0.5)
+        with pytest.raises(PartitionError):
+            partition_slices(10, -0.1)
+
+
+class TestPartitionArray:
+    def test_views_not_copies(self):
+        arr = np.arange(10.0)
+        cpu, gpu = partition_array(arr, 0.5)
+        cpu[0] = 99.0
+        assert arr[0] == 99.0
+
+    def test_concatenation_roundtrip(self):
+        arr = np.random.default_rng(0).normal(size=(20, 3))
+        cpu, gpu = partition_array(arr, 0.35)
+        assert np.array_equal(np.concatenate([cpu, gpu]), arr)

@@ -1,0 +1,137 @@
+"""Tests for kernel/transfer activities and the activity queue."""
+
+import pytest
+
+from repro.errors import SimulationError, WorkloadError
+from repro.sim.activity import (
+    ActivityQueue,
+    KernelActivity,
+    PhaseDemand,
+    TransferActivity,
+)
+
+
+class TestPhaseDemand:
+    def test_scaled(self):
+        d = PhaseDemand(flops=10.0, bytes=4.0, stall_s=2.0)
+        s = d.scaled(0.5)
+        assert (s.flops, s.bytes, s.stall_s) == (5.0, 2.0, 1.0)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            PhaseDemand(1.0, 1.0).scaled(-1.0)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(WorkloadError):
+            PhaseDemand(-1.0, 0.0)
+        with pytest.raises(WorkloadError):
+            PhaseDemand(0.0, 0.0, stall_s=-1.0)
+
+    def test_intensity(self):
+        assert PhaseDemand(10.0, 4.0).intensity == 2.5
+        assert PhaseDemand(10.0, 0.0).intensity == float("inf")
+
+
+class TestKernelActivity:
+    def test_requires_phases(self):
+        with pytest.raises(WorkloadError):
+            KernelActivity([])
+
+    def test_phase_progression(self):
+        k = KernelActivity([PhaseDemand(1.0, 0.0), PhaseDemand(2.0, 0.0)])
+        assert not k.done
+        assert k.current_phase.flops == 1.0
+        k.advance_fraction(1.0)
+        assert k.current_phase.flops == 2.0
+        k.advance_fraction(0.5)
+        assert k.phase_fraction == pytest.approx(0.5)
+        k.advance_fraction(0.5)
+        assert k.done
+
+    def test_partial_advances_accumulate(self):
+        k = KernelActivity([PhaseDemand(1.0, 0.0)])
+        for _ in range(4):
+            k.advance_fraction(0.25)
+        assert k.done
+
+    def test_overshoot_raises(self):
+        k = KernelActivity([PhaseDemand(1.0, 0.0)])
+        with pytest.raises(SimulationError):
+            k.advance_fraction(1.5)
+
+    def test_advance_after_done_raises(self):
+        k = KernelActivity([PhaseDemand(1.0, 0.0)])
+        k.advance_fraction(1.0)
+        with pytest.raises(SimulationError):
+            k.advance_fraction(0.1)
+
+    def test_current_phase_after_done_raises(self):
+        k = KernelActivity([PhaseDemand(1.0, 0.0)])
+        k.advance_fraction(1.0)
+        with pytest.raises(SimulationError):
+            _ = k.current_phase
+
+    def test_totals(self):
+        k = KernelActivity([PhaseDemand(1.0, 2.0), PhaseDemand(3.0, 4.0)])
+        assert k.total_flops == 4.0
+        assert k.total_bytes == 6.0
+
+
+class TestTransferActivity:
+    def test_advance_to_completion(self):
+        t = TransferActivity(1.0, bytes_=100.0)
+        t.advance_time(0.4)
+        assert not t.done
+        t.advance_time(0.6)
+        assert t.done
+
+    def test_overshoot_raises(self):
+        t = TransferActivity(1.0)
+        with pytest.raises(SimulationError):
+            t.advance_time(2.0)
+
+    def test_zero_duration_is_done(self):
+        assert TransferActivity(0.0).done
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            TransferActivity(-1.0)
+
+
+class TestActivityQueue:
+    def test_fifo_order(self):
+        q = ActivityQueue()
+        a = TransferActivity(1.0, label="a")
+        b = TransferActivity(1.0, label="b")
+        q.push(a)
+        q.push(b)
+        assert q.head is a
+        a.advance_time(1.0)
+        assert q.head is b
+
+    def test_head_skips_done(self):
+        q = ActivityQueue()
+        done = TransferActivity(0.0)
+        live = TransferActivity(1.0)
+        q.push(done)
+        q.push(live)
+        assert q.head is live
+
+    def test_empty_queue(self):
+        q = ActivityQueue()
+        assert q.head is None
+        assert not q.busy
+        assert len(q) == 0
+
+    def test_len_counts_unfinished(self):
+        q = ActivityQueue()
+        q.push(TransferActivity(0.0))
+        q.push(TransferActivity(1.0))
+        q.push(TransferActivity(2.0))
+        assert len(q) == 2
+
+    def test_clear(self):
+        q = ActivityQueue()
+        q.push(TransferActivity(1.0))
+        q.clear()
+        assert not q.busy

@@ -1,0 +1,51 @@
+"""Tests for the PCIe bus transfer model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.bus import PcieBus
+
+
+@pytest.fixture
+def bus():
+    return PcieBus(bandwidth=3.0e9, latency_s=10.0e-6)
+
+
+class TestTransferTime:
+    def test_zero_bytes_zero_time(self, bus):
+        assert bus.transfer_time(0.0) == 0.0
+
+    def test_latency_plus_bandwidth(self, bus):
+        assert bus.transfer_time(3.0e9) == pytest.approx(1.0 + 10e-6)
+
+    def test_small_transfer_dominated_by_latency(self, bus):
+        t = bus.transfer_time(1.0)
+        assert t == pytest.approx(10e-6, rel=1e-3)
+
+    def test_monotone_in_size(self, bus):
+        assert bus.transfer_time(2e6) > bus.transfer_time(1e6)
+
+    def test_rejects_negative_size(self, bus):
+        with pytest.raises(ConfigError):
+            bus.transfer_time(-1.0)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigError):
+            PcieBus(bandwidth=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            PcieBus(bandwidth=1.0, latency_s=-1.0)
+
+
+class TestMakeTransfer:
+    def test_activity_matches_time(self, bus):
+        transfer = bus.make_transfer(6.0e9, label="h2d")
+        assert transfer.remaining_s == pytest.approx(bus.transfer_time(6.0e9))
+        assert transfer.bytes == 6.0e9
+        assert transfer.label == "h2d"
+
+    def test_zero_byte_transfer_done_immediately(self, bus):
+        assert bus.make_transfer(0.0).done

@@ -1,0 +1,84 @@
+"""Tests pinning the calibrated testbed to its documented anchors."""
+
+import pytest
+
+from repro.sim.calibration import (
+    default_testbed_config,
+    geforce_8800_gtx_spec,
+    phenom_ii_x2_spec,
+)
+from repro.units import ghz, mhz
+
+
+class TestGpuCalibration:
+    def test_memory_ladder_matches_paper_exactly(self):
+        """§VI quotes 900/820/740/660/580/500 MHz verbatim."""
+        spec = geforce_8800_gtx_spec()
+        assert spec.mem_ladder.levels == tuple(
+            mhz(v) for v in (900, 820, 740, 660, 580, 500)
+        )
+
+    def test_core_ladder_peak_is_576(self):
+        assert geforce_8800_gtx_spec().core_ladder.peak == mhz(576)
+
+    def test_core_ladder_contains_410_knee(self):
+        """§III-A's streamcluster knee frequency must be a level."""
+        spec = geforce_8800_gtx_spec()
+        assert any(abs(f - mhz(410.4)) < mhz(0.5) for f in spec.core_ladder)
+
+    def test_six_levels_each_domain(self):
+        spec = geforce_8800_gtx_spec()
+        assert len(spec.core_ladder) == 6
+        assert len(spec.mem_ladder) == 6
+
+    def test_peak_power_near_8800gtx_tdp(self):
+        peak = geforce_8800_gtx_spec().power.peak_power
+        assert 130.0 <= peak <= 160.0
+
+    def test_idle_power_substantial(self):
+        """2006-era cards idle hot — idle is a large share of peak."""
+        spec = geforce_8800_gtx_spec()
+        idle = spec.power.idle_power(1.0, 1.0)
+        assert idle / spec.power.peak_power > 0.5
+
+    def test_datasheet_rates(self):
+        spec = geforce_8800_gtx_spec()
+        assert spec.peak_compute_rate == pytest.approx(345.6e9)
+        assert spec.peak_bandwidth == pytest.approx(86.4e9)
+
+
+class TestCpuCalibration:
+    def test_pstates_match_paper(self):
+        """§VI: 2.8, 2.1, 1.3 GHz and 800 MHz."""
+        spec = phenom_ii_x2_spec()
+        assert spec.ladder.levels == tuple(ghz(v) for v in (2.8, 2.1, 1.3, 0.8))
+
+    def test_dual_core(self):
+        assert phenom_ii_x2_spec().cores == 2
+
+    def test_peak_power_below_tdp(self):
+        assert phenom_ii_x2_spec().power.peak_power <= 80.0
+
+
+class TestMeterCalibration:
+    def test_efficiencies_physical(self):
+        cfg = default_testbed_config()
+        assert 0.5 < cfg.meter1_efficiency <= 1.0
+        assert 0.5 < cfg.meter2_efficiency <= 1.0
+
+    def test_headline_energy_ratio_anchor(self):
+        """Total vs dynamic savings asymmetry (Fig. 6a vs 6b) requires the
+        idle wall power to be a large fraction of a typical busy run."""
+        cfg = default_testbed_config()
+        gpu = cfg.gpu
+        idle_wall = (
+            gpu.power.idle_power(
+                gpu.core_ladder.floor / gpu.core_ladder.peak,
+                gpu.mem_ladder.floor / gpu.mem_ladder.peak,
+            )
+            + cfg.meter2_overhead_w
+        ) / cfg.meter2_efficiency
+        busy_wall = (
+            gpu.power.power(1.0, 1.0, 0.6, 0.3) + cfg.meter2_overhead_w
+        ) / cfg.meter2_efficiency
+        assert 0.6 < idle_wall / busy_wall < 0.9

@@ -1,0 +1,141 @@
+"""Tests for the simulated CPU device."""
+
+import pytest
+
+from repro.errors import FrequencyError, SimulationError
+from repro.sim.activity import KernelActivity, PhaseDemand
+from repro.sim.cpu import CpuDevice
+from repro.units import ghz
+
+
+@pytest.fixture
+def cpu(cpu_spec):
+    return CpuDevice(cpu_spec)
+
+
+def _kernel(seconds_at_peak: float, cpu_spec, u_core=0.8, u_mem=0.4):
+    stall = cpu_spec.roofline.stall_for_utilizations(u_core, u_mem)
+    return KernelActivity(
+        [
+            PhaseDemand(
+                flops=u_core * seconds_at_peak * cpu_spec.peak_compute_rate,
+                bytes=u_mem * seconds_at_peak * cpu_spec.host_bandwidth,
+                stall_s=stall * seconds_at_peak,
+            )
+        ]
+    )
+
+
+class TestPStates:
+    def test_defaults_to_peak(self, cpu):
+        assert cpu.f == cpu.spec.ladder.peak
+        assert cpu.level == 0
+
+    def test_set_frequency(self, cpu):
+        cpu.set_frequency(ghz(1.3))
+        assert cpu.level == 2
+
+    def test_rejects_non_pstate(self, cpu):
+        with pytest.raises(FrequencyError):
+            cpu.set_frequency(ghz(2.0))
+
+    def test_transition_counter_ignores_noop(self, cpu):
+        cpu.set_frequency(cpu.f)
+        assert cpu.freq_transitions == 0
+        cpu.set_frequency(ghz(0.8))
+        assert cpu.freq_transitions == 1
+
+    def test_compute_rate_scales(self, cpu):
+        peak = cpu.compute_rate
+        cpu.set_frequency(ghz(0.8))
+        assert cpu.compute_rate == pytest.approx(peak * 0.8 / 2.8)
+
+
+class TestSpinSemantics:
+    def test_spin_reports_busy_without_work(self, cpu):
+        cpu.spin()
+        assert cpu.busy and not cpu.has_work
+        assert cpu.instantaneous_utilization() == 1.0
+
+    def test_spin_burns_active_power(self, cpu):
+        idle_power = cpu.spec.power.idle_power(1.0)
+        cpu.spin()
+        assert cpu.instantaneous_power() > idle_power
+
+    def test_spin_makes_no_progress(self, cpu, cpu_spec):
+        """Spin alongside work: work progresses, spin doesn't interfere."""
+        cpu.spin()
+        cpu.advance(2.0)
+        assert cpu.spin_seconds == pytest.approx(2.0)
+        assert cpu.work_seconds == 0.0
+
+    def test_stop_spin(self, cpu):
+        cpu.spin()
+        cpu.stop_spin()
+        assert not cpu.busy
+        cpu.advance(1.0)
+        assert cpu.spin_seconds == 0.0
+
+    def test_spin_energy_tracked_separately(self, cpu):
+        cpu.spin()
+        cpu.advance(3.0)
+        assert cpu.spin_energy_j == pytest.approx(cpu.energy_j)
+
+    def test_working_time_not_counted_as_spin(self, cpu, cpu_spec):
+        cpu.submit_kernel(_kernel(2.0, cpu_spec))
+        cpu.spin()  # spin flag set, but work takes priority
+        cpu.advance(cpu.time_to_event())
+        assert cpu.work_seconds > 0.0
+        assert cpu.spin_seconds == 0.0
+
+
+class TestExecution:
+    def test_kernel_duration_at_peak(self, cpu, cpu_spec):
+        cpu.submit_kernel(_kernel(5.0, cpu_spec))
+        total = 0.0
+        while cpu.has_work:
+            dt = cpu.time_to_event()
+            cpu.advance(dt)
+            total += dt
+        assert total == pytest.approx(5.0, rel=1e-6)
+
+    def test_kernel_slows_at_lower_pstate(self, cpu, cpu_spec):
+        cpu.set_frequency(ghz(0.8))
+        cpu.submit_kernel(_kernel(5.0, cpu_spec, u_core=0.9, u_mem=0.1))
+        t = cpu.time_to_event()
+        assert t > 5.0  # compute-bound share stretches by ~2.8/0.8
+
+    def test_memory_bound_kernel_insensitive_to_pstate(self, cpu, cpu_spec):
+        """Host bandwidth is not frequency-scaled."""
+        k = _kernel(5.0, cpu_spec, u_core=0.05, u_mem=0.9)
+        cpu.submit_kernel(k)
+        t_peak = cpu.time_to_event()
+        cpu.set_frequency(ghz(0.8))
+        t_floor = cpu.time_to_event()
+        assert t_floor / t_peak < 1.35
+
+    def test_emulated_energy_replaces_spin_with_floor_idle(self, cpu):
+        cpu.spin()
+        cpu.advance(10.0)
+        cpu.stop_spin()
+        emulated = cpu.emulated_energy_with_idle_spin()
+        floor_ratio = cpu.spec.ladder.floor / cpu.spec.ladder.peak
+        expected = cpu.spec.power.idle_power(floor_ratio) * 10.0
+        assert emulated == pytest.approx(expected)
+        assert emulated < cpu.energy_j
+
+    def test_emulated_energy_without_spin_is_total(self, cpu, cpu_spec):
+        cpu.submit_kernel(_kernel(2.0, cpu_spec))
+        cpu.advance(cpu.time_to_event())
+        assert cpu.emulated_energy_with_idle_spin() == pytest.approx(cpu.energy_j)
+
+    def test_advance_past_event_raises(self, cpu, cpu_spec):
+        cpu.submit_kernel(_kernel(1.0, cpu_spec))
+        with pytest.raises(SimulationError):
+            cpu.advance(100.0)
+
+    def test_cancel_all_clears_spin_too(self, cpu, cpu_spec):
+        cpu.submit_kernel(_kernel(1.0, cpu_spec))
+        cpu.spin()
+        cpu.cancel_all()
+        assert not cpu.busy and not cpu.has_work

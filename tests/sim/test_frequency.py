@@ -1,0 +1,139 @@
+"""Tests for the discrete frequency ladder."""
+
+import pytest
+
+from repro.errors import FrequencyError
+from repro.sim.frequency import FrequencyLadder
+from repro.units import mhz
+
+
+@pytest.fixture
+def mem_ladder():
+    return FrequencyLadder([mhz(v) for v in (900, 820, 740, 660, 580, 500)])
+
+
+class TestConstruction:
+    def test_sorts_descending(self):
+        ladder = FrequencyLadder([1.0, 3.0, 2.0])
+        assert ladder.levels == (3.0, 2.0, 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(FrequencyError):
+            FrequencyLadder([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(FrequencyError):
+            FrequencyLadder([1.0, 1.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(FrequencyError):
+            FrequencyLadder([0.0, 1.0])
+        with pytest.raises(FrequencyError):
+            FrequencyLadder([-1.0, 1.0])
+
+    def test_single_level(self):
+        ladder = FrequencyLadder([5.0])
+        assert ladder.peak == ladder.floor == 5.0
+        assert len(ladder) == 1
+
+    def test_equally_spaced_matches_paper_memory_levels(self, mem_ladder):
+        built = FrequencyLadder.equally_spaced(mhz(500), mhz(900), 6)
+        assert built == mem_ladder
+
+    def test_equally_spaced_core_hits_410(self):
+        # The paper's 410 MHz streamcluster knee must be a ladder level.
+        ladder = FrequencyLadder.equally_spaced(mhz(300), mhz(576), 6)
+        assert any(abs(f - mhz(410.4)) < 1.0 for f in ladder)
+
+    def test_equally_spaced_single(self):
+        assert FrequencyLadder.equally_spaced(1.0, 2.0, 1).levels == (2.0,)
+
+    def test_equally_spaced_rejects_bad_range(self):
+        with pytest.raises(FrequencyError):
+            FrequencyLadder.equally_spaced(2.0, 1.0, 3)
+        with pytest.raises(FrequencyError):
+            FrequencyLadder.equally_spaced(1.0, 2.0, 0)
+
+
+class TestQueries:
+    def test_peak_and_floor(self, mem_ladder):
+        assert mem_ladder.peak == mhz(900)
+        assert mem_ladder.floor == mhz(500)
+
+    def test_index_of(self, mem_ladder):
+        assert mem_ladder.index_of(mhz(900)) == 0
+        assert mem_ladder.index_of(mhz(500)) == 5
+        assert mem_ladder.index_of(mhz(740)) == 2
+
+    def test_index_of_unknown_raises(self, mem_ladder):
+        with pytest.raises(FrequencyError):
+            mem_ladder.index_of(mhz(700))
+
+    def test_getitem_negative_indexing(self, mem_ladder):
+        assert mem_ladder[-1] == mem_ladder.floor
+        assert mem_ladder[0] == mem_ladder.peak
+
+    def test_getitem_out_of_range(self, mem_ladder):
+        with pytest.raises(FrequencyError):
+            mem_ladder[6]
+
+    def test_contains(self, mem_ladder):
+        assert mhz(820) in mem_ladder
+        assert mhz(821) not in mem_ladder
+
+    def test_iteration_order(self, mem_ladder):
+        assert list(mem_ladder) == sorted(mem_ladder, reverse=True)
+
+    def test_equality_and_hash(self, mem_ladder):
+        clone = FrequencyLadder(list(mem_ladder.levels))
+        assert clone == mem_ladder
+        assert hash(clone) == hash(mem_ladder)
+        assert mem_ladder != FrequencyLadder([1.0])
+        assert mem_ladder.__eq__(42) is NotImplemented
+
+
+class TestNavigation:
+    def test_nearest_exact(self, mem_ladder):
+        assert mem_ladder.nearest(mhz(820)) == mhz(820)
+
+    def test_nearest_between(self, mem_ladder):
+        assert mem_ladder.nearest(mhz(870)) == mhz(900)  # closer to 900
+
+    def test_nearest_tie_prefers_faster(self, mem_ladder):
+        assert mem_ladder.nearest(mhz(860)) == mhz(900)
+
+    def test_step_down_and_up(self, mem_ladder):
+        assert mem_ladder.step_down(mhz(900)) == mhz(820)
+        assert mem_ladder.step_up(mhz(820)) == mhz(900)
+
+    def test_step_down_saturates_at_floor(self, mem_ladder):
+        assert mem_ladder.step_down(mhz(500)) == mhz(500)
+
+    def test_step_up_saturates_at_peak(self, mem_ladder):
+        assert mem_ladder.step_up(mhz(900)) == mhz(900)
+
+
+class TestUmeanMap:
+    def test_peak_maps_to_one(self, mem_ladder):
+        assert mem_ladder.normalized(mhz(900)) == 1.0
+        assert mem_ladder.umean(0) == 1.0
+
+    def test_floor_maps_to_zero(self, mem_ladder):
+        assert mem_ladder.normalized(mhz(500)) == 0.0
+        assert mem_ladder.umean(5) == 0.0
+
+    def test_linear_interior(self, mem_ladder):
+        # 700 MHz is exactly mid-span of [500, 900] -> 0.5 ... but 700 is
+        # not a level; use 740: (740-500)/400 = 0.6.
+        assert mem_ladder.normalized(mhz(740)) == pytest.approx(0.6)
+
+    def test_umean_monotone_decreasing(self, mem_ladder):
+        umeans = [mem_ladder.umean(i) for i in range(len(mem_ladder))]
+        assert umeans == sorted(umeans, reverse=True)
+
+    def test_normalized_rejects_non_level(self, mem_ladder):
+        with pytest.raises(FrequencyError):
+            mem_ladder.normalized(mhz(700))
+
+    def test_single_level_umean_is_one(self):
+        assert FrequencyLadder([5.0]).umean(0) == 1.0

@@ -1,0 +1,161 @@
+"""Tests for the simulated GPU device."""
+
+import pytest
+
+from repro.errors import FrequencyError, SimulationError
+from repro.sim.activity import KernelActivity, PhaseDemand, TransferActivity
+from repro.sim.gpu import GpuDevice
+from repro.units import mhz
+
+
+@pytest.fixture
+def gpu(gpu_spec):
+    return GpuDevice(gpu_spec)
+
+
+def _kernel(seconds_at_peak: float, gpu_spec, u_core=0.6, u_mem=0.25):
+    """A kernel taking ``seconds_at_peak`` with exact target utilizations."""
+    stall = gpu_spec.roofline.stall_for_utilizations(u_core, u_mem)
+    return KernelActivity(
+        [
+            PhaseDemand(
+                flops=u_core * seconds_at_peak * gpu_spec.peak_compute_rate,
+                bytes=u_mem * seconds_at_peak * gpu_spec.peak_bandwidth,
+                stall_s=stall * seconds_at_peak,
+            )
+        ]
+    )
+
+
+class TestFrequencyControl:
+    def test_defaults_to_floor_clocks(self, gpu):
+        """Idle GPUs default to lowest levels (paper Fig. 5 discussion)."""
+        assert gpu.f_core == gpu.spec.core_ladder.floor
+        assert gpu.f_mem == gpu.spec.mem_ladder.floor
+
+    def test_set_peak(self, gpu):
+        gpu.set_peak()
+        assert gpu.core_level == 0 and gpu.mem_level == 0
+
+    def test_set_levels(self, gpu):
+        gpu.set_levels(2, 3)
+        assert gpu.core_level == 2 and gpu.mem_level == 3
+
+    def test_rejects_non_ladder_frequency(self, gpu):
+        with pytest.raises(FrequencyError):
+            gpu.set_frequencies(mhz(555), gpu.f_mem)
+        with pytest.raises(FrequencyError):
+            gpu.set_frequencies(gpu.spec.core_ladder.peak, mhz(555))
+
+    def test_transition_counter(self, gpu):
+        start = gpu.freq_transitions
+        gpu.set_peak()
+        gpu.set_peak()  # no-op change
+        assert gpu.freq_transitions == start + 1
+
+    def test_rates_scale_with_frequency(self, gpu):
+        gpu.set_peak()
+        peak_rate = gpu.compute_rate
+        gpu.set_levels(len(gpu.spec.core_ladder) - 1, 0)
+        assert gpu.compute_rate == pytest.approx(
+            peak_rate * gpu.spec.core_ladder.floor / gpu.spec.core_ladder.peak
+        )
+
+
+class TestExecution:
+    def test_kernel_duration_at_peak(self, gpu, gpu_spec):
+        gpu.set_peak()
+        gpu.submit_kernel(_kernel(10.0, gpu_spec))
+        total = 0.0
+        while gpu.busy:
+            dt = gpu.time_to_event()
+            gpu.advance(dt)
+            total += dt
+        assert total == pytest.approx(10.0 + gpu_spec.launch_overhead_s, rel=1e-6)
+
+    def test_utilizations_match_targets(self, gpu, gpu_spec):
+        gpu.set_peak()
+        gpu.submit_kernel(_kernel(10.0, gpu_spec, u_core=0.6, u_mem=0.25))
+        while gpu.busy:
+            gpu.advance(gpu.time_to_event())
+        elapsed = gpu.elapsed_seconds
+        assert gpu.busy_core_seconds / elapsed == pytest.approx(0.6, rel=0.01)
+        assert gpu.busy_mem_seconds / elapsed == pytest.approx(0.25, rel=0.01)
+
+    def test_mid_kernel_frequency_change_preserves_work(self, gpu, gpu_spec):
+        """Half the work at peak + half at peak after a dip == full work."""
+        gpu.set_peak()
+        gpu.submit_kernel(_kernel(10.0, gpu_spec, u_core=0.9, u_mem=0.1))
+        gpu.advance(gpu_spec.launch_overhead_s)
+        gpu.advance(5.0)  # half the kernel at peak
+        gpu.set_levels(len(gpu_spec.core_ladder) - 1, 0)  # core floor
+        remaining = gpu.time_to_event()
+        # Core-bounded work slows toward peak/floor on the remainder
+        # (a bit less, because the stall component does not scale).
+        slowdown = gpu_spec.core_ladder.peak / gpu_spec.core_ladder.floor
+        assert 5.0 * 1.5 < remaining < 5.0 * slowdown
+
+    def test_transfer_insensitive_to_frequency(self, gpu):
+        gpu.submit_transfer(TransferActivity(2.0, bytes_=1e6))
+        gpu.set_peak()
+        assert gpu.time_to_event() == pytest.approx(2.0)
+
+    def test_advance_past_event_raises(self, gpu, gpu_spec):
+        gpu.submit_transfer(TransferActivity(1.0))
+        with pytest.raises(SimulationError):
+            gpu.advance(2.0)
+
+    def test_advance_negative_raises(self, gpu):
+        with pytest.raises(SimulationError):
+            gpu.advance(-0.1)
+
+    def test_idle_device_time_to_event_none(self, gpu):
+        assert gpu.time_to_event() is None
+        assert gpu.instantaneous_utilization() == (0.0, 0.0)
+
+    def test_zero_demand_kernel_completes_immediately(self, gpu, gpu_spec):
+        k = KernelActivity([PhaseDemand(0.0, 0.0, 0.0)])
+        gpu.submit_kernel(k)
+        gpu.advance(gpu_spec.launch_overhead_s)
+        assert k.done
+        assert not gpu.busy
+
+    def test_cancel_all(self, gpu, gpu_spec):
+        gpu.submit_kernel(_kernel(10.0, gpu_spec))
+        gpu.cancel_all()
+        assert not gpu.busy
+
+    def test_launch_counter(self, gpu, gpu_spec):
+        gpu.submit_kernel(_kernel(1.0, gpu_spec))
+        gpu.submit_kernel(_kernel(1.0, gpu_spec))
+        assert gpu.kernel_launches == 2
+
+
+class TestEnergyAccounting:
+    def test_idle_energy_integrates_idle_power(self, gpu):
+        gpu.advance(10.0)
+        expected = gpu.spec.power.idle_power(
+            gpu.f_core / gpu.spec.core_ladder.peak,
+            gpu.f_mem / gpu.spec.mem_ladder.peak,
+        )
+        assert gpu.energy_j == pytest.approx(expected * 10.0)
+
+    def test_busy_energy_above_idle(self, gpu, gpu_spec):
+        idle = GpuDevice(gpu_spec)
+        idle.set_peak()
+        idle.advance(5.0)
+        gpu.set_peak()
+        gpu.submit_kernel(_kernel(10.0, gpu_spec))
+        gpu.advance(gpu.time_to_event())
+        gpu.advance(5.0)
+        assert gpu.energy_j > idle.energy_j
+
+    def test_counters_monotonic(self, gpu, gpu_spec):
+        gpu.set_peak()
+        gpu.submit_kernel(_kernel(3.0, gpu_spec))
+        last = (0.0, 0.0, 0.0)
+        while gpu.busy:
+            gpu.advance(min(gpu.time_to_event(), 0.7))
+            current = (gpu.energy_j, gpu.busy_core_seconds, gpu.busy_mem_seconds)
+            assert all(c >= l for c, l in zip(current, last))
+            last = current

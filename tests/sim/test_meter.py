@@ -1,0 +1,105 @@
+"""Tests for the WattsUp-style power meter."""
+
+import pytest
+
+from repro.errors import ConfigError, MeterError
+from repro.sim.meter import PowerMeter
+
+
+def constant(p):
+    return lambda: p
+
+
+class TestIntegration:
+    def test_energy_integral(self):
+        meter = PowerMeter("m", [constant(100.0)])
+        meter.accumulate(10.0)
+        assert meter.energy_j == pytest.approx(1000.0)
+        assert meter.elapsed_s == 10.0
+
+    def test_overhead_and_efficiency(self):
+        meter = PowerMeter("m", [constant(100.0)], overhead_w=10.0, efficiency=0.5)
+        assert meter.instantaneous_power() == pytest.approx(220.0)
+
+    def test_multiple_sources_sum(self):
+        meter = PowerMeter("m", [constant(40.0), constant(60.0)])
+        assert meter.instantaneous_power() == pytest.approx(100.0)
+
+    def test_piecewise_constant_exact(self):
+        power = [50.0]
+        meter = PowerMeter("m", [lambda: power[0]])
+        meter.accumulate(2.0)
+        power[0] = 150.0
+        meter.accumulate(2.0)
+        assert meter.energy_j == pytest.approx(400.0)
+
+    def test_average_power(self):
+        meter = PowerMeter("m", [constant(80.0)])
+        meter.accumulate(5.0)
+        assert meter.average_power() == pytest.approx(80.0)
+
+    def test_average_power_without_time_raises(self):
+        with pytest.raises(MeterError):
+            PowerMeter("m", [constant(1.0)]).average_power()
+
+    def test_zero_dt_noop(self):
+        meter = PowerMeter("m", [constant(1.0)])
+        meter.accumulate(0.0)
+        assert meter.energy_j == 0.0
+
+    def test_negative_dt_raises(self):
+        with pytest.raises(MeterError):
+            PowerMeter("m", [constant(1.0)]).accumulate(-1.0)
+
+
+class TestSampleLog:
+    def test_one_sample_per_period(self):
+        meter = PowerMeter("m", [constant(42.0)], sample_period_s=1.0)
+        meter.accumulate(3.0)
+        assert meter.samples == pytest.approx([42.0, 42.0, 42.0])
+
+    def test_samples_average_within_window(self):
+        power = [100.0]
+        meter = PowerMeter("m", [lambda: power[0]], sample_period_s=1.0)
+        meter.accumulate(0.5)
+        power[0] = 0.0
+        meter.accumulate(0.5)
+        assert meter.samples == pytest.approx([50.0])
+
+    def test_partial_window_not_emitted(self):
+        meter = PowerMeter("m", [constant(1.0)], sample_period_s=1.0)
+        meter.accumulate(0.7)
+        assert meter.samples == []
+
+    def test_long_dt_spans_many_windows(self):
+        meter = PowerMeter("m", [constant(5.0)], sample_period_s=0.25)
+        meter.accumulate(1.0)
+        assert len(meter.samples) == 4
+
+
+class TestLifecycle:
+    def test_reset(self):
+        meter = PowerMeter("m", [constant(1.0)])
+        meter.accumulate(5.0)
+        meter.reset()
+        assert meter.energy_j == 0.0
+        assert meter.elapsed_s == 0.0
+        assert meter.samples == []
+
+    def test_rejects_empty_sources(self):
+        with pytest.raises(ConfigError):
+            PowerMeter("m", [])
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            PowerMeter("m", [constant(1.0)], efficiency=0.0)
+        with pytest.raises(ConfigError):
+            PowerMeter("m", [constant(1.0)], efficiency=1.5)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigError):
+            PowerMeter("m", [constant(1.0)], overhead_w=-1.0)
+
+    def test_rejects_bad_sample_period(self):
+        with pytest.raises(ConfigError):
+            PowerMeter("m", [constant(1.0)], sample_period_s=0.0)

@@ -1,0 +1,156 @@
+"""Tests for the roofline execution-time / utilization model."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.perf import RooflineModel
+
+
+class TestCombine:
+    def test_serial_limit_k1(self):
+        m = RooflineModel(1.0)
+        assert m.combine(2.0, 3.0, 1.0) == pytest.approx(6.0)
+
+    def test_perfect_overlap_inf(self):
+        m = RooflineModel(float("inf"))
+        assert m.combine(2.0, 3.0, 1.0) == 3.0
+
+    def test_between_serial_and_max(self):
+        m = RooflineModel(4.0)
+        t = m.combine(2.0, 3.0)
+        assert 3.0 < t < 5.0
+
+    def test_zero_components(self):
+        m = RooflineModel(4.0)
+        assert m.combine(0.0, 0.0, 0.0) == 0.0
+        assert m.combine(5.0, 0.0, 0.0) == 5.0
+        assert m.combine(0.0, 5.0) == 5.0
+
+    def test_monotone_in_each_component(self):
+        m = RooflineModel(4.0)
+        base = m.combine(1.0, 1.0, 1.0)
+        assert m.combine(1.5, 1.0, 1.0) > base
+        assert m.combine(1.0, 1.5, 1.0) > base
+        assert m.combine(1.0, 1.0, 1.5) > base
+
+    def test_symmetric_in_compute_and_memory(self):
+        m = RooflineModel(3.0)
+        assert m.combine(2.0, 5.0) == pytest.approx(m.combine(5.0, 2.0))
+
+    def test_large_magnitudes_no_overflow(self):
+        m = RooflineModel(8.0)
+        t = m.combine(1e300, 1e299)
+        assert math.isfinite(t) and t >= 1e300
+
+    def test_rejects_negative(self):
+        m = RooflineModel(4.0)
+        with pytest.raises(SimulationError):
+            m.combine(-1.0, 1.0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(SimulationError):
+            RooflineModel(0.5)
+
+
+class TestEstimate:
+    def test_component_times(self):
+        m = RooflineModel(float("inf"))
+        est = m.estimate(flops=100.0, bytes_=50.0, compute_rate=10.0, bandwidth=5.0)
+        assert est.t_compute == 10.0
+        assert est.t_memory == 10.0
+        assert est.seconds == 10.0
+        assert est.u_core == pytest.approx(1.0)
+        assert est.u_mem == pytest.approx(1.0)
+
+    def test_utilizations_are_busy_fractions(self):
+        m = RooflineModel(4.0)
+        est = m.estimate(70.0, 40.0, 10.0, 10.0)
+        assert est.u_core == pytest.approx(est.t_compute / est.seconds)
+        assert est.u_mem == pytest.approx(est.t_memory / est.seconds)
+
+    def test_stall_lowers_both_utilizations(self):
+        m = RooflineModel(4.0)
+        no_stall = m.estimate(50.0, 30.0, 10.0, 10.0)
+        stalled = m.estimate(50.0, 30.0, 10.0, 10.0, stall_s=20.0)
+        assert stalled.u_core < no_stall.u_core
+        assert stalled.u_mem < no_stall.u_mem
+        assert stalled.seconds > no_stall.seconds
+
+    def test_zero_demand_zero_time(self):
+        m = RooflineModel(4.0)
+        est = m.estimate(0.0, 0.0, 1.0, 1.0)
+        assert est.seconds == 0.0
+        assert est.u_core == 0.0 and est.u_mem == 0.0
+
+    def test_bottleneck_utilization_near_one(self):
+        m = RooflineModel(4.0)
+        est = m.estimate(1000.0, 1.0, 10.0, 10.0)
+        assert est.u_core > 0.99
+        assert est.u_mem < 0.01
+
+    def test_throttling_nonbottleneck_barely_moves_time(self):
+        """Paper Fig. 1 observation 1 in model form."""
+        m = RooflineModel(4.0)
+        base = m.estimate(1000.0, 100.0, 10.0, 10.0)
+        throttled = m.estimate(1000.0, 100.0, 10.0, 5.0)  # halve bandwidth
+        assert throttled.seconds / base.seconds < 1.05
+
+    def test_throttling_bottleneck_scales_inverse(self):
+        m = RooflineModel(4.0)
+        base = m.estimate(1000.0, 1.0, 10.0, 10.0)
+        throttled = m.estimate(1000.0, 1.0, 5.0, 10.0)
+        assert throttled.seconds / base.seconds == pytest.approx(2.0, rel=1e-3)
+
+    def test_rejects_nonpositive_rates(self):
+        m = RooflineModel(4.0)
+        with pytest.raises(SimulationError):
+            m.estimate(1.0, 1.0, 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            m.estimate(1.0, 1.0, 1.0, -1.0)
+
+    def test_rejects_negative_demand(self):
+        m = RooflineModel(4.0)
+        with pytest.raises(SimulationError):
+            m.estimate(-1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            m.estimate(1.0, 1.0, 1.0, 1.0, stall_s=-0.1)
+
+
+class TestCalibrationHelpers:
+    def test_norm_on_feasible_pair(self):
+        m = RooflineModel(4.0)
+        assert m.utilization_norm(0.6, 0.25) < 1.0
+
+    def test_stall_fraction_round_trips_utilizations(self):
+        """Building a phase from the solved stall reproduces the targets."""
+        m = RooflineModel(4.0)
+        u_core, u_mem = 0.6, 0.25
+        stall = m.stall_for_utilizations(u_core, u_mem)
+        est = m.estimate(u_core * 100.0, u_mem * 100.0, 100.0, 100.0, stall_s=stall)
+        assert est.u_core == pytest.approx(u_core, rel=1e-9)
+        assert est.u_mem == pytest.approx(u_mem, rel=1e-9)
+        assert est.seconds == pytest.approx(1.0, rel=1e-9)
+
+    def test_boundary_pair_zero_stall(self):
+        m = RooflineModel(4.0)
+        # A pair exactly on the unit p-norm sphere needs no stall.
+        u_core = 0.9
+        u_mem = (1.0 - u_core**4) ** 0.25
+        assert m.stall_for_utilizations(u_core, u_mem) == pytest.approx(0.0, abs=1e-6)
+
+    def test_infeasible_pair_raises(self):
+        m = RooflineModel(4.0)
+        with pytest.raises(SimulationError):
+            m.stall_for_utilizations(0.95, 0.95)
+
+    def test_infinite_exponent_feasibility(self):
+        m = RooflineModel(float("inf"))
+        assert m.stall_for_utilizations(0.5, 0.5) == 1.0
+        assert m.stall_for_utilizations(1.0, 0.5) == 0.0
+
+    def test_rejects_out_of_range_utilizations(self):
+        m = RooflineModel(4.0)
+        with pytest.raises(SimulationError):
+            m.stall_for_utilizations(1.5, 0.5)

@@ -1,0 +1,110 @@
+"""Tests for the GPU and CPU power models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.power import CpuPowerModel, GpuPowerModel
+
+
+@pytest.fixture
+def gpu_power():
+    return GpuPowerModel(
+        static_w=60.0, clock_core_w=25.0, clock_mem_w=28.0,
+        active_core_w=22.0, active_mem_w=12.0,
+    )
+
+
+@pytest.fixture
+def cpu_power():
+    return CpuPowerModel(static_w=15.0, active_w=40.0, v_floor_ratio=0.75, f_floor_ratio=0.2857)
+
+
+class TestGpuPower:
+    def test_peak_power_is_sum_of_terms(self, gpu_power):
+        assert gpu_power.peak_power == pytest.approx(60 + 25 + 28 + 22 + 12)
+
+    def test_idle_power_has_no_activity_terms(self, gpu_power):
+        assert gpu_power.idle_power(1.0, 1.0) == pytest.approx(60 + 25 + 28)
+
+    def test_idle_at_floor_clocks_below_idle_at_peak(self, gpu_power):
+        assert gpu_power.idle_power(0.5, 0.55) < gpu_power.idle_power(1.0, 1.0)
+
+    def test_clock_power_scales_linearly_with_frequency(self, gpu_power):
+        p_hi = gpu_power.idle_power(1.0, 1.0)
+        p_lo = gpu_power.idle_power(0.5, 1.0)
+        assert p_hi - p_lo == pytest.approx(25.0 * 0.5)
+
+    def test_activity_power_proportional_to_utilization(self, gpu_power):
+        p_busy = gpu_power.power(1.0, 1.0, 0.5, 0.0)
+        p_idle = gpu_power.power(1.0, 1.0, 0.0, 0.0)
+        assert p_busy - p_idle == pytest.approx(22.0 * 0.5)
+
+    def test_frequency_only_scaling_not_superlinear(self, gpu_power):
+        """GPU has no DVFS: dynamic power is linear in f (paper §VII-C)."""
+        d1 = gpu_power.power(1.0, 1.0, 1.0, 1.0) - gpu_power.idle_power(1.0, 1.0)
+        d_half = gpu_power.power(0.5, 1.0, 1.0, 1.0) - gpu_power.idle_power(0.5, 1.0)
+        assert d1 - d_half == pytest.approx(22.0 * 0.5)
+
+    def test_monotone_in_every_argument(self, gpu_power):
+        base = gpu_power.power(0.8, 0.8, 0.5, 0.5)
+        assert gpu_power.power(0.9, 0.8, 0.5, 0.5) > base
+        assert gpu_power.power(0.8, 0.9, 0.5, 0.5) > base
+        assert gpu_power.power(0.8, 0.8, 0.6, 0.5) > base
+        assert gpu_power.power(0.8, 0.8, 0.5, 0.6) > base
+
+    def test_rejects_bad_inputs(self, gpu_power):
+        with pytest.raises(ConfigError):
+            gpu_power.power(0.0, 1.0, 0.5, 0.5)
+        with pytest.raises(ConfigError):
+            gpu_power.power(1.0, 1.0, 1.5, 0.5)
+        with pytest.raises(ConfigError):
+            gpu_power.power(1.0, 1.0, 0.5, -0.1)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigError):
+            GpuPowerModel(-1.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class TestCpuPower:
+    def test_voltage_floor_and_peak(self, cpu_power):
+        assert cpu_power.voltage_ratio(1.0) == 1.0
+        assert cpu_power.voltage_ratio(cpu_power.f_floor_ratio) == pytest.approx(0.75)
+
+    def test_voltage_clamped_below_floor(self, cpu_power):
+        assert cpu_power.voltage_ratio(0.1) == pytest.approx(0.75)
+
+    def test_voltage_monotone(self, cpu_power):
+        ratios = [0.3, 0.5, 0.7, 0.9, 1.0]
+        volts = [cpu_power.voltage_ratio(r) for r in ratios]
+        assert volts == sorted(volts)
+
+    def test_dvfs_superlinear_savings(self, cpu_power):
+        """Dynamic power drops faster than linearly in f (f * V^2 law)."""
+        d_full = cpu_power.power(1.0, 1.0) - cpu_power.idle_power(1.0)
+        d_half = cpu_power.power(0.5, 1.0) - cpu_power.idle_power(0.5)
+        assert d_half < 0.5 * d_full
+
+    def test_idle_power_is_static_only(self, cpu_power):
+        assert cpu_power.idle_power(1.0) == pytest.approx(15.0)
+        assert cpu_power.idle_power(0.3) == pytest.approx(15.0)
+
+    def test_peak_power(self, cpu_power):
+        assert cpu_power.peak_power == pytest.approx(55.0)
+
+    def test_spin_at_floor_below_spin_at_peak(self, cpu_power):
+        floor = cpu_power.f_floor_ratio
+        assert cpu_power.power(floor, 1.0) < cpu_power.power(1.0, 1.0)
+
+    def test_rejects_bad_inputs(self, cpu_power):
+        with pytest.raises(ConfigError):
+            cpu_power.power(0.0, 0.5)
+        with pytest.raises(ConfigError):
+            cpu_power.power(1.0, 1.1)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigError):
+            CpuPowerModel(15.0, 40.0, v_floor_ratio=0.0)
+        with pytest.raises(ConfigError):
+            CpuPowerModel(15.0, 40.0, f_floor_ratio=1.5)
+        with pytest.raises(ConfigError):
+            CpuPowerModel(-15.0, 40.0)

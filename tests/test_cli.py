@@ -1,0 +1,108 @@
+"""Tests for the greengpu CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def fast(tmp_path):
+    """Common fast flags."""
+    return ["--iterations", "2", "--time-scale", "0.05"]
+
+
+class TestRun:
+    def test_run_greengpu(self, capsys, fast):
+        assert main(["run", "--workload", "lud", "--policy", "greengpu", *fast]) == 0
+        out = capsys.readouterr().out
+        assert "workload : lud" in out
+        assert "energy" in out
+
+    def test_run_each_policy(self, capsys, fast):
+        for policy in ("rodinia-default", "best-performance", "scaling-only",
+                       "division-only"):
+            assert main(["run", "--workload", "pathfinder", "--policy", policy,
+                         *fast]) == 0
+
+    def test_alias_workload(self, capsys, fast):
+        assert main(["run", "--workload", "PF", *fast]) == 0
+
+    def test_unknown_workload_errors(self, capsys, fast):
+        assert main(["run", "--workload", "doom", *fast]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_prints_all_policies(self, capsys, fast):
+        assert main(["compare", "--workload", "hotspot", "--iterations", "4",
+                     "--time-scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rodinia-default", "division-only", "greengpu"):
+            assert name in out
+
+
+class TestSweep:
+    def test_sweep_reports_minimum(self, capsys):
+        assert main(["sweep", "--workload", "kmeans", "--iterations", "1",
+                     "--time-scale", "0.03", "--step", "0.15",
+                     "--max-ratio", "0.45"]) == 0
+        out = capsys.readouterr().out
+        assert "energy minimum at r" in out
+
+
+class TestCharacterize:
+    def test_characterize_lists_all_workloads(self, capsys):
+        assert main(["characterize", "--iterations", "1",
+                     "--time-scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bfs", "kmeans", "streamcluster"):
+            assert name in out
+
+
+class TestOracle:
+    def test_oracle_reports_levels(self, capsys):
+        assert main(["oracle", "--workload", "pathfinder", "--iterations", "1",
+                     "--time-scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle optimum" in out
+        assert "36 configs searched" in out
+
+
+class TestReplay:
+    def test_replay_csv(self, capsys, tmp_path):
+        trace = tmp_path / "log.csv"
+        trace.write_text(
+            "time,core,mem\n0,80%,30%\n1,82%,31%\n2,20%,60%\n3,21%,62%\n"
+        )
+        assert main(["replay", str(trace), "--iterations", "1",
+                     "--time-scale", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "replaying" in out
+        assert "log" in out
+
+    def test_replay_bad_csv_errors(self, capsys, tmp_path):
+        trace = tmp_path / "bad.csv"
+        trace.write_text("only,two\n")
+        assert main(["replay", str(trace)]) == 2
+
+
+class TestSaveAndShow:
+    def test_save_then_show_roundtrip(self, capsys, tmp_path, fast):
+        out_file = tmp_path / "result.json"
+        assert main(["run", "--workload", "lud", "--policy", "rodinia-default",
+                     "--save", str(out_file), *fast]) == 0
+        assert out_file.exists()
+        capsys.readouterr()
+        assert main(["show", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "workload : lud" in out
+        assert "rodinia-default" in out
+
+
+class TestReproduce:
+    def test_reproduce_unknown_artifact_errors(self, capsys):
+        assert main(["reproduce", "fig99"]) == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,71 @@
+"""Tests pinning the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_flow(self):
+        """The README/docstring quickstart must actually work."""
+        from repro import (
+            GreenGpuPolicy,
+            RodiniaDefaultPolicy,
+            make_workload,
+            run_workload,
+        )
+
+        workload = make_workload("kmeans", gpu_seconds_per_iteration=2.0)
+        from repro import ExecutorOptions, GreenGpuConfig
+
+        cfg = GreenGpuConfig(scaling_interval_s=0.05, ondemand_interval_s=0.005)
+        options = ExecutorOptions(repartition_overhead_s=0.01)
+        baseline = run_workload(
+            workload, RodiniaDefaultPolicy(), n_iterations=6, options=options
+        )
+        green = run_workload(
+            workload, GreenGpuPolicy(config=cfg), n_iterations=6, options=options
+        )
+        assert green.energy_saving_vs(baseline) > 0.0
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize("module", [
+        "repro.core", "repro.sim", "repro.workloads", "repro.runtime",
+        "repro.monitors", "repro.baselines", "repro.analysis",
+        "repro.experiments", "repro.extensions", "repro.cli",
+    ])
+    def test_importable(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize("module", [
+        "repro.core", "repro.sim", "repro.workloads", "repro.monitors",
+        "repro.baselines", "repro.analysis", "repro.extensions",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_workload_modules_share_interface(self):
+        """Every Table II workload module exposes workload()."""
+        for stem in ("kmeans", "hotspot", "bfs", "lud", "nbody",
+                     "pathfinder", "quasirandom", "srad", "streamcluster"):
+            mod = importlib.import_module(f"repro.workloads.{stem}")
+            assert callable(mod.workload)
+
+    def test_experiment_modules_share_interface(self):
+        for stem in ("fig1", "fig2", "table2", "fig5", "fig6", "fig7",
+                     "fig8", "headline"):
+            mod = importlib.import_module(f"repro.experiments.{stem}")
+            assert callable(mod.run)
+            assert callable(mod.main)

@@ -1,0 +1,51 @@
+"""Tests for the unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_frequency(self):
+        assert units.mhz(900) == 900e6
+        assert units.ghz(2.8) == 2.8e9
+        assert units.to_mhz(576e6) == pytest.approx(576.0)
+
+    def test_roundtrip(self):
+        assert units.to_mhz(units.mhz(820.5)) == pytest.approx(820.5)
+
+    def test_bandwidth_and_compute(self):
+        assert units.gib_per_s(1.0) == 1024.0**3
+        assert units.gflops(345.6) == pytest.approx(345.6e9)
+
+    def test_energy(self):
+        assert units.joules_to_wh(3600.0) == 1.0
+        assert units.wh_to_joules(1.0) == 3600.0
+        assert units.wh_to_joules(units.joules_to_wh(1234.5)) == pytest.approx(1234.5)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_boundaries(self):
+        assert units.clamp(0.0, 0.0, 1.0) == 0.0
+        assert units.clamp(1.0, 0.0, 1.0) == 1.0
+
+
+class TestAlmostEqual:
+    def test_exact(self):
+        assert units.almost_equal(1.0, 1.0)
+
+    def test_relative_tolerance(self):
+        assert units.almost_equal(1.0, 1.0 + 1e-12)
+        assert not units.almost_equal(1.0, 1.001)
+
+    def test_absolute_tolerance_near_zero(self):
+        assert units.almost_equal(0.0, 1e-13)

@@ -1,0 +1,179 @@
+"""Tests for the workload abstractions and demand synthesis."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.perf import RooflineModel
+from repro.workloads.base import DemandModelWorkload, Phase, WorkloadProfile
+
+
+def profile(**overrides):
+    defaults = dict(
+        name="test",
+        description="",
+        enlargement="",
+        phases=(Phase(1.0, 0.6, 0.25),),
+        gpu_seconds_per_iteration=10.0,
+        cpu_gpu_time_ratio=4.0,
+        h2d_bytes_per_iteration=1e6,
+        d2h_bytes_per_iteration=1e5,
+    )
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+class TestPhase:
+    def test_rejects_zero_weight(self):
+        with pytest.raises(WorkloadError):
+            Phase(0.0, 0.5, 0.5)
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(WorkloadError):
+            Phase(1.0, 1.5, 0.5)
+
+
+class TestProfileValidation:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            profile(phases=(Phase(0.5, 0.5, 0.5), Phase(0.4, 0.5, 0.5)))
+
+    def test_needs_at_least_one_phase(self):
+        with pytest.raises(WorkloadError):
+            profile(phases=())
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(WorkloadError):
+            profile(gpu_seconds_per_iteration=0.0)
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(WorkloadError):
+            profile(cpu_gpu_time_ratio=0.0)
+
+    def test_rejects_bad_serial_fraction(self):
+        with pytest.raises(WorkloadError):
+            profile(serial_fraction=1.0)
+
+    def test_mean_utilizations(self):
+        p = profile(phases=(Phase(0.5, 0.8, 0.2), Phase(0.5, 0.4, 0.6)))
+        assert p.mean_u_core == pytest.approx(0.6)
+        assert p.mean_u_mem == pytest.approx(0.4)
+
+
+class TestDemandCalibration:
+    def test_iteration_duration_at_peak(self, gpu_spec, cpu_spec, testbed):
+        """All-GPU at peak clocks must take the profile's nominal time."""
+        w = DemandModelWorkload(profile(), gpu_spec, cpu_spec)
+        testbed.gpu.set_peak()
+        from repro.sim.activity import KernelActivity
+
+        testbed.gpu.submit_kernel(KernelActivity(w.gpu_phases(1.0, 0)))
+        testbed.run_until_devices_idle()
+        assert testbed.now == pytest.approx(
+            10.0 + gpu_spec.launch_overhead_s, rel=1e-6
+        )
+
+    def test_utilization_targets_at_peak(self, gpu_spec, cpu_spec, testbed):
+        w = DemandModelWorkload(profile(serial_fraction=0.0), gpu_spec, cpu_spec)
+        testbed.gpu.set_peak()
+        from repro.sim.activity import KernelActivity
+
+        testbed.gpu.submit_kernel(KernelActivity(w.gpu_phases(1.0, 0)))
+        testbed.run_until_devices_idle()
+        elapsed = testbed.gpu.elapsed_seconds
+        assert testbed.gpu.busy_core_seconds / elapsed == pytest.approx(0.6, rel=0.01)
+        assert testbed.gpu.busy_mem_seconds / elapsed == pytest.approx(0.25, rel=0.01)
+
+    def test_cpu_share_time_ratio(self, gpu_spec, cpu_spec, testbed):
+        """One unit of work takes cpu_gpu_time_ratio x longer on the CPU."""
+        w = DemandModelWorkload(profile(serial_fraction=0.0), gpu_spec, cpu_spec)
+        from repro.sim.activity import KernelActivity
+
+        testbed.cpu.submit_kernel(KernelActivity(w.cpu_phases(1.0, 0)))
+        testbed.run_until_devices_idle()
+        assert testbed.now == pytest.approx(40.0, rel=1e-6)
+
+    def test_units_scale_demands_linearly(self, gpu_spec, cpu_spec):
+        w = DemandModelWorkload(profile(serial_fraction=0.0), gpu_spec, cpu_spec)
+        full = w.gpu_phases(1.0, 0)
+        half = w.gpu_phases(0.5, 0)
+        assert half[0].flops == pytest.approx(0.5 * full[0].flops)
+        assert half[0].bytes == pytest.approx(0.5 * full[0].bytes)
+        assert half[0].stall_s == pytest.approx(0.5 * full[0].stall_s)
+
+    def test_zero_units_no_phases(self, gpu_spec, cpu_spec):
+        w = DemandModelWorkload(profile(), gpu_spec, cpu_spec)
+        assert w.gpu_phases(0.0, 0) == []
+        assert w.cpu_phases(0.0, 0) == []
+
+    def test_negative_units_raise(self, gpu_spec, cpu_spec):
+        w = DemandModelWorkload(profile(), gpu_spec, cpu_spec)
+        with pytest.raises(WorkloadError):
+            w.gpu_phases(-0.5, 0)
+
+    def test_serial_phase_not_scaled_by_units(self, gpu_spec, cpu_spec):
+        w = DemandModelWorkload(profile(serial_fraction=0.3), gpu_spec, cpu_spec)
+        full = w.gpu_phases(1.0, 0)
+        tenth = w.gpu_phases(0.1, 0)
+        # First phase is the serial tax: identical regardless of units.
+        assert tenth[0].flops == pytest.approx(full[0].flops)
+        assert tenth[0].stall_s == pytest.approx(full[0].stall_s)
+        # Divisible phase scales.
+        assert tenth[1].flops == pytest.approx(0.1 * full[1].flops)
+
+    def test_serial_plus_divisible_equals_nominal_time(
+        self, gpu_spec, cpu_spec, testbed
+    ):
+        w = DemandModelWorkload(profile(serial_fraction=0.3), gpu_spec, cpu_spec)
+        from repro.sim.activity import KernelActivity
+
+        testbed.gpu.set_peak()
+        testbed.gpu.submit_kernel(KernelActivity(w.gpu_phases(1.0, 0)))
+        testbed.run_until_devices_idle()
+        assert testbed.now == pytest.approx(
+            10.0 + gpu_spec.launch_overhead_s, rel=1e-6
+        )
+
+    def test_transfer_sizes_scale(self, gpu_spec, cpu_spec):
+        w = DemandModelWorkload(profile(), gpu_spec, cpu_spec)
+        assert w.h2d_bytes(0.5) == pytest.approx(5e5)
+        assert w.d2h_bytes(0.5) == pytest.approx(5e4)
+
+    def test_multi_phase_fluctuating_profile(self, gpu_spec, cpu_spec):
+        p = profile(phases=(Phase(0.5, 0.85, 0.2), Phase(0.5, 0.25, 0.65)))
+        w = DemandModelWorkload(p, gpu_spec, cpu_spec)
+        phases = w.gpu_phases(1.0, 0)
+        # Each divisible phase gets n*weight interleaved (serial, work)
+        # chunk pairs; total demand is conserved.
+        n = p.serial_interleave
+        assert len(phases) == 2 * n  # 2 * (n/2 chunks per phase) * 2 parts
+        total_flops = sum(ph.flops for ph in phases)
+        direct = DemandModelWorkload(
+            profile(
+                phases=(Phase(0.5, 0.85, 0.2), Phase(0.5, 0.25, 0.65)),
+                serial_fraction=0.0,
+            ),
+            gpu_spec,
+            cpu_spec,
+        )
+        divisible_flops = sum(ph.flops for ph in direct.gpu_phases(1.0, 0))
+        # Serial adds its own flops on top of the (smaller) divisible part.
+        assert total_flops > 0.9 * divisible_flops * (
+            1.0 - p.serial_fraction
+        )
+
+    def test_interleaving_preserves_totals(self, gpu_spec, cpu_spec):
+        """Chopping into slivers must not change total demand."""
+        p = profile(serial_fraction=0.3, serial_interleave=16)
+        w = DemandModelWorkload(p, gpu_spec, cpu_spec)
+        phases = w.gpu_phases(1.0, 0)
+        total_stall = sum(ph.stall_s for ph in phases)
+        coarse = DemandModelWorkload(
+            profile(serial_fraction=0.3, serial_interleave=1), gpu_spec, cpu_spec
+        )
+        coarse_stall = sum(ph.stall_s for ph in coarse.gpu_phases(1.0, 0))
+        assert total_stall == pytest.approx(coarse_stall)
+
+    def test_infeasible_utilization_pair_raises(self, gpu_spec, cpu_spec):
+        bad = profile(phases=(Phase(1.0, 0.95, 0.95),))
+        with pytest.raises(Exception):
+            DemandModelWorkload(bad, gpu_spec, cpu_spec)

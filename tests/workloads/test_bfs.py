@@ -1,0 +1,93 @@
+"""Tests for the BFS functional kernel and its division contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import bfs
+
+
+@pytest.fixture
+def graph():
+    return bfs.generate_graph(n=300, avg_degree=5, seed=2)
+
+
+class TestGraphConstruction:
+    def test_csr_well_formed(self, graph):
+        assert graph.indptr[0] == 0
+        assert graph.indptr[-1] == graph.m
+        assert np.all(np.diff(graph.indptr) >= 0)
+
+    def test_backbone_guarantees_connectivity(self, graph):
+        depth = bfs.bfs(graph, source=0)
+        assert np.all(depth >= 0)
+
+    def test_neighbors(self, graph):
+        nbrs = graph.neighbors(0)
+        assert np.array_equal(nbrs, graph.indices[: graph.indptr[1]])
+
+    def test_malformed_indptr_rejected(self):
+        with pytest.raises(WorkloadError):
+            bfs.CsrGraph(np.array([1, 2]), np.array([0]))
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            bfs.CsrGraph(np.array([0, 1]), np.array([5]))
+
+    def test_deterministic_generation(self):
+        a = bfs.generate_graph(n=50, seed=9)
+        b = bfs.generate_graph(n=50, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestBfsCorrectness:
+    def test_source_depth_zero(self, graph):
+        assert bfs.bfs(graph, 0)[0] == 0
+
+    def test_depths_are_shortest_paths(self, graph):
+        """Cross-check against networkx's shortest paths."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(graph.n))
+        for v in range(graph.n):
+            for u in graph.neighbors(v):
+                g.add_edge(v, int(u))
+        expected = nx.single_source_shortest_path_length(g, 0)
+        depth = bfs.bfs(graph, 0)
+        for v in range(graph.n):
+            assert depth[v] == expected.get(v, bfs.UNVISITED)
+
+    def test_unreachable_marked(self):
+        # Two isolated vertices: 1 unreachable from 0.
+        graph = bfs.CsrGraph(np.array([0, 0, 0]), np.array([], dtype=np.int64))
+        depth = bfs.bfs(graph, 0)
+        assert depth[1] == bfs.UNVISITED
+
+    def test_bad_source_raises(self, graph):
+        with pytest.raises(WorkloadError):
+            bfs.bfs(graph, source=-1)
+        with pytest.raises(WorkloadError):
+            bfs.bfs(graph, source=graph.n)
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.25, 0.5, 0.9, 1.0])
+    def test_divided_bfs_matches_monolithic(self, graph, r):
+        """Frontier division must not change discovered depths."""
+        assert np.array_equal(bfs.bfs(graph, 0, r=0.0), bfs.bfs(graph, 0, r=r))
+
+    def test_level_expansion_marks_next_level(self, graph):
+        depth = np.full(graph.n, bfs.UNVISITED, dtype=np.int64)
+        depth[0] = 0
+        frontier = np.array([0], dtype=np.int64)
+        nxt = bfs.bfs_level(graph, depth, frontier, level=0, r=0.5)
+        assert np.all(depth[nxt] == 1)
+
+    def test_empty_frontier_returns_empty(self, graph):
+        depth = np.zeros(graph.n, dtype=np.int64)
+        out = bfs.bfs_level(graph, depth, np.empty(0, dtype=np.int64), 0)
+        assert out.size == 0
+
+    def test_workload_factory(self):
+        assert bfs.workload().name == "bfs"

@@ -1,0 +1,109 @@
+"""Tests for the Table II registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.characteristics import (
+    ALIASES,
+    TABLE_II,
+    get_profile,
+    make_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_nine_paper_workloads_present(self):
+        assert set(workload_names()) == {
+            "bfs", "lud", "nbody", "pathfinder", "quasirandom",
+            "srad_v2", "hotspot", "kmeans", "streamcluster",
+        }
+
+    def test_aliases_resolve(self):
+        assert get_profile("PF").name == "pathfinder"
+        assert get_profile("QG").name == "quasirandom"
+        assert get_profile("SC").name == "streamcluster"
+        assert get_profile("srad").name == "srad_v2"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(WorkloadError):
+            get_profile("doom")
+
+    def test_fluctuating_flags_match_paper(self):
+        """Table II marks QG and SC as highly fluctuating."""
+        for name, profile in TABLE_II.items():
+            expected = name in ("quasirandom", "streamcluster")
+            assert profile.fluctuating == expected, name
+
+    def test_enlargements_quoted_from_paper(self):
+        assert TABLE_II["kmeans"].enlargement == "988040 data points"
+        assert TABLE_II["hotspot"].enlargement == "2048 by 2048 grids of 600 iterations"
+        assert TABLE_II["bfs"].enlargement == "65536 iterations"
+
+    def test_every_alias_points_to_registered_profile(self):
+        for target in ALIASES.values():
+            assert target in TABLE_II
+
+
+class TestPaperAnchors:
+    def test_kmeans_equal_finish_off_grid(self):
+        """kmeans' balance point must fall strictly between the 15 % and
+        20 % grid points so the divider parks like the paper's Fig. 7a."""
+        ratio = TABLE_II["kmeans"].cpu_gpu_time_ratio
+        r_star = 1.0 / (1.0 + ratio)
+        assert 0.15 < r_star < 0.20
+
+    def test_hotspot_balance_at_half(self):
+        """Fig. 7b: hotspot's time-optimal division is 50/50.  At the
+        50/50 point the CPU finishes just ahead of the GPU (tc slightly
+        below tg), so the divider arrives from below and the oscillation
+        safeguard pins it exactly there."""
+        p = TABLE_II["hotspot"]
+        divisible = 1.0 - p.serial_fraction
+        tc_half = 0.5 * p.cpu_gpu_time_ratio * divisible
+        tg_half = p.serial_fraction + 0.5 * divisible
+        assert tc_half < tg_half                 # CPU finishes first at 0.50
+        assert tc_half == pytest.approx(tg_half, rel=0.10)
+        # ... and 0.55 would overshoot: the CPU would become the straggler.
+        tc_55 = 0.55 * p.cpu_gpu_time_ratio * divisible
+        tg_55 = p.serial_fraction + 0.45 * divisible
+        assert tc_55 > tg_55
+
+    def test_nbody_is_core_bounded(self):
+        p = TABLE_II["nbody"]
+        assert p.phases[0].u_core > 0.8
+        assert p.phases[0].u_mem < 0.5
+
+    def test_streamcluster_is_memory_bounded(self):
+        p = TABLE_II["streamcluster"]
+        dominant = max(p.phases, key=lambda ph: ph.weight)
+        assert dominant.u_mem > dominant.u_core
+
+    def test_pathfinder_low_everything(self):
+        p = TABLE_II["pathfinder"]
+        assert p.mean_u_core < 0.4 and p.mean_u_mem < 0.4
+
+    def test_division_workloads_honour_decoupling_rule(self):
+        """kmeans and hotspot iterations must be >= 40 x the 3 s scaling
+        interval (paper §IV)."""
+        for name in ("kmeans", "hotspot"):
+            assert TABLE_II[name].gpu_seconds_per_iteration >= 120.0
+
+
+class TestMakeWorkload:
+    def test_build_with_defaults(self):
+        w = make_workload("kmeans")
+        assert w.name == "kmeans"
+        assert w.default_iterations == 20
+
+    def test_overrides_apply(self):
+        w = make_workload("kmeans", gpu_seconds_per_iteration=5.0)
+        assert w.profile.gpu_seconds_per_iteration == 5.0
+
+    def test_explicit_specs(self, gpu_spec, cpu_spec):
+        w = make_workload("lud", gpu=gpu_spec, cpu=cpu_spec)
+        assert w.profile.name == "lud"
+
+    def test_all_workloads_buildable(self):
+        for name in workload_names():
+            make_workload(name)

@@ -1,0 +1,63 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.perf import RooflineModel
+from repro.workloads.generator import (
+    feasible_pair,
+    random_profile,
+    synthetic_workload,
+    uniform_profile,
+)
+
+
+class TestFeasiblePair:
+    def test_sampled_pairs_feasible(self):
+        rng = np.random.default_rng(0)
+        roofline = RooflineModel(4.0)
+        for _ in range(50):
+            uc, um = feasible_pair(rng, roofline)
+            assert roofline.utilization_norm(uc, um) <= 0.98 + 1e-12
+
+    def test_margin_validation(self):
+        with pytest.raises(WorkloadError):
+            feasible_pair(np.random.default_rng(0), RooflineModel(4.0), margin=1.0)
+
+
+class TestRandomProfile:
+    def test_deterministic_by_seed(self, gpu_spec):
+        a = random_profile(3, gpu_spec)
+        b = random_profile(3, gpu_spec)
+        assert a.phases == b.phases
+
+    def test_phase_count(self, gpu_spec):
+        p = random_profile(1, gpu_spec, n_phases=3)
+        assert len(p.phases) == 3
+        assert p.fluctuating
+
+    def test_weights_sum_to_one(self, gpu_spec):
+        p = random_profile(5, gpu_spec, n_phases=4)
+        assert sum(ph.weight for ph in p.phases) == pytest.approx(1.0)
+
+    def test_rejects_zero_phases(self, gpu_spec):
+        with pytest.raises(WorkloadError):
+            random_profile(0, gpu_spec, n_phases=0)
+
+    def test_buildable_into_workload(self, gpu_spec, cpu_spec):
+        for seed in range(5):
+            p = random_profile(seed, gpu_spec, n_phases=2)
+            w = synthetic_workload(p, gpu_spec, cpu_spec)
+            assert w.gpu_phases(1.0, 0)
+
+
+class TestUniformProfile:
+    def test_exact_point(self):
+        p = uniform_profile(0.5, 0.3)
+        assert p.phases[0].u_core == 0.5
+        assert p.phases[0].u_mem == 0.3
+
+    def test_buildable(self, gpu_spec, cpu_spec):
+        w = synthetic_workload(uniform_profile(0.4, 0.4), gpu_spec, cpu_spec)
+        assert w.h2d_bytes(1.0) > 0.0

@@ -1,0 +1,75 @@
+"""Tests for the hotspot functional kernel and its division contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import hotspot
+
+
+@pytest.fixture
+def problem():
+    return hotspot.generate_problem(rows=40, cols=32, seed=1)
+
+
+class TestStep:
+    def test_uniform_grid_zero_power_relaxes_to_ambient(self):
+        temp = np.full((8, 8), hotspot.AMB + 10.0)
+        power = np.zeros((8, 8))
+        for _ in range(200):
+            temp = hotspot.step(temp, power)
+        assert np.allclose(temp, hotspot.AMB, atol=0.5)
+
+    def test_power_heats_cells(self, problem):
+        after = hotspot.step(problem.temp, problem.power + 10.0)
+        assert after.mean() > problem.temp.mean()
+
+    def test_shape_preserved(self, problem):
+        assert hotspot.step(problem.temp, problem.power).shape == problem.temp.shape
+
+    def test_diffusion_smooths_hot_spot(self):
+        temp = np.full((9, 9), hotspot.AMB)
+        temp[4, 4] = hotspot.AMB + 100.0
+        power = np.zeros((9, 9))
+        after = hotspot.step(temp, power)
+        assert after[4, 4] < temp[4, 4]
+        assert after[4, 3] > temp[4, 3]
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.1, 0.33, 0.5, 0.77, 1.0])
+    def test_partitioned_step_matches_monolithic(self, problem, r):
+        mono = hotspot.step(problem.temp, problem.power)
+        divided = hotspot.step_partitioned(problem.temp, problem.power, r)
+        assert np.allclose(mono, divided)
+
+    def test_multi_step_divided_run_matches(self, problem):
+        mono = hotspot.run(problem, steps=10, r=0.0)
+        divided = hotspot.run(problem, steps=10, r=0.5)
+        assert np.allclose(mono, divided)
+
+    def test_tiny_cpu_share_rounds_to_empty_slice(self):
+        p = hotspot.generate_problem(rows=8, cols=8)
+        divided = hotspot.step_partitioned(p.temp, p.power, 0.01)
+        mono = hotspot.step(p.temp, p.power)
+        assert np.allclose(mono, divided)
+
+
+class TestValidation:
+    def test_rejects_mismatched_grids(self):
+        with pytest.raises(WorkloadError):
+            hotspot.HotspotProblem(np.zeros((4, 4)), np.zeros((5, 4)))
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(WorkloadError):
+            hotspot.HotspotProblem(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_run_requires_steps(self, problem):
+        with pytest.raises(WorkloadError):
+            hotspot.run(problem, steps=0)
+
+    def test_peak_temperature(self, problem):
+        assert hotspot.peak_temperature(problem.temp) == problem.temp.max()
+
+    def test_workload_factory(self):
+        assert hotspot.workload().name == "hotspot"

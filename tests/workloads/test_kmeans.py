@@ -1,0 +1,91 @@
+"""Tests for the kmeans functional kernel and its division contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import kmeans
+
+
+@pytest.fixture
+def problem():
+    return kmeans.generate_problem(n=512, k=5, d=8, seed=3)
+
+
+class TestLloydStep:
+    def test_labels_are_nearest_centroids(self, problem):
+        labels, _ = kmeans.lloyd_step(problem)
+        dists = np.linalg.norm(
+            problem.points[:, None, :] - problem.centroids[None, :, :], axis=2
+        )
+        assert np.array_equal(labels, np.argmin(dists, axis=1))
+
+    def test_centroids_are_cluster_means(self, problem):
+        labels, centroids = kmeans.lloyd_step(problem)
+        for c in range(problem.k):
+            members = problem.points[labels == c]
+            if len(members):
+                assert np.allclose(centroids[c], members.mean(axis=0))
+
+    def test_empty_cluster_keeps_old_centroid(self):
+        points = np.zeros((4, 2))
+        centroids = np.array([[0.0, 0.0], [100.0, 100.0]])
+        problem = kmeans.KMeansProblem(points, centroids)
+        _, new = kmeans.lloyd_step(problem)
+        assert np.allclose(new[1], [100.0, 100.0])
+
+    def test_inertia_non_increasing_over_iterations(self, problem):
+        """Lloyd's algorithm's defining invariant."""
+        centroids = problem.centroids
+        last = np.inf
+        for _ in range(8):
+            step_problem = kmeans.KMeansProblem(problem.points, centroids)
+            labels, centroids = kmeans.lloyd_step(step_problem)
+            current = kmeans.inertia(step_problem, labels)
+            assert current <= last + 1e-9
+            last = current
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.05, 0.2, 0.5, 0.85, 1.0])
+    def test_partitioned_step_matches_monolithic(self, problem, r):
+        """GreenGPU's division must not change the computation."""
+        labels_m, centroids_m = kmeans.lloyd_step(problem)
+        labels_p, centroids_p = kmeans.lloyd_step_partitioned(problem, r)
+        assert np.array_equal(labels_m, labels_p)
+        assert np.allclose(centroids_m, centroids_p)
+
+    def test_multi_iteration_divided_run_matches(self, problem):
+        _, mono = kmeans.run_lloyd(problem, iterations=5, r=0.0)
+        _, divided = kmeans.run_lloyd(problem, iterations=5, r=0.3)
+        assert np.allclose(mono, divided)
+
+    def test_run_requires_iterations(self, problem):
+        with pytest.raises(WorkloadError):
+            kmeans.run_lloyd(problem, iterations=0)
+
+
+class TestProblemValidation:
+    def test_dimension_mismatch(self):
+        with pytest.raises(WorkloadError):
+            kmeans.KMeansProblem(np.zeros((4, 3)), np.zeros((2, 2)))
+
+    def test_requires_centroids(self):
+        with pytest.raises(WorkloadError):
+            kmeans.KMeansProblem(np.zeros((4, 3)), np.zeros((0, 3)))
+
+    def test_generated_problem_shapes(self, problem):
+        assert problem.n == 512 and problem.k == 5
+        assert problem.centroids.shape == (5, 8)
+
+    def test_generation_deterministic(self):
+        a = kmeans.generate_problem(seed=7)
+        b = kmeans.generate_problem(seed=7)
+        assert np.array_equal(a.points, b.points)
+
+
+class TestSimulatorBinding:
+    def test_workload_factory(self):
+        w = kmeans.workload(gpu_seconds_per_iteration=2.0)
+        assert w.name == "kmeans"
+        assert w.profile.gpu_seconds_per_iteration == 2.0

@@ -1,0 +1,75 @@
+"""Tests for the blocked LU decomposition kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import lud
+
+
+@pytest.fixture
+def matrix():
+    return lud.generate_matrix(n=64, seed=4)
+
+
+class TestFactorization:
+    def test_reconstruction(self, matrix):
+        packed = lud.lu_blocked(matrix, block=16)
+        assert lud.reconstruction_error(matrix, packed) < 1e-10
+
+    def test_matches_scipy(self, matrix):
+        """Pivot-free LU on a dominant matrix agrees with scipy's LU up
+        to its permutation (which is identity for dominant matrices with
+        large diagonals — compare via reconstruction instead)."""
+        packed = lud.lu_blocked(matrix, block=8)
+        l, u = lud.unpack(packed)
+        assert np.allclose(l @ u, matrix)
+        assert np.allclose(np.diag(l), 1.0)
+        assert np.allclose(np.tril(u, -1), 0.0)
+
+    def test_block_size_irrelevant_to_result(self, matrix):
+        a = lud.lu_blocked(matrix, block=4)
+        b = lud.lu_blocked(matrix, block=32)
+        assert np.allclose(a, b)
+
+    def test_block_larger_than_matrix(self, matrix):
+        packed = lud.lu_blocked(matrix, block=128)
+        assert lud.reconstruction_error(matrix, packed) < 1e-10
+
+    def test_input_not_mutated(self, matrix):
+        before = matrix.copy()
+        lud.lu_blocked(matrix, block=16)
+        assert np.array_equal(matrix, before)
+
+    def test_zero_pivot_detected(self):
+        singularish = np.zeros((4, 4))
+        with pytest.raises(WorkloadError):
+            lud.lu_blocked(singularish, block=4)
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.2, 0.5, 0.8, 1.0])
+    def test_divided_trailing_update_matches(self, matrix, r):
+        mono = lud.lu_blocked(matrix, block=16, r=0.0)
+        divided = lud.lu_blocked(matrix, block=16, r=r)
+        assert np.allclose(mono, divided)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(WorkloadError):
+            lud.lu_blocked(np.zeros((3, 4)))
+
+    def test_rejects_bad_block(self, matrix):
+        with pytest.raises(WorkloadError):
+            lud.lu_blocked(matrix, block=0)
+
+    def test_generated_matrix_dominant(self, matrix):
+        diag = np.abs(np.diag(matrix))
+        off = np.abs(matrix).sum(axis=1) - diag
+        assert np.all(diag > off * 0.99)
+
+    def test_workload_factory(self):
+        w = lud.workload()
+        assert w.name == "lud"
+        assert w.default_iterations == 10  # Table II: "10 iterations"

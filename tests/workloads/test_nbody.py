@@ -1,0 +1,96 @@
+"""Tests for the n-body functional kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import nbody
+
+
+@pytest.fixture
+def system():
+    return nbody.generate_system(n=64, seed=5)
+
+
+class TestForces:
+    def test_two_body_attraction(self):
+        sys2 = nbody.NBodySystem(
+            pos=np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]),
+            vel=np.zeros((2, 3)),
+            mass=np.ones(2),
+        )
+        acc = nbody.accelerations(sys2.pos, sys2.mass)
+        assert acc[0, 0] > 0.0  # body 0 pulled toward +x
+        assert acc[1, 0] < 0.0  # body 1 pulled toward -x
+
+    def test_newton_third_law_two_equal_masses(self):
+        sys2 = nbody.NBodySystem(
+            pos=np.array([[0.0, 0.0, 0.0], [2.0, 1.0, -1.0]]),
+            vel=np.zeros((2, 3)),
+            mass=np.ones(2),
+        )
+        acc = nbody.accelerations(sys2.pos, sys2.mass)
+        assert np.allclose(acc[0], -acc[1])
+
+    def test_softening_bounds_selfforce(self, system):
+        acc = nbody.accelerations(system.pos, system.mass)
+        assert np.all(np.isfinite(acc))
+
+    def test_targets_slice(self, system):
+        full = nbody.accelerations(system.pos, system.mass)
+        part = nbody.accelerations(system.pos, system.mass, slice(10, 20))
+        assert np.allclose(full[10:20], part)
+
+
+class TestIntegration:
+    def test_energy_approximately_conserved(self, system):
+        e0 = nbody.total_energy(system)
+        advanced = nbody.run(system, steps=20, dt=1e-4)
+        e1 = nbody.total_energy(advanced)
+        assert abs(e1 - e0) / abs(e0) < 0.02
+
+    def test_momentum_drift_small(self, system):
+        p0 = (system.mass[:, None] * system.vel).sum(axis=0)
+        advanced = nbody.run(system, steps=10, dt=1e-3)
+        p1 = (advanced.mass[:, None] * advanced.vel).sum(axis=0)
+        # Softened asymmetric masses drift slightly; must stay tiny.
+        assert np.linalg.norm(p1 - p0) < 0.5
+
+    def test_rejects_bad_dt(self, system):
+        with pytest.raises(WorkloadError):
+            nbody.step(system, dt=0.0)
+
+    def test_rejects_zero_steps(self, system):
+        with pytest.raises(WorkloadError):
+            nbody.run(system, steps=0)
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.15, 0.5, 0.9, 1.0])
+    def test_divided_step_matches_monolithic(self, system, r):
+        mono = nbody.step(system, r=0.0)
+        divided = nbody.step(system, r=r)
+        assert np.allclose(mono.pos, divided.pos)
+        assert np.allclose(mono.vel, divided.vel)
+
+    def test_divided_multi_step_run(self, system):
+        mono = nbody.run(system, steps=5, r=0.0)
+        divided = nbody.run(system, steps=5, r=0.4)
+        assert np.allclose(mono.pos, divided.pos)
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(WorkloadError):
+            nbody.NBodySystem(np.zeros((3, 2)), np.zeros((3, 3)), np.ones(3))
+        with pytest.raises(WorkloadError):
+            nbody.NBodySystem(np.zeros((3, 3)), np.zeros((3, 3)), np.ones(2))
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(WorkloadError):
+            nbody.NBodySystem(np.zeros((2, 3)), np.zeros((2, 3)), np.array([1.0, 0.0]))
+
+    def test_workload_factory(self):
+        w = nbody.workload()
+        assert w.name == "nbody"
+        assert w.default_iterations == 50  # Table II: "50 of iterations"

@@ -1,0 +1,66 @@
+"""Tests for the pathfinder DP kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import pathfinder
+
+
+@pytest.fixture
+def grid():
+    return pathfinder.generate_grid(rows=40, cols=60, seed=6)
+
+
+def brute_force_best(grid):
+    """Exponential-free reference: plain per-row DP with python loops."""
+    rows, cols = grid.shape
+    dp = grid[-1].astype(np.int64).copy()
+    for row in range(rows - 2, -1, -1):
+        new = np.empty_like(dp)
+        for j in range(cols):
+            lo, hi = max(j - 1, 0), min(j + 1, cols - 1)
+            new[j] = grid[row, j] + min(dp[lo], dp[j], dp[hi])
+        dp = new
+    return int(dp.min())
+
+
+class TestDpCorrectness:
+    def test_matches_bruteforce_reference(self, grid):
+        assert pathfinder.best_path_cost(grid) == brute_force_best(grid)
+
+    def test_single_row_grid(self):
+        grid = np.array([[3, 1, 2]], dtype=np.int64)
+        assert pathfinder.best_path_cost(grid) == 1
+
+    def test_single_column_grid(self):
+        grid = np.array([[2], [3], [4]], dtype=np.int64)
+        assert pathfinder.best_path_cost(grid) == 9
+
+    def test_costs_positive(self, grid):
+        assert pathfinder.best_path_cost(grid) >= grid.shape[0]  # min cost 1/cell
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(WorkloadError):
+            pathfinder.min_path_costs(np.zeros(5))
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.1, 0.37, 0.5, 0.92, 1.0])
+    def test_divided_dp_matches_monolithic(self, grid, r):
+        mono = pathfinder.min_path_costs(grid, r=0.0)
+        divided = pathfinder.min_path_costs(grid, r=r)
+        assert np.array_equal(mono, divided)
+
+    def test_division_boundary_halo_correct(self):
+        """The split column's neighbours cross the partition boundary."""
+        rng = np.random.default_rng(0)
+        grid = rng.integers(1, 100, size=(10, 11)).astype(np.int64)
+        for r in (0.3, 0.5, 0.6):
+            assert np.array_equal(
+                pathfinder.min_path_costs(grid, 0.0),
+                pathfinder.min_path_costs(grid, r),
+            )
+
+    def test_workload_factory(self):
+        assert pathfinder.workload().name == "pathfinder"

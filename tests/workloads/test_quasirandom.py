@@ -1,0 +1,99 @@
+"""Tests for the quasirandom generator kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import quasirandom as qg
+
+
+class TestSequence:
+    def test_values_in_unit_interval(self):
+        seq = qg.sequence(0, 1000)
+        assert np.all((seq > 0.0) & (seq < 1.0))
+
+    def test_dimension_zero_is_van_der_corput(self):
+        # First points of the base-2 Van der Corput sequence (index 1..4):
+        # 0.5, 0.25, 0.75, 0.125.
+        seq = qg.sequence(0, 4, dim=0)
+        assert seq == pytest.approx([0.5, 0.25, 0.75, 0.125], abs=1e-6)
+
+    def test_sequence_is_index_addressable(self):
+        """Generating [0, 100) equals [0, 40) + [40, 100)."""
+        full = qg.sequence(0, 100)
+        assert np.allclose(full, np.concatenate([qg.sequence(0, 40), qg.sequence(40, 60)]))
+
+    def test_dimensions_differ(self):
+        assert not np.allclose(qg.sequence(0, 64, dim=0), qg.sequence(0, 64, dim=3))
+
+    def test_no_duplicates_within_run(self):
+        seq = qg.sequence(0, 4096)
+        assert len(np.unique(seq)) == 4096
+
+    def test_more_uniform_than_pseudorandom(self):
+        """The point of quasirandomness: lower discrepancy than an RNG."""
+        n = 2048
+        quasi = qg.sequence(0, n)
+        pseudo = np.random.default_rng(0).uniform(size=n)
+        assert qg.star_discrepancy_proxy(quasi) < qg.star_discrepancy_proxy(pseudo)
+
+    def test_rejects_negative_args(self):
+        with pytest.raises(WorkloadError):
+            qg.sequence(-1, 10)
+        with pytest.raises(WorkloadError):
+            qg.direction_numbers(-1)
+
+    def test_empty_count(self):
+        assert qg.sequence(0, 0).size == 0
+
+
+class TestMoroInverseCdf:
+    def test_median_maps_to_zero(self):
+        assert qg.moro_inverse_cdf(np.array([0.5]))[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        u = np.array([0.1, 0.25, 0.4])
+        lower = qg.moro_inverse_cdf(u)
+        upper = qg.moro_inverse_cdf(1.0 - u)
+        assert np.allclose(lower, -upper, atol=1e-7)
+
+    def test_matches_scipy_ppf(self):
+        from scipy.stats import norm
+
+        u = np.linspace(0.001, 0.999, 199)
+        ours = qg.moro_inverse_cdf(u)
+        assert np.allclose(ours, norm.ppf(u), atol=3e-3)
+
+    def test_tails_monotone(self):
+        u = np.array([1e-6, 1e-4, 1e-2, 0.5, 0.99, 0.999999])
+        out = qg.moro_inverse_cdf(u)
+        assert np.all(np.diff(out) > 0.0)
+
+    def test_rejects_boundary_values(self):
+        with pytest.raises(WorkloadError):
+            qg.moro_inverse_cdf(np.array([0.0]))
+        with pytest.raises(WorkloadError):
+            qg.moro_inverse_cdf(np.array([1.0]))
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.2, 0.5, 0.81, 1.0])
+    def test_divided_generation_matches(self, r):
+        mono = qg.generate(500, r=0.0)
+        divided = qg.generate(500, r=r)
+        assert np.allclose(mono, divided)
+
+    def test_untransformed_division(self):
+        assert np.allclose(
+            qg.generate(256, transform=False, r=0.0),
+            qg.generate(256, transform=False, r=0.3),
+        )
+
+    def test_normal_statistics(self):
+        """Transformed output is standard-normal-ish."""
+        z = qg.generate(1 << 14)
+        assert abs(z.mean()) < 0.02
+        assert abs(z.std() - 1.0) < 0.02
+
+    def test_workload_factory(self):
+        assert qg.workload().name == "quasirandom"

@@ -1,0 +1,70 @@
+"""Tests for the SRAD diffusion kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import srad
+
+
+@pytest.fixture
+def image():
+    return srad.generate_image(rows=48, cols=40, seed=7)
+
+
+class TestStep:
+    def test_speckle_index_decreases(self, image):
+        """SRAD's purpose: smooth multiplicative speckle."""
+        before = srad.speckle_index(image)
+        after = srad.speckle_index(srad.run(image, steps=20))
+        assert after < before
+
+    def test_positive_image_stays_positive(self, image):
+        out = srad.run(image, steps=10)
+        assert np.all(out > 0.0)
+
+    def test_uniform_image_unchanged(self):
+        flat = np.full((16, 16), 50.0)
+        out = srad.srad_step(flat)
+        assert np.allclose(out, flat, rtol=1e-6)
+
+    def test_shape_preserved(self, image):
+        assert srad.srad_step(image).shape == image.shape
+
+    def test_diffusion_coefficient_in_unit_interval(self, image):
+        mean = image.mean()
+        q0 = image.var() / (mean * mean)
+        coeff = srad.diffusion_coefficient(image, q0)
+        assert np.all(coeff >= 0.0) and np.all(coeff <= 1.0)
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.1, 0.33, 0.5, 0.85, 1.0])
+    def test_divided_step_matches_monolithic(self, image, r):
+        mono = srad.srad_step(image)
+        divided = srad.srad_step_partitioned(image, r)
+        assert np.allclose(mono, divided, rtol=1e-10)
+
+    def test_divided_multi_step_run(self, image):
+        mono = srad.run(image, steps=6, r=0.0)
+        divided = srad.run(image, steps=6, r=0.4)
+        assert np.allclose(mono, divided, rtol=1e-9)
+
+    def test_statistics_reduce_across_both_sides(self, image):
+        """The q0 statistic must be global, not per-partition — a
+        per-side q0 would visibly diverge from the monolithic result."""
+        divided = srad.srad_step_partitioned(image, 0.5)
+        mono = srad.srad_step(image)
+        assert np.allclose(mono, divided)
+
+
+class TestValidation:
+    def test_run_requires_steps(self, image):
+        with pytest.raises(WorkloadError):
+            srad.run(image, steps=0)
+
+    def test_generated_image_positive(self, image):
+        assert np.all(image > 0.0)
+
+    def test_workload_factory(self):
+        assert srad.workload().name == "srad_v2"

@@ -1,0 +1,87 @@
+"""Tests for the streamcluster facility-location kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import streamcluster as sc
+
+
+@pytest.fixture
+def state():
+    return sc.generate_stream(n=200, d=4, k=5, seed=8)
+
+
+class TestPgain:
+    def test_gain_computation_matches_bruteforce(self, state):
+        candidate, fc = 17, 10.0
+        gain, switch = sc.pgain(state, candidate, fc)
+        cand = state.points[candidate]
+        d_new = state.weights * ((state.points - cand) ** 2).sum(axis=1)
+        delta = state.costs - d_new
+        expected_gain = delta[delta > 0].sum() - fc
+        assert gain == pytest.approx(expected_gain)
+        assert np.array_equal(switch, delta > 0)
+
+    def test_opening_candidate_lowers_total_cost_when_gainful(self, state):
+        fc = 1.0
+        before = state.total_cost(fc)
+        opened = sc.open_if_gainful(state, 50, fc)
+        if opened:
+            assert state.total_cost(fc) < before
+
+    def test_not_opened_when_facility_cost_huge(self, state):
+        assert not sc.open_if_gainful(state, 50, facility_cost=1e12)
+        assert state.centers == [0]
+
+    def test_candidate_out_of_range(self, state):
+        with pytest.raises(WorkloadError):
+            sc.pgain(state, 10_000, 1.0)
+
+
+class TestDivisionContract:
+    @pytest.mark.parametrize("r", [0.0, 0.2, 0.5, 0.77, 1.0])
+    def test_divided_pgain_matches(self, state, r):
+        gain_m, switch_m = sc.pgain(state, 33, 5.0, r=0.0)
+        gain_d, switch_d = sc.pgain(state, 33, 5.0, r=r)
+        assert gain_m == pytest.approx(gain_d)
+        assert np.array_equal(switch_m, switch_d)
+
+    def test_divided_full_pass_matches(self):
+        a = sc.generate_stream(n=150, seed=11)
+        b = sc.generate_stream(n=150, seed=11)
+        sc.cluster_stream(a, facility_cost=20.0, r=0.0)
+        sc.cluster_stream(b, facility_cost=20.0, r=0.45)
+        assert a.centers == b.centers
+        assert np.array_equal(a.assignment, b.assignment)
+
+
+class TestClustering:
+    def test_clustering_discovers_multiple_centers(self, state):
+        sc.cluster_stream(state, facility_cost=5.0)
+        assert len(state.centers) > 1
+
+    def test_higher_facility_cost_fewer_centers(self):
+        cheap = sc.generate_stream(n=200, seed=12)
+        pricey = sc.generate_stream(n=200, seed=12)
+        sc.cluster_stream(cheap, facility_cost=1.0)
+        sc.cluster_stream(pricey, facility_cost=500.0)
+        assert len(cheap.centers) >= len(pricey.centers)
+
+    def test_assignment_costs_consistent(self, state):
+        sc.cluster_stream(state, facility_cost=10.0)
+        diffs = state.points - state.points[state.assignment]
+        expected = state.weights * (diffs**2).sum(axis=1)
+        assert np.allclose(state.costs, expected)
+
+    def test_requires_open_center(self):
+        with pytest.raises(WorkloadError):
+            sc.ClusterState(
+                points=np.zeros((3, 2)),
+                weights=np.ones(3),
+                centers=[],
+                assignment=np.zeros(3, dtype=np.intp),
+            )
+
+    def test_workload_factory(self):
+        assert sc.workload().name == "streamcluster"

@@ -1,0 +1,141 @@
+"""Tests for the utilization-trace replay builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.perf import RooflineModel
+from repro.workloads.trace_replay import (
+    TraceSample,
+    compress,
+    parse_csv,
+    profile_from_trace,
+    project_feasible,
+)
+
+CSV = """time,util.gpu,util.memory
+0, 10%, 5%
+1, 85%, 40%
+2, 86%, 42%
+3, 20%, 70%
+4, 22%, 68%
+"""
+
+
+class TestParseCsv:
+    def test_header_and_percent_handling(self):
+        samples = parse_csv(CSV)
+        assert len(samples) == 5
+        assert samples[1].u_core == pytest.approx(0.85)
+        assert samples[3].u_mem == pytest.approx(0.70)
+
+    def test_fractional_convention(self):
+        samples = parse_csv("0,0.5,0.2\n1,0.6,0.3\n")
+        assert samples[0].u_core == 0.5
+
+    def test_comments_and_blank_lines_skipped(self):
+        samples = parse_csv("# a comment\n\n0,0.5,0.2\n1,0.6,0.3\n")
+        assert len(samples) == 2
+
+    def test_rejects_wrong_column_count(self):
+        with pytest.raises(WorkloadError):
+            parse_csv("0,0.5\n1,0.6\n")
+
+    def test_rejects_non_numeric_data_row(self):
+        with pytest.raises(WorkloadError):
+            parse_csv("0,0.5,0.2\nbad,row,here\n")
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(WorkloadError):
+            parse_csv("0,0.5,0.2\n0,0.6,0.3\n")
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(WorkloadError):
+            parse_csv("0,0.5,0.2\n")
+
+    def test_sample_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceSample(t=-1.0, u_core=0.5, u_mem=0.5)
+        with pytest.raises(WorkloadError):
+            TraceSample(t=0.0, u_core=1.5, u_mem=0.5)
+
+
+class TestProjection:
+    def test_feasible_pair_untouched(self):
+        roofline = RooflineModel(4.0)
+        assert project_feasible(0.5, 0.3, roofline) == (0.5, 0.3)
+
+    def test_infeasible_pair_shrunk_onto_boundary(self):
+        roofline = RooflineModel(4.0)
+        u_core, u_mem = project_feasible(0.99, 0.99, roofline)
+        assert roofline.utilization_norm(u_core, u_mem) <= 0.99 + 1e-9
+        # Direction preserved.
+        assert u_core == pytest.approx(u_mem)
+
+
+class TestCompress:
+    def test_stable_trace_one_segment(self):
+        samples = [TraceSample(float(i), 0.50, 0.30) for i in range(5)]
+        segments = compress(samples, tolerance=0.05)
+        assert len(segments) == 1
+        assert segments[0][1] == pytest.approx(0.50)
+
+    def test_phase_change_splits(self):
+        samples = parse_csv(CSV)
+        segments = compress(samples, tolerance=0.05)
+        assert len(segments) == 3  # idle, compute phase, memory phase
+
+    def test_durations_cover_trace(self):
+        samples = parse_csv(CSV)
+        segments = compress(samples, tolerance=0.05)
+        total = sum(d for d, _, _ in segments)
+        # Trace span (4 s) plus one extrapolated tail interval.
+        assert total == pytest.approx(5.0)
+
+    def test_zero_tolerance_splits_every_change(self):
+        samples = parse_csv(CSV)
+        segments = compress(samples, tolerance=0.0)
+        assert len(segments) == len(samples)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(WorkloadError):
+            compress(parse_csv(CSV), tolerance=-0.1)
+
+
+class TestProfileFromTrace:
+    def test_replay_profile_runs_on_testbed(self, gpu_spec, cpu_spec):
+        from repro.core.policies import BestPerformancePolicy
+        from repro.runtime.executor import run_workload
+        from repro.workloads.base import DemandModelWorkload
+
+        profile = profile_from_trace(parse_csv(CSV), gpu_spec, name="t")
+        workload = DemandModelWorkload(profile, gpu_spec, cpu_spec)
+        result = run_workload(workload, BestPerformancePolicy(), n_iterations=1)
+        assert result.total_s == pytest.approx(
+            profile.gpu_seconds_per_iteration, rel=0.02
+        )
+
+    def test_measured_utilizations_match_trace_means(self, gpu_spec, cpu_spec):
+        """Replaying the trace reproduces its (duration-weighted) means."""
+        from repro.core.policies import BestPerformancePolicy
+        from repro.runtime.executor import run_workload
+        from repro.sim.platform import make_testbed
+        from repro.workloads.base import DemandModelWorkload
+
+        profile = profile_from_trace(parse_csv(CSV), gpu_spec)
+        workload = DemandModelWorkload(profile, gpu_spec, cpu_spec)
+        system = make_testbed()
+        run_workload(workload, BestPerformancePolicy(), n_iterations=1, system=system)
+        measured_core = system.gpu.busy_core_seconds / system.gpu.elapsed_seconds
+        assert measured_core == pytest.approx(profile.mean_u_core, rel=0.05)
+
+    def test_multi_phase_marked_fluctuating(self, gpu_spec):
+        profile = profile_from_trace(parse_csv(CSV), gpu_spec)
+        assert profile.fluctuating
+        assert len(profile.phases) == 3
+
+    def test_infeasible_samples_projected(self, gpu_spec):
+        text = "0,0.99,0.99\n1,0.98,0.97\n"
+        profile = profile_from_trace(parse_csv(text), gpu_spec)
+        phase = profile.phases[0]
+        assert gpu_spec.roofline.utilization_norm(phase.u_core, phase.u_mem) <= 1.0
