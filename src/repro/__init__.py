@@ -41,6 +41,8 @@ from repro.core.policies import (
     StaticPolicy,
 )
 from repro.core.wma import WmaFrequencyScaler
+from repro.faults.health import ControlHealth
+from repro.faults.injector import FaultInjector, FaultPlan, fault_profile
 from repro.runtime.executor import ExecutorOptions, run_workload
 from repro.runtime.metrics import IterationMetrics, RunResult
 from repro.sim.platform import HeteroSystem, TestbedConfig, make_testbed
@@ -77,4 +79,9 @@ __all__ = [
     "ExecutorOptions",
     "RunResult",
     "IterationMetrics",
+    # fault injection & hardening
+    "FaultPlan",
+    "FaultInjector",
+    "fault_profile",
+    "ControlHealth",
 ]

@@ -30,6 +30,21 @@ def run_report(result: RunResult, max_rows: int = 20) -> str:
             f"cpu spin : {result.cpu_spin_s:.1f} s busy-waiting "
             f"({result.cpu_spin_energy_j / 1e3:.2f} kJ at the package)"
         )
+    health = result.health
+    if health.total_events > 0:
+        lines.append(
+            f"faults   : {health.monitor_faults} monitor, "
+            f"{health.actuation_faults} actuation; "
+            f"{health.retries} retries, {health.fallbacks} fallbacks, "
+            f"{health.skipped_ticks} skipped ticks"
+        )
+        if health.degraded_entries > 0:
+            state = "DEGRADED" if health.degraded else "recovered"
+            lines.append(
+                f"watchdog : {health.degraded_entries} safe-state entries, "
+                f"{health.recoveries} recoveries, "
+                f"{health.frozen_divisions} frozen divisions ({state})"
+            )
     rows = [
         (m.index + 1, f"{m.r:.2f}", m.tc, m.tg, m.energy_j / 1e3)
         for m in result.iterations[:max_rows]

@@ -14,7 +14,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.runtime.metrics import IterationMetrics, RunResult
+from repro.runtime.metrics import ControlHealth, IterationMetrics, RunResult
 from repro.sim.trace import Trace
 
 SCHEMA_VERSION = 1
@@ -64,6 +64,7 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
             for m in result.iterations
         ],
         "traces": {name: trace_to_dict(t) for name, t in result.traces.items()},
+        "health": result.health.as_dict(),
     }
 
 
@@ -95,6 +96,8 @@ def result_from_dict(data: dict[str, Any]) -> RunResult:
         cpu_energy_emulated_idle_spin_j=data["cpu_energy_emulated_idle_spin_j"],
         final_ratio=data["final_ratio"],
         traces={name: trace_from_dict(t) for name, t in data["traces"].items()},
+        # Absent in pre-hardening files: default to a clean health record.
+        health=ControlHealth.from_dict(data.get("health", {})),
     )
 
 

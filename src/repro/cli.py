@@ -12,6 +12,11 @@ Subcommands:
 - ``replay``       — build a workload from a ``time,u_core,u_mem`` CSV
   trace (e.g. a polled nvidia-smi log) and run a policy on it.
 
+``run``, ``compare`` and ``replay`` accept ``--faults
+{light,moderate,heavy}`` (plus ``--fault-seed``) to inject seeded
+monitor/actuator/device faults; the run summary then reports the
+controller's fault/retry/fallback counters.
+
 All simulation is deterministic; every command prints plain text.
 """
 
@@ -33,6 +38,7 @@ from repro.core.policies import (
 )
 from repro.errors import ConfigError, ReproError
 from repro.experiments.common import scaled_config, scaled_options, scaled_workload
+from repro.faults.injector import FAULT_PROFILES, fault_profile
 from repro.runtime.executor import run_workload
 from repro.workloads.characteristics import workload_names
 
@@ -45,14 +51,22 @@ POLICY_FACTORIES = {
 }
 
 
-def _make_policy(name: str, time_scale: float) -> Policy:
+def _make_policy(
+    name: str, time_scale: float, args: argparse.Namespace | None = None
+) -> Policy:
     try:
         factory = POLICY_FACTORIES[name]
     except KeyError:
         raise ConfigError(
             f"unknown policy {name!r}; choose from {sorted(POLICY_FACTORIES)}"
         ) from None
-    return factory(scaled_config(time_scale))
+    policy = factory(scaled_config(time_scale))
+    profile = getattr(args, "faults", "none") if args is not None else "none"
+    if profile != "none":
+        policy = policy.with_faults(
+            fault_profile(profile, seed=getattr(args, "fault_seed", 0))
+        )
+    return policy
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -63,9 +77,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="shrink simulated durations by this factor")
 
 
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", default="none",
+                        choices=["none", *sorted(FAULT_PROFILES)],
+                        help="inject seeded monitor/actuator/device faults")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault-injection draw stream")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     workload = scaled_workload(args.workload, args.time_scale)
-    policy = _make_policy(args.policy, args.time_scale)
+    policy = _make_policy(args.policy, args.time_scale, args)
     result = run_workload(
         workload, policy, n_iterations=args.iterations,
         options=scaled_options(args.time_scale),
@@ -92,7 +114,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     options = scaled_options(args.time_scale)
     results = [
         run_workload(
-            workload, _make_policy(name, args.time_scale),
+            workload, _make_policy(name, args.time_scale, args),
             n_iterations=args.iterations, options=options,
         )
         for name in ("rodinia-default", "scaling-only", "division-only", "greengpu")
@@ -187,7 +209,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
     workload = DemandModelWorkload(profile, gpu, cpu)
     print(f"replaying {args.trace}: {profile.enlargement}, "
           f"{profile.gpu_seconds_per_iteration:.1f} s per iteration")
-    policy = _make_policy(args.policy, args.time_scale)
+    policy = _make_policy(args.policy, args.time_scale, args)
     result = run_workload(
         workload, policy, n_iterations=args.iterations,
         options=scaled_options(args.time_scale),
@@ -205,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one workload under one policy")
     _add_common(p)
+    _add_faults(p)
     p.add_argument("--policy", default="greengpu", choices=sorted(POLICY_FACTORIES))
     p.add_argument("--save", default=None, metavar="FILE",
                    help="write the full result (incl. traces) as JSON")
@@ -216,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="all policies on one workload")
     _add_common(p)
+    _add_faults(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="static division sweep (Fig. 2 style)")
@@ -241,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_reproduce)
 
     p = sub.add_parser("replay", help="run a policy on a utilization-trace CSV")
+    _add_faults(p)
     p.add_argument("trace", help="CSV with time_s,u_core,u_mem rows")
     p.add_argument("--policy", default="scaling-only", choices=sorted(POLICY_FACTORIES))
     p.add_argument("--iterations", type=int, default=3)

@@ -16,19 +16,48 @@ granularity (long), scaling at a short fixed period, so the WMA loop can
 settle within one division interval (§IV).  :class:`TierMode` selects
 which tiers are active, which is how the paper's *Division-only* and
 *Frequency-scaling-only* baselines are expressed.
+
+Hardening (the degradation ladder)
+----------------------------------
+
+The paper's daemon ran against real hardware where ``nvidia-smi`` reads
+stall and ``nvidia-settings`` writes fail; the controller tolerates the
+same faults when driven through :mod:`repro.faults`:
+
+1. **fresh** — a clean read drives a normal WMA/ondemand step;
+2. **fallback** — a failed read is served from the last good sample,
+   for at most ``stale_window_ticks`` intervals of staleness;
+3. **skip** — with no usable sample the tick is skipped and the previous
+   decision stays in force;
+4. **degraded** — after ``watchdog_threshold`` consecutive faulty ticks
+   the watchdog escalates to the safe state: peak GPU frequencies and a
+   frozen division ratio.  The first fully clean tick recovers.
+
+Frequency writes go through bounded retry with capped backoff and are
+verified against ``peek_clocks()``, which is the only way to catch
+silently-ignored writes and thermal-throttle pinning.  Every fault,
+retry, fallback, skip and degradation is counted in
+:class:`~repro.faults.health.ControlHealth` and recorded on the trace
+(``ctrl_*`` channels).  With no faults injected, every guard is on the
+success path and the controller is bit-identical to the unhardened one.
 """
 
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 
 from repro.core.config import GreenGpuConfig
 from repro.core.division import WorkloadDivider
 from repro.core.ondemand import OndemandGovernor
 from repro.core.wma import WmaFrequencyScaler
-from repro.errors import SimulationError
-from repro.monitors.cpustat import CpuStat
-from repro.monitors.nvsmi import NvidiaSmi
+from repro.errors import ActuationError, MonitorError, SimulationError
+from repro.faults.health import ControlHealth
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy, call_with_retry
+from repro.faults.wrappers import FaultyCpuStat, FaultyGpuActuator, FaultyNvidiaSmi
+from repro.monitors.cpustat import CpuStat, CpuUtilizationSample
+from repro.monitors.nvsmi import GpuUtilizationSample, NvidiaSmi
 from repro.sim.engine import TaskHandle
 from repro.sim.platform import HeteroSystem
 from repro.sim.trace import TraceRecorder
@@ -51,6 +80,21 @@ class TierMode(enum.Enum):
         return self in (TierMode.HOLISTIC, TierMode.SCALING_ONLY)
 
 
+@dataclass(frozen=True)
+class HardeningPolicy:
+    """Knobs of the degradation ladder (see module docstring)."""
+
+    retry: RetryPolicy = RetryPolicy()
+    stale_window_ticks: int = 3
+    watchdog_threshold: int = 5
+
+    def __post_init__(self) -> None:
+        if self.stale_window_ticks < 0:
+            raise SimulationError("stale window must be non-negative")
+        if self.watchdog_threshold < 1:
+            raise SimulationError("watchdog threshold must be >= 1")
+
+
 class GreenGpuController:
     """Runtime composition of the WMA scaler, ondemand and the divider."""
 
@@ -60,18 +104,28 @@ class GreenGpuController:
         config: GreenGpuConfig | None = None,
         initial_ratio: float | None = None,
         recorder: TraceRecorder | None = None,
+        faults: FaultInjector | None = None,
+        hardening: HardeningPolicy | None = None,
     ):
         self.mode = mode
         self.config = config or GreenGpuConfig()
         self.recorder = recorder
+        self.faults = faults
+        self.hardening = hardening or HardeningPolicy()
+        self.health = ControlHealth()
         self._initial_ratio = initial_ratio
         self.scaler: WmaFrequencyScaler | None = None
         self.governor: OndemandGovernor | None = None
         self.divider: WorkloadDivider | None = None
         self._system: HeteroSystem | None = None
-        self._nvsmi: NvidiaSmi | None = None
-        self._cpustat: CpuStat | None = None
+        self._nvsmi: NvidiaSmi | FaultyNvidiaSmi | None = None
+        self._cpustat: CpuStat | FaultyCpuStat | None = None
+        self._actuator = None
         self._tasks: list[TaskHandle] = []
+        self._last_gpu_sample: GpuUtilizationSample | None = None
+        self._last_cpu_sample: CpuUtilizationSample | None = None
+        self._consecutive_failures = 0
+        self._degraded = False
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -79,12 +133,20 @@ class GreenGpuController:
     def attached(self) -> bool:
         return self._system is not None
 
+    @property
+    def degraded(self) -> bool:
+        """True while the watchdog holds the controller in the safe state."""
+        return self._degraded
+
     def attach(self, system: HeteroSystem) -> None:
         """Bind to a testbed and register the periodic tier-2 loops."""
         if self.attached:
             raise SimulationError("controller already attached")
         self._system = system
+        self.health = ControlHealth()
         cfg = self.config
+        if self.faults is not None:
+            self.faults.bind(clock=system.clock, recorder=self.recorder)
         if self.mode.division_enabled:
             self.divider = WorkloadDivider(cfg, r0=self._initial_ratio)
         else:
@@ -98,8 +160,14 @@ class GreenGpuController:
                 up_threshold=cfg.ondemand_up_threshold,
                 down_threshold=cfg.ondemand_down_threshold,
             )
-            self._nvsmi = NvidiaSmi(system.gpu)
-            self._cpustat = CpuStat(system.cpu)
+            if self.faults is not None:
+                self._nvsmi = FaultyNvidiaSmi(NvidiaSmi(system.gpu), self.faults)
+                self._cpustat = FaultyCpuStat(CpuStat(system.cpu), self.faults)
+                self._actuator = FaultyGpuActuator(system.gpu, self.faults)
+            else:
+                self._nvsmi = NvidiaSmi(system.gpu)
+                self._cpustat = CpuStat(system.cpu)
+                self._actuator = system.gpu
             self._tasks.append(
                 system.clock.every(
                     cfg.scaling_interval_s, self._scaling_tick, name="wma-scaling"
@@ -112,22 +180,134 @@ class GreenGpuController:
             )
 
     def detach(self) -> None:
-        """Cancel the periodic loops and unbind from the testbed."""
+        """Cancel the periodic loops, unbind, and drop all learned state.
+
+        Detach is a full reset: a controller detached from one system and
+        attached to another must not leak learned WMA weights, governor
+        state or the division ratio between runs.  ``health`` survives
+        until the next attach so callers can read it post-run.
+        """
         for task in self._tasks:
             task.cancel()
         self._tasks.clear()
         self._system = None
         self._nvsmi = None
         self._cpustat = None
+        self._actuator = None
+        self.scaler = None
+        self.governor = None
+        self.divider = None
+        self._last_gpu_sample = None
+        self._last_cpu_sample = None
+        self._consecutive_failures = 0
+        self._degraded = False
+
+    # -- hardening plumbing --------------------------------------------------------
+
+    def _record_event(self, channel: str, t: float, value: float = 1.0) -> None:
+        if self.recorder is not None:
+            self.recorder.record(channel, t, value)
+
+    def _stale_gpu_sample(self, t: float) -> GpuUtilizationSample | None:
+        """Last good GPU sample, if still inside the staleness window."""
+        last = self._last_gpu_sample
+        if last is None:
+            return None
+        max_age = self.hardening.stale_window_ticks * self.config.scaling_interval_s
+        return last if (t - last.t) <= max_age else None
+
+    def _stale_cpu_sample(self, t: float) -> CpuUtilizationSample | None:
+        last = self._last_cpu_sample
+        if last is None:
+            return None
+        max_age = self.hardening.stale_window_ticks * self.config.ondemand_interval_s
+        return last if (t - last.t) <= max_age else None
+
+    def _apply_gpu_frequencies(self, t: float, f_core: float, f_mem: float) -> bool:
+        """Write a frequency pair with retry + verification.
+
+        Returns True once ``peek_clocks()`` confirms the pair landed;
+        False (after counting the actuation fault) when every attempt
+        failed or was silently swallowed.
+        """
+        assert self._actuator is not None and self._nvsmi is not None
+
+        def attempt() -> None:
+            self._actuator.set_frequencies(f_core, f_mem)
+            if self._nvsmi.peek_clocks() != (f_core, f_mem):
+                raise ActuationError("frequency write did not take effect")
+
+        def on_retry(attempt_index: int, backoff_s: float, exc: Exception) -> None:
+            self.health.retries += 1
+            self._record_event("ctrl_retry", t, backoff_s)
+
+        try:
+            call_with_retry(attempt, self.hardening.retry, on_retry=on_retry)
+        except ActuationError:
+            self.health.actuation_faults += 1
+            self._record_event("ctrl_actuation_failed", t)
+            return False
+        return True
+
+    def _note_tick_outcome(self, t: float, clean: bool) -> None:
+        """Advance or reset the watchdog after a GPU scaling tick."""
+        if clean:
+            self._consecutive_failures = 0
+            if self._degraded:
+                self._degraded = False
+                self.health.recoveries += 1
+                self._record_event("ctrl_degraded", t, 0.0)
+            return
+        self._consecutive_failures += 1
+        if (
+            not self._degraded
+            and self._consecutive_failures >= self.hardening.watchdog_threshold
+        ):
+            self._degraded = True
+            self.health.degraded_entries += 1
+            self._record_event("ctrl_degraded", t, 1.0)
+        if self._degraded:
+            self._enforce_safe_state()
+
+    def _enforce_safe_state(self) -> None:
+        """Best-effort push to peak frequencies (the watchdog's safe state).
+
+        Peak is safe in the paper's sense: it can only cost energy, never
+        correctness or deadline — the best-performance baseline.  The
+        write may itself fail (e.g. during a throttle episode); it is
+        retried on every degraded tick until it lands.
+        """
+        assert self._system is not None and self._actuator is not None
+        spec = self._system.gpu.spec
+        try:
+            self._actuator.set_frequencies(spec.core_ladder.peak, spec.mem_ladder.peak)
+        except ActuationError:
+            pass
 
     # -- tier 2 ticks -----------------------------------------------------------------
 
     def _scaling_tick(self, t: float) -> None:
         assert self._system is not None and self._nvsmi is not None
         assert self.scaler is not None
-        sample = self._nvsmi.query()
+        clean = True
+        try:
+            sample = self._nvsmi.query()
+            self._last_gpu_sample = sample
+        except MonitorError:
+            clean = False
+            self.health.monitor_faults += 1
+            sample = self._stale_gpu_sample(t)
+            if sample is None:
+                # No usable data: skip the step, keep the previous decision.
+                self.health.skipped_ticks += 1
+                self._record_event("ctrl_skip", t)
+                self._note_tick_outcome(t, clean=False)
+                return
+            self.health.fallbacks += 1
+            self._record_event("ctrl_fallback", t)
         decision = self.scaler.step(sample.u_core, sample.u_mem)
-        self._system.gpu.set_frequencies(decision.f_core, decision.f_mem)
+        if not self._apply_gpu_frequencies(t, decision.f_core, decision.f_mem):
+            clean = False
         if self.recorder is not None:
             self.recorder.record_many(
                 t,
@@ -137,11 +317,23 @@ class GreenGpuController:
                 gpu_f_mem=decision.f_mem,
                 system_power_w=self._system.system_power(),
             )
+        self._note_tick_outcome(t, clean)
 
     def _ondemand_tick(self, t: float) -> None:
         assert self._system is not None and self._cpustat is not None
         assert self.governor is not None
-        sample = self._cpustat.query()
+        try:
+            sample = self._cpustat.query()
+            self._last_cpu_sample = sample
+        except MonitorError:
+            self.health.monitor_faults += 1
+            sample = self._stale_cpu_sample(t)
+            if sample is None:
+                self.health.skipped_ticks += 1
+                self._record_event("ctrl_skip", t)
+                return
+            self.health.fallbacks += 1
+            self._record_event("ctrl_fallback", t)
         decision = self.governor.step(sample.u, self._system.cpu.f)
         if decision.changed:
             self._system.cpu.set_frequency(decision.f_target)
@@ -163,6 +355,18 @@ class GreenGpuController:
         """Tier-1 boundary: feed (tc, tg), get the next division ratio."""
         if self.divider is None:
             return self.ratio
+        if self._degraded:
+            # Watchdog safe state: hold the division ratio steady rather
+            # than learn from timings measured under faulty control.
+            self.health.frozen_divisions += 1
+            if self._system is not None:
+                now = self._system.now
+                self._record_event("ctrl_division_frozen", now)
+                if self.recorder is not None:
+                    self.recorder.record_many(
+                        now, division_r=self.divider.r, tc=tc, tg=tg
+                    )
+            return self.divider.r
         decision = self.divider.update(tc, tg)
         if self.recorder is not None and self._system is not None:
             self.recorder.record_many(

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.core.config import GreenGpuConfig
 from repro.core.controller import GreenGpuController, TierMode
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector, FaultPlan
 from repro.sim.platform import HeteroSystem
 from repro.sim.trace import TraceRecorder
 
@@ -36,6 +37,9 @@ class Policy:
 
     ``gpu_core_level`` / ``gpu_mem_level`` / ``cpu_level`` are ladder
     indices (0 = peak); ``None`` leaves the device's current setting.
+    ``fault_plan`` optionally injects seeded monitor/actuator/device
+    faults into the run (see :mod:`repro.faults`); the controller built
+    by :meth:`make_controller` is hardened against them.
     """
 
     name: str = "static"
@@ -45,6 +49,7 @@ class Policy:
     gpu_mem_level: int | None = 0
     cpu_level: int | None = 0
     config: GreenGpuConfig | None = None
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ratio <= 1.0:
@@ -61,13 +66,25 @@ class Policy:
             system.cpu.set_frequency(system.cpu.spec.ladder[self.cpu_level])
 
     def make_controller(self, recorder: TraceRecorder | None = None) -> GreenGpuController:
-        """Build the live controller for this policy (NONE mode = inert)."""
+        """Build the live controller for this policy (NONE mode = inert).
+
+        A fresh :class:`FaultInjector` is built per controller so repeated
+        runs of one policy replay the identical seeded fault stream.
+        """
+        faults = FaultInjector(self.fault_plan) if self.fault_plan is not None else None
         return GreenGpuController(
             mode=self.mode,
             config=self.config,
             initial_ratio=self.ratio,
             recorder=recorder,
+            faults=faults,
         )
+
+    def with_faults(self, plan: FaultPlan | None) -> "Policy":
+        """Copy of this policy with ``fault_plan`` replaced."""
+        from dataclasses import replace
+
+        return replace(self, fault_plan=plan)
 
 
 def StaticPolicy(

@@ -37,5 +37,24 @@ class MeterError(SimulationError):
     """A power meter was queried outside its valid sampling window."""
 
 
+class MonitorError(SimulationError):
+    """A utilization monitor failed to produce a reading.
+
+    Raised for empty sampling windows and for injected monitor faults
+    (query timeouts, dropped samples).  The hardened controller treats
+    these as transient: it falls back to the last good sample or skips
+    the tick instead of crashing the run.
+    """
+
+
+class ActuationError(SimulationError):
+    """A frequency write was rejected or did not take effect.
+
+    Raised by the fault-injecting actuator wrappers and by the
+    controller's post-write verification when the device clocks do not
+    match the commanded pair.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative search or controller failed to converge."""

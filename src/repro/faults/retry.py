@@ -1,0 +1,73 @@
+"""Retry-with-capped-backoff for flaky actuations and reads.
+
+The paper's daemon shelled out to ``nvidia-settings`` for every frequency
+write; on the real testbed those writes occasionally fail and the fix is
+simply to try again.  :func:`call_with_retry` packages that: bounded
+attempts, exponential backoff capped at a ceiling.
+
+Backoff semantics under simulation: controller callbacks run *inside* a
+sim-clock dispatch and must not advance time, so the computed backoff is
+not slept — it is reported to the ``on_retry`` hook (the controller logs
+it to the trace), exactly what a real daemon would sleep.  The attempt
+bound, not the sleep, is what the simulated robustness results depend on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ActuationError, ConfigError, MonitorError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry schedule with capped exponential backoff."""
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("need at least one attempt")
+        if self.base_backoff_s < 0.0 or self.max_backoff_s < 0.0:
+            raise ConfigError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff factor must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff after failed attempt ``attempt`` (0-based), capped."""
+        return min(
+            self.base_backoff_s * self.backoff_factor ** attempt,
+            self.max_backoff_s,
+        )
+
+
+def call_with_retry(
+    fn: Callable[[], Any],
+    policy: RetryPolicy | None = None,
+    on_retry: Callable[[int, float, Exception], None] | None = None,
+    retry_on: tuple[type[Exception], ...] = (ActuationError, MonitorError),
+) -> tuple[Any, int]:
+    """Call ``fn`` with up to ``policy.max_attempts`` attempts.
+
+    Returns ``(result, retries_used)``.  After each failed attempt that
+    leaves budget, ``on_retry(attempt, backoff_s, exc)`` is invoked; when
+    the budget is exhausted the last exception propagates.  Exceptions
+    outside ``retry_on`` propagate immediately (a programming error is
+    not a transient fault).
+    """
+    policy = policy or RetryPolicy()
+    last: Exception | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(), attempt
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 < policy.max_attempts and on_retry is not None:
+                on_retry(attempt, policy.backoff_s(attempt), exc)
+    assert last is not None
+    raise last

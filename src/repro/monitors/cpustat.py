@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import SimulationError
+from repro.errors import MonitorError
 from repro.sim.cpu import CpuDevice
 
 
@@ -40,7 +40,7 @@ class CpuStat:
         now = self._cpu.elapsed_seconds
         window = now - self._last_t
         if window <= 0.0:
-            raise SimulationError("cpustat queried with an empty window")
+            raise MonitorError("cpustat queried with an empty window")
         u = (self._cpu.busy_seconds - self._last_busy) / window
         self._last_t = now
         self._last_busy = self._cpu.busy_seconds

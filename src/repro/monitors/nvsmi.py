@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import SimulationError
+from repro.errors import MonitorError
 from repro.sim.gpu import GpuDevice
 
 
@@ -56,7 +56,7 @@ class NvidiaSmi:
         now = self._gpu.elapsed_seconds
         window = now - self._last_t
         if window <= 0.0:
-            raise SimulationError("nvidia-smi queried with an empty window")
+            raise MonitorError("nvidia-smi queried with an empty window")
         u_core = (self._gpu.busy_core_seconds - self._last_core) / window
         u_mem = (self._gpu.busy_mem_seconds - self._last_mem) / window
         self._last_t = now

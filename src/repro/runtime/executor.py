@@ -189,6 +189,8 @@ def run_workload(
     executor = HeteroExecutor(system, workload, controller, options)
     try:
         iterations = executor.run(n_iterations)
+        # detach() drops all learned state, so read the ratio first.
+        final_ratio = controller.ratio
     finally:
         controller.detach()
 
@@ -203,8 +205,9 @@ def run_workload(
         cpu_spin_s=system.cpu.spin_seconds - spin0,
         cpu_spin_energy_j=system.cpu.spin_energy_j - spin_e0,
         cpu_energy_emulated_idle_spin_j=0.0,
-        final_ratio=controller.ratio,
+        final_ratio=final_ratio,
         traces=recorder.as_dict(),
+        health=controller.health,
     )
     # Fig. 6c emulation input: Meter1 energy with spin periods replaced by
     # lowest-P-state idle (see CpuDevice.emulated_energy_with_idle_spin).

@@ -13,6 +13,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.faults.health import ControlHealth
+
+__all__ = ["ControlHealth", "IterationMetrics", "RunResult"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +52,7 @@ class RunResult:
     cpu_energy_emulated_idle_spin_j: float = 0.0
     final_ratio: float = 0.0
     traces: dict = field(default_factory=dict)
+    health: ControlHealth = field(default_factory=ControlHealth)
 
     @property
     def n_iterations(self) -> int:

@@ -79,3 +79,24 @@ class TestRoundTrip:
         b = serialize.dumps(_result())
         assert a == b
         assert '"workload": "kmeans"' in a
+
+
+class TestHealthRoundTrip:
+    def test_health_counters_survive(self):
+        from repro.faults.health import ControlHealth
+
+        original = _result()
+        original.health = ControlHealth(
+            monitor_faults=4, actuation_faults=1, retries=2,
+            fallbacks=3, skipped_ticks=1, degraded_entries=1,
+            recoveries=1, frozen_divisions=2,
+        )
+        restored = serialize.loads(serialize.dumps(original))
+        assert restored.health.as_dict() == original.health.as_dict()
+        assert not restored.health.degraded  # entries == recoveries
+
+    def test_missing_health_defaults_to_clean(self):
+        data = serialize.result_to_dict(_result())
+        del data["health"]  # file written before hardening existed
+        restored = serialize.result_from_dict(data)
+        assert restored.health.total_events == 0

@@ -48,10 +48,33 @@ class TestLifecycle:
     def test_detach_cancels_ticks(self, testbed, fast_config):
         ctrl = GreenGpuController(TierMode.SCALING_ONLY, fast_config)
         ctrl.attach(testbed)
+        scaler = ctrl.scaler  # detach() drops the reference; keep ours
         ctrl.detach()
-        decisions_before = ctrl.scaler.decisions
+        decisions_before = scaler.decisions
         testbed.run_for(10 * fast_config.scaling_interval_s)
-        assert ctrl.scaler.decisions == decisions_before
+        assert scaler.decisions == decisions_before
+
+    def test_detach_resets_learned_state(self, testbed, fast_config):
+        """detach -> attach must not leak weights/ratio into the new run."""
+        ctrl = GreenGpuController(
+            TierMode.HOLISTIC, fast_config, initial_ratio=0.30
+        )
+        ctrl.attach(testbed)
+        ctrl.on_iteration_end(tc=10.0, tg=1.0)   # learn: ratio moves off 0.30
+        testbed.run_for(3 * fast_config.scaling_interval_s)  # scaler steps
+        assert ctrl.ratio != pytest.approx(0.30)
+        ctrl.detach()
+        assert ctrl.scaler is None
+        assert ctrl.governor is None
+        assert ctrl.divider is None
+
+        from repro.sim.platform import make_testbed
+
+        fresh = make_testbed()
+        ctrl.attach(fresh)
+        assert ctrl.ratio == pytest.approx(0.30)       # divider re-seeded
+        assert ctrl.scaler.decisions == 0              # fresh WMA state
+        ctrl.detach()
 
 
 class TestScalingLoop:

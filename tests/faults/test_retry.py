@@ -1,0 +1,75 @@
+"""Tests for the capped-backoff retry helper."""
+
+import pytest
+
+from repro.errors import ActuationError, MonitorError
+from repro.faults.retry import RetryPolicy, call_with_retry
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_geometrically(self):
+        policy = RetryPolicy(base_backoff_s=0.1, backoff_factor=2.0, max_backoff_s=10.0)
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.2)
+        assert policy.backoff_s(2) == pytest.approx(0.4)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(base_backoff_s=0.1, backoff_factor=10.0, max_backoff_s=0.5)
+        assert policy.backoff_s(5) == pytest.approx(0.5)
+
+
+class TestCallWithRetry:
+    def test_first_try_success_uses_no_retries(self):
+        result, retries = call_with_retry(lambda: 42)
+        assert result == 42
+        assert retries == 0
+
+    def test_succeeds_after_transient_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ActuationError("transient")
+            return "ok"
+
+        result, retries = call_with_retry(
+            flaky, policy=RetryPolicy(max_attempts=3)
+        )
+        assert result == "ok"
+        assert retries == 2
+        assert len(attempts) == 3
+
+    def test_exhaustion_raises_last_error(self):
+        def always_fails():
+            raise ActuationError("permanent")
+
+        with pytest.raises(ActuationError, match="permanent"):
+            call_with_retry(always_fails, policy=RetryPolicy(max_attempts=3))
+
+    def test_on_retry_sees_attempt_and_backoff(self):
+        seen = []
+
+        def fail_twice(state=[0]):
+            state[0] += 1
+            if state[0] < 3:
+                raise MonitorError("nope")
+            return state[0]
+
+        call_with_retry(
+            fail_twice,
+            policy=RetryPolicy(max_attempts=5, base_backoff_s=0.05, backoff_factor=2.0),
+            on_retry=lambda attempt, backoff, exc: seen.append((attempt, backoff)),
+        )
+        assert seen == [(0, pytest.approx(0.05)), (1, pytest.approx(0.1))]
+
+    def test_unexpected_exception_propagates_immediately(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            call_with_retry(boom, policy=RetryPolicy(max_attempts=5))
+        assert len(calls) == 1

@@ -49,3 +49,31 @@ class TestWindowedSampling:
     def test_empty_window_raises(self, cpu_spec):
         with pytest.raises(SimulationError):
             CpuStat(CpuDevice(cpu_spec)).query()
+
+
+class TestEdgeCases:
+    def test_empty_window_raises_monitor_error(self, cpu_spec):
+        """The zero-window crash is a MonitorError the controller can catch."""
+        from repro.errors import MonitorError
+
+        with pytest.raises(MonitorError):
+            CpuStat(CpuDevice(cpu_spec)).query()
+
+    def test_utilization_never_exceeds_one(self, cpu_spec):
+        cpu = CpuDevice(cpu_spec)
+        stat = CpuStat(cpu)
+        cpu.spin()
+        cpu.submit_kernel(
+            KernelActivity([PhaseDemand(cpu_spec.peak_compute_rate, 0.0)])
+        )
+        cpu.advance(1.0)
+        assert stat.query().u <= 1.0
+
+    def test_f_reports_pstate_at_query_time(self, cpu_spec):
+        """A mid-window P-state change shows the *current* frequency."""
+        cpu = CpuDevice(cpu_spec)
+        stat = CpuStat(cpu)
+        cpu.advance(0.5)
+        cpu.set_frequency(cpu_spec.ladder[3])
+        cpu.advance(0.5)
+        assert stat.query().f == cpu_spec.ladder[3]

@@ -90,3 +90,31 @@ class TestNoisyMonitor:
             NoisyNvidiaSmi(busy_gpu, amplitude=-0.1)
         with pytest.raises(ConfigError):
             NoisyNvidiaSmi(busy_gpu, amplitude=1.5)
+
+
+class TestNoiseEdgeCases:
+    def test_amplitude_one_is_accepted_and_stays_clamped(self, busy_gpu):
+        noisy = NoisyNvidiaSmi(busy_gpu, amplitude=1.0, seed=2)
+        for _ in range(20):
+            _advance(busy_gpu, 1.0)
+            sample = noisy.query()
+            assert 0.0 <= sample.u_core <= 1.0
+            assert 0.0 <= sample.u_mem <= 1.0
+
+    def test_zero_amplitude_matches_clean_monitor_exactly(self, gpu_spec):
+        from repro.monitors.nvsmi import NvidiaSmi
+        from repro.sim.gpu import GpuDevice
+
+        gpu = GpuDevice(gpu_spec)
+        clean, noisy = NvidiaSmi(gpu), NoisyNvidiaSmi(gpu, amplitude=0.0, seed=9)
+        for _ in range(5):
+            _advance(gpu, 1.0)
+            a, b = clean.query(), noisy.query()
+            assert (a.u_core, a.u_mem) == (b.u_core, b.u_mem)
+
+    def test_empty_window_raises_monitor_error(self, busy_gpu):
+        from repro.errors import MonitorError
+
+        noisy = NoisyNvidiaSmi(busy_gpu, amplitude=0.1)
+        with pytest.raises(MonitorError):
+            noisy.query()  # zero elapsed time since construction

@@ -42,7 +42,7 @@ class TestSubpackageImports:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.sim", "repro.workloads", "repro.runtime",
         "repro.monitors", "repro.baselines", "repro.analysis",
-        "repro.experiments", "repro.extensions", "repro.cli",
+        "repro.experiments", "repro.extensions", "repro.faults", "repro.cli",
     ])
     def test_importable(self, module):
         importlib.import_module(module)
@@ -50,6 +50,7 @@ class TestSubpackageImports:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.sim", "repro.workloads", "repro.monitors",
         "repro.baselines", "repro.analysis", "repro.extensions",
+        "repro.faults",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)
