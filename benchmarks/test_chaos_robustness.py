@@ -9,58 +9,78 @@ actuator faults and rare device stalls) the full two-tier GreenGPU run
 - ends *outside* the watchdog's degraded safe state, and
 - still beats the best-performance baseline on whole-system energy.
 
-Everything is seeded, so the reproduced numbers are deterministic.
+Since the crash-safety work the pairs run as supervised harness jobs —
+each workload isolated in its own spawn worker with a timeout, fanned
+out in parallel — so this benchmark also pins the outer layer: a
+journaled run where every job completes without retries, quarantine, or
+timeout kills.  Everything is seeded, so the reproduced numbers are
+deterministic.
 """
 
-from dataclasses import replace
-
-from repro.core.policies import BestPerformancePolicy, GreenGpuPolicy
-from repro.experiments.common import scaled_config, scaled_options, scaled_workload
-from repro.faults.injector import fault_profile
-from repro.runtime.executor import run_workload
+from repro.faults.retry import RetryPolicy
+from repro.harness.job import JobSpec
+from repro.harness.supervisor import run_jobs
+from repro.harness.worker import read_artifact
 
 TIME_SCALE = 0.05
 N_ITERATIONS = 10
 SEED = 1
 WORKLOADS = ("kmeans", "hotspot")
+JOB_TIMEOUT_S = 300.0
 
 
-def chaos_plan():
-    """The moderate profile with its stall duration on the run's clock."""
-    plan = fault_profile("moderate", seed=SEED)
-    return replace(plan, device_stall_duration_s=5.0 * TIME_SCALE)
+def chaos_specs():
+    """One isolated job per workload: GreenGPU-under-faults vs baseline."""
+    return [
+        JobSpec(
+            name=f"chaos-{name}",
+            target="repro.harness.suite_jobs:run_chaos_pair",
+            kwargs={
+                "workload": name,
+                "time_scale": TIME_SCALE,
+                "n_iterations": N_ITERATIONS,
+                "seed": SEED,
+                # The moderate profile's stall duration on the run's clock.
+                "stall_s": 5.0 * TIME_SCALE,
+            },
+            timeout_s=JOB_TIMEOUT_S,
+            retry=RetryPolicy(max_attempts=2, base_backoff_s=0.05),
+        )
+        for name in WORKLOADS
+    ]
 
 
-def run_pair(name):
-    workload = scaled_workload(name, TIME_SCALE)
-    options = scaled_options(TIME_SCALE)
-    green = run_workload(
-        workload,
-        GreenGpuPolicy(config=scaled_config(TIME_SCALE)).with_faults(chaos_plan()),
-        n_iterations=N_ITERATIONS,
-        options=options,
-    )
-    baseline = run_workload(
-        workload, BestPerformancePolicy(), n_iterations=N_ITERATIONS, options=options
-    )
-    return green, baseline
+def run_all(run_dir):
+    return run_jobs(chaos_specs(), run_dir, parallel=len(WORKLOADS))
 
 
-def run_all():
-    return {name: run_pair(name) for name in WORKLOADS}
+def test_chaos_robustness(run_once, benchmark, tmp_path):
+    result = run_once(run_all, str(tmp_path / "chaos-run"))
+    report = result.report
 
+    # The outer layer is clean: every job completed first-try, on time.
+    assert report.succeeded == len(WORKLOADS)
+    assert report.quarantined == 0
+    assert report.timeouts == 0
+    assert report.retries == 0
+    assert not report.interrupted
 
-def test_chaos_robustness(run_once, benchmark):
-    results = run_once(run_all)
+    for name in WORKLOADS:
+        outcome = result.outcomes[f"chaos-{name}"]
+        payload = outcome.payload
+        # The journaled artifact is what resume would reuse — it must
+        # round-trip to the in-memory payload.
+        assert read_artifact(outcome.artifact_path) == payload
 
-    for name, (green, baseline) in results.items():
-        saving = green.energy_saving_vs(baseline)
-        health = green.health
+        from repro.faults.health import ControlHealth
+
+        health = ControlHealth.from_dict(payload["health"])
+        saving = payload["saving"]
         benchmark.extra_info[f"{name}_saving_pct"] = round(100 * saving, 2)
         benchmark.extra_info[f"{name}_faults_absorbed"] = health.total_events
 
         # Completed every iteration despite the fault stream.
-        assert green.n_iterations == N_ITERATIONS
+        assert payload["green_iterations"] == N_ITERATIONS
 
         # The profile actually exercised the hardening.
         assert health.total_events > 0

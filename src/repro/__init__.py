@@ -43,6 +43,7 @@ from repro.core.policies import (
 from repro.core.wma import WmaFrequencyScaler
 from repro.faults.health import ControlHealth
 from repro.faults.injector import FaultInjector, FaultPlan, fault_profile
+from repro.harness import HarnessReport, JobSpec, JobState, run_jobs
 from repro.runtime.executor import ExecutorOptions, run_workload
 from repro.runtime.metrics import IterationMetrics, RunResult
 from repro.sim.platform import HeteroSystem, TestbedConfig, make_testbed
@@ -84,4 +85,9 @@ __all__ = [
     "FaultInjector",
     "fault_profile",
     "ControlHealth",
+    # supervised job harness
+    "JobSpec",
+    "JobState",
+    "run_jobs",
+    "HarnessReport",
 ]

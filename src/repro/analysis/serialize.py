@@ -13,7 +13,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SerializationError
+from repro.ioutil import atomic_write_text
 from repro.runtime.metrics import ControlHealth, IterationMetrics, RunResult
 from repro.sim.trace import Trace
 
@@ -106,18 +107,27 @@ def dumps(result: RunResult, indent: int | None = 2) -> str:
     return json.dumps(result_to_dict(result), indent=indent)
 
 
-def loads(text: str) -> RunResult:
-    """JSON string -> RunResult."""
-    return result_from_dict(json.loads(text))
+def loads(text: str, source: str = "<string>") -> RunResult:
+    """JSON string -> RunResult.
+
+    Raises :class:`SerializationError` (naming ``source``) on corrupt or
+    truncated JSON — e.g. a file whose writer was killed mid-write.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"{source}: corrupt or truncated result JSON ({exc})"
+        ) from exc
+    return result_from_dict(data)
 
 
 def save(result: RunResult, path: str) -> None:
-    """Write a result to a JSON file."""
-    with open(path, "w") as handle:
-        handle.write(dumps(result))
+    """Write a result to a JSON file atomically (never a half-file)."""
+    atomic_write_text(path, dumps(result))
 
 
 def load(path: str) -> RunResult:
     """Read a result from a JSON file."""
     with open(path) as handle:
-        return loads(handle.read())
+        return loads(handle.read(), source=path)

@@ -124,21 +124,57 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.baselines.static_division import best_point, sweep_divisions
+    """Static division sweep, one supervised job per ratio point.
 
-    workload = scaled_workload(args.workload, args.time_scale)
+    Every point is journaled in ``--run-dir`` (progress lines go to
+    stderr); ``--resume`` re-runs only the points whose artifacts are
+    missing, and ``--parallel N`` fans points out across isolated
+    worker processes.
+    """
+    import tempfile
+
+    from repro.harness.suite_jobs import sweep_specs
+    from repro.harness.supervisor import run_jobs, stderr_progress
+
+    scaled_workload(args.workload, args.time_scale)  # validate the name early
     ratios = [round(args.step * i, 4) for i in range(int(args.max_ratio / args.step) + 1)]
-    points = sweep_divisions(
-        workload, ratios, n_iterations=args.iterations,
-        options=scaled_options(args.time_scale),
-    )
-    rows = [(f"{p.r:.2f}", p.energy_j / 1e3, p.time_s) for p in points]
-    print(format_table(["CPU share", "energy (kJ)", "time (s)"], rows,
-                       title=f"static division sweep — {args.workload}"))
-    optimum = best_point(points)
-    print(f"\nenergy minimum at r = {optimum.r:.2f} "
-          f"({optimum.energy_j / 1e3:.2f} kJ)")
-    return 0
+    specs = sweep_specs(args.workload, ratios, args.iterations, args.time_scale)
+
+    def supervised(run_dir: str) -> int:
+        result = run_jobs(
+            specs, run_dir,
+            parallel=args.parallel,
+            resume=args.resume,
+            isolate=args.parallel > 1 or args.isolate,
+            progress=stderr_progress,
+        )
+        report = result.report
+        payloads = result.payloads
+        rows = [
+            (f"{p['r']:.2f}", p["energy_j"] / 1e3, p["time_s"])
+            for p in (payloads[s.name] for s in specs if s.name in payloads)
+        ]
+        if rows:
+            print(format_table(["CPU share", "energy (kJ)", "time (s)"], rows,
+                               title=f"static division sweep — {args.workload}"))
+        if report.interrupted:
+            where = (f" --run-dir {args.run_dir}" if args.run_dir
+                     else " (use --run-dir to make runs resumable)")
+            print(f"interrupted — finish with --resume{where}", file=sys.stderr)
+            return 130
+        if payloads:
+            optimum = min(payloads.values(), key=lambda p: p["energy_j"])
+            print(f"\nenergy minimum at r = {optimum['r']:.2f} "
+                  f"({optimum['energy_j'] / 1e3:.2f} kJ)")
+        print(f"\n{report.summary_line()}")
+        return 0 if report.ok else 1
+
+    if args.run_dir is not None:
+        return supervised(args.run_dir)
+    if args.resume:
+        raise ConfigError("--resume requires --run-dir")
+    with tempfile.TemporaryDirectory(prefix="greengpu-sweep-") as tmp:
+        return supervised(tmp)
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -176,20 +212,33 @@ def cmd_oracle(args: argparse.Namespace) -> int:
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
-    from repro.experiments import fig1, fig2, fig5, fig6, fig7, fig8, headline, table2
+    """Regenerate paper artifacts as journaled jobs with progress lines."""
+    import tempfile
 
-    artifacts = {
-        "fig1": fig1.main, "fig2": fig2.main, "table2": table2.main,
-        "fig5": fig5.main, "fig6": fig6.main, "fig7": fig7.main,
-        "fig8": fig8.main, "headline": headline.main,
-    }
-    names = args.artifacts or list(artifacts)
+    from repro.harness.job import JobSpec
+    from repro.harness.suite_jobs import SUITE_ARTIFACTS
+    from repro.harness.supervisor import run_jobs, stderr_progress
+
+    names = args.artifacts or list(SUITE_ARTIFACTS)
     for name in names:
-        if name not in artifacts:
-            raise ConfigError(f"unknown artifact {name!r}; choose from {sorted(artifacts)}")
-        print(f"\n=== {name} ===")
-        artifacts[name]()
-    return 0
+        if name not in SUITE_ARTIFACTS:
+            raise ConfigError(
+                f"unknown artifact {name!r}; choose from {sorted(SUITE_ARTIFACTS)}"
+            )
+    specs = [
+        JobSpec(name=name, target="repro.harness.suite_jobs:run_artifact_module",
+                kwargs={"name": name})
+        for name in names
+    ]
+    # Inline execution: artifact mains print straight to stdout, in
+    # order; the journal (in a throwaway dir) backs the progress lines.
+    with tempfile.TemporaryDirectory(prefix="greengpu-reproduce-") as tmp:
+        result = run_jobs(specs, tmp, isolate=False, progress=stderr_progress)
+    report = result.report
+    if not report.ok:
+        for name, error in report.errors.items():
+            print(f"error: {name}: {error.splitlines()[-1]}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -246,6 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--step", type=float, default=0.05)
     p.add_argument("--max-ratio", type=float, default=0.9)
+    p.add_argument("--parallel", type=int, default=1,
+                   help="worker processes to fan sweep points across")
+    p.add_argument("--run-dir", default=None,
+                   help="journaled run directory (enables --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points already completed in --run-dir")
+    p.add_argument("--isolate", action="store_true",
+                   help="run each point in its own process even with --parallel 1")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("characterize", help="Table II utilization classes")

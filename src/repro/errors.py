@@ -58,3 +58,17 @@ class ActuationError(SimulationError):
 
 class ConvergenceError(ReproError):
     """An iterative search or controller failed to converge."""
+
+
+class SerializationError(ReproError):
+    """A persisted file (result JSON, journal, artifact) is corrupt.
+
+    Raised instead of a bare ``json.JSONDecodeError`` so callers can
+    tell "this run left a truncated/garbled file behind" apart from a
+    programming error, and so the message always carries the offending
+    path.
+    """
+
+
+class HarnessError(ReproError):
+    """The supervised job harness was configured or driven incorrectly."""

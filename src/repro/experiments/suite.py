@@ -4,15 +4,29 @@
 paper artifact at configurable scale, collects the headline numbers into
 one :class:`SuiteSummary`, and optionally writes a markdown ledger — the
 machine-generated counterpart of the hand-annotated EXPERIMENTS.md.
+
+Since the crash-safety work the suite runs under the supervised harness
+(:mod:`repro.harness`): each artifact is an isolated, journaled job with
+a timeout and retry budget, ``--parallel N`` fans independent artifacts
+out across worker processes, and ``--resume <run-dir>`` picks a killed
+run back up, skipping artifacts whose journaled content hash still
+verifies.  :func:`run` remains the zero-overhead in-process path; both
+paths call the same job targets, so their numbers are bit-identical.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
-from repro.experiments import fig1, fig2, fig5, fig6, fig7, fig8, headline, table2
+from repro.harness.suite_jobs import SUITE_ARTIFACTS, SUITE_TARGETS, suite_specs
+from repro.harness.supervisor import HarnessResult, run_jobs, stderr_progress
+from repro.ioutil import atomic_write_text
 
 
 @dataclass
@@ -35,7 +49,34 @@ class SuiteSummary:
     headline_average_saving: float = 0.0
     notes: list[str] = field(default_factory=list)
 
-    def to_markdown(self) -> str:
+    @classmethod
+    def from_payloads(cls, payloads: dict[str, dict[str, Any]]) -> "SuiteSummary":
+        """Merge per-artifact job payloads, in canonical artifact order.
+
+        Merging follows :data:`SUITE_ARTIFACTS` order regardless of job
+        completion order, so parallel and resumed runs produce the same
+        summary (including the order of ``notes``).
+        """
+        summary = cls()
+        known = set(summary.__dataclass_fields__)
+        for name in SUITE_ARTIFACTS:
+            payload = payloads.get(name)
+            if payload is None:
+                continue
+            for key, value in payload.items():
+                if key == "notes":
+                    summary.notes.extend(value)
+                elif key in known:
+                    setattr(summary, key, value)
+        return summary
+
+    def to_markdown(self, include_elapsed: bool = True) -> str:
+        """Render the ledger.
+
+        ``include_elapsed=False`` drops the wall-time line — the harness
+        uses it for the on-disk ``summary.md`` so that a resumed run is
+        byte-identical to an uninterrupted one.
+        """
         rows = [
             ("Fig. 1 — nbody best relative energy (memory sweep)",
              f"{self.fig1_nbody_mem_best_energy:.3f}", "< 1.0 (interior minimum)"),
@@ -59,11 +100,10 @@ class SuiteSummary:
             ("Headline — average saving vs default",
              f"{100 * self.headline_average_saving:.2f}%", "21.04%"),
         ]
-        lines = [
-            "# Evaluation suite summary (auto-generated)",
-            "",
-            f"Total simulation wall time: {self.elapsed_s:.1f} s.",
-            "",
+        lines = ["# Evaluation suite summary (auto-generated)", ""]
+        if include_elapsed:
+            lines += [f"Total simulation wall time: {self.elapsed_s:.1f} s.", ""]
+        lines += [
             "| artifact | measured | paper |",
             "|---|---|---|",
         ]
@@ -74,78 +114,106 @@ class SuiteSummary:
 
 
 def run(time_scale: float = 0.15, verbose: bool = False) -> SuiteSummary:
-    """Regenerate every artifact and collect the summary."""
-    summary = SuiteSummary()
+    """Regenerate every artifact in-process and collect the summary."""
     started = time.perf_counter()
-
-    def log(msg: str) -> None:
+    payloads: dict[str, dict[str, Any]] = {}
+    for name in SUITE_ARTIFACTS:
         if verbose:
-            print(msg)
-
-    log("fig1 ...")
-    panels = fig1.run_all(n_iterations=1, time_scale=min(time_scale, 0.2))
-    summary.fig1_nbody_mem_best_energy = min(
-        p.relative_energy for p in panels[("nbody", "mem")]
-    )
-    summary.fig1_sc_core_best_energy = min(
-        p.relative_energy for p in panels[("streamcluster", "core")]
-    )
-
-    log("fig2 ...")
-    fig2_result = fig2.run(n_iterations=2, time_scale=min(time_scale, 0.1))
-    summary.fig2_optimal_r = fig2_result.optimal_r
-
-    log("table2 ...")
-    rows = table2.run(n_iterations=1, time_scale=time_scale)
-    summary.table2_total = len(rows)
-    for row in rows:
-        measured_fluct = row.fluctuating
-        paper_fluct = "fluctuate" in row.paper_description.lower()
-        if measured_fluct == paper_fluct:
-            summary.table2_matches += 1
-        else:
-            summary.notes.append(f"table2 mismatch: {row.name}")
-
-    log("fig5 ...")
-    fig5_result = fig5.run(n_iterations=3, time_scale=max(time_scale, 0.2))
-    summary.fig5_converged_mem_mhz = fig5_result.converged_mem_mhz
-
-    log("fig6 ...")
-    fig6_result = fig6.run(n_iterations=3, time_scale=time_scale)
-    summary.fig6_avg_gpu_saving = fig6_result.average_gpu_saving
-    summary.fig6_avg_dynamic_saving = fig6_result.average_dynamic_saving
-    summary.fig6_avg_cpu_gpu_saving = fig6_result.average_cpu_gpu_saving
-
-    log("fig7 ...")
-    fig7_results = fig7.run(n_iterations=10, time_scale=min(time_scale, 0.1))
-    summary.fig7_kmeans_converged_r = fig7_results["kmeans"].converged_r
-    summary.fig7_hotspot_converged_r = fig7_results["hotspot"].converged_r
-
-    log("fig8 ...")
-    fig8_results = fig8.run(n_iterations=10, time_scale=min(time_scale, 0.1))
-    summary.fig8_ordering_holds = all(r.ordering_holds for r in fig8_results.values())
-
-    log("headline ...")
-    headline_result = headline.run(n_iterations=10, time_scale=min(time_scale, 0.1))
-    summary.headline_average_saving = headline_result.average_saving
-
+            print(f"{name} ...")
+        payloads[name] = SUITE_TARGETS[name](time_scale=time_scale)
+    summary = SuiteSummary.from_payloads(payloads)
     summary.elapsed_s = time.perf_counter() - started
     return summary
 
 
-def main() -> None:
+SUMMARY_NAME = "summary.md"
+HEALTH_NAME = "health.md"
+
+
+def run_supervised(
+    time_scale: float = 0.15,
+    run_dir: str | None = None,
+    *,
+    parallel: int = 1,
+    resume: bool = False,
+    only: tuple[str, ...] | list[str] | None = None,
+    timeout_s: float | None = 600.0,
+    isolate: bool = True,
+    progress: Any = None,
+) -> tuple[SuiteSummary, HarnessResult]:
+    """Run the suite as supervised jobs; write the run-dir ledgers.
+
+    Writes ``summary.md`` (deterministic — no wall-time line, so it is
+    byte-identical across interrupted-and-resumed and uninterrupted
+    runs of the same seed/scale) and ``health.md`` (the per-run harness
+    report) into ``run_dir``, both atomically.
+    """
+    if run_dir is None:
+        if resume:
+            raise ValueError("--resume needs an explicit run directory")
+        with tempfile.TemporaryDirectory(prefix="greengpu-suite-") as tmp:
+            return run_supervised(
+                time_scale, tmp, parallel=parallel, resume=False, only=only,
+                timeout_s=timeout_s, isolate=isolate, progress=progress,
+            )
+    specs = suite_specs(time_scale=time_scale, only=only, timeout_s=timeout_s)
+    result = run_jobs(specs, run_dir, parallel=parallel, resume=resume,
+                      isolate=isolate, progress=progress)
+    summary = SuiteSummary.from_payloads(result.payloads)
+    summary.elapsed_s = result.report.elapsed_s
+    for name, outcome in result.outcomes.items():
+        if outcome.state.value == "quarantined":
+            summary.notes.append(f"quarantined: {name}")
+    atomic_write_text(os.path.join(run_dir, SUMMARY_NAME),
+                      summary.to_markdown(include_elapsed=False) + "\n")
+    atomic_write_text(os.path.join(run_dir, HEALTH_NAME),
+                      result.report.to_markdown())
+    return summary, result
+
+
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--time-scale", type=float, default=0.15)
     parser.add_argument("--out", default=None, help="write the markdown summary here")
-    args = parser.parse_args()
-    summary = run(time_scale=args.time_scale, verbose=True)
-    markdown = summary.to_markdown()
-    print("\n" + markdown)
+    parser.add_argument("--run-dir", default=None,
+                        help="journaled run directory (required for --resume)")
+    parser.add_argument("--parallel", type=int, default=1,
+                        help="worker processes to fan artifacts across")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay --run-dir's journal; re-run only missing jobs")
+    parser.add_argument("--jobs", nargs="*", default=None, metavar="ARTIFACT",
+                        help=f"subset of {list(SUITE_ARTIFACTS)} (default: all)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-job wall-clock kill deadline in seconds")
+    parser.add_argument("--no-isolate", action="store_true",
+                        help="run jobs in-process (no timeouts, no parallelism)")
+    args = parser.parse_args(argv)
+    if args.resume and args.run_dir is None:
+        parser.error("--resume requires --run-dir")
+
+    summary, result = run_supervised(
+        time_scale=args.time_scale,
+        run_dir=args.run_dir,
+        parallel=args.parallel,
+        resume=args.resume,
+        only=args.jobs,
+        timeout_s=args.timeout,
+        isolate=not args.no_isolate,
+        progress=stderr_progress,
+    )
+    report = result.report
+    print("\n" + summary.to_markdown())
+    print()
+    print(report.summary_line())
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(markdown + "\n")
+        atomic_write_text(args.out, summary.to_markdown() + "\n")
         print(f"\nwritten to {args.out}")
+    if report.interrupted:
+        print("interrupted — finish with --resume "
+              f"--run-dir {args.run_dir}", file=sys.stderr)
+        return 130
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Write-ahead journal: one fsynced JSONL record per state transition.
+
+The journal is the harness' source of truth for what happened to a run.
+Every record is a single JSON line, flushed *and fsynced* before the
+supervisor acts on the transition it describes — so after any crash,
+including ``kill -9``, the journal is at worst missing its final
+partial line.  :func:`read_journal` tolerates exactly that: a truncated
+*last* line is dropped silently (the crash signature), while garbage
+anywhere else raises :class:`~repro.errors.SerializationError`.
+
+Record vocabulary (all records carry ``event``; fields vary):
+
+- ``run_start``    — ``jobs`` (names in spec order), ``parallel``, ``resume``
+- ``job_start``    — ``job``, ``attempt`` (1-based)
+- ``job_retry``    — ``job``, ``attempt``, ``backoff_s``, ``error``
+- ``job_success``  — ``job``, ``attempt``, ``elapsed_s``, ``artifact``,
+  ``sha256`` (content hash used by resume verification)
+- ``job_quarantined`` — ``job``, ``attempts``, ``error``
+- ``job_skipped``  — ``job``, ``reason`` (``resumed`` | ``dependency``)
+- ``run_interrupted`` — ``signal`` (SIGINT/SIGTERM finalization)
+- ``run_end``      — final counters
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.errors import SerializationError
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class Journal:
+    """Append-only, fsync-per-record JSONL writer."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def record(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Append one record and force it to disk before returning."""
+        rec: dict[str, Any] = {"event": event, **fields}
+        self._handle.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        return rec
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_journal(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
+    """Replay a journal file into its list of records.
+
+    A partial *final* line (writer killed mid-append) is dropped; an
+    undecodable line anywhere earlier means the file was corrupted by
+    something other than a crash-during-append and raises
+    :class:`SerializationError` naming the path.
+    """
+    path = os.fspath(path)
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    records: list[dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if index == len(lines) - 1:
+                break  # the crash signature: half-written tail record
+            raise SerializationError(
+                f"{path}: corrupt journal line {index + 1} ({exc})"
+            ) from exc
+    return records

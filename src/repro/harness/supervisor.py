@@ -1,0 +1,550 @@
+"""The supervisor: timeouts, retries, quarantine, journal, resume.
+
+One :class:`Supervisor` drives one *run directory*::
+
+    <run-dir>/
+      journal.jsonl        write-ahead journal (fsynced per transition)
+      artifacts/<job>.json atomically-written job results
+      artifacts/<job>.error last traceback of a failed attempt
+
+Jobs run in spawn-context :mod:`multiprocessing` workers (a hung or
+crashing experiment is killed on its deadline without taking down the
+supervisor) or, with ``isolate=False``, inline in this process — zero
+process overhead for cheap jobs, at the price of timeout enforcement.
+
+Every state transition is journaled *before* the supervisor acts on it,
+and artifacts are written atomically by the worker, so a crash at any
+instant — including ``SIGKILL``, which no handler can see — leaves a
+run directory that ``resume=True`` can pick up: completed jobs whose
+artifact bytes still hash to the journaled SHA-256 are skipped, and
+only the rest re-run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SerializationError
+from repro.harness.job import (
+    SATISFIED_STATES,
+    TERMINAL_STATES,
+    JobOutcome,
+    JobSpec,
+    JobState,
+    validate_dag,
+)
+from repro.harness.journal import JOURNAL_NAME, Journal, read_journal
+from repro.harness.worker import read_artifact, run_job_inline, worker_main
+from repro.ioutil import sha256_file
+
+POLL_INTERVAL_S = 0.02
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Emitted after every job reaches a terminal state."""
+
+    completed: int
+    total: int
+    job: str
+    state: str
+    elapsed_s: float
+    eta_s: float | None
+
+
+def stderr_progress(event: ProgressEvent) -> None:
+    """Default progress sink: one line per completed job, to stderr."""
+    eta = f", ~{event.eta_s:.1f}s left" if event.eta_s is not None else ""
+    print(
+        f"[{event.completed}/{event.total}] {event.job} {event.state} "
+        f"({event.elapsed_s:.1f}s elapsed{eta})",
+        file=sys.stderr, flush=True,
+    )
+
+
+@dataclass
+class HarnessReport:
+    """Per-run health counters, in the :class:`ControlHealth` spirit."""
+
+    jobs_total: int = 0
+    succeeded: int = 0
+    resumed: int = 0
+    retries: int = 0          # extra attempts beyond each job's first
+    timeouts: int = 0         # attempts killed on their deadline
+    quarantined: int = 0      # circuit breaker tripped: attempts exhausted
+    dep_skipped: int = 0      # skipped because an upstream job failed
+    interrupted: bool = False  # finalized early on SIGINT/SIGTERM
+    elapsed_s: float = 0.0
+    states: dict[str, str] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Every job produced (or resumed) its artifact."""
+        return (not self.interrupted
+                and self.quarantined == 0 and self.dep_skipped == 0)
+
+    def summary_line(self) -> str:
+        return (
+            f"harness: {self.succeeded} ok, {self.resumed} resumed, "
+            f"{self.retries} retried, {self.timeouts} timed out, "
+            f"{self.quarantined} quarantined, {self.dep_skipped} dep-skipped "
+            f"({self.elapsed_s:.1f}s)"
+        )
+
+    def as_lines(self) -> list[str]:
+        lines = [
+            f"jobs        : {self.jobs_total}",
+            f"succeeded   : {self.succeeded}",
+            f"resumed     : {self.resumed}",
+            f"retries     : {self.retries}",
+            f"timeouts    : {self.timeouts}",
+            f"quarantined : {self.quarantined}",
+            f"dep-skipped : {self.dep_skipped}",
+            f"interrupted : {self.interrupted}",
+        ]
+        for name, error in self.errors.items():
+            first = error.strip().splitlines()[-1] if error.strip() else error
+            lines.append(f"  {name}: {first}")
+        return lines
+
+    def to_markdown(self) -> str:
+        lines = ["# Run health (auto-generated)", ""]
+        lines += [f"    {line}" for line in self.as_lines()]
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class HarnessResult:
+    """Everything a caller needs after :func:`run_jobs` returns."""
+
+    report: HarnessReport
+    outcomes: dict[str, JobOutcome]
+
+    @property
+    def payloads(self) -> dict[str, Any]:
+        """Payloads of every job that produced (or resumed) an artifact."""
+        return {
+            name: outcome.payload
+            for name, outcome in self.outcomes.items()
+            if outcome.state in SATISFIED_STATES
+        }
+
+
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    def __init__(self, proc: multiprocessing.process.BaseProcess,
+                 started: float, deadline: float | None) -> None:
+        self.proc = proc
+        self.started = started
+        self.deadline = deadline
+
+
+class Supervisor:
+    def __init__(
+        self,
+        specs: list[JobSpec],
+        run_dir: str | os.PathLike[str],
+        *,
+        parallel: int = 1,
+        resume: bool = False,
+        isolate: bool = True,
+        progress: Callable[[ProgressEvent], None] | None = None,
+    ) -> None:
+        self.specs = validate_dag(list(specs))
+        self.spec_order = [s.name for s in specs]  # declaration order
+        self.by_name = {s.name: s for s in self.specs}
+        self.run_dir = os.fspath(run_dir)
+        self.artifact_dir = os.path.join(self.run_dir, "artifacts")
+        self.parallel = max(1, int(parallel))
+        self.resume = resume
+        self.isolate = isolate
+        self.progress = progress
+        self._ctx = multiprocessing.get_context("spawn")
+        self._stop_signal: int | None = None
+
+    # -- paths ---------------------------------------------------------
+
+    def artifact_path(self, name: str) -> str:
+        return os.path.join(self.artifact_dir, f"{name}.json")
+
+    def error_path(self, name: str) -> str:
+        return os.path.join(self.artifact_dir, f"{name}.error")
+
+    # -- the run -------------------------------------------------------
+
+    def run(self) -> HarnessResult:
+        os.makedirs(self.artifact_dir, exist_ok=True)
+        journal_path = os.path.join(self.run_dir, JOURNAL_NAME)
+        prior = (read_journal(journal_path)
+                 if self.resume and os.path.exists(journal_path) else [])
+
+        outcomes = {s.name: JobOutcome(name=s.name) for s in self.specs}
+        started = time.perf_counter()
+        report = HarnessReport(jobs_total=len(self.specs))
+
+        old_handlers = self._install_signal_handlers()
+        try:
+            with Journal(journal_path) as journal:
+                journal.record(
+                    "run_start",
+                    jobs=[s.name for s in self.specs],
+                    parallel=self.parallel,
+                    resume=self.resume,
+                    isolate=self.isolate,
+                )
+                self._resume_pass(prior, outcomes, report, journal, started)
+                self._schedule(outcomes, report, journal, started)
+                report.elapsed_s = time.perf_counter() - started
+                if self._stop_signal is not None:
+                    report.interrupted = True
+                    journal.record("run_interrupted", signal=self._stop_signal)
+                journal.record(
+                    "run_end",
+                    succeeded=report.succeeded,
+                    resumed=report.resumed,
+                    retries=report.retries,
+                    timeouts=report.timeouts,
+                    quarantined=report.quarantined,
+                    dep_skipped=report.dep_skipped,
+                    interrupted=report.interrupted,
+                )
+        finally:
+            self._restore_signal_handlers(old_handlers)
+
+        report.states = {
+            name: outcomes[name].state.value for name in self.spec_order
+        }
+        report.errors = {
+            name: outcomes[name].error
+            for name in self.spec_order
+            if outcomes[name].error
+        }
+        ordered = {name: outcomes[name] for name in self.spec_order}
+        return HarnessResult(report=report, outcomes=ordered)
+
+    # -- signal finalization -------------------------------------------
+
+    def _install_signal_handlers(self) -> dict[int, Any]:
+        def _note(signum: int, frame: object) -> None:
+            self._stop_signal = signum
+
+        old: dict[int, Any] = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                old[sig] = signal.signal(sig, _note)
+            except ValueError:
+                pass  # not the main thread; rely on SIGKILL-grade safety
+        return old
+
+    def _restore_signal_handlers(self, old: dict[int, Any]) -> None:
+        for sig, handler in old.items():
+            signal.signal(sig, handler)
+
+    # -- resume --------------------------------------------------------
+
+    def _resume_pass(self, prior: list[dict[str, Any]],
+                     outcomes: dict[str, JobOutcome], report: HarnessReport,
+                     journal: Journal, run_started: float) -> None:
+        """Skip jobs whose journaled success still verifies on disk."""
+        last_success: dict[str, dict[str, Any]] = {}
+        for rec in prior:
+            if rec.get("event") == "job_success" and rec.get("job") in self.by_name:
+                last_success[rec["job"]] = rec
+        for name, rec in last_success.items():
+            path = self.artifact_path(name)
+            if not os.path.exists(path):
+                continue
+            if sha256_file(path) != rec.get("sha256"):
+                continue  # artifact changed since journaled: re-run it
+            try:
+                payload = read_artifact(path)
+            except SerializationError:
+                continue
+            outcome = outcomes[name]
+            outcome.state = JobState.SKIPPED_RESUMED
+            outcome.payload = payload
+            outcome.artifact_path = path
+            outcome.artifact_sha256 = rec["sha256"]
+            report.resumed += 1
+            journal.record("job_skipped", job=name, reason="resumed")
+            self._emit_progress(outcomes, name, run_started)
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(self, outcomes: dict[str, JobOutcome], report: HarnessReport,
+                  journal: Journal, run_started: float) -> None:
+        attempts: dict[str, int] = {s.name: 0 for s in self.specs}
+        ready_at: dict[str, float] = {s.name: 0.0 for s in self.specs}
+        running: dict[str, _Running] = {}
+
+        def unfinished() -> list[JobSpec]:
+            return [s for s in self.specs
+                    if outcomes[s.name].state not in TERMINAL_STATES]
+
+        while unfinished() and self._stop_signal is None:
+            self._skip_broken_dependents(outcomes, report, journal, run_started)
+            self._launch_ready(outcomes, attempts, ready_at, running,
+                               journal, report, run_started)
+            if not running and not unfinished():
+                break
+            if running:
+                time.sleep(POLL_INTERVAL_S)
+                self._poll_running(outcomes, attempts, ready_at, running,
+                                   journal, report, run_started)
+            elif unfinished():
+                # Everything launchable is backing off; sleep to the
+                # earliest retry slot instead of spinning.
+                pending = [ready_at[s.name] for s in unfinished()
+                           if outcomes[s.name].state is JobState.PENDING]
+                if pending:
+                    time.sleep(
+                        max(POLL_INTERVAL_S,
+                            min(pending) - time.monotonic())
+                    )
+
+        if self._stop_signal is not None:
+            for name, slot in running.items():
+                slot.proc.kill()
+                slot.proc.join()
+                outcomes[name].error = f"interrupted by signal {self._stop_signal}"
+
+    def _skip_broken_dependents(self, outcomes: dict[str, JobOutcome],
+                                report: HarnessReport, journal: Journal,
+                                run_started: float) -> None:
+        for spec in self.specs:
+            outcome = outcomes[spec.name]
+            if outcome.state is not JobState.PENDING:
+                continue
+            broken = [
+                dep for dep in spec.depends_on
+                if outcomes[dep].state in TERMINAL_STATES
+                and outcomes[dep].state not in SATISFIED_STATES
+            ]
+            if broken:
+                outcome.state = JobState.SKIPPED_DEPENDENCY
+                outcome.error = f"upstream failed: {', '.join(broken)}"
+                report.dep_skipped += 1
+                journal.record("job_skipped", job=spec.name,
+                               reason="dependency", upstream=broken)
+                self._emit_progress(outcomes, spec.name, run_started)
+
+    def _launch_ready(self, outcomes: dict[str, JobOutcome],
+                      attempts: dict[str, int], ready_at: dict[str, float],
+                      running: dict[str, _Running], journal: Journal,
+                      report: HarnessReport, run_started: float) -> None:
+        for spec in self.specs:
+            if self._stop_signal is not None:
+                return
+            if len(running) >= self.parallel and self.isolate:
+                return
+            outcome = outcomes[spec.name]
+            if outcome.state is not JobState.PENDING or spec.name in running:
+                continue
+            if not all(outcomes[d].state in SATISFIED_STATES
+                       for d in spec.depends_on):
+                continue
+            if time.monotonic() < ready_at[spec.name]:
+                continue
+            attempts[spec.name] += 1
+            outcome.attempts = attempts[spec.name]
+            journal.record("job_start", job=spec.name,
+                           attempt=attempts[spec.name])
+            self._clear_error_file(spec.name)
+            if self.isolate:
+                self._spawn(spec, running)
+            else:
+                self._run_inline(spec, outcomes, attempts, ready_at,
+                                 journal, report, run_started)
+
+    def _clear_error_file(self, name: str) -> None:
+        try:
+            os.unlink(self.error_path(name))
+        except OSError:
+            pass
+
+    def _spawn(self, spec: JobSpec, running: dict[str, _Running]) -> None:
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(spec.name, spec.target, spec.kwargs,
+                  self.artifact_path(spec.name), self.error_path(spec.name)),
+            name=f"harness-{spec.name}",
+        )
+        # When the parent was launched as ``python -m repro.experiments.
+        # suite``, the spawn bootstrap re-runs that module as the child's
+        # main and runpy warns that it is already imported (the package
+        # __init__ imports it).  Benign, but one line of stderr per
+        # worker; silence exactly that warning in the child.
+        prev = os.environ.get("PYTHONWARNINGS")
+        squelch = "ignore::RuntimeWarning:runpy"
+        os.environ["PYTHONWARNINGS"] = f"{prev},{squelch}" if prev else squelch
+        try:
+            proc.start()
+        finally:
+            if prev is None:
+                del os.environ["PYTHONWARNINGS"]
+            else:
+                os.environ["PYTHONWARNINGS"] = prev
+        now = time.monotonic()
+        deadline = None if spec.timeout_s is None else now + spec.timeout_s
+        running[spec.name] = _Running(proc, now, deadline)
+
+    def _run_inline(self, spec: JobSpec, outcomes: dict[str, JobOutcome],
+                    attempts: dict[str, int], ready_at: dict[str, float],
+                    journal: Journal, report: HarnessReport,
+                    run_started: float) -> None:
+        started = time.monotonic()
+        try:
+            payload = run_job_inline(spec.name, spec.target, spec.kwargs,
+                                     self.artifact_path(spec.name))
+        except Exception as exc:  # noqa: BLE001 — quarantine, don't crash
+            self._attempt_failed(
+                spec, f"{type(exc).__name__}: {exc}", outcomes, attempts,
+                ready_at, journal, report, run_started,
+                elapsed=time.monotonic() - started,
+            )
+            return
+        self._attempt_succeeded(spec, payload, outcomes, attempts, journal,
+                                report, run_started,
+                                elapsed=time.monotonic() - started)
+
+    def _poll_running(self, outcomes: dict[str, JobOutcome],
+                      attempts: dict[str, int], ready_at: dict[str, float],
+                      running: dict[str, _Running], journal: Journal,
+                      report: HarnessReport, run_started: float) -> None:
+        now = time.monotonic()
+        for name in list(running):
+            slot = running[name]
+            spec = self.by_name[name]
+            if slot.proc.exitcode is None:
+                if slot.deadline is not None and now > slot.deadline:
+                    slot.proc.kill()
+                    slot.proc.join()
+                    del running[name]
+                    report.timeouts += 1
+                    self._attempt_failed(
+                        spec,
+                        f"timeout: killed after {spec.timeout_s:.1f}s",
+                        outcomes, attempts, ready_at, journal, report,
+                        run_started, elapsed=now - slot.started,
+                    )
+                continue
+            slot.proc.join()
+            exitcode = slot.proc.exitcode
+            del running[name]
+            elapsed = time.monotonic() - slot.started
+            if exitcode == 0:
+                try:
+                    payload = read_artifact(self.artifact_path(name))
+                except (OSError, SerializationError) as exc:
+                    self._attempt_failed(spec, f"unreadable artifact: {exc}",
+                                         outcomes, attempts, ready_at,
+                                         journal, report, run_started,
+                                         elapsed=elapsed)
+                    continue
+                self._attempt_succeeded(spec, payload, outcomes, attempts,
+                                        journal, report, run_started,
+                                        elapsed=elapsed)
+            else:
+                error = self._read_error_file(name)
+                if error is None:
+                    error = (f"killed by signal {-exitcode}"
+                             if exitcode is not None and exitcode < 0
+                             else f"worker exited with code {exitcode}")
+                self._attempt_failed(spec, error, outcomes, attempts,
+                                     ready_at, journal, report, run_started,
+                                     elapsed=elapsed)
+
+    def _read_error_file(self, name: str) -> str | None:
+        try:
+            with open(self.error_path(name), encoding="utf-8") as handle:
+                return handle.read().strip() or None
+        except OSError:
+            return None
+
+    # -- attempt outcomes ----------------------------------------------
+
+    def _attempt_succeeded(self, spec: JobSpec, payload: Any,
+                           outcomes: dict[str, JobOutcome],
+                           attempts: dict[str, int], journal: Journal,
+                           report: HarnessReport, run_started: float,
+                           elapsed: float) -> None:
+        outcome = outcomes[spec.name]
+        path = self.artifact_path(spec.name)
+        sha = sha256_file(path)
+        outcome.state = JobState.SUCCEEDED
+        outcome.payload = payload
+        outcome.elapsed_s = elapsed
+        outcome.artifact_path = path
+        outcome.artifact_sha256 = sha
+        report.succeeded += 1
+        journal.record("job_success", job=spec.name,
+                       attempt=attempts[spec.name],
+                       elapsed_s=round(elapsed, 3),
+                       artifact=os.path.relpath(path, self.run_dir),
+                       sha256=sha)
+        self._emit_progress(outcomes, spec.name, run_started)
+
+    def _attempt_failed(self, spec: JobSpec, error: str,
+                        outcomes: dict[str, JobOutcome],
+                        attempts: dict[str, int], ready_at: dict[str, float],
+                        journal: Journal, report: HarnessReport,
+                        run_started: float, elapsed: float) -> None:
+        outcome = outcomes[spec.name]
+        outcome.error = error
+        outcome.elapsed_s += elapsed
+        used = attempts[spec.name]
+        if used < spec.retry.max_attempts:
+            backoff = spec.retry.backoff_s(used - 1)
+            report.retries += 1
+            ready_at[spec.name] = time.monotonic() + backoff
+            journal.record("job_retry", job=spec.name, attempt=used,
+                           backoff_s=round(backoff, 3), error=error)
+            if not self.isolate and backoff > 0.0:
+                time.sleep(backoff)
+        else:
+            outcome.state = JobState.QUARANTINED
+            report.quarantined += 1
+            journal.record("job_quarantined", job=spec.name,
+                           attempts=used, error=error)
+            self._emit_progress(outcomes, spec.name, run_started)
+
+    # -- progress ------------------------------------------------------
+
+    def _emit_progress(self, outcomes: dict[str, JobOutcome], name: str,
+                       run_started: float) -> None:
+        if self.progress is None:
+            return
+        completed = sum(1 for o in outcomes.values()
+                        if o.state in TERMINAL_STATES)
+        total = len(outcomes)
+        elapsed = time.perf_counter() - run_started
+        eta = (elapsed / completed * (total - completed)
+               if completed else None)
+        self.progress(ProgressEvent(
+            completed=completed, total=total, job=name,
+            state=outcomes[name].state.value,
+            elapsed_s=elapsed, eta_s=eta,
+        ))
+
+
+def run_jobs(
+    specs: list[JobSpec],
+    run_dir: str | os.PathLike[str],
+    *,
+    parallel: int = 1,
+    resume: bool = False,
+    isolate: bool = True,
+    progress: Callable[[ProgressEvent], None] | None = None,
+) -> HarnessResult:
+    """Run a job DAG under supervision; see :class:`Supervisor`."""
+    supervisor = Supervisor(specs, run_dir, parallel=parallel, resume=resume,
+                            isolate=isolate, progress=progress)
+    return supervisor.run()

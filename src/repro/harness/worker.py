@@ -1,0 +1,86 @@
+"""Job execution: the spawned worker's entry point and the inline path.
+
+The supervisor never pickles closures across the process boundary; a job
+is a dotted ``module:function`` target plus JSON kwargs, resolved here.
+Success is communicated through the filesystem: the worker atomically
+writes the artifact JSON and exits 0.  Failure writes the traceback to a
+sidecar ``<artifact>.error`` file and exits 1 — the supervisor reads it
+back for the journal, so a crashing job never scrambles the parent.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import traceback
+from typing import Any, Callable
+
+from repro.errors import HarnessError, SerializationError
+from repro.ioutil import atomic_write_json, atomic_write_text
+
+ARTIFACT_SCHEMA = 1
+
+
+def resolve_target(target: str) -> Callable[..., Any]:
+    """``"package.module:function"`` -> the callable."""
+    module_name, _, func_name = target.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise HarnessError(f"cannot import job target module {module_name!r}: {exc}")
+    fn = getattr(module, func_name, None)
+    if not callable(fn):
+        raise HarnessError(
+            f"job target {target!r} does not name a callable"
+        )
+    return fn
+
+
+def write_artifact(path: str, name: str, target: str, payload: Any) -> None:
+    """Atomically persist a job's result (sorted keys: stable bytes)."""
+    atomic_write_json(path, {
+        "schema": ARTIFACT_SCHEMA,
+        "job": name,
+        "target": target,
+        "payload": payload,
+    })
+
+
+def read_artifact(path: str) -> Any:
+    """Load a job artifact and return its payload."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"{path}: corrupt or truncated artifact JSON ({exc})"
+        ) from exc
+    if data.get("schema") != ARTIFACT_SCHEMA:
+        raise SerializationError(
+            f"{path}: unsupported artifact schema {data.get('schema')!r}"
+        )
+    return data["payload"]
+
+
+def run_job_inline(name: str, target: str, kwargs: dict[str, Any],
+                   artifact_path: str) -> Any:
+    """Execute a job in this process and persist its artifact."""
+    fn = resolve_target(target)
+    payload = fn(**kwargs)
+    write_artifact(artifact_path, name, target, payload)
+    return payload
+
+
+def worker_main(name: str, target: str, kwargs: dict[str, Any],
+                artifact_path: str, error_path: str) -> None:
+    """Spawned-process entry point (must stay a picklable top-level fn)."""
+    try:
+        run_job_inline(name, target, kwargs, artifact_path)
+    except BaseException:
+        try:
+            atomic_write_text(error_path, traceback.format_exc())
+        finally:
+            sys.exit(1)
+    sys.exit(0)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import serialize
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SerializationError
 from repro.runtime.metrics import IterationMetrics, RunResult
 from repro.sim.trace import Trace
 
@@ -79,6 +79,47 @@ class TestRoundTrip:
         b = serialize.dumps(_result())
         assert a == b
         assert '"workload": "kmeans"' in a
+
+
+class TestCorruptFiles:
+    """A killed writer must surface as a typed, path-carrying error."""
+
+    def test_truncated_file_names_path(self, tmp_path):
+        path = tmp_path / "result.json"
+        serialize.save(_result(), str(path))
+        # Simulate a writer killed mid-write (pre-atomic-save legacy file).
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(SerializationError) as excinfo:
+            serialize.load(str(path))
+        assert str(path) in str(excinfo.value)
+
+    def test_garbage_file_names_path(self, tmp_path):
+        path = tmp_path / "result.json"
+        path.write_text("not json at all {{{")
+        with pytest.raises(SerializationError, match="result.json"):
+            serialize.load(str(path))
+
+    def test_empty_file_names_path(self, tmp_path):
+        path = tmp_path / "result.json"
+        path.write_text("")
+        with pytest.raises(SerializationError, match="result.json"):
+            serialize.load(str(path))
+
+    def test_loads_reports_corruption(self):
+        with pytest.raises(SerializationError, match="corrupt or truncated"):
+            serialize.loads('{"workload": "kme')
+
+    def test_serialization_error_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(SerializationError, ReproError)
+
+    def test_save_is_atomic_no_tmp_droppings(self, tmp_path):
+        import os
+
+        path = tmp_path / "result.json"
+        serialize.save(_result(), str(path))
+        assert sorted(os.listdir(tmp_path)) == ["result.json"]
 
 
 class TestHealthRoundTrip:

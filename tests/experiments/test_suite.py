@@ -35,3 +35,65 @@ class TestSuite:
 
     def test_elapsed_recorded(self, summary):
         assert summary.elapsed_s > 0.0
+
+
+class TestFromPayloads:
+    def test_fields_merge_in_canonical_order(self):
+        summary = suite.SuiteSummary.from_payloads({
+            "table2": {"table2_matches": 8, "table2_total": 9,
+                       "notes": ["table2 mismatch: srad"]},
+            "fig2": {"fig2_optimal_r": 0.15},
+        })
+        assert summary.fig2_optimal_r == 0.15
+        assert summary.table2_matches == 8
+        assert summary.notes == ["table2 mismatch: srad"]
+        # Untouched artifacts keep their zero defaults.
+        assert summary.headline_average_saving == 0.0
+
+    def test_merge_ignores_completion_order(self):
+        payloads = {"fig2": {"fig2_optimal_r": 0.15},
+                    "fig8": {"fig8_ordering_holds": True}}
+        forward = suite.SuiteSummary.from_payloads(dict(payloads))
+        backward = suite.SuiteSummary.from_payloads(
+            dict(reversed(list(payloads.items()))))
+        assert forward == backward
+
+    def test_markdown_without_elapsed_is_deterministic(self):
+        summary = suite.SuiteSummary.from_payloads(
+            {"fig2": {"fig2_optimal_r": 0.15}})
+        summary.elapsed_s = 12.34
+        md = summary.to_markdown(include_elapsed=False)
+        assert "wall time" not in md
+        assert "12.3" not in md
+        assert "| Fig. 2" in md
+
+
+class TestRunSupervised:
+    def test_inline_supervised_matches_direct_run(self, tmp_path):
+        run_dir = tmp_path / "run"
+        summary, result = suite.run_supervised(
+            time_scale=0.05, run_dir=str(run_dir), only=("fig2", "table2"),
+            isolate=False,
+        )
+        assert result.report.succeeded == 2
+        assert summary.fig2_optimal_r == pytest.approx(0.15)
+        assert summary.table2_matches == summary.table2_total == 9
+        assert (run_dir / "summary.md").exists()
+        assert (run_dir / "health.md").exists()
+        assert (run_dir / "journal.jsonl").exists()
+
+    def test_resume_reuses_artifacts_and_ledger_is_stable(self, tmp_path):
+        run_dir = tmp_path / "run"
+        suite.run_supervised(time_scale=0.05, run_dir=str(run_dir),
+                             only=("fig2",), isolate=False)
+        first = (run_dir / "summary.md").read_bytes()
+        _, result = suite.run_supervised(time_scale=0.05, run_dir=str(run_dir),
+                                         only=("fig2",), isolate=False,
+                                         resume=True)
+        assert result.report.resumed == 1
+        assert result.report.succeeded == 0
+        assert (run_dir / "summary.md").read_bytes() == first
+
+    def test_resume_needs_run_dir(self):
+        with pytest.raises(ValueError):
+            suite.run_supervised(resume=True)

@@ -1,0 +1,63 @@
+"""Tests for the write-ahead journal."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.harness.journal import Journal, read_journal
+
+
+class TestJournal:
+    def test_record_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.record("run_start", jobs=["a", "b"], parallel=1)
+            journal.record("job_start", job="a", attempt=1)
+        records = read_journal(path)
+        assert [r["event"] for r in records] == ["run_start", "job_start"]
+        assert records[0]["jobs"] == ["a", "b"]
+        assert records[1]["attempt"] == 1
+
+    def test_records_hit_disk_immediately(self, tmp_path):
+        # WAL property: the record is readable before close().
+        path = tmp_path / "journal.jsonl"
+        journal = Journal(path)
+        journal.record("job_start", job="a", attempt=1)
+        assert read_journal(path) == [
+            {"event": "job_start", "job": "a", "attempt": 1}
+        ]
+        journal.close()
+
+    def test_append_across_reopens(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.record("run_start")
+        with Journal(path) as journal:  # a resumed run appends
+            journal.record("run_start", resume=True)
+        assert len(read_journal(path)) == 2
+
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        # SIGKILL mid-append leaves a partial final line; replay must
+        # keep everything before it.
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.record("run_start")
+            journal.record("job_start", job="a", attempt=1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "job_succ')  # the crash signature
+        records = read_journal(path)
+        assert [r["event"] for r in records] == ["run_start", "job_start"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = json.dumps({"event": "run_start"})
+        path.write_text(f"{good}\nGARBAGE NOT JSON\n{good}\n")
+        with pytest.raises(SerializationError, match="journal line 2"):
+            read_journal(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = json.dumps({"event": "run_start"})
+        path.write_text(f"{good}\n\n{good}\n")
+        assert len(read_journal(path)) == 2

@@ -1,0 +1,150 @@
+"""Interrupt safety, end to end: kill a real suite run, resume it.
+
+The harness' crash-safety contract: a suite run killed at an arbitrary
+instant — ``SIGKILL``, which no handler can intercept — leaves a run
+directory from which ``--resume`` completes the suite, and the final
+``summary.md`` plus every artifact is *byte-identical* to an
+uninterrupted run at the same seed/scale.  That is only true if the
+journal is write-ahead (fsynced before the supervisor acts), artifact
+writes are atomic, and payload merging ignores completion order — so
+this test pins all three at once.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.harness.journal import read_journal
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+# fig2 finishes fast (journals a success early); headline is slow enough
+# (~2 s simulated work + spawn overhead) to be killed mid-job reliably.
+JOBS = ("fig2", "headline")
+TIME_SCALE = "0.05"
+DEADLINE_S = 120.0
+
+
+def suite_cmd(run_dir, *extra):
+    return [
+        sys.executable, "-m", "repro.experiments.suite",
+        "--time-scale", TIME_SCALE, "--jobs", *JOBS,
+        "--run-dir", str(run_dir), "--timeout", "60", *extra,
+    ]
+
+
+def suite_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def wait_for_journal(run_dir, predicate, deadline_s=DEADLINE_S):
+    """Poll the journal until ``predicate(records)`` holds."""
+    journal = os.path.join(str(run_dir), "journal.jsonl")
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        if os.path.exists(journal):
+            try:
+                records = read_journal(journal)
+            except Exception:
+                records = []
+            if predicate(records):
+                return records
+        time.sleep(0.01)
+    raise AssertionError("journal never reached the awaited state")
+
+
+def read_tree(run_dir):
+    """``summary.md`` and artifact bytes, the resume-identity fingerprint."""
+    out = {"summary.md": (run_dir / "summary.md").read_bytes()}
+    artifact_dir = run_dir / "artifacts"
+    for name in sorted(os.listdir(artifact_dir)):
+        if name.endswith(".json"):
+            out[f"artifacts/{name}"] = (artifact_dir / name).read_bytes()
+    return out
+
+
+@pytest.fixture(scope="module")
+def reference_run(tmp_path_factory):
+    """An uninterrupted suite run: the byte-identity reference."""
+    run_dir = tmp_path_factory.mktemp("reference")
+    proc = subprocess.run(suite_cmd(run_dir), env=suite_env(),
+                          capture_output=True, text=True, timeout=DEADLINE_S)
+    assert proc.returncode == 0, proc.stderr
+    return run_dir
+
+
+class TestKillAndResume:
+    def test_sigkill_midjob_then_resume_is_byte_identical(
+            self, tmp_path, reference_run):
+        run_dir = tmp_path / "victim"
+        proc = subprocess.Popen(suite_cmd(run_dir), env=suite_env(),
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        try:
+            # Kill only once fig2 is journaled complete AND headline has
+            # started — i.e. genuinely mid-job, with work worth keeping.
+            def mid_run(records):
+                done = {r["job"] for r in records
+                        if r["event"] == "job_success"}
+                started = {r["job"] for r in records
+                           if r["event"] == "job_start"}
+                return "fig2" in done and "headline" in started - done
+
+            wait_for_journal(run_dir, mid_run)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        assert not (run_dir / "summary.md").exists()  # died before the ledger
+
+        resumed = subprocess.run(suite_cmd(run_dir, "--resume"),
+                                 env=suite_env(), capture_output=True,
+                                 text=True, timeout=DEADLINE_S)
+        assert resumed.returncode == 0, resumed.stderr
+
+        # fig2's completed work was reused, not redone ...
+        records = read_journal(run_dir / "journal.jsonl")
+        assert any(r["event"] == "job_skipped" and r["job"] == "fig2"
+                   and r["reason"] == "resumed" for r in records)
+        assert "resumed" in resumed.stdout
+        # ... and the on-disk result is indistinguishable from a clean run.
+        assert read_tree(run_dir) == read_tree(reference_run)
+
+    def test_sigterm_finalizes_journal_and_resume_completes(
+            self, tmp_path, reference_run):
+        run_dir = tmp_path / "terminated"
+        proc = subprocess.Popen(suite_cmd(run_dir), env=suite_env(),
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.DEVNULL, text=True)
+        try:
+            wait_for_journal(
+                run_dir,
+                lambda recs: any(r["event"] == "job_start" for r in recs),
+            )
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=DEADLINE_S)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        # The SIGTERM handler finalizes: exit 130, journal closed cleanly.
+        assert proc.returncode == 130
+        events = [r["event"] for r in read_journal(run_dir / "journal.jsonl")]
+        assert "run_interrupted" in events
+        assert events[-1] == "run_end"
+
+        resumed = subprocess.run(suite_cmd(run_dir, "--resume"),
+                                 env=suite_env(), capture_output=True,
+                                 text=True, timeout=DEADLINE_S)
+        assert resumed.returncode == 0, resumed.stderr
+        assert read_tree(run_dir) == read_tree(reference_run)

@@ -46,8 +46,36 @@ class TestSweep:
         assert main(["sweep", "--workload", "kmeans", "--iterations", "1",
                      "--time-scale", "0.03", "--step", "0.15",
                      "--max-ratio", "0.45"]) == 0
-        out = capsys.readouterr().out
-        assert "energy minimum at r" in out
+        captured = capsys.readouterr()
+        assert "energy minimum at r" in captured.out
+        assert "harness:" in captured.out
+
+    def test_sweep_progress_lines_on_stderr(self, capsys):
+        assert main(["sweep", "--workload", "kmeans", "--iterations", "1",
+                     "--time-scale", "0.03", "--step", "0.15",
+                     "--max-ratio", "0.45"]) == 0
+        err = capsys.readouterr().err
+        # One journal-backed line per completed point, with count and ETA.
+        assert "[1/4]" in err and "[4/4]" in err
+        assert "elapsed" in err
+
+    def test_sweep_resume_skips_completed_points(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "sweep-run")
+        args = ["sweep", "--workload", "kmeans", "--iterations", "1",
+                "--time-scale", "0.03", "--step", "0.15",
+                "--max-ratio", "0.45", "--run-dir", run_dir]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert main([*args, "--resume"]) == 0
+        second = capsys.readouterr()
+        assert "4 resumed" in second.out
+        # Same table, recomputed from the journaled artifacts.
+        assert ("energy minimum at r = 0.15"
+                in first.out) and ("energy minimum at r = 0.15" in second.out)
+
+    def test_sweep_resume_without_run_dir_errors(self, capsys):
+        assert main(["sweep", "--workload", "kmeans", "--resume"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestCharacterize:
@@ -100,6 +128,12 @@ class TestSaveAndShow:
 
 
 class TestReproduce:
+    def test_reproduce_emits_progress(self, capsys):
+        assert main(["reproduce", "fig2"]) == 0
+        captured = capsys.readouterr()
+        assert "=== fig2 ===" in captured.out
+        assert "[1/1] fig2 succeeded" in captured.err
+
     def test_reproduce_unknown_artifact_errors(self, capsys):
         assert main(["reproduce", "fig99"]) == 2
 

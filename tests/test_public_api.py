@@ -42,7 +42,8 @@ class TestSubpackageImports:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.sim", "repro.workloads", "repro.runtime",
         "repro.monitors", "repro.baselines", "repro.analysis",
-        "repro.experiments", "repro.extensions", "repro.faults", "repro.cli",
+        "repro.experiments", "repro.extensions", "repro.faults",
+        "repro.harness", "repro.cli",
     ])
     def test_importable(self, module):
         importlib.import_module(module)
@@ -50,7 +51,7 @@ class TestSubpackageImports:
     @pytest.mark.parametrize("module", [
         "repro.core", "repro.sim", "repro.workloads", "repro.monitors",
         "repro.baselines", "repro.analysis", "repro.extensions",
-        "repro.faults",
+        "repro.faults", "repro.harness",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)
