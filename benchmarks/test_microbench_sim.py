@@ -71,3 +71,42 @@ def test_bench_full_controlled_run(benchmark):
 
     energy = benchmark(run)
     assert energy > 0.0
+
+
+def _controlled_run(telemetry):
+    from repro.core.config import GreenGpuConfig
+    from repro.core.policies import GreenGpuPolicy
+    from repro.experiments.common import scaled_workload
+    from repro.runtime.executor import run_workload
+
+    workload = scaled_workload("kmeans", 0.02)
+    config = GreenGpuConfig(scaling_interval_s=0.06, ondemand_interval_s=0.002)
+    return run_workload(
+        workload, GreenGpuPolicy(config=config), n_iterations=2,
+        telemetry=telemetry,
+    ).total_energy_j
+
+
+def test_bench_controlled_run_telemetry_off(benchmark):
+    """Controller ticks against the explicit NOOP backend — the
+    disabled-overhead trajectory ``benchmarks/check_telemetry_overhead.py``
+    budgets in CI."""
+    from repro.telemetry import NOOP
+
+    energy = benchmark(lambda: _controlled_run(NOOP))
+    assert energy > 0.0
+
+
+def test_bench_controlled_run_telemetry_on(benchmark):
+    """The same run with full metrics/span/event recording enabled.
+
+    Compare against ``telemetry_off`` in the benchmark report to see
+    what observability costs when it is *on* (no budget asserted — the
+    <3 % budget applies to the disabled path only)."""
+    from repro.telemetry import Telemetry
+
+    def run():
+        return _controlled_run(Telemetry())
+
+    energy = benchmark(run)
+    assert energy > 0.0

@@ -25,6 +25,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.baselines` — static sweeps and exhaustive oracles.
 - :mod:`repro.analysis` — energy accounting and convergence metrics.
 - :mod:`repro.experiments` — one module per paper table/figure.
+- :mod:`repro.telemetry` — metrics registry, span tracing, exporters.
 """
 
 from repro.core.config import GreenGpuConfig
@@ -47,6 +48,15 @@ from repro.harness import HarnessReport, JobSpec, JobState, run_jobs
 from repro.runtime.executor import ExecutorOptions, run_workload
 from repro.runtime.metrics import IterationMetrics, RunResult
 from repro.sim.platform import HeteroSystem, TestbedConfig, make_testbed
+from repro.telemetry import (
+    NOOP,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    export_telemetry,
+    format_metrics_report,
+    merge_directory,
+)
 from repro.workloads.characteristics import get_profile, make_workload, workload_names
 
 __version__ = "1.0.0"
@@ -90,4 +100,12 @@ __all__ = [
     "JobState",
     "run_jobs",
     "HarnessReport",
+    # telemetry
+    "Telemetry",
+    "NullTelemetry",
+    "NOOP",
+    "MetricsRegistry",
+    "export_telemetry",
+    "merge_directory",
+    "format_metrics_report",
 ]

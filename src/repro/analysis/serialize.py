@@ -128,6 +128,17 @@ def save(result: RunResult, path: str) -> None:
 
 
 def load(path: str) -> RunResult:
-    """Read a result from a JSON file."""
-    with open(path) as handle:
-        return loads(handle.read(), source=path)
+    """Read a result from a JSON file.
+
+    Raises :class:`SerializationError` on a missing or unreadable file —
+    the CLI turns that into a one-line error and exit code 2 instead of
+    a traceback.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SerializationError(
+            f"{path}: cannot read result file ({exc})"
+        ) from exc
+    return loads(text, source=path)

@@ -40,11 +40,14 @@ def sweep_divisions(
     ratios: np.ndarray | list[float] | None = None,
     n_iterations: int = 3,
     options: ExecutorOptions | None = None,
+    telemetry=None,
 ) -> list[DivisionSweepPoint]:
     """Measure energy across pinned divisions (default: 0 to 0.9 step 0.05).
 
     Each point runs on a fresh testbed so meters and device state do not
-    leak between configurations.
+    leak between configurations.  A shared ``telemetry`` backend keeps
+    the points distinguishable: every point labels its metrics with its
+    own ``static-division-<r>`` policy name.
     """
     if ratios is None:
         ratios = np.arange(0.0, 0.901, 0.05)
@@ -58,6 +61,7 @@ def sweep_divisions(
             StaticPolicy(0, 0, ratio=r, name=f"static-division-{r:.2f}"),
             n_iterations=n_iterations,
             options=options,
+            telemetry=telemetry,
         )
         points.append(DivisionSweepPoint(r=r, result=result))
     return points

@@ -10,7 +10,13 @@ Subcommands:
 - ``oracle``       — exhaustive static frequency/division search;
 - ``reproduce``    — regenerate one or all paper artifacts;
 - ``replay``       — build a workload from a ``time,u_core,u_mem`` CSV
-  trace (e.g. a polled nvidia-smi log) and run a policy on it.
+  trace (e.g. a polled nvidia-smi log) and run a policy on it;
+- ``metrics``      — render the telemetry exported by a previous
+  ``--telemetry DIR`` run (span stats, counters, gauges, WMA trace).
+
+``run``, ``sweep`` and ``reproduce`` accept ``--telemetry DIR`` to
+record metrics, spans and events into ``DIR`` (see
+``docs/observability.md``); ``repro metrics DIR`` renders them.
 
 ``run``, ``compare`` and ``replay`` accept ``--faults
 {light,moderate,heavy}`` (plus ``--fault-seed``) to inject seeded
@@ -85,14 +91,32 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
                         help="seed for the fault-injection draw stream")
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="record metrics/spans/events into DIR "
+                             "(render with 'metrics DIR')")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     workload = scaled_workload(args.workload, args.time_scale)
     policy = _make_policy(args.policy, args.time_scale, args)
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     result = run_workload(
         workload, policy, n_iterations=args.iterations,
         options=scaled_options(args.time_scale),
+        telemetry=telemetry,
     )
     print(run_report(result))
+    if telemetry is not None:
+        from repro.telemetry import export_telemetry
+
+        export_telemetry(telemetry, args.telemetry)
+        print(f"\ntelemetry written to {args.telemetry} "
+              f"(render with: greengpu metrics {args.telemetry})")
     if args.save:
         from repro.analysis import serialize
 
@@ -138,7 +162,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     scaled_workload(args.workload, args.time_scale)  # validate the name early
     ratios = [round(args.step * i, 4) for i in range(int(args.max_ratio / args.step) + 1)]
-    specs = sweep_specs(args.workload, ratios, args.iterations, args.time_scale)
+    specs = sweep_specs(args.workload, ratios, args.iterations, args.time_scale,
+                        telemetry_dir=args.telemetry)
+    supervisor_telemetry = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        supervisor_telemetry = Telemetry()
 
     def supervised(run_dir: str) -> int:
         result = run_jobs(
@@ -147,7 +177,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             resume=args.resume,
             isolate=args.parallel > 1 or args.isolate,
             progress=stderr_progress,
+            telemetry=supervisor_telemetry,
         )
+        if args.telemetry:
+            from repro.telemetry import merge_directory
+
+            merge_directory(args.telemetry, extra=[supervisor_telemetry])
+            print(f"telemetry merged into {args.telemetry} "
+                  f"(render with: greengpu metrics {args.telemetry})",
+                  file=sys.stderr)
         report = result.report
         payloads = result.payloads
         rows = [
@@ -230,11 +268,22 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
                 kwargs={"name": name})
         for name in names
     ]
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     # Inline execution: artifact mains print straight to stdout, in
     # order; the journal (in a throwaway dir) backs the progress lines.
     with tempfile.TemporaryDirectory(prefix="greengpu-reproduce-") as tmp:
-        result = run_jobs(specs, tmp, isolate=False, progress=stderr_progress)
+        result = run_jobs(specs, tmp, isolate=False, progress=stderr_progress,
+                          telemetry=telemetry)
     report = result.report
+    if telemetry is not None:
+        from repro.telemetry import merge_directory
+
+        merge_directory(args.telemetry, extra=[telemetry])
+        print(f"telemetry written to {args.telemetry}", file=sys.stderr)
     if not report.ok:
         for name, error in report.errors.items():
             print(f"error: {name}: {error.splitlines()[-1]}", file=sys.stderr)
@@ -248,7 +297,14 @@ def cmd_replay(args: argparse.Namespace) -> int:
     from repro.workloads.base import DemandModelWorkload
     from repro.workloads.trace_replay import parse_csv, profile_from_trace
 
-    text = Path(args.trace).read_text()
+    from repro.errors import SerializationError
+
+    try:
+        text = Path(args.trace).read_text()
+    except OSError as exc:
+        raise SerializationError(
+            f"{args.trace}: cannot read trace file ({exc})"
+        ) from exc
     gpu, cpu = geforce_8800_gtx_spec(), phenom_ii_x2_spec()
     profile = profile_from_trace(
         parse_csv(text), gpu,
@@ -267,16 +323,28 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry import format_metrics_report
+
+    print(format_metrics_report(args.dir), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="greengpu", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("run", help="run one workload under one policy")
     _add_common(p)
     _add_faults(p)
+    _add_telemetry(p)
     p.add_argument("--policy", default="greengpu", choices=sorted(POLICY_FACTORIES))
     p.add_argument("--save", default=None, metavar="FILE",
                    help="write the full result (incl. traces) as JSON")
@@ -293,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="static division sweep (Fig. 2 style)")
     _add_common(p)
+    _add_telemetry(p)
     p.add_argument("--step", type=float, default=0.05)
     p.add_argument("--max-ratio", type=float, default=0.9)
     p.add_argument("--parallel", type=int, default=1,
@@ -317,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_oracle)
 
     p = sub.add_parser("reproduce", help="regenerate paper artifacts")
+    _add_telemetry(p)
     p.add_argument("artifacts", nargs="*",
                    help="fig1 fig2 table2 fig5 fig6 fig7 fig8 headline (default: all)")
     p.set_defaults(func=cmd_reproduce)
@@ -329,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-scale", type=float, default=1.0)
     p.add_argument("--cpu-gpu-ratio", type=float, default=4.0)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("metrics", help="render a --telemetry directory")
+    p.add_argument("dir", help="directory written by a --telemetry run")
+    p.set_defaults(func=cmd_metrics)
 
     return parser
 

@@ -40,6 +40,22 @@ retry, fallback, skip and degradation is counted in
 :class:`~repro.faults.health.ControlHealth` and recorded on the trace
 (``ctrl_*`` channels).  With no faults injected, every guard is on the
 success path and the controller is bit-identical to the unhardened one.
+
+Observability
+-------------
+
+The controller is instrumented through :mod:`repro.telemetry`: every
+tier-2 tick runs inside a span (``scaling_tick`` / ``ondemand_tick``)
+with nested spans for the monitor read, the WMA update and the
+frequency actuation; retries, ladder transitions and WMA decisions
+become structured events; and power is tracked as a gauge plus a
+distribution histogram.  The :class:`ControlHealth` counters live in
+the telemetry registry (see :func:`repro.faults.health.counter_name`) —
+``controller.health`` is a view over them, so the legacy record and the
+exported metrics are one set of numbers.  Without a telemetry backend
+all instruments are the allocation-free no-ops from
+:data:`repro.telemetry.NOOP`; only the health counters stay real, in a
+private registry.
 """
 
 from __future__ import annotations
@@ -52,7 +68,7 @@ from repro.core.division import WorkloadDivider
 from repro.core.ondemand import OndemandGovernor
 from repro.core.wma import WmaFrequencyScaler
 from repro.errors import ActuationError, MonitorError, SimulationError
-from repro.faults.health import ControlHealth
+from repro.faults.health import HEALTH_FIELDS, ControlHealth, counter_name
 from repro.faults.injector import FaultInjector
 from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.faults.wrappers import FaultyCpuStat, FaultyGpuActuator, FaultyNvidiaSmi
@@ -61,6 +77,7 @@ from repro.monitors.nvsmi import GpuUtilizationSample, NvidiaSmi
 from repro.sim.engine import TaskHandle
 from repro.sim.platform import HeteroSystem
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import NOOP, MetricsRegistry, NullTelemetry, Telemetry
 
 
 class TierMode(enum.Enum):
@@ -106,13 +123,28 @@ class GreenGpuController:
         recorder: TraceRecorder | None = None,
         faults: FaultInjector | None = None,
         hardening: HardeningPolicy | None = None,
+        telemetry: Telemetry | NullTelemetry | None = None,
     ):
         self.mode = mode
         self.config = config or GreenGpuConfig()
         self.recorder = recorder
         self.faults = faults
         self.hardening = hardening or HardeningPolicy()
-        self.health = ControlHealth()
+        self.telemetry = telemetry if telemetry is not None else NOOP
+        # Cached so the tier-2 tick bodies can guard their span sites
+        # with a plain branch: the CI overhead gate budgets the disabled
+        # hot path at < 3 %, which a `with null_span` per site would blow.
+        self._tel_on = self.telemetry.enabled
+        # Health counters must be readable even with telemetry disabled,
+        # so they fall back to a private registry (counters only — the
+        # span/event path stays on the no-op backend).
+        metrics = (self.telemetry.registry if self.telemetry.enabled
+                   else MetricsRegistry())
+        base = dict(self.telemetry.base_labels) if self.telemetry.enabled else {}
+        self._health_counters = {
+            name: metrics.counter(counter_name(name), **base)
+            for name in HEALTH_FIELDS
+        }
         self._initial_ratio = initial_ratio
         self.scaler: WmaFrequencyScaler | None = None
         self.governor: OndemandGovernor | None = None
@@ -138,15 +170,30 @@ class GreenGpuController:
         """True while the watchdog holds the controller in the safe state."""
         return self._degraded
 
+    @property
+    def health(self) -> ControlHealth:
+        """The fault/recovery record, materialized from telemetry counters.
+
+        The counters are the single source of truth; this view survives
+        :meth:`detach` (they reset on the next :meth:`attach`), matching
+        the historical "health readable post-run" contract.
+        """
+        return ControlHealth(**{
+            name: int(counter.value)
+            for name, counter in self._health_counters.items()
+        })
+
     def attach(self, system: HeteroSystem) -> None:
         """Bind to a testbed and register the periodic tier-2 loops."""
         if self.attached:
             raise SimulationError("controller already attached")
         self._system = system
-        self.health = ControlHealth()
+        for counter in self._health_counters.values():
+            counter.reset()
         cfg = self.config
         if self.faults is not None:
-            self.faults.bind(clock=system.clock, recorder=self.recorder)
+            self.faults.bind(clock=system.clock, recorder=self.recorder,
+                             telemetry=self.telemetry)
         if self.mode.division_enabled:
             self.divider = WorkloadDivider(cfg, r0=self._initial_ratio)
         else:
@@ -208,6 +255,10 @@ class GreenGpuController:
         if self.recorder is not None:
             self.recorder.record(channel, t, value)
 
+    def _count(self, field: str) -> None:
+        """Bump one :class:`ControlHealth` counter (the only write path)."""
+        self._health_counters[field].inc()
+
     def _stale_gpu_sample(self, t: float) -> GpuUtilizationSample | None:
         """Last good GPU sample, if still inside the staleness window."""
         last = self._last_gpu_sample
@@ -232,19 +283,29 @@ class GreenGpuController:
         """
         assert self._actuator is not None and self._nvsmi is not None
 
+        telemetry = self.telemetry
+
         def attempt() -> None:
             self._actuator.set_frequencies(f_core, f_mem)
             if self._nvsmi.peek_clocks() != (f_core, f_mem):
                 raise ActuationError("frequency write did not take effect")
 
         def on_retry(attempt_index: int, backoff_s: float, exc: Exception) -> None:
-            self.health.retries += 1
+            self._count("retries")
             self._record_event("ctrl_retry", t, backoff_s)
+            telemetry.event("retry", t_sim=t, attempt=attempt_index,
+                            backoff_s=backoff_s, error=str(exc))
 
         try:
-            call_with_retry(attempt, self.hardening.retry, on_retry=on_retry)
+            if self._tel_on:
+                with telemetry.span("freq_actuation"):
+                    call_with_retry(attempt, self.hardening.retry,
+                                    on_retry=on_retry)
+            else:
+                call_with_retry(attempt, self.hardening.retry,
+                                on_retry=on_retry)
         except ActuationError:
-            self.health.actuation_faults += 1
+            self._count("actuation_faults")
             self._record_event("ctrl_actuation_failed", t)
             return False
         return True
@@ -255,8 +316,10 @@ class GreenGpuController:
             self._consecutive_failures = 0
             if self._degraded:
                 self._degraded = False
-                self.health.recoveries += 1
+                self._count("recoveries")
                 self._record_event("ctrl_degraded", t, 0.0)
+                self.telemetry.event("ladder_transition", t_sim=t,
+                                     state="recovered")
             return
         self._consecutive_failures += 1
         if (
@@ -264,8 +327,11 @@ class GreenGpuController:
             and self._consecutive_failures >= self.hardening.watchdog_threshold
         ):
             self._degraded = True
-            self.health.degraded_entries += 1
+            self._count("degraded_entries")
             self._record_event("ctrl_degraded", t, 1.0)
+            self.telemetry.event("ladder_transition", t_sim=t,
+                                 state="degraded",
+                                 consecutive_failures=self._consecutive_failures)
         if self._degraded:
             self._enforce_safe_state()
 
@@ -287,56 +353,101 @@ class GreenGpuController:
     # -- tier 2 ticks -----------------------------------------------------------------
 
     def _scaling_tick(self, t: float) -> None:
+        if self._tel_on:
+            with self.telemetry.span("scaling_tick"):
+                self._scaling_tick_body(t)
+        else:
+            self._scaling_tick_body(t)
+
+    def _scaling_tick_body(self, t: float) -> None:
         assert self._system is not None and self._nvsmi is not None
         assert self.scaler is not None
+        telemetry = self.telemetry
+        tel_on = self._tel_on
         clean = True
         try:
-            sample = self._nvsmi.query()
+            if tel_on:
+                with telemetry.span("monitor_read", device="gpu"):
+                    sample = self._nvsmi.query()
+            else:
+                sample = self._nvsmi.query()
             self._last_gpu_sample = sample
         except MonitorError:
             clean = False
-            self.health.monitor_faults += 1
+            self._count("monitor_faults")
             sample = self._stale_gpu_sample(t)
             if sample is None:
                 # No usable data: skip the step, keep the previous decision.
-                self.health.skipped_ticks += 1
+                self._count("skipped_ticks")
                 self._record_event("ctrl_skip", t)
                 self._note_tick_outcome(t, clean=False)
                 return
-            self.health.fallbacks += 1
+            self._count("fallbacks")
             self._record_event("ctrl_fallback", t)
-        decision = self.scaler.step(sample.u_core, sample.u_mem)
+        if tel_on:
+            with telemetry.span("wma_update"):
+                decision = self.scaler.step(sample.u_core, sample.u_mem)
+        else:
+            decision = self.scaler.step(sample.u_core, sample.u_mem)
+        if tel_on:
+            telemetry.event(
+                "wma_update", t_sim=t,
+                core_level=decision.core_level, mem_level=decision.mem_level,
+                f_core=decision.f_core, f_mem=decision.f_mem,
+                u_core=sample.u_core, u_mem=sample.u_mem,
+                w_max=float(self.scaler.table.weights.max()),
+            )
+            telemetry.gauge("wma_f_core_hz").set(decision.f_core, t=t)
+            telemetry.gauge("wma_f_mem_hz").set(decision.f_mem, t=t)
         if not self._apply_gpu_frequencies(t, decision.f_core, decision.f_mem):
             clean = False
-        if self.recorder is not None:
-            self.recorder.record_many(
-                t,
-                gpu_u_core=sample.u_core,
-                gpu_u_mem=sample.u_mem,
-                gpu_f_core=decision.f_core,
-                gpu_f_mem=decision.f_mem,
-                system_power_w=self._system.system_power(),
-            )
+        if tel_on or self.recorder is not None:
+            power_w = self._system.system_power()
+            telemetry.gauge("system_power_w").set(power_w, t=t)
+            telemetry.histogram("system_power_w_dist").observe(power_w)
+            if self.recorder is not None:
+                self.recorder.record_many(
+                    t,
+                    gpu_u_core=sample.u_core,
+                    gpu_u_mem=sample.u_mem,
+                    gpu_f_core=decision.f_core,
+                    gpu_f_mem=decision.f_mem,
+                    system_power_w=power_w,
+                )
         self._note_tick_outcome(t, clean)
 
     def _ondemand_tick(self, t: float) -> None:
+        if self._tel_on:
+            with self.telemetry.span("ondemand_tick"):
+                self._ondemand_tick_body(t)
+        else:
+            self._ondemand_tick_body(t)
+
+    def _ondemand_tick_body(self, t: float) -> None:
         assert self._system is not None and self._cpustat is not None
         assert self.governor is not None
+        tel_on = self._tel_on
         try:
-            sample = self._cpustat.query()
+            if tel_on:
+                with self.telemetry.span("monitor_read", device="cpu"):
+                    sample = self._cpustat.query()
+            else:
+                sample = self._cpustat.query()
             self._last_cpu_sample = sample
         except MonitorError:
-            self.health.monitor_faults += 1
+            self._count("monitor_faults")
             sample = self._stale_cpu_sample(t)
             if sample is None:
-                self.health.skipped_ticks += 1
+                self._count("skipped_ticks")
                 self._record_event("ctrl_skip", t)
                 return
-            self.health.fallbacks += 1
+            self._count("fallbacks")
             self._record_event("ctrl_fallback", t)
         decision = self.governor.step(sample.u, self._system.cpu.f)
         if decision.changed:
             self._system.cpu.set_frequency(decision.f_target)
+            if tel_on:
+                self.telemetry.gauge("cpu_f_hz").set(decision.f_target, t=t)
         if self.recorder is not None:
             self.recorder.record_many(t, cpu_u=sample.u, cpu_f=decision.f_target)
 
@@ -358,7 +469,7 @@ class GreenGpuController:
         if self._degraded:
             # Watchdog safe state: hold the division ratio steady rather
             # than learn from timings measured under faulty control.
-            self.health.frozen_divisions += 1
+            self._count("frozen_divisions")
             if self._system is not None:
                 now = self._system.now
                 self._record_event("ctrl_division_frozen", now)
@@ -368,6 +479,11 @@ class GreenGpuController:
                     )
             return self.divider.r
         decision = self.divider.update(tc, tg)
+        if self.telemetry.enabled and self._system is not None:
+            self.telemetry.event("division_update", t_sim=self._system.now,
+                                 r_next=decision.r_next, tc=tc, tg=tg)
+            self.telemetry.gauge("division_r").set(decision.r_next,
+                                                   t=self._system.now)
         if self.recorder is not None and self._system is not None:
             self.recorder.record_many(
                 self._system.now, division_r=decision.r_next, tc=tc, tg=tg

@@ -65,7 +65,11 @@ class Policy:
         if self.cpu_level is not None:
             system.cpu.set_frequency(system.cpu.spec.ladder[self.cpu_level])
 
-    def make_controller(self, recorder: TraceRecorder | None = None) -> GreenGpuController:
+    def make_controller(
+        self,
+        recorder: TraceRecorder | None = None,
+        telemetry=None,
+    ) -> GreenGpuController:
         """Build the live controller for this policy (NONE mode = inert).
 
         A fresh :class:`FaultInjector` is built per controller so repeated
@@ -78,6 +82,7 @@ class Policy:
             initial_ratio=self.ratio,
             recorder=recorder,
             faults=faults,
+            telemetry=telemetry,
         )
 
     def with_faults(self, plan: FaultPlan | None) -> "Policy":

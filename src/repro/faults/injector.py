@@ -11,9 +11,13 @@ those failure modes *on purpose*:
 - a :class:`FaultInjector` turns the plan into a seeded PCG64 draw
   stream, one uniform draw per decision point, so any run is
   bit-reproducible for a given seed;
-- every injected fault is counted *and* recorded on the bound
-  :class:`~repro.sim.trace.TraceRecorder` (channel ``fault_<kind>``),
-  so chaos tests can prove no injected fault was silently lost.
+- every injected fault becomes a telemetry event and a
+  ``faults_injected_total{kind=...}`` counter bump (plus the legacy
+  ``fault_<kind>`` channel on the bound
+  :class:`~repro.sim.trace.TraceRecorder`), so chaos tests can prove no
+  injected fault was silently lost.  :attr:`FaultInjector.counts` is a
+  view over those counters — the telemetry registry is the only place
+  injected faults are tallied.
 
 The injector itself never touches a device; the wrappers in
 :mod:`repro.faults.wrappers` consult it at each monitor query /
@@ -27,6 +31,7 @@ from dataclasses import dataclass, fields
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.telemetry import NOOP, MetricsRegistry
 
 #: Every fault kind the injector can fire, mapped to its plan rate field.
 FAULT_KIND_RATES: dict[str, str] = {
@@ -157,15 +162,20 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._rng = np.random.default_rng(plan.seed)
-        self.counts: dict[str, int] = {}
         self._clock = None
         self._recorder = None
         self._actuator = None
+        self._telemetry = NOOP
+        # Injection tallies must survive a disabled telemetry backend, so
+        # they fall back to a private registry (same single-definition
+        # principle as the controller's health counters).
+        self._metrics = MetricsRegistry()
+        self._counters: dict[str, object] = {}
 
     # -- wiring ----------------------------------------------------------------
 
-    def bind(self, clock=None, recorder=None) -> None:
-        """Attach the run's clock and trace recorder.
+    def bind(self, clock=None, recorder=None, telemetry=None) -> None:
+        """Attach the run's clock, trace recorder, and telemetry backend.
 
         Trace-driven stall episodes from the plan are scheduled on the
         clock here (episodes already in the past are skipped).
@@ -182,6 +192,22 @@ class FaultInjector:
                 )
         if recorder is not None:
             self._recorder = recorder
+        if telemetry is not None and telemetry.enabled:
+            self._telemetry = telemetry
+            self._metrics = telemetry.registry
+            self._counters = {}
+
+    def _counter(self, kind: str):
+        counter = self._counters.get(kind)
+        if counter is None:
+            telemetry = self._telemetry
+            if telemetry.enabled:
+                counter = telemetry.counter("faults_injected_total", kind=kind)
+            else:
+                counter = self._metrics.counter("faults_injected_total",
+                                                kind=kind)
+            self._counters[kind] = counter
+        return counter
 
     def attach_actuator(self, actuator) -> None:
         """Register the faulty GPU actuator (target of stall episodes)."""
@@ -214,10 +240,21 @@ class FaultInjector:
         return True
 
     def record(self, kind: str) -> None:
-        """Count one injected fault and log it on the trace recorder."""
-        self.counts[kind] = self.counts.get(kind, 0) + 1
+        """Count one injected fault; log it as a telemetry event and on
+        the trace recorder."""
+        self._counter(kind).inc()
+        self._telemetry.event("fault_injected", kind=kind, t_sim=self.now)
         if self._recorder is not None:
             self._recorder.record(f"fault_{kind}", self.now, 1.0)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Injected-fault tallies by kind (a view over telemetry counters)."""
+        return {
+            kind: int(counter.value)
+            for kind, counter in sorted(self._counters.items())
+            if counter.value
+        }
 
     @property
     def total_injected(self) -> int:

@@ -144,28 +144,50 @@ def suite_specs(
 
 
 def run_sweep_point(workload: str, r: float, n_iterations: int,
-                    time_scale: float) -> dict[str, Any]:
-    """One static-division sweep point: energy and time at ratio ``r``."""
+                    time_scale: float,
+                    telemetry_dir: str | None = None) -> dict[str, Any]:
+    """One static-division sweep point: energy and time at ratio ``r``.
+
+    With ``telemetry_dir`` the point records full telemetry and writes
+    it under ``<telemetry_dir>/workers/r=<r>/`` — the per-worker half of
+    the cross-process aggregation contract.  The job's sweep point gives
+    it a label domain of its own (the ``static-division-<r>`` policy
+    name), so the supervisor-side merge is exact.
+    """
     from repro.baselines.static_division import sweep_divisions
     from repro.experiments.common import scaled_options, scaled_workload
 
+    telemetry = None
+    if telemetry_dir is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     points = sweep_divisions(
         scaled_workload(workload, time_scale), [r],
         n_iterations=n_iterations, options=scaled_options(time_scale),
+        telemetry=telemetry,
     )
     point = points[0]
+    if telemetry is not None:
+        from repro.telemetry import export_worker
+
+        export_worker(telemetry, telemetry_dir, f"r={r:.4f}")
     return {"r": point.r, "energy_j": point.energy_j, "time_s": point.time_s}
 
 
 def sweep_specs(workload: str, ratios: list[float], n_iterations: int,
                 time_scale: float, timeout_s: float | None = 600.0,
+                telemetry_dir: str | None = None,
                 ) -> list[JobSpec]:
+    common = {"workload": workload, "n_iterations": n_iterations,
+              "time_scale": time_scale}
+    if telemetry_dir is not None:
+        common["telemetry_dir"] = telemetry_dir
     return [
         JobSpec(
             name=f"r={ratio:.4f}",
             target="repro.harness.suite_jobs:run_sweep_point",
-            kwargs={"workload": workload, "r": ratio,
-                    "n_iterations": n_iterations, "time_scale": time_scale},
+            kwargs={**common, "r": ratio},
             timeout_s=timeout_s,
         )
         for ratio in ratios

@@ -157,6 +157,7 @@ class Supervisor:
         resume: bool = False,
         isolate: bool = True,
         progress: Callable[[ProgressEvent], None] | None = None,
+        telemetry=None,
     ) -> None:
         self.specs = validate_dag(list(specs))
         self.spec_order = [s.name for s in specs]  # declaration order
@@ -167,6 +168,7 @@ class Supervisor:
         self.resume = resume
         self.isolate = isolate
         self.progress = progress
+        self.telemetry = telemetry
         self._ctx = multiprocessing.get_context("spawn")
         self._stop_signal: int | None = None
 
@@ -228,7 +230,38 @@ class Supervisor:
             if outcomes[name].error
         }
         ordered = {name: outcomes[name] for name in self.spec_order}
+        self._record_telemetry(report, ordered)
         return HarnessResult(report=report, outcomes=ordered)
+
+    def _record_telemetry(self, report: HarnessReport,
+                          outcomes: dict[str, JobOutcome]) -> None:
+        """Mirror the run's :class:`HarnessReport` into telemetry counters.
+
+        Job durations go into a ``wall_s``-suffixed histogram — they are
+        wall-clock measurements and therefore excluded from the
+        parallel-vs-serial parity contract by name.
+        """
+        tel = self.telemetry
+        if tel is None or not tel.enabled:
+            return
+        for name, count in (
+            ("harness_jobs_total", report.jobs_total),
+            ("harness_succeeded_total", report.succeeded),
+            ("harness_resumed_total", report.resumed),
+            ("harness_retries_total", report.retries),
+            ("harness_timeouts_total", report.timeouts),
+            ("harness_quarantined_total", report.quarantined),
+            ("harness_dep_skipped_total", report.dep_skipped),
+        ):
+            if count:
+                tel.counter(name).inc(count)
+        for name, outcome in outcomes.items():
+            tel.counter("harness_job_state_total",
+                        state=outcome.state.value).inc()
+            if outcome.elapsed_s > 0.0:
+                tel.histogram("harness_job_wall_s").observe(outcome.elapsed_s)
+            tel.event("harness_job", job=name, state=outcome.state.value,
+                      attempts=outcome.attempts)
 
     # -- signal finalization -------------------------------------------
 
@@ -543,8 +576,10 @@ def run_jobs(
     resume: bool = False,
     isolate: bool = True,
     progress: Callable[[ProgressEvent], None] | None = None,
+    telemetry=None,
 ) -> HarnessResult:
     """Run a job DAG under supervision; see :class:`Supervisor`."""
     supervisor = Supervisor(specs, run_dir, parallel=parallel, resume=resume,
-                            isolate=isolate, progress=progress)
+                            isolate=isolate, progress=progress,
+                            telemetry=telemetry)
     return supervisor.run()

@@ -26,6 +26,7 @@ from repro.runtime.partition import split_units
 from repro.sim.activity import KernelActivity
 from repro.sim.platform import HeteroSystem, make_testbed
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import NOOP, NullTelemetry, Telemetry
 from repro.workloads.base import Workload
 
 _MAX_STEPS_PER_ITERATION = 10_000_000
@@ -55,15 +56,32 @@ class HeteroExecutor:
         workload: Workload,
         controller: GreenGpuController,
         options: ExecutorOptions | None = None,
+        telemetry: Telemetry | NullTelemetry | None = None,
     ):
         self.system = system
         self.workload = workload
         self.controller = controller
         self.options = options or ExecutorOptions()
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self._last_ratio: float | None = None
 
     def run_iteration(self, index: int) -> IterationMetrics:
         """Execute one divided iteration and feed tier 1 at the barrier."""
+        with self.telemetry.span("iteration"):
+            metrics = self._run_iteration_body(index)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "iteration", index=metrics.index, r=metrics.r, tc=metrics.tc,
+                tg=metrics.tg, sim_s=metrics.wall_s,
+                energy_j=metrics.energy_j,
+            )
+            self.telemetry.histogram("iteration_sim_s").observe(metrics.wall_s)
+            self.telemetry.histogram("iteration_energy_j").observe(
+                metrics.energy_j
+            )
+        return metrics
+
+    def _run_iteration_body(self, index: int) -> IterationMetrics:
         system = self.system
         workload = self.workload
         r = self.controller.ratio
@@ -74,6 +92,7 @@ class HeteroExecutor:
             and r != self._last_ratio
             and self.options.repartition_overhead_s > 0.0
         ):
+            self.telemetry.counter("repartitions_total").inc()
             system.cpu.spin()
             system.run_for(self.options.repartition_overhead_s)
             system.cpu.stop_spin()
@@ -157,6 +176,7 @@ def run_workload(
     options: ExecutorOptions | None = None,
     recorder: TraceRecorder | None = None,
     warmup_s: float = 0.0,
+    telemetry: Telemetry | NullTelemetry | None = None,
 ) -> RunResult:
     """Run a full measured experiment: one workload under one policy.
 
@@ -167,6 +187,11 @@ def run_workload(
     ``warmup_s`` inserts an idle lead-in (controller attached, no work
     submitted) before the first iteration — the paper's Fig. 5 trace
     starts this way, with the scaler observing an idle GPU.
+
+    With an enabled ``telemetry`` backend, every metric/span the run
+    emits is labeled ``workload=<name>, policy=<name>``, spans carry the
+    testbed's simulated clock, and run-level energy/time gauges are set
+    at the end (see ``docs/observability.md``).
     """
     if system is None:
         system = make_testbed()
@@ -175,9 +200,16 @@ def run_workload(
     if warmup_s < 0.0:
         raise SimulationError("warmup must be non-negative")
     recorder = recorder if recorder is not None else TraceRecorder()
+    tel = telemetry if telemetry is not None else NOOP
+    if tel.enabled:
+        # Labels and the sim-clock binding must be in place before the
+        # controller caches its health counters at construction time.
+        tel.set_base_labels(workload=workload.name, policy=policy.name)
+        tel.bind_clock(system.clock)
+        system.clock.set_telemetry(tel)
 
     policy.apply_initial_state(system)
-    controller = policy.make_controller(recorder)
+    controller = policy.make_controller(recorder, telemetry=telemetry)
     controller.attach(system)
     system.reset_meters()
     t0 = system.now
@@ -186,13 +218,15 @@ def run_workload(
     if warmup_s > 0.0:
         system.run_for(warmup_s)
 
-    executor = HeteroExecutor(system, workload, controller, options)
+    executor = HeteroExecutor(system, workload, controller, options, telemetry=tel)
     try:
-        iterations = executor.run(n_iterations)
+        with tel.span("run", n_iterations=n_iterations):
+            iterations = executor.run(n_iterations)
         # detach() drops all learned state, so read the ratio first.
         final_ratio = controller.ratio
     finally:
         controller.detach()
+        system.clock.set_telemetry(None)
 
     result = RunResult(
         workload=workload.name,
@@ -217,4 +251,15 @@ def run_workload(
     result.cpu_energy_emulated_idle_spin_j = (
         result.cpu_energy_j - saved_device_j / system.config.meter1_efficiency
     )
+    if tel.enabled:
+        t_end = system.now
+        tel.gauge("run_total_energy_j").set(result.total_energy_j, t=t_end)
+        tel.gauge("run_gpu_energy_j").set(result.gpu_energy_j, t=t_end)
+        tel.gauge("run_cpu_energy_j").set(result.cpu_energy_j, t=t_end)
+        tel.gauge("run_time_s").set(result.total_s, t=t_end)
+        if result.total_s > 0.0:
+            tel.gauge("run_avg_power_w").set(
+                result.total_energy_j / result.total_s, t=t_end
+            )
+        tel.gauge("run_final_ratio").set(result.final_ratio, t=t_end)
     return result

@@ -1,0 +1,51 @@
+"""Unified observability for the GreenGPU reproduction.
+
+One subsystem replaces the three ad-hoc counting mechanisms that grew
+alongside the control loop (``GreenGpuController._record_event`` string
+channels, the ``ControlHealth`` tallies, the harness journal's per-job
+fields) with a single instrumented path:
+
+- :class:`MetricsRegistry` — labeled counters, gauges, and histograms
+  with streaming p50/p95/p99 percentiles (:mod:`repro.telemetry.registry`);
+- structured span tracing with sim-clock *and* wall-clock timestamps
+  (:mod:`repro.telemetry.spans`);
+- pluggable exporters — JSONL event stream, Prometheus text exposition,
+  CSV/markdown summaries (:mod:`repro.telemetry.exporters`);
+- cross-process aggregation of spawn-isolated harness workers into one
+  run-level view (:mod:`repro.telemetry.merge`);
+- the ``repro metrics`` inspector (:mod:`repro.telemetry.inspect`).
+
+Instrumented code takes an optional ``telemetry`` argument and
+normalizes it with ``telemetry or NOOP``: the disabled backend has the
+same surface, does nothing, and allocates nothing on the hot path, so
+observability is strictly opt-in.
+"""
+
+from repro.telemetry.core import NOOP, NullTelemetry, Telemetry
+from repro.telemetry.exporters import export_telemetry, write_exports
+from repro.telemetry.inspect import format_metrics_report
+from repro.telemetry.merge import export_worker, merge_directory
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import Span, SpanTracer
+
+__all__ = [
+    "NOOP",
+    "NullTelemetry",
+    "Telemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "export_telemetry",
+    "write_exports",
+    "export_worker",
+    "merge_directory",
+    "format_metrics_report",
+]

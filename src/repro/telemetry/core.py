@@ -1,0 +1,191 @@
+"""The telemetry facade and its zero-overhead disabled backend.
+
+Instrumented code talks to one object — a :class:`Telemetry` — and never
+branches on whether observability is on.  When it is off, the module
+singleton :data:`NOOP` stands in: every method is a no-op returning a
+shared singleton, so the disabled hot path allocates nothing and costs
+one attribute lookup plus one call per probe.  The performance budget
+(CI asserts < 3 % controller-tick overhead) leans on that property.
+
+A :class:`Telemetry` composes three pieces:
+
+- a :class:`~repro.telemetry.registry.MetricsRegistry` (counters,
+  gauges, histograms with streaming percentiles);
+- a :class:`~repro.telemetry.spans.SpanTracer` (nested spans with
+  sim-clock and wall-clock timestamps);
+- an ordered **event buffer** — every span and every explicit
+  :meth:`event` call, exported as the JSONL stream.
+
+``base_labels`` (workload/policy/device domain) are merged into every
+instrument fetched and every event emitted after they are set, which is
+how one registry can hold several runs' metrics without collisions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.spans import Span, SpanTracer
+
+
+class Telemetry:
+    """Live observability: registry + tracer + event stream."""
+
+    enabled = True
+
+    def __init__(self, base_labels: dict[str, Any] | None = None):
+        self.registry = MetricsRegistry()
+        self.events: list[dict[str, Any]] = []
+        self.base_labels: dict[str, Any] = dict(base_labels or {})
+        self.tracer = SpanTracer(self.registry, self.events, self.base_labels)
+        self._clock_fn: Callable[[], float] | None = None
+
+    # -- wiring --------------------------------------------------------
+
+    def bind_clock(self, clock: Any) -> None:
+        """Attach the run's sim clock (anything with a ``.now`` property)."""
+        self._clock_fn = lambda: clock.now
+        self.tracer.bind_clock(self._clock_fn)
+
+    def set_base_labels(self, **labels: Any) -> None:
+        """Merge run-domain labels into everything recorded from now on."""
+        self.base_labels.update(labels)
+        self.tracer.base_labels = self.base_labels
+
+    @property
+    def now_sim(self) -> float:
+        """Current simulated time (-1.0 before a clock is bound)."""
+        return self._clock_fn() if self._clock_fn is not None else -1.0
+
+    # -- instruments ---------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.registry.counter(name, **{**self.base_labels, **labels})
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.registry.gauge(name, **{**self.base_labels, **labels})
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self.registry.histogram(name, **{**self.base_labels, **labels})
+
+    def span(self, name: str, **labels: Any) -> Span:
+        return self.tracer.span(name, **labels)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Append one structured event to the JSONL stream."""
+        record: dict[str, Any] = {"type": "event", "name": name,
+                                  "t_sim": self.now_sim}
+        if self.base_labels:
+            record["labels"] = {str(k): str(v)
+                                for k, v in self.base_labels.items()}
+        record.update(fields)
+        self.events.append(record)
+
+
+class _NullSpan:
+    """Reentrant no-op context manager shared by every disabled span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    labels = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    labels = ()
+    value = 0.0
+    updated_at = float("-inf")
+
+    def set(self, value: float, t: float | None = None) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    labels = ()
+    count = 0
+    sum = 0.0
+    min = float("inf")
+    max = float("-inf")
+    mean = 0.0
+    p50 = p95 = p99 = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def reset(self) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullTelemetry:
+    """Disabled backend: same surface as :class:`Telemetry`, zero work.
+
+    Singleton by construction (:data:`NOOP`); instrumented modules may
+    hold it forever.  Every accessor returns a shared immutable null
+    instrument, so the hot path — ``span()`` enter/exit, ``inc()``,
+    ``observe()`` — allocates nothing and touches no shared state.
+    """
+
+    enabled = False
+    registry = None
+    events: list[dict[str, Any]] = []
+    base_labels: dict[str, Any] = {}
+    now_sim = -1.0
+
+    def bind_clock(self, clock: Any) -> None:
+        pass
+
+    def set_base_labels(self, **labels: Any) -> None:
+        pass
+
+    def counter(self, name: str, **labels: Any) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **labels: Any) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def span(self, name: str, **labels: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+
+#: The shared disabled backend.  ``telemetry or NOOP`` is the canonical
+#: way instrumented code normalizes an optional telemetry argument.
+NOOP = NullTelemetry()

@@ -1,0 +1,245 @@
+"""Pluggable telemetry exporters: JSONL, Prometheus, CSV, markdown.
+
+One run directory holds every rendering of the same state::
+
+    <dir>/
+      snapshot.json    exact registry state (the merge/inspect format)
+      telemetry.jsonl  ordered event stream (spans + explicit events)
+      metrics.prom     Prometheus text exposition (counters, gauges,
+                       histogram summaries with p50/p95/p99 quantiles)
+      summary.csv      one row per instrument, machine-diffable
+      summary.md       the same summary as human-readable tables
+
+Exports are deterministic: instruments iterate in sorted order, floats
+render via ``repr``, and all files are written atomically.  The JSONL
+stream preserves insertion order — it is the run's timeline, not a
+table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.ioutil import atomic_write_text
+from repro.telemetry.registry import (
+    SUMMARY_QUANTILES,
+    Histogram,
+    MetricsRegistry,
+)
+
+SNAPSHOT_NAME = "snapshot.json"
+EVENTS_NAME = "telemetry.jsonl"
+PROMETHEUS_NAME = "metrics.prom"
+CSV_NAME = "summary.csv"
+MARKDOWN_NAME = "summary.md"
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...],
+                 extra: dict[str, str] | None = None) -> str:
+    """Prometheus-style ``{k="v",...}`` rendering (empty string if none)."""
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    escaped = (
+        (k, v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"))
+        for k, v in pairs
+    )
+    return "{" + ",".join(f'{k}="{v}"' for k, v in escaped) + "}"
+
+
+def _num(value: float) -> str:
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Registry -> Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in registry.counters():
+        header(counter.name, "counter")
+        lines.append(
+            f"{counter.name}{_labels_text(counter.labels)} {_num(counter.value)}"
+        )
+    for gauge in registry.gauges():
+        header(gauge.name, "gauge")
+        lines.append(
+            f"{gauge.name}{_labels_text(gauge.labels)} {_num(gauge.value)}"
+        )
+    for hist in registry.histograms():
+        header(hist.name, "summary")
+        for q in SUMMARY_QUANTILES:
+            labels = _labels_text(hist.labels, {"quantile": repr(q)})
+            lines.append(f"{hist.name}{labels} {_num(hist.percentile(q))}")
+        lines.append(
+            f"{hist.name}_sum{_labels_text(hist.labels)} {_num(hist.sum)}"
+        )
+        lines.append(
+            f"{hist.name}_count{_labels_text(hist.labels)} {hist.count}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _json_default(obj: Any) -> Any:
+    # Event payloads routinely carry numpy scalars (ladder indices from
+    # argmin, weights from ndarray.max()); unwrap them instead of making
+    # every call site defensive.
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def render_jsonl(events: list[dict[str, Any]]) -> str:
+    """Event buffer -> one compact JSON object per line, in order."""
+    return "".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":"),
+                   default=_json_default) + "\n"
+        for event in events
+    )
+
+
+def _labels_csv(labels: tuple[tuple[str, str], ...]) -> str:
+    return ";".join(f"{k}={v}" for k, v in labels)
+
+
+def _hist_row(hist: Histogram) -> list[str]:
+    return [
+        str(hist.count), _num(hist.mean), _num(hist.p50), _num(hist.p95),
+        _num(hist.p99), _num(hist.max if hist.count else 0.0),
+    ]
+
+
+def render_csv(registry: MetricsRegistry) -> str:
+    """Registry -> flat CSV summary (one row per instrument)."""
+    rows = ["kind,name,labels,value,count,mean,p50,p95,p99,max"]
+    for counter in registry.counters():
+        rows.append(
+            f"counter,{counter.name},{_labels_csv(counter.labels)},"
+            f"{_num(counter.value)},,,,,,"
+        )
+    for gauge in registry.gauges():
+        rows.append(
+            f"gauge,{gauge.name},{_labels_csv(gauge.labels)},"
+            f"{_num(gauge.value)},,,,,,"
+        )
+    for hist in registry.histograms():
+        stats = _hist_row(hist)
+        rows.append(
+            f"histogram,{hist.name},{_labels_csv(hist.labels)},,"
+            + ",".join(stats)
+        )
+    return "\n".join(rows) + "\n"
+
+
+def render_markdown(registry: MetricsRegistry) -> str:
+    """Registry -> a human-readable markdown summary."""
+    out = ["# Telemetry summary", ""]
+    counters = list(registry.counters())
+    if counters:
+        out += ["## Counters", "", "| name | labels | value |", "|---|---|---|"]
+        out += [
+            f"| {c.name} | {_labels_csv(c.labels)} | {_num(c.value)} |"
+            for c in counters
+        ]
+        out.append("")
+    gauges = list(registry.gauges())
+    if gauges:
+        out += ["## Gauges", "", "| name | labels | value |", "|---|---|---|"]
+        out += [
+            f"| {g.name} | {_labels_csv(g.labels)} | {_num(g.value)} |"
+            for g in gauges
+        ]
+        out.append("")
+    hists = list(registry.histograms())
+    if hists:
+        out += [
+            "## Histograms",
+            "",
+            "| name | labels | count | mean | p50 | p95 | p99 | max |",
+            "|---|---|---|---|---|---|---|---|",
+        ]
+        out += [
+            f"| {h.name} | {_labels_csv(h.labels)} | "
+            + " | ".join(_hist_row(h)) + " |"
+            for h in hists
+        ]
+        out.append("")
+    return "\n".join(out)
+
+
+def write_exports(directory: str | os.PathLike[str],
+                  registry: MetricsRegistry,
+                  events: list[dict[str, Any]]) -> None:
+    """Write every export format into ``directory`` (created if needed)."""
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    snapshot = registry.snapshot()
+    snapshot["n_events"] = len(events)
+    atomic_write_text(os.path.join(directory, SNAPSHOT_NAME),
+                      json.dumps(snapshot, sort_keys=True, indent=1,
+                                 default=_json_default) + "\n")
+    atomic_write_text(os.path.join(directory, EVENTS_NAME),
+                      render_jsonl(events))
+    atomic_write_text(os.path.join(directory, PROMETHEUS_NAME),
+                      render_prometheus(registry))
+    atomic_write_text(os.path.join(directory, CSV_NAME), render_csv(registry))
+    atomic_write_text(os.path.join(directory, MARKDOWN_NAME),
+                      render_markdown(registry))
+
+
+def export_telemetry(telemetry: Any, directory: str | os.PathLike[str]) -> None:
+    """Write all exports for one :class:`~repro.telemetry.core.Telemetry`.
+
+    A disabled (``NOOP``) backend exports nothing.
+    """
+    if not getattr(telemetry, "enabled", False):
+        return
+    write_exports(directory, telemetry.registry, telemetry.events)
+
+
+def read_snapshot(path: str) -> dict[str, Any]:
+    """Load a ``snapshot.json``; typed error on a missing/corrupt file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise SerializationError(
+            f"{path}: cannot read telemetry snapshot ({exc})"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"{path}: corrupt or truncated telemetry snapshot ({exc})"
+        ) from exc
+
+
+def read_events(path: str) -> list[dict[str, Any]]:
+    """Load a ``telemetry.jsonl`` event stream (missing file -> [])."""
+    if not os.path.exists(path):
+        return []
+    events = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise SerializationError(
+                        f"{path}:{lineno}: corrupt telemetry event ({exc})"
+                    ) from exc
+    except OSError as exc:
+        raise SerializationError(
+            f"{path}: cannot read telemetry events ({exc})"
+        ) from exc
+    return events

@@ -1,0 +1,151 @@
+"""The ``repro metrics <dir>`` inspector: render exported telemetry.
+
+Reads the run-level ``snapshot.json`` (and, when present, the
+``telemetry.jsonl`` event stream) out of a telemetry directory and
+formats the observability story of the run:
+
+- span statistics — count, p50/p95/p99 of both sim and wall durations;
+- fault / retry / degradation counters (the ``ControlHealth`` view);
+- energy and power gauges;
+- the WMA trajectory — every frequency-pair change the scaler made,
+  reconstructed from ``wma_update`` events.
+
+Everything is plain text via the shared table formatter, in sorted
+order, so the output is diffable across runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import SerializationError
+from repro.telemetry.exporters import (
+    EVENTS_NAME,
+    SNAPSHOT_NAME,
+    read_events,
+    read_snapshot,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+#: How many WMA transitions to print before eliding the middle.
+_TRAJECTORY_LIMIT = 24
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...]) -> str:
+    return ";".join(f"{k}={v}" for k, v in labels if k != "span") or "-"
+
+
+def _wma_trajectory_lines(events: list[dict]) -> list[str]:
+    # Imported here (not at module scope): repro.analysis pulls in the
+    # runtime package, which imports repro.telemetry back.
+    from repro.analysis.tables import format_table
+
+    transitions: list[tuple[float, float, float, float]] = []
+    last_pair: tuple[float, float] | None = None
+    for event in events:
+        if event.get("type") != "event" or event.get("name") != "wma_update":
+            continue
+        pair = (float(event["f_core"]), float(event["f_mem"]))
+        if pair != last_pair:
+            transitions.append((float(event.get("t_sim", -1.0)), pair[0],
+                                pair[1], float(event.get("w_max", 0.0))))
+            last_pair = pair
+    if not transitions:
+        return []
+    rows = [
+        (f"{t:.1f}", f"{f_core / 1e6:.1f}", f"{f_mem / 1e6:.1f}",
+         f"{w_max:.3f}")
+        for t, f_core, f_mem, w_max in transitions
+    ]
+    if len(rows) > _TRAJECTORY_LIMIT:
+        head = rows[: _TRAJECTORY_LIMIT // 2]
+        tail = rows[-_TRAJECTORY_LIMIT // 2:]
+        rows = head + [("...", "...", "...", "...")] + tail
+    return [
+        format_table(
+            ["t_sim (s)", "core (MHz)", "mem (MHz)", "w_max"], rows,
+            title=f"WMA frequency trajectory ({len(transitions)} transitions)",
+        ),
+        "",
+    ]
+
+
+def format_metrics_report(directory: str | os.PathLike[str]) -> str:
+    """Render the full metrics report for one telemetry directory."""
+    from repro.analysis.tables import format_table
+
+    directory = os.fspath(directory)
+    snapshot_path = os.path.join(directory, SNAPSHOT_NAME)
+    if not os.path.exists(snapshot_path):
+        raise SerializationError(
+            f"{snapshot_path}: no telemetry snapshot found (was the run "
+            "started with --telemetry, or the directory merged?)"
+        )
+    registry = MetricsRegistry.from_snapshot(read_snapshot(snapshot_path))
+    events = read_events(os.path.join(directory, EVENTS_NAME))
+
+    sections: list[str] = [f"telemetry: {directory}", ""]
+
+    span_rows = [
+        (hist.labels and dict(hist.labels).get("span") or hist.name,
+         _labels_text(hist.labels), str(hist.count),
+         f"{hist.p50:.4g}", f"{hist.p95:.4g}", f"{hist.p99:.4g}",
+         f"{(hist.max if hist.count else 0.0):.4g}")
+        for hist in registry.histograms()
+        if hist.name == "span_sim_s"
+    ]
+    if span_rows:
+        sections += [
+            format_table(
+                ["span", "labels", "count", "p50 (s)", "p95 (s)", "p99 (s)",
+                 "max (s)"],
+                span_rows, title="spans (simulated-time durations)",
+            ),
+            "",
+        ]
+
+    other_hist_rows = [
+        (hist.name, _labels_text(hist.labels), str(hist.count),
+         f"{hist.mean:.4g}", f"{hist.p50:.4g}", f"{hist.p95:.4g}",
+         f"{hist.p99:.4g}")
+        for hist in registry.histograms()
+        if hist.name not in ("span_sim_s", "span_wall_s")
+    ]
+    if other_hist_rows:
+        sections += [
+            format_table(
+                ["histogram", "labels", "count", "mean", "p50", "p95", "p99"],
+                other_hist_rows, title="distributions",
+            ),
+            "",
+        ]
+
+    sections += _wma_trajectory_lines(events)
+
+    counter_rows = [
+        (counter.name, _labels_text(counter.labels), f"{counter.value:g}")
+        for counter in registry.counters()
+        if counter.name not in ("span_total", "span_errors_total")
+    ]
+    if counter_rows:
+        sections += [
+            format_table(["counter", "labels", "value"], counter_rows,
+                         title="counters"),
+            "",
+        ]
+
+    gauge_rows = [
+        (gauge.name, _labels_text(gauge.labels), f"{gauge.value:.6g}")
+        for gauge in registry.gauges()
+    ]
+    if gauge_rows:
+        sections += [
+            format_table(["gauge", "labels", "value"], gauge_rows,
+                         title="gauges"),
+            "",
+        ]
+
+    if len(registry) == 0:
+        sections.append("(no metrics recorded)")
+
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,114 @@
+"""Structured span tracing with dual sim-clock / wall-clock timestamps.
+
+A span brackets one unit of control-loop work — a scaling tick, a
+monitor read, a WMA update, a frequency actuation — and records both
+time bases:
+
+- **simulated time** (when a sim clock is bound): where the span sits in
+  the experiment's timeline, identical across reruns and across serial
+  vs parallel harness execution;
+- **wall time** (``perf_counter``): what the span actually cost the
+  host, the number the performance budget watches.
+
+Every finished span feeds two registry histograms —
+``span_sim_s{span=...}`` and ``span_wall_s{span=...}`` — and appends one
+structured event to the telemetry event stream, so the aggregate view
+(count, p50/p95/p99) and the raw trace are always consistent.  Spans
+nest: the tracer keeps an explicit stack, and each event records its
+depth and parent span name.  The ``_wall_s``/``wall_s`` naming is a
+contract: merge-parity checks exclude exactly those fields, nothing
+else.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.telemetry.registry import MetricsRegistry
+
+
+class Span:
+    """One active span; a reusable-per-call context manager."""
+
+    __slots__ = ("tracer", "name", "labels", "t_sim_start", "t_wall_start")
+
+    def __init__(self, tracer: "SpanTracer", name: str,
+                 labels: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.labels = labels
+
+    def __enter__(self) -> "Span":
+        self.t_sim_start = self.tracer.now_sim()
+        self.tracer._stack.append(self.name)
+        self.t_wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall_s = time.perf_counter() - self.t_wall_start
+        tracer = self.tracer
+        stack = tracer._stack
+        if not stack or stack[-1] != self.name:
+            raise SimulationError(
+                f"span {self.name!r} closed out of order (stack: {stack})"
+            )
+        stack.pop()
+        tracer._finish(self, wall_s, ok=exc_type is None)
+        return False  # never swallow the exception
+
+
+class SpanTracer:
+    """Factory and sink for spans; owns the nesting stack."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 events: list[dict[str, Any]],
+                 base_labels: dict[str, Any] | None = None):
+        self.registry = registry
+        self.events = events
+        self.base_labels = dict(base_labels or {})
+        self._stack: list[str] = []
+        self._clock_fn: Callable[[], float] | None = None
+
+    def bind_clock(self, clock_fn: Callable[[], float]) -> None:
+        """Attach the simulated-time source (e.g. ``lambda: clock.now``)."""
+        self._clock_fn = clock_fn
+
+    def now_sim(self) -> float:
+        """Current simulated time, or -1.0 when no sim clock is bound."""
+        return self._clock_fn() if self._clock_fn is not None else -1.0
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    def span(self, name: str, **labels: Any) -> Span:
+        merged = {**self.base_labels, **labels} if labels else self.base_labels
+        return Span(self, name, merged)
+
+    def _finish(self, span: Span, wall_s: float, ok: bool) -> None:
+        t_sim_end = self.now_sim()
+        labels = span.labels
+        self.registry.histogram("span_sim_s", span=span.name, **labels).observe(
+            max(0.0, t_sim_end - span.t_sim_start)
+        )
+        self.registry.histogram("span_wall_s", span=span.name, **labels).observe(
+            wall_s
+        )
+        self.registry.counter("span_total", span=span.name, **labels).inc()
+        if not ok:
+            self.registry.counter("span_errors_total", span=span.name,
+                                  **labels).inc()
+        self.events.append({
+            "type": "span",
+            "name": span.name,
+            "labels": {str(k): str(v) for k, v in labels.items()},
+            "sim_t0": span.t_sim_start,
+            "sim_t1": t_sim_end,
+            "wall_s": wall_s,
+            "depth": len(self._stack),
+            "parent": self._stack[-1] if self._stack else None,
+            "ok": ok,
+        })

@@ -1,0 +1,128 @@
+"""Exporter golden files and typed read errors."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.telemetry import NOOP, Telemetry
+from repro.telemetry.exporters import (
+    CSV_NAME,
+    EVENTS_NAME,
+    MARKDOWN_NAME,
+    PROMETHEUS_NAME,
+    SNAPSHOT_NAME,
+    export_telemetry,
+    read_events,
+    read_snapshot,
+    render_csv,
+    render_jsonl,
+    render_prometheus,
+    write_exports,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("faults_total", kind="timeout").inc(3)
+    registry.gauge("power_w").set(250.5, t=1.0)
+    hist = registry.histogram("tick_s")
+    for v in (0.1, 0.2, 0.3, 0.4):
+        hist.observe(v)
+    return registry
+
+
+GOLDEN_PROM = """\
+# TYPE faults_total counter
+faults_total{kind="timeout"} 3.0
+# TYPE power_w gauge
+power_w 250.5
+# TYPE tick_s summary
+tick_s{quantile="0.5"} 0.25
+tick_s{quantile="0.95"} 0.38499999999999995
+tick_s{quantile="0.99"} 0.39699999999999996
+tick_s_sum 1.0
+tick_s_count 4
+"""
+
+GOLDEN_CSV = """\
+kind,name,labels,value,count,mean,p50,p95,p99,max
+counter,faults_total,kind=timeout,3.0,,,,,,
+gauge,power_w,,250.5,,,,,,
+histogram,tick_s,,,4,0.25,0.25,0.38499999999999995,0.39699999999999996,0.4
+"""
+
+
+class TestGoldenRenders:
+    def test_prometheus_exposition(self):
+        assert render_prometheus(small_registry()) == GOLDEN_PROM
+
+    def test_csv_summary(self):
+        assert render_csv(small_registry()) == GOLDEN_CSV
+
+    def test_jsonl_is_compact_and_ordered(self):
+        events = [{"type": "event", "name": "b", "t_sim": 1.0},
+                  {"type": "event", "name": "a", "t_sim": 2.0}]
+        text = render_jsonl(events)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # Insertion order preserved (it is a timeline, not a table).
+        assert json.loads(lines[0])["name"] == "b"
+        assert ": " not in lines[0] and ", " not in lines[0]
+
+    def test_jsonl_unwraps_numpy_scalars(self):
+        np = pytest.importorskip("numpy")
+        text = render_jsonl([{"level": np.int64(3), "w": np.float64(0.5)}])
+        assert json.loads(text) == {"level": 3, "w": 0.5}
+
+    def test_renders_are_deterministic(self):
+        assert render_prometheus(small_registry()) == render_prometheus(
+            small_registry()
+        )
+
+
+class TestWriteExports:
+    def test_all_files_written(self, tmp_path):
+        write_exports(tmp_path, small_registry(), [{"type": "event", "name": "x"}])
+        for name in (SNAPSHOT_NAME, EVENTS_NAME, PROMETHEUS_NAME, CSV_NAME,
+                     MARKDOWN_NAME):
+            assert (tmp_path / name).exists(), name
+
+    def test_snapshot_counts_events(self, tmp_path):
+        write_exports(tmp_path, small_registry(), [{"a": 1}, {"b": 2}])
+        snapshot = read_snapshot(str(tmp_path / SNAPSHOT_NAME))
+        assert snapshot["n_events"] == 2
+
+    def test_export_telemetry_noop_writes_nothing(self, tmp_path):
+        target = tmp_path / "out"
+        export_telemetry(NOOP, target)
+        assert not target.exists()
+
+    def test_export_telemetry_enabled_writes(self, tmp_path):
+        tel = Telemetry()
+        tel.counter("c").inc()
+        export_telemetry(tel, tmp_path / "out")
+        assert (tmp_path / "out" / SNAPSHOT_NAME).exists()
+
+
+class TestReadErrors:
+    def test_missing_snapshot_is_typed(self, tmp_path):
+        with pytest.raises(SerializationError, match="cannot read"):
+            read_snapshot(str(tmp_path / "nope.json"))
+
+    def test_corrupt_snapshot_is_typed(self, tmp_path):
+        path = tmp_path / SNAPSHOT_NAME
+        path.write_text('{"schema": 1, "counters": [')
+        with pytest.raises(SerializationError, match="corrupt"):
+            read_snapshot(str(path))
+
+    def test_missing_events_is_empty(self, tmp_path):
+        assert read_events(str(tmp_path / "nope.jsonl")) == []
+
+    def test_corrupt_event_line_is_typed(self, tmp_path):
+        path = tmp_path / EVENTS_NAME
+        path.write_text('{"ok": true}\n{broken\n')
+        with pytest.raises(SerializationError, match=":2:"):
+            read_events(str(path))

@@ -1,0 +1,128 @@
+"""Cross-process aggregation: worker exports, merge, and the parity
+contract (parallel == serial modulo wall-clock fields)."""
+
+import json
+
+import pytest
+
+from repro.core.config import GreenGpuConfig
+from repro.core.policies import GreenGpuPolicy, StaticPolicy
+from repro.experiments.common import scaled_options, scaled_workload
+from repro.runtime.executor import run_workload
+from repro.telemetry import Telemetry, export_worker, merge_directory
+from repro.telemetry.exporters import SNAPSHOT_NAME, read_snapshot
+from repro.telemetry.merge import strip_wall_clock, worker_dir
+
+TIME_SCALE = 0.03
+
+
+def _policy(r: float) -> StaticPolicy:
+    return StaticPolicy(0, 0, ratio=r, name=f"static-division-{r:.2f}")
+
+
+def _run_point(r: float, telemetry: Telemetry) -> None:
+    run_workload(
+        scaled_workload("kmeans", TIME_SCALE), _policy(r), n_iterations=1,
+        options=scaled_options(TIME_SCALE), telemetry=telemetry,
+    )
+
+
+class TestWorkerExport:
+    def test_unsafe_name_characters_are_mapped(self, tmp_path):
+        import os
+
+        path = worker_dir(tmp_path, "r=0.5/../../evil")
+        # Separators are sanitized, so the job name stays one component
+        # and the normalized path cannot escape the telemetry directory.
+        component = os.path.basename(path)
+        assert os.sep not in component
+        assert os.path.normpath(path).startswith(str(tmp_path))
+
+    def test_export_worker_writes_under_workers(self, tmp_path):
+        tel = Telemetry()
+        tel.counter("c").inc()
+        target = export_worker(tel, tmp_path, "job-1")
+        assert target == worker_dir(tmp_path, "job-1")
+        assert (tmp_path / "workers" / "job-1" / SNAPSHOT_NAME).exists()
+
+
+class TestMergeDirectory:
+    def test_empty_merge_still_writes_run_exports(self, tmp_path):
+        merge_directory(tmp_path)
+        assert (tmp_path / SNAPSHOT_NAME).exists()
+
+    def test_extra_telemetry_is_folded_in(self, tmp_path):
+        tel = Telemetry()
+        tel.counter("harness_jobs_total").inc(4)
+        merged = merge_directory(tmp_path, extra=[tel])
+        assert merged.counter("harness_jobs_total").value == 4.0
+
+    def test_worker_merge_equals_single_process_run(self, tmp_path):
+        """Per-worker files merged == the same runs through one backend."""
+        serial = Telemetry()
+        _run_point(0.0, serial)
+        _run_point(0.3, serial)
+
+        for r in (0.0, 0.3):
+            worker = Telemetry()
+            _run_point(r, worker)
+            export_worker(worker, tmp_path, f"r={r:.4f}")
+        merged = merge_directory(tmp_path)
+
+        assert strip_wall_clock(merged.snapshot()) == strip_wall_clock(
+            serial.registry.snapshot()
+        )
+
+    def test_merge_is_independent_of_worker_completion_order(self, tmp_path):
+        """Fold order is sorted-by-name, so writing workers in reverse
+        order must produce byte-identical run-level snapshots."""
+        forward, backward = tmp_path / "fwd", tmp_path / "bwd"
+        for r in (0.0, 0.3):
+            tel = Telemetry()
+            _run_point(r, tel)
+            export_worker(tel, forward, f"r={r:.4f}")
+        for r in (0.3, 0.0):
+            tel = Telemetry()
+            _run_point(r, tel)
+            export_worker(tel, backward, f"r={r:.4f}")
+        merge_directory(forward)
+        merge_directory(backward)
+        a = strip_wall_clock(read_snapshot(str(forward / SNAPSHOT_NAME)))
+        b = strip_wall_clock(read_snapshot(str(backward / SNAPSHOT_NAME)))
+        assert a == b
+
+
+class TestStripWallClock:
+    def test_strips_only_wall_s_suffixed_metrics(self):
+        tel = Telemetry()
+        tel.counter("jobs_total").inc()
+        tel.histogram("span_wall_s", span="x").observe(1.0)
+        tel.histogram("span_sim_s", span="x").observe(1.0)
+        tel.histogram("harness_job_wall_s").observe(0.5)
+        stripped = strip_wall_clock(tel.registry.snapshot())
+        names = {h["name"] for h in stripped["histograms"]}
+        assert names == {"span_sim_s"}
+        assert {c["name"] for c in stripped["counters"]} == {"jobs_total"}
+
+
+class TestControlledRunDeterminism:
+    def test_identical_seeded_runs_identical_telemetry(self):
+        """Bit-identical reruns: same snapshot after stripping wall time."""
+        from repro.faults.injector import fault_profile
+
+        def go():
+            tel = Telemetry()
+            run_workload(
+                scaled_workload("kmeans", TIME_SCALE),
+                GreenGpuPolicy(
+                    config=GreenGpuConfig(scaling_interval_s=0.2)
+                ).with_faults(fault_profile("moderate", seed=11)),
+                n_iterations=2, options=scaled_options(TIME_SCALE),
+                telemetry=tel,
+            )
+            return tel
+
+        a, b = go(), go()
+        sa = strip_wall_clock(a.registry.snapshot())
+        sb = strip_wall_clock(b.registry.snapshot())
+        assert json.dumps(sa, sort_keys=True) == json.dumps(sb, sort_keys=True)

@@ -1,0 +1,85 @@
+"""The disabled backend: shared singletons, no allocations, no effects."""
+
+import gc
+import sys
+
+import pytest
+
+from repro.telemetry import NOOP, NullTelemetry
+from repro.telemetry.core import (
+    _NULL_COUNTER,
+    _NULL_GAUGE,
+    _NULL_HISTOGRAM,
+    _NULL_SPAN,
+)
+
+
+class TestSingletons:
+    def test_disabled_flag(self):
+        assert NOOP.enabled is False
+        assert isinstance(NOOP, NullTelemetry)
+
+    def test_instruments_are_shared(self):
+        assert NOOP.counter("a", k="v") is NOOP.counter("b")
+        assert NOOP.counter("a") is _NULL_COUNTER
+        assert NOOP.gauge("g") is _NULL_GAUGE
+        assert NOOP.histogram("h") is _NULL_HISTOGRAM
+        assert NOOP.span("s") is _NULL_SPAN
+
+    def test_null_instruments_absorb_everything(self):
+        NOOP.counter("c").inc(5)
+        NOOP.gauge("g").set(1.0, t=2.0)
+        NOOP.histogram("h").observe(3.0)
+        NOOP.event("x", field=1)
+        assert NOOP.counter("c").value == 0.0
+        assert NOOP.gauge("g").value == 0.0
+        assert NOOP.histogram("h").count == 0
+        assert NOOP.events == []
+
+    def test_null_span_context_manager(self):
+        with NOOP.span("tick", device="gpu"):
+            pass
+
+    def test_null_span_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NOOP.span("tick"):
+                raise RuntimeError("boom")
+
+
+class TestAllocationFree:
+    def test_hot_path_allocates_nothing(self):
+        """The disabled probe sequence must not create objects.
+
+        ``sys.getallocatedblocks`` is exact on CPython: run the probe
+        loop twice (the first pass warms caches), then assert the block
+        count is unchanged across the second pass.
+        """
+        counter = NOOP.counter("c")
+        hist = NOOP.histogram("h")
+        span = NOOP.span("s")
+
+        def probe():
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(1.0)
+                with span:
+                    pass
+
+        probe()
+        gc.collect()
+        before = sys.getallocatedblocks()
+        probe()
+        gc.collect()
+        after = sys.getallocatedblocks()
+        assert abs(after - before) <= 2  # interpreter background noise
+
+    def test_instrument_fetch_allocates_only_kwargs(self):
+        """Fetching null instruments creates no lasting objects."""
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(1000):
+            NOOP.counter("c", workload="x")
+            NOOP.span("s", device="gpu")
+        gc.collect()
+        after = sys.getallocatedblocks()
+        assert abs(after - before) <= 2

@@ -1,0 +1,171 @@
+"""Registry semantics: instruments, identity, percentiles, snapshots."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import (
+    HISTOGRAM_SAMPLE_CAP,
+    Histogram,
+    MetricsRegistry,
+    label_key,
+)
+
+
+class TestLabelKey:
+    def test_sorted_and_stringified(self):
+        assert label_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_empty(self):
+        assert label_key({}) == ()
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", route="a")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigError):
+            counter.inc(-1.0)
+
+    def test_reset(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(5)
+        counter.reset()
+        assert counter.value == 0.0
+
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", k="v")
+        b = registry.counter("c", k="v")
+        other = registry.counter("c", k="w")
+        assert a is b
+        assert a is not other
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", a=1, b=2) is registry.counter("c", b=2, a=1)
+
+
+class TestKindConflicts:
+    def test_name_cannot_change_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.histogram("x")
+
+
+class TestGauge:
+    def test_set_tracks_sim_time(self):
+        gauge = MetricsRegistry().gauge("power_w")
+        gauge.set(250.0, t=12.5)
+        assert gauge.value == 250.0
+        assert gauge.updated_at == 12.5
+
+    def test_set_without_time_keeps_timestamp(self):
+        gauge = MetricsRegistry().gauge("power_w")
+        gauge.set(1.0, t=3.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+        assert gauge.updated_at == 3.0
+
+
+class TestHistogram:
+    def test_exact_percentiles_under_cap(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in range(101):  # 0..100
+            hist.observe(float(v))
+        assert hist.count == 101
+        assert hist.p50 == 50.0
+        assert hist.p95 == 95.0
+        assert hist.p99 == 99.0
+        assert hist.min == 0.0 and hist.max == 100.0
+        assert hist.mean == pytest.approx(50.0)
+
+    def test_empty_percentiles_are_zero(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.p50 == 0.0 and hist.percentile(0.99) == 0.0
+
+    def test_decimation_bounds_memory(self):
+        hist = Histogram("h", cap=64)
+        for v in range(10_000):
+            hist.observe(float(v))
+        assert hist.count == 10_000
+        assert len(hist._samples) < 64
+        # Exact moments survive decimation.
+        assert hist.min == 0.0 and hist.max == 9999.0
+        assert hist.sum == pytest.approx(sum(range(10_000)))
+        # Percentile estimate stays in the right neighbourhood.
+        assert 4000.0 < hist.p50 < 6000.0
+
+    def test_state_is_pure_function_of_sequence(self):
+        a, b = Histogram("h", cap=32), Histogram("h", cap=32)
+        values = [((i * 37) % 101) / 7.0 for i in range(5000)]
+        for v in values:
+            a.observe(v)
+        for v in values:
+            b.observe(v)
+        assert a._samples == b._samples
+        assert a._stride == b._stride
+        assert a.percentile(0.9) == b.percentile(0.9)
+
+    def test_default_cap(self):
+        assert Histogram("h")._cap == HISTOGRAM_SAMPLE_CAP
+
+
+class TestSnapshots:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="x").inc(3)
+        registry.gauge("g").set(7.5, t=2.0)
+        hist = registry.histogram("h", device="gpu")
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        return registry
+
+    def test_round_trip(self):
+        registry = self._populated()
+        clone = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_merge_adds_counters(self):
+        registry = self._populated()
+        registry.merge_snapshot(self._populated().snapshot())
+        assert registry.counter("c", kind="x").value == 6.0
+
+    def test_merge_concatenates_histograms(self):
+        registry = self._populated()
+        registry.merge_snapshot(self._populated().snapshot())
+        hist = registry.histogram("h", device="gpu")
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(12.0)
+
+    def test_merge_gauge_last_writer_wins_by_sim_time(self):
+        newer = MetricsRegistry()
+        newer.gauge("g").set(99.0, t=10.0)
+        older = MetricsRegistry()
+        older.gauge("g").set(1.0, t=5.0)
+        # Fold the *newer* snapshot first: arrival order must not matter.
+        merged = MetricsRegistry()
+        merged.merge_snapshot(newer.snapshot())
+        merged.merge_snapshot(older.snapshot())
+        assert merged.gauge("g").value == 99.0
+
+    def test_merge_rejects_unknown_schema(self):
+        with pytest.raises(ConfigError, match="schema"):
+            MetricsRegistry().merge_snapshot({"schema": 99})
+
+    def test_iteration_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.counter("aa")
+        registry.counter("mm", b="2")
+        registry.counter("mm", a="1")
+        names = [(c.name, c.labels) for c in registry.counters()]
+        assert names == sorted(names)

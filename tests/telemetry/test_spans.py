@@ -1,0 +1,107 @@
+"""Span tracing: nesting, dual time bases, error accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.telemetry import Telemetry
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+
+class TestSpanBasics:
+    def test_span_records_sim_duration(self):
+        tel = Telemetry()
+        clock = FakeClock()
+        tel.bind_clock(clock)
+        with tel.span("tick"):
+            clock.now = 2.5
+        hist = tel.registry.histogram("span_sim_s", span="tick")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(2.5)
+
+    def test_span_records_wall_duration(self):
+        tel = Telemetry()
+        with tel.span("tick"):
+            pass
+        hist = tel.registry.histogram("span_wall_s", span="tick")
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_unbound_clock_yields_sentinel(self):
+        tel = Telemetry()
+        with tel.span("tick"):
+            pass
+        event = tel.events[-1]
+        assert event["sim_t0"] == -1.0 and event["sim_t1"] == -1.0
+
+    def test_span_counts(self):
+        tel = Telemetry()
+        for _ in range(3):
+            with tel.span("tick"):
+                pass
+        assert tel.registry.counter("span_total", span="tick").value == 3.0
+
+
+class TestNesting:
+    def test_depth_and_parent_recorded(self):
+        tel = Telemetry()
+        clock = FakeClock()
+        tel.bind_clock(clock)
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        inner, outer = tel.events[-2], tel.events[-1]
+        assert inner["name"] == "inner"
+        assert inner["depth"] == 1 and inner["parent"] == "outer"
+        assert outer["name"] == "outer"
+        assert outer["depth"] == 0 and outer["parent"] is None
+
+    def test_out_of_order_close_raises(self):
+        tel = Telemetry()
+        outer = tel.span("outer")
+        inner = tel.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(SimulationError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+
+class TestErrors:
+    def test_exception_propagates_and_is_counted(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("tick"):
+                raise ValueError("boom")
+        assert tel.registry.counter("span_errors_total", span="tick").value == 1.0
+        assert tel.events[-1]["ok"] is False
+
+    def test_clean_span_has_no_error_count(self):
+        tel = Telemetry()
+        with tel.span("tick"):
+            pass
+        # The error counter is only registered on first failure.
+        assert tel.events[-1]["ok"] is True
+
+
+class TestLabels:
+    def test_base_labels_merge_into_span_instruments(self):
+        tel = Telemetry()
+        tel.set_base_labels(workload="kmeans", policy="greengpu")
+        with tel.span("tick", device="gpu"):
+            pass
+        hist = tel.registry.histogram(
+            "span_sim_s", span="tick", device="gpu",
+            workload="kmeans", policy="greengpu",
+        )
+        assert hist.count == 1
+
+    def test_events_carry_sim_timestamp(self):
+        tel = Telemetry()
+        clock = FakeClock(4.0)
+        tel.bind_clock(clock)
+        tel.event("fault_injected", kind="monitor_timeout")
+        assert tel.events[-1]["t_sim"] == 4.0
+        assert tel.events[-1]["kind"] == "monitor_timeout"

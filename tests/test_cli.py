@@ -127,6 +127,94 @@ class TestSaveAndShow:
         assert "rodinia-default" in out
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestTypedFileErrors:
+    def test_show_missing_file_exits_2_without_traceback(self, capsys):
+        assert main(["show", "/nonexistent/result.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_show_corrupt_file_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": 1, "work')
+        assert main(["show", str(bad)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_replay_missing_trace_exits_2(self, capsys):
+        assert main(["replay", "/nonexistent/trace.csv"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_metrics_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["metrics", str(tmp_path / "nothing")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "snapshot" in err
+
+
+class TestTelemetry:
+    def test_run_telemetry_then_metrics(self, capsys, tmp_path, fast):
+        tel_dir = str(tmp_path / "tel")
+        assert main(["run", "--workload", "kmeans", "--faults", "moderate",
+                     "--telemetry", tel_dir, *fast]) == 0
+        capsys.readouterr()
+        assert main(["metrics", tel_dir]) == 0
+        out = capsys.readouterr().out
+        assert "spans (simulated-time durations)" in out
+        assert "scaling_tick" in out
+        assert "ctrl_monitor_faults_total" in out
+        assert "run_total_energy_j" in out
+
+    def test_metrics_matches_legacy_health(self, capsys, tmp_path, fast):
+        """The exported ctrl_* counters equal the printed ControlHealth."""
+        import json
+
+        tel_dir = tmp_path / "tel"
+        save = tmp_path / "result.json"
+        assert main(["run", "--workload", "kmeans", "--faults", "moderate",
+                     "--telemetry", str(tel_dir), "--save", str(save),
+                     *fast]) == 0
+        health = json.loads(save.read_text())["health"]
+        snapshot = json.loads((tel_dir / "snapshot.json").read_text())
+        exported = {
+            c["name"]: c["value"] for c in snapshot["counters"]
+            if c["name"].startswith("ctrl_")
+        }
+        for field, value in health.items():
+            assert exported[f"ctrl_{field}_total"] == value, field
+
+    def test_sweep_parallel_merge_equals_serial(self, capsys, tmp_path):
+        """--parallel merged telemetry == serial, modulo wall-clock."""
+        import json
+
+        from repro.telemetry.merge import strip_wall_clock
+
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        base = ["sweep", "--workload", "kmeans", "--iterations", "1",
+                "--time-scale", "0.03", "--step", "0.3", "--max-ratio", "0.3"]
+        assert main([*base, "--telemetry", str(serial_dir)]) == 0
+        assert main([*base, "--telemetry", str(parallel_dir),
+                     "--parallel", "2"]) == 0
+        a = strip_wall_clock(
+            json.loads((serial_dir / "snapshot.json").read_text())
+        )
+        b = strip_wall_clock(
+            json.loads((parallel_dir / "snapshot.json").read_text())
+        )
+        assert a == b
+
+
 class TestReproduce:
     def test_reproduce_emits_progress(self, capsys):
         assert main(["reproduce", "fig2"]) == 0
