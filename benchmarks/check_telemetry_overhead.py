@@ -1,4 +1,4 @@
-"""CI gate: disabled telemetry must cost < 3 % on the controller hot path.
+"""CI gate: disabled telemetry < 3 %, audit-enabled tick < 5 % overhead.
 
 The controller guards its hot-path span sites behind a cached
 ``_tel_on`` flag (set once at construction), so a clean tier-2 scaling
@@ -17,7 +17,15 @@ scheduler noise on shared CI runners).  Exit status 0 iff
 
     probe_cost / (tick_cost - probe_cost) < BUDGET
 
+The decision audit trail (:mod:`repro.telemetry.audit`) has its own
+budget: its ``note_*`` writers append raw tuples and copy one small
+weight matrix per tick, deferring every derivation to render time, so an
+audit-enabled tick must stay within ``--audit-budget`` (default 5 %) of
+the bare tick.  Measured the same way: real controller, real testbed,
+minimum over trials.
+
 Run:  python benchmarks/check_telemetry_overhead.py [--budget 0.03]
+          [--audit-budget 0.05]
 """
 
 from __future__ import annotations
@@ -75,9 +83,13 @@ def bench_probes() -> float:
     return time.perf_counter() - t0
 
 
-def bench_tick() -> float:
+def bench_tick(audit: bool = False) -> float:
     """Real scaling ticks: monitor query, WMA step, actuate + verify."""
-    controller = GreenGpuPolicy(config=GreenGpuConfig()).make_controller(None)
+    from repro.telemetry.audit import AuditTrail
+
+    controller = GreenGpuPolicy(config=GreenGpuConfig()).make_controller(
+        None, audit=AuditTrail() if audit else None
+    )
     controller.attach(make_testbed())
     interval = controller.config.scaling_interval_s
     tick = controller._scaling_tick
@@ -93,23 +105,38 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--budget", type=float, default=0.03,
                         help="allowed fractional overhead (default 0.03)")
+    parser.add_argument("--audit-budget", type=float, default=0.05,
+                        help="allowed audit-enabled tick overhead "
+                             "(default 0.05)")
     args = parser.parse_args(argv)
 
     baseline = min(bench_baseline() for _ in range(TRIALS))
     probes = min(bench_probes() for _ in range(TRIALS))
     tick = min(bench_tick() for _ in range(TRIALS))
+    tick_audit = min(bench_tick(audit=True) for _ in range(TRIALS))
     probe_cost = max(probes - baseline, 0.0)
     overhead = probe_cost / (tick - probe_cost)
+    audit_overhead = (tick_audit - tick) / tick
 
     per_tick = 1e9 / TICKS
     print(f"probe sequence : {probe_cost * per_tick:9.1f} ns/tick "
           f"(min of {TRIALS}, {TICKS} ticks)")
     print(f"scaling tick   : {tick * per_tick:9.1f} ns/tick")
+    print(f"audited tick   : {tick_audit * per_tick:9.1f} ns/tick")
     print(f"disabled-telemetry overhead: {overhead:+.2%} "
           f"(budget {args.budget:.0%})")
+    print(f"audit-trail overhead       : {audit_overhead:+.2%} "
+          f"(budget {args.audit_budget:.0%})")
+    failed = False
     if overhead >= args.budget:
         print("FAIL: disabled telemetry exceeds the overhead budget",
               file=sys.stderr)
+        failed = True
+    if audit_overhead >= args.audit_budget:
+        print("FAIL: the audit trail exceeds its per-tick budget",
+              file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("OK")
     return 0

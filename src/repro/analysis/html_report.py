@@ -1,0 +1,448 @@
+"""Self-contained HTML run reports: the run as one reviewable artifact.
+
+``repro report RUN_DIR`` renders a telemetry run directory (snapshot +
+audit trail) into a single HTML file with **zero external dependencies**
+— inline SVG, inline CSS, no scripts, no network fetches — mirroring the
+paper's Figs. 5-8 panels:
+
+- frequency timeline (core + memory, step lines, flip markers);
+- utilization timeline (``u_c`` / ``u_m``);
+- wall-power timeline;
+- division-ratio timeline (tier 1);
+- the WMA weight-evolution heatmap (pairs x ticks, per-tick normalized).
+
+Colors follow a CVD-validated categorical pair (blue/orange) and a
+single-hue sequential blue ramp for the heatmap; identity is never
+color-alone (legends plus a full data table in a ``<details>`` fold).
+The page pins ``color-scheme: light`` so the precomputed heatmap fills
+stay on the surface they were validated against.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from typing import Any, Sequence
+
+from repro.errors import SerializationError
+from repro.ioutil import atomic_write_text
+from repro.telemetry.audit import audit_path, read_audit, scaling_records
+from repro.telemetry.exporters import SNAPSHOT_NAME, read_snapshot
+
+REPORT_NAME = "report.html"
+
+# Chart geometry (one shared spec so the timelines align vertically).
+_W, _H = 760, 190
+_ML, _MR, _MT, _MB = 64, 16, 14, 30
+
+# Categorical slots 1-2 (validated adjacent pair) + text/surface tokens.
+_SERIES_1 = "#2a78d6"   # blue  — core / primary series
+_SERIES_2 = "#eb6834"   # orange — memory / secondary series
+_TEXT = "#0b0b0b"
+_TEXT_2 = "#52514e"
+_GRID = "#e4e2dd"
+_SURFACE = "#fcfcfb"
+_FLIP = "#52514e"       # flip markers: neutral ink, not a status color
+
+# Sequential blue ramp, light -> dark (single hue; low values recede).
+_RAMP = ("#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+         "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+         "#0d366b")
+
+#: Above this many ticks the heatmap/table stride-samples columns.
+_MAX_COLUMNS = 220
+
+
+def _fmt(value: float) -> str:
+    """Compact axis-label formatting."""
+    return f"{value:.6g}"
+
+
+def _x_scale(t0: float, t1: float):
+    span = (t1 - t0) or 1.0
+    inner = _W - _ML - _MR
+
+    def to_x(t: float) -> float:
+        return _ML + (t - t0) / span * inner
+    return to_x
+
+
+def _y_scale(lo: float, hi: float):
+    if hi <= lo:
+        hi = lo + 1.0
+    inner = _H - _MT - _MB
+
+    def to_y(v: float) -> float:
+        return _MT + (hi - v) / (hi - lo) * inner
+    return to_y
+
+
+def _axis(t0: float, t1: float, lo: float, hi: float,
+          y_unit: str) -> list[str]:
+    to_x, to_y = _x_scale(t0, t1), _y_scale(lo, hi)
+    parts = []
+    for k in range(5):
+        v = lo + (hi - lo) * k / 4
+        y = to_y(v)
+        parts.append(f'<line class="grid" x1="{_ML}" y1="{y:.1f}" '
+                     f'x2="{_W - _MR}" y2="{y:.1f}"/>')
+        parts.append(f'<text class="tick" x="{_ML - 6}" y="{y + 3.5:.1f}" '
+                     f'text-anchor="end">{_fmt(v)}</text>')
+    for k in range(5):
+        t = t0 + (t1 - t0) * k / 4
+        x = to_x(t)
+        parts.append(f'<text class="tick" x="{x:.1f}" y="{_H - _MB + 16}" '
+                     f'text-anchor="middle">{_fmt(t)}</text>')
+    parts.append(f'<text class="tick" x="{_W - _MR}" y="{_H - 4}" '
+                 f'text-anchor="end">t (sim s)</text>')
+    parts.append(f'<text class="unit" x="{_ML}" y="{_MT - 3}" '
+                 f'text-anchor="start">{html.escape(y_unit)}</text>')
+    return parts
+
+
+def _path(points: Sequence[tuple[float, float]], to_x, to_y,
+          step: bool) -> str:
+    cmds = []
+    prev_y = None
+    for t, v in points:
+        x, y = to_x(t), to_y(v)
+        if not cmds:
+            cmds.append(f"M{x:.1f} {y:.1f}")
+        elif step:
+            cmds.append(f"H{x:.1f}")
+            if y != prev_y:
+                cmds.append(f"V{y:.1f}")
+        else:
+            cmds.append(f"L{x:.1f} {y:.1f}")
+        prev_y = y
+    return " ".join(cmds)
+
+
+def _timeline(
+    title: str,
+    series: list[tuple[str, str, list[tuple[float, float]]]],
+    *,
+    t_range: tuple[float, float],
+    y_unit: str,
+    step: bool = False,
+    y_range: tuple[float, float] | None = None,
+    markers: Sequence[float] = (),
+    marker_label: str = "decision flip",
+) -> str:
+    """One SVG timeline panel (series = (label, color, [(t, v), ...]))."""
+    t0, t1 = t_range
+    values = [v for _, _, pts in series for _, v in pts]
+    if y_range is not None:
+        lo, hi = y_range
+    else:
+        lo, hi = (min(values), max(values)) if values else (0.0, 1.0)
+        if lo == hi:
+            lo, hi = lo - 0.5, hi + 0.5
+        pad = (hi - lo) * 0.06
+        lo, hi = lo - pad, hi + pad
+    to_x, to_y = _x_scale(t0, t1), _y_scale(lo, hi)
+
+    parts = [f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+             f'aria-label="{html.escape(title)}">']
+    parts += _axis(t0, t1, lo, hi, y_unit)
+    for t in markers:
+        x = to_x(t)
+        parts.append(f'<line class="flip" x1="{x:.1f}" y1="{_MT}" '
+                     f'x2="{x:.1f}" y2="{_H - _MB}">'
+                     f'<title>{html.escape(marker_label)} at t='
+                     f'{_fmt(t)}s</title></line>')
+    for label, color, pts in series:
+        if not pts:
+            continue
+        parts.append(f'<path class="line" stroke="{color}" '
+                     f'd="{_path(pts, to_x, to_y, step)}">'
+                     f'<title>{html.escape(label)}</title></path>')
+    parts.append("</svg>")
+
+    legend = ""
+    if len(series) > 1:
+        chips = "".join(
+            f'<span class="chip"><span class="swatch" '
+            f'style="background:{color}"></span>{html.escape(label)}</span>'
+            for label, color, _ in series
+        )
+        legend = f'<div class="legend">{chips}</div>'
+    return (f'<section><h2>{html.escape(title)}</h2>{legend}'
+            f'{"".join(parts)}</section>')
+
+
+def _ramp_color(value: float) -> str:
+    """Normalized weight in [0, 1] -> sequential ramp step."""
+    index = int(min(max(value, 0.0), 1.0) * (len(_RAMP) - 1))
+    return _RAMP[index]
+
+
+def _stride(n: int, cap: int = _MAX_COLUMNS) -> int:
+    return max(1, -(-n // cap))  # ceil division
+
+
+def _heatmap(decides: list[dict[str, Any]]) -> str:
+    """WMA weight-evolution heatmap: one row per pair, one column per tick."""
+    if not decides:
+        return ""
+    shape = (len(decides[0]["weights"]), len(decides[0]["weights"][0]))
+    pairs = [(i, j) for i in range(shape[0]) for j in range(shape[1])]
+    stride = _stride(len(decides))
+    columns = decides[::stride]
+
+    cell_w = (_W - _ML - _MR) / len(columns)
+    cell_h = 14.0
+    height = _MT + cell_h * len(pairs) + _MB
+    parts = [f'<svg viewBox="0 0 {_W} {height:.0f}" role="img" '
+             f'aria-label="WMA weight evolution heatmap">']
+    for row, (i, j) in enumerate(pairs):
+        y = _MT + row * cell_h
+        parts.append(f'<text class="tick" x="{_ML - 6}" '
+                     f'y="{y + cell_h / 2 + 3.5:.1f}" text-anchor="end">'
+                     f'c{i}·m{j}</text>')
+        for col, record in enumerate(columns):
+            weights = record["weights"]
+            peak = max(max(r) for r in weights) or 1.0
+            value = weights[i][j] / peak
+            x = _ML + col * cell_w
+            chosen = (record["core_level"], record["mem_level"]) == (i, j)
+            ring = ' stroke="#0b0b0b" stroke-width="0.8"' if chosen else ""
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y:.1f}" width="{cell_w:.2f}" '
+                f'height="{cell_h - 2:.1f}" rx="2" '
+                f'fill="{_ramp_color(value)}"{ring}>'
+                f'<title>tick {record["tick"]} (t={_fmt(record["t_sim"])}s) '
+                f'pair c{i}·m{j}: w={value:.3f} of peak'
+                f'{" — chosen" if chosen else ""}</title></rect>'
+            )
+    for k in (0, len(columns) - 1):
+        x = _ML + (k + 0.5) * cell_w
+        parts.append(f'<text class="tick" x="{x:.1f}" '
+                     f'y="{height - _MB + 16:.0f}" text-anchor="middle">'
+                     f'tick {columns[k]["tick"]}</text>')
+    parts.append("</svg>")
+
+    ramp = "".join(f'<span class="swatch" style="background:{c}"></span>'
+                   for c in _RAMP)
+    note = (f" (every {stride}. tick shown)" if stride > 1 else "")
+    return (
+        "<section><h2>WMA weight evolution</h2>"
+        '<div class="legend"><span class="chip">low weight '
+        f"{ramp} high weight</span>"
+        '<span class="chip"><span class="swatch" style="background:'
+        f'{_SURFACE};border:1.5px solid {_TEXT}"></span>chosen pair</span>'
+        f"</div>{''.join(parts)}"
+        f'<p class="note">Rows are (core, memory) frequency pairs; each '
+        f"column is one scaling tick, normalized to that tick's peak "
+        f"weight{note}.</p></section>"
+    )
+
+
+def _audit_table(decides: list[dict[str, Any]],
+                 divisions: list[dict[str, Any]]) -> str:
+    """The accessibility/table view of the plotted data."""
+    stride = _stride(len(decides))
+    rows = []
+    for record in decides[::stride]:
+        rows.append(
+            "<tr>"
+            f"<td>{record['tick']}</td><td>{_fmt(record['t_sim'])}</td>"
+            f"<td>{100 * record['u_core']:.0f}%</td>"
+            f"<td>{100 * record['u_mem']:.0f}%</td>"
+            f"<td>L{record['core_level']} / "
+            f"{record['f_core'] / 1e6:.0f} MHz</td>"
+            f"<td>L{record['mem_level']} / "
+            f"{record['f_mem'] / 1e6:.0f} MHz</td>"
+            f"<td>{100 * record['margin']:.1f}%</td>"
+            f"<td>{'yes' if record.get('flipped') else ''}</td>"
+            f"<td>{_fmt(record['power_w']) if 'power_w' in record else ''}</td>"
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>tick</th><th>t (s)</th><th>u_core</th>"
+        "<th>u_mem</th><th>core</th><th>mem</th><th>margin</th>"
+        "<th>flip</th><th>power (W)</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+    div_rows = "".join(
+        f"<tr><td>{_fmt(r['t_sim'])}</td><td>{r['tc']:.2f}</td>"
+        f"<td>{r['tg']:.2f}</td><td>{r['r_prev']:.2f}</td>"
+        f"<td>{r['r_next']:.2f}</td>"
+        f"<td>{'frozen' if r.get('frozen') else 'held' if r.get('held_by_safeguard') else 'moved' if r.get('moved') else 'steady'}</td></tr>"
+        for r in divisions
+    )
+    div_table = (
+        "<table><thead><tr><th>t (s)</th><th>tc (s)</th><th>tg (s)</th>"
+        "<th>r</th><th>r next</th><th>action</th></tr></thead>"
+        f"<tbody>{div_rows}</tbody></table>"
+        if divisions else ""
+    )
+    return (f"<details><summary>Data table ({len(decides)} scaling ticks"
+            f"{f', {len(divisions)} division updates' if divisions else ''}"
+            f")</summary>{table}{div_table}</details>")
+
+
+def _meta_grid(items: list[tuple[str, str]]) -> str:
+    cells = "".join(
+        f'<div class="stat"><div class="stat-label">{html.escape(k)}</div>'
+        f'<div class="stat-value">{html.escape(v)}</div></div>'
+        for k, v in items
+    )
+    return f'<div class="stats">{cells}</div>'
+
+
+_CSS = f"""
+:root {{ color-scheme: light; }}
+body {{
+  margin: 2rem auto; max-width: {_W + 40}px; padding: 0 20px;
+  background: {_SURFACE}; color: {_TEXT};
+  font: 14px/1.5 system-ui, sans-serif;
+}}
+h1 {{ font-size: 1.3rem; margin-bottom: .2rem; }}
+h2 {{ font-size: 1rem; margin: 1.6rem 0 .4rem; }}
+.subtitle, .note, .stat-label {{ color: {_TEXT_2}; }}
+.note {{ font-size: .85rem; }}
+.stats {{ display: flex; flex-wrap: wrap; gap: .5rem 2rem; margin: 1rem 0; }}
+.stat-label {{ font-size: .78rem; text-transform: uppercase;
+  letter-spacing: .04em; }}
+.stat-value {{ font-size: 1.15rem; font-variant-numeric: tabular-nums; }}
+svg {{ width: 100%; height: auto; display: block; }}
+svg text {{ font: 11px system-ui, sans-serif; fill: {_TEXT_2}; }}
+svg .unit {{ font-size: 10px; }}
+.grid {{ stroke: {_GRID}; stroke-width: 1; }}
+.line {{ fill: none; stroke-width: 2; stroke-linejoin: round; }}
+.flip {{ stroke: {_FLIP}; stroke-width: 1; stroke-dasharray: 3 3; }}
+.legend {{ display: flex; gap: 1rem; font-size: .85rem; color: {_TEXT_2};
+  margin: .2rem 0 .3rem; align-items: center; flex-wrap: wrap; }}
+.chip {{ display: inline-flex; align-items: center; gap: .35rem; }}
+.swatch {{ width: 10px; height: 10px; border-radius: 3px;
+  display: inline-block; }}
+table {{ border-collapse: collapse; margin: .6rem 0; width: 100%;
+  font-variant-numeric: tabular-nums; font-size: .85rem; }}
+th, td {{ text-align: right; padding: .15rem .6rem; border-bottom:
+  1px solid {_GRID}; }}
+th {{ color: {_TEXT_2}; font-weight: 600; }}
+details summary {{ cursor: pointer; color: {_TEXT_2}; margin-top: 1.4rem; }}
+footer {{ margin-top: 2rem; font-size: .8rem; color: {_TEXT_2}; }}
+"""
+
+
+def render_html_report(directory: str | os.PathLike[str]) -> str:
+    """Render one run directory into a standalone HTML document."""
+    directory = os.fspath(directory)
+    snapshot = read_snapshot(os.path.join(directory, SNAPSHOT_NAME))
+    records = read_audit(audit_path(directory), missing_ok=True)
+    ticks = scaling_records(records)
+    decides = [r for r in ticks if r["kind"] == "scaling"]
+    divisions = [r for r in records if r.get("kind") == "division"]
+    if not decides and not divisions:
+        raise SerializationError(
+            f"{directory}: audit trail has no decisions to plot (was the "
+            "run started with --telemetry under a live policy?)"
+        )
+
+    labels: dict[str, str] = {}
+    for gauge in snapshot.get("gauges", ()):
+        if gauge["name"] == "run_total_energy_j":
+            labels = dict(gauge.get("labels", {}))
+            break
+
+    def gauge_sum(name: str) -> float | None:
+        values = [float(g["value"]) for g in snapshot.get("gauges", ())
+                  if g["name"] == name]
+        return sum(values) if values else None
+
+    times = ([r["t_sim"] for r in ticks]
+             + [r["t_sim"] for r in divisions]) or [0.0]
+    t_range = (min(times), max(times))
+    flips = [r["t_sim"] for r in decides if r.get("flipped")]
+
+    freq = _timeline(
+        "GPU frequency (WMA tier 2)",
+        [("core", _SERIES_1,
+          [(r["t_sim"], r["f_core"] / 1e6) for r in decides]),
+         ("memory", _SERIES_2,
+          [(r["t_sim"], r["f_mem"] / 1e6) for r in decides])],
+        t_range=t_range, y_unit="MHz", step=True, markers=flips,
+    ) if decides else ""
+    util = _timeline(
+        "GPU utilization",
+        [("u_core", _SERIES_1,
+          [(r["t_sim"], 100 * r["u_core"]) for r in decides]),
+         ("u_mem", _SERIES_2,
+          [(r["t_sim"], 100 * r["u_mem"]) for r in decides])],
+        t_range=t_range, y_unit="%", y_range=(0.0, 105.0),
+    ) if decides else ""
+    power_pts = [(r["t_sim"], r["power_w"]) for r in decides
+                 if "power_w" in r]
+    power = _timeline(
+        "System wall power",
+        [("power", _SERIES_1, power_pts)],
+        t_range=t_range, y_unit="W",
+    ) if power_pts else ""
+    division = _timeline(
+        "Division ratio (tier 1, CPU share)",
+        [("r", _SERIES_1,
+          [(r["t_sim"], r["r_next"]) for r in divisions])],
+        t_range=t_range, y_unit="r", step=True, y_range=(0.0, 1.0),
+    ) if divisions else ""
+
+    energy = gauge_sum("run_total_energy_j")
+    time_s = gauge_sum("run_time_s")
+    power_avg = gauge_sum("run_avg_power_w")
+    final_r = gauge_sum("run_final_ratio")
+    stats = []
+    if energy is not None:
+        stats.append(("energy", f"{energy / 1e3:.2f} kJ"))
+    if time_s is not None:
+        stats.append(("time", f"{time_s:.1f} s"))
+    if power_avg is not None:
+        stats.append(("avg power", f"{power_avg:.1f} W"))
+    if final_r is not None:
+        stats.append(("final r", f"{final_r:.2f}"))
+    stats.append(("scaling ticks", str(len(ticks))))
+    stats.append(("decision flips",
+                  str(sum(1 for r in decides if r.get("flipped")))))
+    faults = sum(
+        float(c["value"]) for c in snapshot.get("counters", ())
+        if c["name"] in ("ctrl_monitor_faults_total",
+                         "ctrl_actuation_faults_total")
+    )
+    if faults:
+        stats.append(("faults", f"{faults:g}"))
+
+    title = " · ".join(
+        filter(None, (labels.get("workload"), labels.get("policy")))
+    ) or os.path.basename(directory.rstrip(os.sep)) or directory
+    subtitle = f"GreenGPU run report — {html.escape(directory)}"
+
+    body = [
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="subtitle">{subtitle}</p>',
+        _meta_grid(stats),
+        freq, util, power, division,
+        _heatmap(decides),
+        _audit_table(decides, divisions),
+        "<footer>Self-contained report: inline SVG, no scripts, no "
+        "network fetches. Dashed rules mark decision flips; regenerate "
+        "with <code>greengpu report</code>.</footer>",
+    ]
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        f"<title>{html.escape(title)} — GreenGPU run report</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n"
+        + "\n".join(part for part in body if part)
+        + "\n</body>\n</html>\n"
+    )
+
+
+def write_html_report(directory: str | os.PathLike[str],
+                      out_path: str | os.PathLike[str] | None = None) -> str:
+    """Render and atomically write the report; returns the output path."""
+    directory = os.fspath(directory)
+    if out_path is None:
+        out_path = os.path.join(directory, REPORT_NAME)
+    text = render_html_report(directory)
+    atomic_write_text(out_path, text)
+    return os.fspath(out_path)

@@ -41,13 +41,16 @@ def sweep_divisions(
     n_iterations: int = 3,
     options: ExecutorOptions | None = None,
     telemetry=None,
+    audit=None,
 ) -> list[DivisionSweepPoint]:
     """Measure energy across pinned divisions (default: 0 to 0.9 step 0.05).
 
     Each point runs on a fresh testbed so meters and device state do not
     leak between configurations.  A shared ``telemetry`` backend keeps
     the points distinguishable: every point labels its metrics with its
-    own ``static-division-<r>`` policy name.
+    own ``static-division-<r>`` policy name.  ``audit`` optionally
+    attaches a shared decision trail (static points only record tier-1
+    boundaries — there is no live scaler).
     """
     if ratios is None:
         ratios = np.arange(0.0, 0.901, 0.05)
@@ -62,6 +65,7 @@ def sweep_divisions(
             n_iterations=n_iterations,
             options=options,
             telemetry=telemetry,
+            audit=audit,
         )
         points.append(DivisionSweepPoint(r=r, result=result))
     return points

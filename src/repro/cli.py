@@ -12,11 +12,20 @@ Subcommands:
 - ``replay``       — build a workload from a ``time,u_core,u_mem`` CSV
   trace (e.g. a polled nvidia-smi log) and run a policy on it;
 - ``metrics``      — render the telemetry exported by a previous
-  ``--telemetry DIR`` run (span stats, counters, gauges, WMA trace).
+  ``--telemetry DIR`` run (span stats, counters, gauges, WMA trace);
+- ``explain``      — narrate a run's decision audit trail tick by tick
+  (``--tick N`` shows one decision's full evidence);
+- ``diff``         — compare two run directories (energy/time deltas,
+  first decision divergence, health drift); ``--fail-on energy=2%``
+  turns it into a CI regression gate;
+- ``report``       — render a run directory into a self-contained HTML
+  report (inline-SVG timelines + WMA weight heatmap, no external deps).
 
-``run``, ``sweep`` and ``reproduce`` accept ``--telemetry DIR`` to
-record metrics, spans and events into ``DIR`` (see
-``docs/observability.md``); ``repro metrics DIR`` renders them.
+``run``, ``compare``, ``sweep`` and ``reproduce`` accept ``--telemetry
+DIR`` to record metrics, spans and events into ``DIR`` (see
+``docs/observability.md``); ``repro metrics DIR`` renders them.  Runs
+under a live policy also write a decision ``audit.jsonl`` there, which
+``explain``/``diff``/``report`` consume.
 
 ``run``, ``compare`` and ``replay`` accept ``--faults
 {light,moderate,heavy}`` (plus ``--fault-seed``) to inject seeded
@@ -101,22 +110,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     workload = scaled_workload(args.workload, args.time_scale)
     policy = _make_policy(args.policy, args.time_scale, args)
     telemetry = None
+    audit = None
     if args.telemetry:
-        from repro.telemetry import Telemetry
+        from repro.telemetry import AuditTrail, Telemetry
 
         telemetry = Telemetry()
+        audit = AuditTrail()
     result = run_workload(
         workload, policy, n_iterations=args.iterations,
         options=scaled_options(args.time_scale),
-        telemetry=telemetry,
+        telemetry=telemetry, audit=audit,
     )
     print(run_report(result))
     if telemetry is not None:
         from repro.telemetry import export_telemetry
 
         export_telemetry(telemetry, args.telemetry)
+        audit.write(args.telemetry)
         print(f"\ntelemetry written to {args.telemetry} "
-              f"(render with: greengpu metrics {args.telemetry})")
+              f"(render with: greengpu metrics {args.telemetry}; "
+              f"explain {args.telemetry}; report {args.telemetry})")
     if args.save:
         from repro.analysis import serialize
 
@@ -136,14 +149,32 @@ def cmd_show(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     workload = scaled_workload(args.workload, args.time_scale)
     options = scaled_options(args.time_scale)
-    results = [
-        run_workload(
+    results = []
+    for name in ("rodinia-default", "scaling-only", "division-only", "greengpu"):
+        telemetry = None
+        audit = None
+        if args.telemetry:
+            from repro.telemetry import AuditTrail, Telemetry
+            from repro.telemetry.merge import export_worker, worker_dir
+
+            telemetry = Telemetry()
+            audit = AuditTrail()
+        results.append(run_workload(
             workload, _make_policy(name, args.time_scale, args),
             n_iterations=args.iterations, options=options,
-        )
-        for name in ("rodinia-default", "scaling-only", "division-only", "greengpu")
-    ]
+            telemetry=telemetry, audit=audit,
+        ))
+        if telemetry is not None:
+            export_worker(telemetry, args.telemetry, name)
+            audit.write(worker_dir(args.telemetry, name))
     print(comparison_report(results, baseline_index=0))
+    if args.telemetry:
+        from repro.telemetry import merge_directory
+
+        merge_directory(args.telemetry)
+        print(f"\ntelemetry written to {args.telemetry} "
+              f"(per-policy trails merged; render with: "
+              f"greengpu metrics {args.telemetry})")
     return 0
 
 
@@ -330,6 +361,41 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.telemetry import format_explanation
+
+    print(format_explanation(args.dir, tick=args.tick), end="")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry import diff_runs
+    from repro.telemetry.diff import (
+        check_thresholds,
+        format_delta,
+        parse_fail_on,
+    )
+
+    thresholds = parse_fail_on(args.fail_on)
+    delta = diff_runs(args.dir_a, args.dir_b)
+    print(format_delta(delta))
+    violations = check_thresholds(delta, thresholds)
+    for violation in violations:
+        print(f"FAIL {violation}", file=sys.stderr)
+    if args.fail_on_divergence and delta.divergent:
+        print("FAIL runs diverge (--fail-on-divergence)", file=sys.stderr)
+        return 1
+    return 1 if violations else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.html_report import write_html_report
+
+    out = write_html_report(args.dir, args.out)
+    print(f"report written to {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     import repro
 
@@ -357,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="all policies on one workload")
     _add_common(p)
     _add_faults(p)
+    _add_telemetry(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="static division sweep (Fig. 2 style)")
@@ -403,6 +470,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("metrics", help="render a --telemetry directory")
     p.add_argument("dir", help="directory written by a --telemetry run")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("explain",
+                       help="narrate a run's decision audit trail")
+    p.add_argument("dir", help="directory written by a --telemetry run")
+    p.add_argument("--tick", type=int, default=None,
+                   help="show the full evidence for one scaling tick")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("diff", help="compare two run directories")
+    p.add_argument("dir_a", help="baseline run directory")
+    p.add_argument("dir_b", help="candidate run directory")
+    p.add_argument("--fail-on", action="append", default=None,
+                   metavar="KEY=VAL",
+                   help="exit 1 past a threshold, e.g. energy=2%%, "
+                        "time=5%%, flips=0 (repeat or comma-separate)")
+    p.add_argument("--fail-on-divergence", action="store_true",
+                   help="exit 1 if anything deterministic differs")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("report",
+                       help="self-contained HTML report for a run directory")
+    p.add_argument("dir", help="directory written by a --telemetry run")
+    p.add_argument("--html", action="store_true",
+                   help="render HTML (the default — and currently only — "
+                        "format)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="output path (default: <dir>/report.html)")
+    p.set_defaults(func=cmd_report)
 
     return parser
 

@@ -56,6 +56,13 @@ exported metrics are one set of numbers.  Without a telemetry backend
 all instruments are the allocation-free no-ops from
 :data:`repro.telemetry.NOOP`; only the health counters stay real, in a
 private registry.
+
+An optional :class:`~repro.telemetry.audit.AuditTrail` records the *why*
+of every decision: one structured record per scaling tick (inputs, loss
+vectors, weight table, argmax-vs-runner-up margin, fault overrides) and
+per division boundary, rendered by ``repro explain`` and compared by
+``repro diff``.  Like telemetry, the audit path is guarded by a cached
+flag and defers all derivation off the hot tick.
 """
 
 from __future__ import annotations
@@ -78,6 +85,7 @@ from repro.sim.engine import TaskHandle
 from repro.sim.platform import HeteroSystem
 from repro.sim.trace import TraceRecorder
 from repro.telemetry import NOOP, MetricsRegistry, NullTelemetry, Telemetry
+from repro.telemetry.audit import AuditTrail
 
 
 class TierMode(enum.Enum):
@@ -124,6 +132,7 @@ class GreenGpuController:
         faults: FaultInjector | None = None,
         hardening: HardeningPolicy | None = None,
         telemetry: Telemetry | NullTelemetry | None = None,
+        audit: AuditTrail | None = None,
     ):
         self.mode = mode
         self.config = config or GreenGpuConfig()
@@ -131,10 +140,13 @@ class GreenGpuController:
         self.faults = faults
         self.hardening = hardening or HardeningPolicy()
         self.telemetry = telemetry if telemetry is not None else NOOP
+        self.audit = audit
         # Cached so the tier-2 tick bodies can guard their span sites
         # with a plain branch: the CI overhead gate budgets the disabled
         # hot path at < 3 %, which a `with null_span` per site would blow.
+        # The audit flag gets the same treatment (< 5 % enabled budget).
         self._tel_on = self.telemetry.enabled
+        self._audit_on = audit is not None
         # Health counters must be readable even with telemetry disabled,
         # so they fall back to a private registry (counters only — the
         # span/event path stays on the no-op backend).
@@ -365,6 +377,7 @@ class GreenGpuController:
         telemetry = self.telemetry
         tel_on = self._tel_on
         clean = True
+        source = "fresh"
         try:
             if tel_on:
                 with telemetry.span("monitor_read", device="gpu"):
@@ -381,9 +394,12 @@ class GreenGpuController:
                 self._count("skipped_ticks")
                 self._record_event("ctrl_skip", t)
                 self._note_tick_outcome(t, clean=False)
+                if self._audit_on:
+                    self.audit.note_skip(t, degraded=self._degraded)
                 return
             self._count("fallbacks")
             self._record_event("ctrl_fallback", t)
+            source = "fallback"
         if tel_on:
             with telemetry.span("wma_update"):
                 decision = self.scaler.step(sample.u_core, sample.u_mem)
@@ -399,8 +415,10 @@ class GreenGpuController:
             )
             telemetry.gauge("wma_f_core_hz").set(decision.f_core, t=t)
             telemetry.gauge("wma_f_mem_hz").set(decision.f_mem, t=t)
-        if not self._apply_gpu_frequencies(t, decision.f_core, decision.f_mem):
+        actuated = self._apply_gpu_frequencies(t, decision.f_core, decision.f_mem)
+        if not actuated:
             clean = False
+        power_w: float | None = None
         if tel_on or self.recorder is not None:
             power_w = self._system.system_power()
             telemetry.gauge("system_power_w").set(power_w, t=t)
@@ -415,6 +433,14 @@ class GreenGpuController:
                     system_power_w=power_w,
                 )
         self._note_tick_outcome(t, clean)
+        if self._audit_on:
+            # After _note_tick_outcome so `degraded` reflects whether the
+            # watchdog's safe state overrides this decision.
+            self.audit.note_scaling(
+                t, sample.u_core, sample.u_mem, decision, source,
+                actuated=actuated, degraded=self._degraded,
+                weights=self.scaler.table.weights, power_w=power_w,
+            )
 
     def _ondemand_tick(self, t: float) -> None:
         if self._tel_on:
@@ -466,19 +492,32 @@ class GreenGpuController:
         """Tier-1 boundary: feed (tc, tg), get the next division ratio."""
         if self.divider is None:
             return self.ratio
+        now = self._system.now if self._system is not None else -1.0
         if self._degraded:
             # Watchdog safe state: hold the division ratio steady rather
             # than learn from timings measured under faulty control.
             self._count("frozen_divisions")
             if self._system is not None:
-                now = self._system.now
                 self._record_event("ctrl_division_frozen", now)
                 if self.recorder is not None:
                     self.recorder.record_many(
                         now, division_r=self.divider.r, tc=tc, tg=tg
                     )
+            if self._audit_on:
+                self.audit.note_division(
+                    now, tc, tg, r_prev=self.divider.r,
+                    r_next=self.divider.r, moved=False,
+                    held_by_safeguard=False, frozen=True,
+                )
             return self.divider.r
+        r_prev = self.divider.r
         decision = self.divider.update(tc, tg)
+        if self._audit_on:
+            self.audit.note_division(
+                now, tc, tg, r_prev=r_prev, r_next=decision.r_next,
+                moved=decision.moved,
+                held_by_safeguard=decision.held_by_safeguard, frozen=False,
+            )
         if self.telemetry.enabled and self._system is not None:
             self.telemetry.event("division_update", t_sim=self._system.now,
                                  r_next=decision.r_next, tc=tc, tg=tg)

@@ -69,11 +69,14 @@ class Policy:
         self,
         recorder: TraceRecorder | None = None,
         telemetry=None,
+        audit=None,
     ) -> GreenGpuController:
         """Build the live controller for this policy (NONE mode = inert).
 
         A fresh :class:`FaultInjector` is built per controller so repeated
         runs of one policy replay the identical seeded fault stream.
+        ``audit`` optionally attaches a decision
+        :class:`~repro.telemetry.audit.AuditTrail`.
         """
         faults = FaultInjector(self.fault_plan) if self.fault_plan is not None else None
         return GreenGpuController(
@@ -83,6 +86,7 @@ class Policy:
             recorder=recorder,
             faults=faults,
             telemetry=telemetry,
+            audit=audit,
         )
 
     def with_faults(self, plan: FaultPlan | None) -> "Policy":

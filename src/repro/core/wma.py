@@ -41,6 +41,39 @@ class ScalingDecision:
     mem_loss: np.ndarray
 
 
+def best_and_runner_up(
+    weights: np.ndarray,
+) -> tuple[tuple[int, int], tuple[int, int], float]:
+    """Argmax pair, runner-up pair, and their relative weight margin.
+
+    The margin is ``(w_best - w_runner_up) / w_best`` in ``[0, 1]`` — 0
+    means a tie (the decision hangs by the argmax tie-break), values near
+    1 mean the table is certain.  Both argmaxes use the same flattened
+    first-occurrence rule as :meth:`WeightTable.best_pair`, so ties
+    resolve to the fastest pair here too.  This is the audit trail's
+    "how close was the call" derivation (:mod:`repro.telemetry.audit`);
+    it runs at render time, never on the hot control path.
+    """
+    matrix = np.asarray(weights, dtype=float)
+    flat = matrix.ravel()
+    if flat.size == 1:
+        pair = (0, 0)
+        return pair, pair, 0.0
+    best = int(np.argmax(flat))
+    masked = flat.copy()
+    masked[best] = -np.inf
+    second = int(np.argmax(masked))
+    w_best, w_second = float(flat[best]), float(flat[second])
+    margin = (w_best - w_second) / w_best if w_best > 0.0 else 0.0
+    best_pair = np.unravel_index(best, matrix.shape)
+    second_pair = np.unravel_index(second, matrix.shape)
+    return (
+        (int(best_pair[0]), int(best_pair[1])),
+        (int(second_pair[0]), int(second_pair[1])),
+        float(margin),
+    )
+
+
 class WmaFrequencyScaler:
     """Weighted-majority frequency controller for GPU cores + memory.
 

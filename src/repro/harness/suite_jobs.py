@@ -158,20 +158,24 @@ def run_sweep_point(workload: str, r: float, n_iterations: int,
     from repro.experiments.common import scaled_options, scaled_workload
 
     telemetry = None
+    audit = None
     if telemetry_dir is not None:
-        from repro.telemetry import Telemetry
+        from repro.telemetry import AuditTrail, Telemetry
 
         telemetry = Telemetry()
+        audit = AuditTrail()
     points = sweep_divisions(
         scaled_workload(workload, time_scale), [r],
         n_iterations=n_iterations, options=scaled_options(time_scale),
-        telemetry=telemetry,
+        telemetry=telemetry, audit=audit,
     )
     point = points[0]
     if telemetry is not None:
         from repro.telemetry import export_worker
+        from repro.telemetry.merge import worker_dir
 
         export_worker(telemetry, telemetry_dir, f"r={r:.4f}")
+        audit.write(worker_dir(telemetry_dir, f"r={r:.4f}"))
     return {"r": point.r, "energy_j": point.energy_j, "time_s": point.time_s}
 
 

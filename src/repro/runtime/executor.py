@@ -177,6 +177,7 @@ def run_workload(
     recorder: TraceRecorder | None = None,
     warmup_s: float = 0.0,
     telemetry: Telemetry | NullTelemetry | None = None,
+    audit=None,
 ) -> RunResult:
     """Run a full measured experiment: one workload under one policy.
 
@@ -192,6 +193,10 @@ def run_workload(
     emits is labeled ``workload=<name>, policy=<name>``, spans carry the
     testbed's simulated clock, and run-level energy/time gauges are set
     at the end (see ``docs/observability.md``).
+
+    ``audit`` optionally attaches a decision
+    :class:`~repro.telemetry.audit.AuditTrail`; the caller serializes it
+    (``audit.write(dir)``) next to the telemetry exports.
     """
     if system is None:
         system = make_testbed()
@@ -209,7 +214,7 @@ def run_workload(
         system.clock.set_telemetry(tel)
 
     policy.apply_initial_state(system)
-    controller = policy.make_controller(recorder, telemetry=telemetry)
+    controller = policy.make_controller(recorder, telemetry=telemetry, audit=audit)
     controller.attach(system)
     system.reset_meters()
     t0 = system.now

@@ -13,7 +13,11 @@ fields) with a single instrumented path:
   CSV/markdown summaries (:mod:`repro.telemetry.exporters`);
 - cross-process aggregation of spawn-isolated harness workers into one
   run-level view (:mod:`repro.telemetry.merge`);
-- the ``repro metrics`` inspector (:mod:`repro.telemetry.inspect`).
+- the ``repro metrics`` inspector (:mod:`repro.telemetry.inspect`);
+- the per-decision audit trail and the ``repro explain`` narrative
+  renderer (:mod:`repro.telemetry.audit`);
+- the run-diff engine behind ``repro diff`` and the CI regression gate
+  (:mod:`repro.telemetry.diff`).
 
 Instrumented code takes an optional ``telemetry`` argument and
 normalizes it with ``telemetry or NOOP``: the disabled backend has the
@@ -21,7 +25,9 @@ same surface, does nothing, and allocates nothing on the hot path, so
 observability is strictly opt-in.
 """
 
+from repro.telemetry.audit import AuditTrail, format_explanation, read_audit
 from repro.telemetry.core import NOOP, NullTelemetry, Telemetry
+from repro.telemetry.diff import RunDelta, diff_runs
 from repro.telemetry.exporters import export_telemetry, write_exports
 from repro.telemetry.inspect import format_metrics_report
 from repro.telemetry.merge import export_worker, merge_directory
@@ -37,15 +43,20 @@ __all__ = [
     "NOOP",
     "NullTelemetry",
     "Telemetry",
+    "AuditTrail",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RunDelta",
     "Span",
     "SpanTracer",
+    "diff_runs",
     "export_telemetry",
     "write_exports",
     "export_worker",
     "merge_directory",
+    "format_explanation",
     "format_metrics_report",
+    "read_audit",
 ]

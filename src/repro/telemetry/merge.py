@@ -11,6 +11,10 @@ gauges resolve last-writer-wins by *simulated* update time, and
 histograms concatenate.  Because each harness job carries its own label
 domain, a parallel run's merged view is identical to a serial run's —
 modulo wall-clock fields, which by contract all end in ``wall_s``.
+
+Worker ``audit.jsonl`` decision trails merge the same way: records are
+concatenated in sorted worker order, each annotated with a ``job`` field
+naming its worker, into a run-level ``audit.jsonl``.
 """
 
 from __future__ import annotations
@@ -19,6 +23,13 @@ import os
 import re
 from typing import Any
 
+from repro.ioutil import atomic_write_text
+from repro.telemetry.audit import (
+    AUDIT_NAME,
+    audit_path,
+    read_audit,
+    render_audit_jsonl,
+)
 from repro.telemetry.core import Telemetry
 from repro.telemetry.exporters import (
     EVENTS_NAME,
@@ -61,6 +72,8 @@ def merge_directory(
     telemetry_dir = os.fspath(telemetry_dir)
     merged = MetricsRegistry()
     events: list[dict[str, Any]] = []
+    audit_records: list[dict[str, Any]] = []
+    saw_worker_audit = False
 
     workers_root = os.path.join(telemetry_dir, WORKERS_SUBDIR)
     if os.path.isdir(workers_root):
@@ -71,6 +84,11 @@ def merge_directory(
                 continue
             merged.merge_snapshot(read_snapshot(snapshot_path))
             events.extend(read_events(os.path.join(wdir, EVENTS_NAME)))
+            worker_audit = read_audit(audit_path(wdir), missing_ok=True)
+            if os.path.exists(audit_path(wdir)):
+                saw_worker_audit = True
+            audit_records.extend({**record, "job": name}
+                                 for record in worker_audit)
 
     for telemetry in extra or []:
         if not telemetry.enabled:
@@ -79,6 +97,9 @@ def merge_directory(
         events.extend(telemetry.events)
 
     write_exports(telemetry_dir, merged, events)
+    if saw_worker_audit:
+        atomic_write_text(os.path.join(telemetry_dir, AUDIT_NAME),
+                          render_audit_jsonl(audit_records))
     return merged
 
 

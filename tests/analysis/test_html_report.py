@@ -1,0 +1,117 @@
+"""The self-contained HTML run report: structure, completeness, and the
+zero-external-dependency contract."""
+
+import pytest
+
+from repro.analysis.html_report import (
+    REPORT_NAME,
+    render_html_report,
+    write_html_report,
+)
+from repro.core.policies import GreenGpuPolicy
+from repro.errors import SerializationError
+from repro.experiments.common import (
+    scaled_config,
+    scaled_options,
+    scaled_workload,
+)
+from repro.runtime.executor import run_workload
+from repro.telemetry import AuditTrail, Telemetry, export_telemetry
+
+TIME_SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("report-run")
+    telemetry = Telemetry()
+    trail = AuditTrail()
+    run_workload(
+        scaled_workload("kmeans", TIME_SCALE),
+        GreenGpuPolicy(config=scaled_config(TIME_SCALE)),
+        n_iterations=2, options=scaled_options(TIME_SCALE),
+        telemetry=telemetry, audit=trail,
+    )
+    export_telemetry(telemetry, directory)
+    trail.write(directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def html(run_dir):
+    return render_html_report(run_dir)
+
+
+class TestSelfContainment:
+    def test_no_network_references(self, html):
+        for forbidden in ("http://", "https://", "src=", "@import",
+                          "url(", "<script", "<link", "<iframe"):
+            assert forbidden not in html, forbidden
+
+    def test_single_document_with_inline_style(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<style>") == 1
+        assert "color-scheme: light" in html
+
+
+class TestContent:
+    def test_all_four_timelines_present(self, html):
+        assert "GPU frequency (WMA tier 2)" in html
+        assert "GPU utilization" in html
+        assert "System wall power" in html
+        assert "Division ratio (tier 1, CPU share)" in html
+
+    def test_weight_heatmap_present(self, html):
+        assert "WMA weight evolution" in html
+        assert "chosen pair" in html
+
+    def test_timelines_are_inline_svg(self, html):
+        assert html.count("<svg") >= 5
+        assert html.count("<svg") == html.count("</svg>")
+
+    def test_legend_for_multi_series_charts(self, html):
+        # Identity is never color-alone: core/mem and u_core/u_mem
+        # carry legends.
+        assert html.count('class="legend"') >= 3
+        assert ">core<" in html and ">memory<" in html
+
+    def test_data_table_fold_exists(self, html):
+        assert "<details>" in html
+        assert "<table>" in html
+
+    def test_header_stats(self, html):
+        assert "kJ" in html
+        assert "decision flips" in html
+        assert "kmeans" in html and "greengpu" in html
+
+    def test_flip_markers_have_tooltips(self, html):
+        assert "decision flip at t=" in html
+
+    def test_no_nan_leaks_into_markup(self, html):
+        assert "NaN" not in html and "Infinity" not in html
+
+
+class TestWriteHtmlReport:
+    def test_default_output_path(self, run_dir):
+        out = write_html_report(run_dir)
+        assert out.endswith(REPORT_NAME)
+        with open(out, encoding="utf-8") as handle:
+            assert handle.read().startswith("<!DOCTYPE html>")
+
+    def test_explicit_output_path(self, run_dir, tmp_path):
+        out = write_html_report(run_dir, tmp_path / "custom.html")
+        assert (tmp_path / "custom.html").exists()
+        assert str(out) == str(tmp_path / "custom.html")
+
+    def test_missing_run_dir_raises_typed_error(self, tmp_path):
+        with pytest.raises(SerializationError):
+            render_html_report(tmp_path)
+
+    def test_missing_audit_raises_typed_error(self, run_dir, tmp_path):
+        import shutil
+
+        clone = tmp_path / "no-audit"
+        shutil.copytree(run_dir, clone)
+        (clone / "audit.jsonl").unlink()
+        with pytest.raises(SerializationError):
+            render_html_report(clone)

@@ -59,3 +59,22 @@ class TestComparisonReport:
             comparison_report([])
         with pytest.raises(ConfigError):
             comparison_report([_result()], baseline_index=5)
+        with pytest.raises(ConfigError):
+            comparison_report([_result()], baseline_index=-1)
+
+    def test_nonzero_baseline_index(self):
+        first = _result(policy="greengpu", energy=800.0)
+        base = _result(policy="best-performance", energy=1000.0)
+        report = comparison_report([first, base], baseline_index=1)
+        # Savings are computed against the *selected* baseline, not
+        # positionally against row 0.
+        assert "baseline: best-performance" in report
+        assert "+20.00%" in report
+
+    def test_nonzero_baseline_row_shows_zero(self):
+        rows = [_result(policy="a", energy=500.0),
+                _result(policy="b", energy=1000.0),
+                _result(policy="c", energy=750.0)]
+        report = comparison_report(rows, baseline_index=2)
+        assert "baseline: c" in report
+        assert "+0.00%" in report

@@ -1,0 +1,150 @@
+"""The run-diff engine: delta extraction, divergence detection, and the
+``--fail-on`` threshold gates."""
+
+import pytest
+
+from repro.core.policies import GreenGpuPolicy
+from repro.errors import ConfigError, SerializationError
+from repro.experiments.common import (
+    scaled_config,
+    scaled_options,
+    scaled_workload,
+)
+from repro.runtime.executor import run_workload
+from repro.telemetry import AuditTrail, Telemetry, diff_runs, export_telemetry
+from repro.telemetry.diff import (
+    RunDelta,
+    check_thresholds,
+    format_delta,
+    parse_fail_on,
+)
+
+TIME_SCALE = 0.05
+
+
+def _record_run(directory, *, workload="kmeans", iterations=2):
+    telemetry = Telemetry()
+    trail = AuditTrail()
+    run_workload(
+        scaled_workload(workload, TIME_SCALE),
+        GreenGpuPolicy(config=scaled_config(TIME_SCALE)),
+        n_iterations=iterations, options=scaled_options(TIME_SCALE),
+        telemetry=telemetry, audit=trail,
+    )
+    export_telemetry(telemetry, directory)
+    trail.write(directory)
+
+
+@pytest.fixture(scope="module")
+def twin_runs(tmp_path_factory):
+    """Two identically-seeded runs plus one genuinely different run."""
+    root = tmp_path_factory.mktemp("diff-runs")
+    a, b, other = root / "a", root / "b", root / "other"
+    _record_run(a)
+    _record_run(b)
+    _record_run(other, iterations=3)
+    return a, b, other
+
+
+class TestDiffRuns:
+    def test_identical_runs_are_not_divergent(self, twin_runs):
+        a, b, _ = twin_runs
+        delta = diff_runs(a, b)
+        assert not delta.divergent
+        assert delta.energy_rel == 0.0
+        assert delta.time_rel == 0.0
+        assert delta.first_divergence_tick is None
+        assert delta.metric_diffs == ()
+        assert delta.health_drift == {}
+        assert delta.flip_delta == 0
+
+    def test_different_runs_are_divergent(self, twin_runs):
+        a, _, other = twin_runs
+        delta = diff_runs(a, other)
+        assert delta.divergent
+        assert delta.energy_rel != 0.0
+        assert delta.ticks_a != delta.ticks_b
+        assert delta.metric_diffs
+
+    def test_first_divergence_points_at_the_tick(self, twin_runs):
+        a, _, other = twin_runs
+        delta = diff_runs(a, other)
+        # Same seed and workload: the trajectories agree up to the
+        # shorter run's end, so divergence is a length effect here.
+        assert delta.first_divergence_tick is not None
+        assert delta.first_divergence_tick <= min(delta.ticks_a, delta.ticks_b)
+
+    def test_missing_snapshot_raises_typed_error(self, twin_runs, tmp_path):
+        a, _, _ = twin_runs
+        with pytest.raises(SerializationError):
+            diff_runs(a, tmp_path)
+
+    def test_missing_audit_is_tolerated(self, twin_runs, tmp_path):
+        import os
+        import shutil
+
+        a, b, _ = twin_runs
+        clone = tmp_path / "no-audit"
+        shutil.copytree(b, clone)
+        os.remove(clone / "audit.jsonl")
+        delta = diff_runs(a, clone)
+        assert delta.ticks_b == 0  # trail absent, metrics still compared
+        assert delta.energy_rel == 0.0
+
+
+class TestThresholds:
+    def test_parse_percent_and_fraction(self):
+        assert parse_fail_on(["energy=2%"]) == {"energy": 0.02}
+        assert parse_fail_on(["time=0.1"]) == {"time": 0.1}
+        assert parse_fail_on(["energy=2%,flips=0"]) == {
+            "energy": 0.02, "flips": 0.0,
+        }
+        assert parse_fail_on(["energy=5%", "time=10%"]) == {
+            "energy": 0.05, "time": 0.1,
+        }
+        assert parse_fail_on(None) == {}
+
+    @pytest.mark.parametrize("spec", ["energy", "watts=2%", "energy=x",
+                                      "energy=-1"])
+    def test_bad_specs_raise_config_error(self, spec):
+        with pytest.raises(ConfigError):
+            parse_fail_on([spec])
+
+    def test_identical_runs_pass_every_gate(self, twin_runs):
+        a, b, _ = twin_runs
+        delta = diff_runs(a, b)
+        assert check_thresholds(
+            delta, parse_fail_on(["energy=2%,time=2%,flips=0"])
+        ) == []
+
+    def test_energy_gate_trips_on_a_real_difference(self, twin_runs):
+        a, _, other = twin_runs
+        delta = diff_runs(a, other)
+        assert abs(delta.energy_rel) > 1e-4
+        tight = {"energy": abs(delta.energy_rel) / 2}
+        assert check_thresholds(delta, tight)
+
+    def test_missing_gauge_is_a_violation_not_a_pass(self):
+        delta = RunDelta(
+            dir_a="a", dir_b="b", energy_a=None, energy_b=1.0,
+            time_a=None, time_b=None, ticks_a=0, ticks_b=0,
+            flips_a=0, flips_b=0, first_divergence_tick=None,
+            metric_diffs=(),
+        )
+        violations = check_thresholds(delta, {"energy": 0.02})
+        assert violations and "not comparable" in violations[0]
+
+
+class TestFormatDelta:
+    def test_identical_verdict(self, twin_runs):
+        a, b, _ = twin_runs
+        text = format_delta(diff_runs(a, b))
+        assert "runs identical (modulo wall clock)" in text
+        assert "no divergence" in text
+
+    def test_divergent_verdict_names_the_tick(self, twin_runs):
+        a, _, other = twin_runs
+        delta = diff_runs(a, other)
+        text = format_delta(delta)
+        assert "DIVERGENT" in text
+        assert f"diverge at tick {delta.first_divergence_tick}" in text

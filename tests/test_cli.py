@@ -228,3 +228,127 @@ class TestReproduce:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+@pytest.fixture
+def audited_run(capsys, tmp_path, fast):
+    """One telemetry run with an audit trail, shared per test."""
+    tel_dir = str(tmp_path / "tel")
+    assert main(["run", "--workload", "kmeans",
+                 "--telemetry", tel_dir, *fast]) == 0
+    capsys.readouterr()
+    return tel_dir
+
+
+class TestExplain:
+    def test_explain_narrates_the_trail(self, capsys, audited_run):
+        assert main(["explain", audited_run]) == 0
+        out = capsys.readouterr().out
+        assert "scaling ticks" in out
+        assert "division updates" in out
+
+    def test_explain_tick_detail(self, capsys, audited_run):
+        assert main(["explain", audited_run, "--tick", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "core loss:" in out
+        assert "argmax" in out
+
+    def test_explain_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["explain", str(tmp_path / "nothing")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_explain_corrupt_trail_exits_2(self, capsys, tmp_path):
+        (tmp_path / "audit.jsonl").write_text("{broken\n")
+        assert main(["explain", str(tmp_path)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_identical_runs_diff_clean(self, capsys, tmp_path, fast):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        for tel_dir in (a, b):
+            assert main(["run", "--workload", "kmeans",
+                         "--telemetry", tel_dir, *fast]) == 0
+        capsys.readouterr()
+        assert main(["diff", a, b, "--fail-on-divergence",
+                     "--fail-on", "energy=2%"]) == 0
+        assert "runs identical" in capsys.readouterr().out
+
+    def test_perturbed_run_trips_the_energy_gate(self, capsys, tmp_path,
+                                                 fast):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        assert main(["run", "--workload", "kmeans",
+                     "--telemetry", a, *fast]) == 0
+        assert main(["run", "--workload", "kmeans", "--policy",
+                     "rodinia-default", "--telemetry", b, *fast]) == 0
+        capsys.readouterr()
+        assert main(["diff", a, b, "--fail-on", "energy=2%"]) == 1
+        captured = capsys.readouterr()
+        assert "DIVERGENT" in captured.out
+        assert "FAIL energy:" in captured.err
+
+    def test_diff_missing_dir_exits_2(self, capsys, audited_run, tmp_path):
+        assert main(["diff", audited_run, str(tmp_path / "nothing")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_diff_bad_fail_on_spec_exits_2(self, capsys, audited_run):
+        assert main(["diff", audited_run, audited_run,
+                     "--fail-on", "watts=2%"]) == 2
+        assert "bad --fail-on" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_writes_standalone_html(self, capsys, audited_run,
+                                           tmp_path):
+        out_file = tmp_path / "run.html"
+        assert main(["report", audited_run, "--out", str(out_file)]) == 0
+        html = out_file.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        for forbidden in ("http://", "https://", "<script", "src="):
+            assert forbidden not in html, forbidden
+
+    def test_report_default_path_inside_run_dir(self, capsys, audited_run):
+        import os
+
+        assert main(["report", audited_run]) == 0
+        assert os.path.exists(os.path.join(audited_run, "report.html"))
+        assert "report written to" in capsys.readouterr().out
+
+    def test_report_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nothing")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestCompareTelemetry:
+    def test_compare_telemetry_merges_per_policy_trails(self, capsys,
+                                                        tmp_path):
+        import json
+
+        tel_dir = tmp_path / "tel"
+        assert main(["compare", "--workload", "kmeans", "--iterations", "2",
+                     "--time-scale", "0.05", "--telemetry", str(tel_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry written to" in out
+        # Every policy's worker export exists, and the merged run-level
+        # trail annotates records with the worker that produced them.
+        for name in ("rodinia-default", "scaling-only", "division-only",
+                     "greengpu"):
+            assert (tel_dir / "workers" / name / "snapshot.json").exists()
+            assert (tel_dir / "workers" / name / "audit.jsonl").exists()
+        merged = [
+            json.loads(line)
+            for line in (tel_dir / "audit.jsonl").read_text().splitlines()
+        ]
+        jobs = {record["job"] for record in merged}
+        assert "greengpu" in jobs and "scaling-only" in jobs
+        assert any(r["kind"] == "scaling" for r in merged)
+        capsys.readouterr()
+        assert main(["metrics", str(tel_dir)]) == 0
+        assert main(["explain", str(tel_dir)]) == 0
