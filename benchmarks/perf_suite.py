@@ -1,0 +1,283 @@
+"""Perf gate for the fast-path engine and the result cache.
+
+Two scenarios, both reported as hardware-independent *speedup ratios* so
+the committed baseline (``BENCH_5.json``) transfers across machines:
+
+- **single_run** — one GreenGPU kmeans run on the fast engine vs the
+  same run on a *legacy harness* that faithfully reproduces the pre-PR
+  hot path: per-call roofline estimates (no ``_cached_estimate``), lazy
+  queue-head scans on every query (no ``_current_head``), checked
+  uncached power-model calls, the per-window meter loop, and the
+  pop-and-push clock dispatch.  The two paths must be bit-identical
+  (the run aborts if not) — the ratio is pure overhead removed, not a
+  semantic change.
+- **warm_sweep** — a supervised static-division sweep with an empty
+  result cache (cold) vs the identical sweep again over the same cache
+  (warm, every point served as ``skipped_cached``).
+
+Each quantity is the minimum over several interleaved trials (minimums
+are robust to scheduler noise on shared CI runners; interleaving defeats
+thermal/frequency drift favouring whichever side runs first).
+
+Modes::
+
+    python benchmarks/perf_suite.py                  # measure + print
+    python benchmarks/perf_suite.py --out BENCH_5.json    # write baseline
+    python benchmarks/perf_suite.py --check BENCH_5.json  # CI gate
+
+The check mode re-measures and requires each scenario's speedup to be at
+least the absolute floor (3x single-run, 10x warm sweep — the PR's
+acceptance bar) *and* within ``--tolerance`` of the committed baseline
+ratio, whichever is stricter.  Exit status 0 iff both gates hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.serialize import result_to_dict
+from repro.cache import ResultCache
+from repro.cache.keys import ENGINE_SCHEMA_VERSION
+from repro.core.policies import GreenGpuPolicy
+from repro.experiments.common import scaled_config, scaled_options, scaled_workload
+from repro.harness.supervisor import run_jobs
+from repro.harness.suite_jobs import sweep_specs
+from repro.runtime.executor import run_workload
+from repro.sim.cpu import CpuDevice
+from repro.sim.gpu import GpuDevice
+from repro.sim.platform import HeteroSystem
+
+TRIALS = 7
+COLD_TRIALS = 3
+
+FLOORS = {"single_run": 3.0, "warm_sweep": 10.0}
+
+# -- legacy harness (pre-PR hot path, reproduced faithfully) -----------
+
+
+def _legacy_accumulate(meter, p: float, dt: float) -> None:
+    """Pre-PR PowerMeter.accumulate: walk every sample window in a loop."""
+    meter.energy_j += p * dt
+    meter.elapsed_s += dt
+    remaining = dt
+    while remaining > 0.0:
+        room = meter.sample_period_s - meter._window_elapsed
+        step = min(remaining, room)
+        meter._window_energy += p * step
+        meter._window_elapsed += step
+        remaining -= step
+        if meter._window_elapsed >= meter.sample_period_s - 1e-12:
+            meter.samples.append(meter._window_energy / meter._window_elapsed)
+            meter._window_energy = 0.0
+            meter._window_elapsed = 0.0
+
+
+def _legacy_advance_to(clock, when: float) -> None:
+    """Pre-PR SimClock.advance_to: pop-and-push dispatch, cancelled scan."""
+    while True:
+        while clock._heap and clock._heap[0].cancelled:
+            heapq.heappop(clock._heap)
+        deadline = clock._heap[0].deadline if clock._heap else None
+        if deadline is None or deadline > when:
+            break
+        task = heapq.heappop(clock._heap)
+        clock._now = max(clock._now, task.deadline)
+        if task.period > 0.0 and not task.cancelled:
+            task.deadline += task.period
+            heapq.heappush(clock._heap, task)
+        clock._in_dispatch = True
+        try:
+            task.callback(clock._now)
+        finally:
+            clock._in_dispatch = False
+    clock._now = max(clock._now, when)
+
+
+def _legacy_step(self, horizon=None):
+    """Pre-PR HeteroSystem.step: meter source calls, separate clock call."""
+    dt = self._next_dt(horizon)
+    for meter in (self.meter_cpu, self.meter_gpu):
+        _legacy_accumulate(meter, meter.instantaneous_power(), dt)
+    self.gpu.advance(dt)
+    self.cpu.advance(dt)
+    _legacy_advance_to(self.clock, self.clock.now + dt)
+    return dt
+
+
+#: (class, attribute, pre-PR implementation).  Replacing these five cache
+#: reads with their recompute-every-call bodies plus the legacy step is
+#: exactly the seed engine; everything else is shared code.
+_LEGACY_PATCHES = [
+    (GpuDevice, "_cached_estimate", lambda self, k: self._phase_estimate(k)),
+    (GpuDevice, "_current_head", lambda self: self._queue.head),
+    (GpuDevice, "instantaneous_power", GpuDevice.instantaneous_power_uncached),
+    (CpuDevice, "_cached_estimate", lambda self, k: self._phase_estimate(k)),
+    (CpuDevice, "_current_head", lambda self: self._queue.head),
+    (CpuDevice, "instantaneous_power", CpuDevice.instantaneous_power_uncached),
+    (HeteroSystem, "step", _legacy_step),
+]
+
+
+class legacy_engine:
+    """Context manager swapping the fast paths for their pre-PR bodies."""
+
+    def __enter__(self):
+        self._saved = [(c, n, c.__dict__[n]) for c, n, _ in _LEGACY_PATCHES]
+        for cls, name, impl in _LEGACY_PATCHES:
+            setattr(cls, name, impl)
+        return self
+
+    def __exit__(self, *exc):
+        for cls, name, impl in self._saved:
+            setattr(cls, name, impl)
+        return False
+
+
+# -- scenario: single_run ----------------------------------------------
+
+
+def _single_run():
+    time_scale = 0.25
+    return run_workload(
+        scaled_workload("kmeans", time_scale),
+        GreenGpuPolicy(config=scaled_config(time_scale)),
+        n_iterations=4,
+        options=scaled_options(time_scale),
+    )
+
+
+def bench_single_run() -> dict:
+    fast_result = _single_run()
+    with legacy_engine():
+        legacy_result = _single_run()
+    if result_to_dict(fast_result) != result_to_dict(legacy_result):
+        raise SystemExit(
+            "FATAL: fast engine and legacy harness diverged — the "
+            "measured ratio would compare different computations"
+        )
+    fast_best = legacy_best = float("inf")
+    for _ in range(TRIALS):
+        t0 = time.perf_counter()
+        _single_run()
+        fast_best = min(fast_best, time.perf_counter() - t0)
+        with legacy_engine():
+            t0 = time.perf_counter()
+            _single_run()
+            legacy_best = min(legacy_best, time.perf_counter() - t0)
+    return {
+        "fast_s": round(fast_best, 6),
+        "legacy_s": round(legacy_best, 6),
+        "speedup": round(legacy_best / fast_best, 3),
+    }
+
+
+# -- scenario: warm_sweep ----------------------------------------------
+
+
+def _sweep_once(cache: ResultCache, run_dir: Path) -> float:
+    specs = sweep_specs(
+        "kmeans",
+        ratios=[i / 12 for i in range(1, 12)],
+        n_iterations=6,
+        time_scale=0.25,
+    )
+    t0 = time.perf_counter()
+    result = run_jobs(specs, run_dir, isolate=False, cache=cache)
+    elapsed = time.perf_counter() - t0
+    if not result.report.ok:
+        raise SystemExit("FATAL: sweep jobs failed during the benchmark")
+    return elapsed
+
+
+def bench_warm_sweep() -> dict:
+    cold_best = warm_best = float("inf")
+    with tempfile.TemporaryDirectory(prefix="perf-suite-") as tmp:
+        tmp_path = Path(tmp)
+        for trial in range(COLD_TRIALS):
+            cache_dir = tmp_path / f"cache-{trial}"
+            cache = ResultCache(cache_dir)
+            cold = _sweep_once(cache, tmp_path / f"cold-{trial}")
+            cold_best = min(cold_best, cold)
+            warm = _sweep_once(cache, tmp_path / f"warm-{trial}")
+            warm_best = min(warm_best, warm)
+            shutil.rmtree(cache_dir)
+    return {
+        "cold_s": round(cold_best, 6),
+        "warm_s": round(warm_best, 6),
+        "speedup": round(cold_best / warm_best, 3),
+    }
+
+
+# -- driver ------------------------------------------------------------
+
+
+def measure() -> dict:
+    return {
+        "bench_schema": 1,
+        "engine_schema_version": ENGINE_SCHEMA_VERSION,
+        "trials": TRIALS,
+        "floors": FLOORS,
+        "scenarios": {
+            "single_run": bench_single_run(),
+            "warm_sweep": bench_warm_sweep(),
+        },
+    }
+
+
+def report(results: dict) -> None:
+    for name, data in results["scenarios"].items():
+        floor = FLOORS[name]
+        times = "  ".join(
+            f"{k} {v:.4f}s" for k, v in data.items() if k != "speedup"
+        )
+        print(f"{name:12s} {times}  speedup {data['speedup']:.2f}x "
+              f"(floor {floor:.0f}x)")
+
+
+def check(results: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    status = 0
+    for name, data in results["scenarios"].items():
+        speedup = data["speedup"]
+        floor = FLOORS[name]
+        base = baseline["scenarios"].get(name, {}).get("speedup", floor)
+        required = max(floor, base * (1.0 - tolerance))
+        verdict = "ok" if speedup >= required else "REGRESSION"
+        print(f"{name:12s} measured {speedup:.2f}x  baseline {base:.2f}x  "
+              f"required {required:.2f}x  {verdict}")
+        if speedup < required:
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None, metavar="FILE",
+                        help="write measured results as the new baseline")
+    parser.add_argument("--check", type=Path, default=None, metavar="FILE",
+                        help="gate measured speedups against a committed "
+                             "baseline (CI mode)")
+    parser.add_argument("--tolerance", type=float, default=0.4,
+                        help="allowed fractional regression vs the baseline "
+                             "ratio before failing (default 0.4)")
+    args = parser.parse_args(argv)
+
+    results = measure()
+    report(results)
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        print(f"baseline written to {args.out}")
+    if args.check is not None:
+        return check(results, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""On-disk content-addressed store: ``<root>/<key[:2]>/<key>.json``.
+
+Entries are whole JSON documents written atomically (tmp file +
+``os.replace`` via :mod:`repro.ioutil`), so a crashed writer can never
+leave a half-entry that parses.  A corrupt or alien file — truncated by
+the filesystem, hand-edited, or written by a future schema — is treated
+as a *miss*: it is quarantined (renamed ``*.corrupt``) and the caller
+recomputes.  The cache is therefore always safe to delete, and safe to
+share between concurrent processes (atomic replace makes put races
+last-writer-wins with no torn state).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.ioutil import atomic_write_json
+
+#: Version of the cache *envelope* (not the result payload, which carries
+#: its own schema).  Bump when the envelope layout changes; old entries
+#: then read as misses.
+CACHE_SCHEMA_VERSION = 1
+
+_ENV_VAR = "GREENGPU_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache root: ``$GREENGPU_CACHE_DIR`` or ``~/.cache/greengpu``."""
+    override = os.environ.get(_ENV_VAR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "greengpu")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache directory (``repro cache stats``)."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    corrupt: int
+
+
+class ResultCache:
+    """Content-addressed result store (see module docstring).
+
+    ``get``/``put`` also keep per-instance hit/miss/store tallies so the
+    CLI and the harness can report cache effectiveness for one invocation
+    without scanning the directory.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _entry_path(self, key: str) -> Path:
+        if len(key) < 3 or any(c not in "0123456789abcdef" for c in key):
+            raise ConfigError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Payload for ``key``, or None on miss/corruption (never raises)."""
+        path = self._entry_path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("cache_schema") != CACHE_SCHEMA_VERSION
+            or payload.get("key") != key
+        ):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (atomic; adds the envelope fields)."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "created_unix": time.time(),
+            **payload,
+        }
+        atomic_write_json(path, envelope, indent=None)
+        self.stores += 1
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a bad entry aside so the next run recomputes cleanly."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    # -- administration (repro cache {stats,clear}) --------------------
+
+    def _entry_files(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/*.json"))
+
+    def stats(self) -> CacheStats:
+        """Scan the directory and summarize it."""
+        entries = self._entry_files()
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        corrupt = len(list(self.root.glob("??/*.corrupt"))) if self.root.is_dir() else 0
+        return CacheStats(
+            root=str(self.root),
+            entries=len(entries),
+            total_bytes=total,
+            corrupt=corrupt,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry (and quarantined file); return the count removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for pattern in ("??/*.json", "??/*.corrupt", "??/*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        for shard in self.root.glob("??"):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -19,7 +19,11 @@ Subcommands:
   first decision divergence, health drift); ``--fail-on energy=2%``
   turns it into a CI regression gate;
 - ``report``       — render a run directory into a self-contained HTML
-  report (inline-SVG timelines + WMA weight heatmap, no external deps).
+  report (inline-SVG timelines + WMA weight heatmap, no external deps);
+- ``cache``        — inspect (``stats``) or empty (``clear``) the
+  content-addressed result cache that ``run``/``compare``/``sweep``
+  consult (disable per-invocation with ``--no-cache``, relocate with
+  ``--cache-dir``/``$GREENGPU_CACHE_DIR``).
 
 ``run``, ``compare``, ``sweep`` and ``reproduce`` accept ``--telemetry
 DIR`` to record metrics, spans and events into ``DIR`` (see
@@ -106,6 +110,23 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
                              "(render with 'metrics DIR')")
 
 
+def _add_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache root (default: "
+                             "$GREENGPU_CACHE_DIR or ~/.cache/greengpu)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither serve nor store cached results")
+
+
+def _make_cache(args: argparse.Namespace):
+    """The command's ResultCache, or None with ``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.cache import ResultCache, default_cache_dir
+
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     workload = scaled_workload(args.workload, args.time_scale)
     policy = _make_policy(args.policy, args.time_scale, args)
@@ -119,7 +140,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_workload(
         workload, policy, n_iterations=args.iterations,
         options=scaled_options(args.time_scale),
-        telemetry=telemetry, audit=audit,
+        telemetry=telemetry, audit=audit, cache=_make_cache(args),
     )
     print(run_report(result))
     if telemetry is not None:
@@ -149,6 +170,7 @@ def cmd_show(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     workload = scaled_workload(args.workload, args.time_scale)
     options = scaled_options(args.time_scale)
+    cache = _make_cache(args)
     results = []
     for name in ("rodinia-default", "scaling-only", "division-only", "greengpu"):
         telemetry = None
@@ -162,7 +184,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         results.append(run_workload(
             workload, _make_policy(name, args.time_scale, args),
             n_iterations=args.iterations, options=options,
-            telemetry=telemetry, audit=audit,
+            telemetry=telemetry, audit=audit, cache=cache,
         ))
         if telemetry is not None:
             export_worker(telemetry, args.telemetry, name)
@@ -209,6 +231,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             isolate=args.parallel > 1 or args.isolate,
             progress=stderr_progress,
             telemetry=supervisor_telemetry,
+            cache=_make_cache(args),
         )
         if args.telemetry:
             from repro.telemetry import merge_directory
@@ -388,6 +411,22 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root : {stats.root}")
+        print(f"entries    : {stats.entries}")
+        print(f"total bytes: {stats.total_bytes}")
+        print(f"corrupt    : {stats.corrupt}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} files from {cache.root}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.html_report import write_html_report
 
@@ -411,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_faults(p)
     _add_telemetry(p)
+    _add_cache(p)
     p.add_argument("--policy", default="greengpu", choices=sorted(POLICY_FACTORIES))
     p.add_argument("--save", default=None, metavar="FILE",
                    help="write the full result (incl. traces) as JSON")
@@ -424,11 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_faults(p)
     _add_telemetry(p)
+    _add_cache(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="static division sweep (Fig. 2 style)")
     _add_common(p)
     _add_telemetry(p)
+    _add_cache(p)
     p.add_argument("--step", type=float, default=0.05)
     p.add_argument("--max-ratio", type=float, default=0.9)
     p.add_argument("--parallel", type=int, default=1,
@@ -488,6 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on-divergence", action="store_true",
                    help="exit 1 if anything deterministic differs")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache root (default: $GREENGPU_CACHE_DIR or "
+                        "~/.cache/greengpu)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("report",
                        help="self-contained HTML report for a run directory")

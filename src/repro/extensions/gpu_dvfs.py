@@ -61,17 +61,18 @@ class DvfsGpuPowerModel(GpuPowerModel):
         v = self.v_floor_ratio + (1.0 - self.v_floor_ratio) * frac
         return v * v
 
-    def power(
+    def power_unchecked(
         self,
         f_core_ratio: float,
         f_mem_ratio: float,
         u_core: float,
         u_mem: float,
     ) -> float:
-        # Validate inputs via the base model, then rebuild the terms with
-        # each domain's frequency-dependent power scaled by its own rail's
-        # V(f)^2.  The static floor is voltage-insensitive (fans, board).
-        GpuPowerModel.power(self, f_core_ratio, f_mem_ratio, u_core, u_mem)
+        # Override the arithmetic entry point (the checked ``power``
+        # inherits from the base and dispatches here, so both the hot
+        # path and the validating public API see the DVFS terms).  Each
+        # domain's frequency-dependent power scales with its own rail's
+        # V(f)^2; the static floor is voltage-insensitive (fans, board).
         v_core_sq = self._v_sq(f_core_ratio)
         v_mem_sq = self._v_sq(f_mem_ratio)
         return (

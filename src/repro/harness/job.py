@@ -37,6 +37,7 @@ class JobState(enum.Enum):
     QUARANTINED = "quarantined"          # circuit breaker: attempts exhausted
     SKIPPED_RESUMED = "skipped_resumed"  # verified artifact from a prior run
     SKIPPED_DEPENDENCY = "skipped_dependency"  # an upstream job did not succeed
+    SKIPPED_CACHED = "skipped_cached"    # payload served by the result cache
 
 
 #: States a job can end the run in.
@@ -45,10 +46,15 @@ TERMINAL_STATES = frozenset({
     JobState.QUARANTINED,
     JobState.SKIPPED_RESUMED,
     JobState.SKIPPED_DEPENDENCY,
+    JobState.SKIPPED_CACHED,
 })
 
 #: Terminal states that satisfy a dependency edge.
-SATISFIED_STATES = frozenset({JobState.SUCCEEDED, JobState.SKIPPED_RESUMED})
+SATISFIED_STATES = frozenset({
+    JobState.SUCCEEDED,
+    JobState.SKIPPED_RESUMED,
+    JobState.SKIPPED_CACHED,
+})
 
 
 @dataclass(frozen=True)
@@ -61,6 +67,9 @@ class JobSpec:
     timeout_s: float | None = 600.0   # wall-clock kill deadline per attempt
     retry: RetryPolicy = field(default_factory=default_retry)
     depends_on: tuple[str, ...] = ()
+    # Content address of this job's payload (repro.cache.job_key); None
+    # means the job is uncacheable (side effects, unfingerprintable args).
+    cache_key: str | None = None
 
     def __post_init__(self) -> None:
         if not _NAME_RE.match(self.name):

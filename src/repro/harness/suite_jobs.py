@@ -128,16 +128,21 @@ def suite_specs(
     ordered = [n for n in SUITE_ARTIFACTS if n in names]
     retry = retry or RetryPolicy(max_attempts=2, base_backoff_s=0.05,
                                  max_backoff_s=0.5)
-    return [
-        JobSpec(
+    from repro.cache import job_key
+
+    specs = []
+    for name in ordered:
+        target = f"repro.harness.suite_jobs:run_{name}"
+        kwargs = {"time_scale": time_scale}
+        specs.append(JobSpec(
             name=name,
-            target=f"repro.harness.suite_jobs:run_{name}",
-            kwargs={"time_scale": time_scale},
+            target=target,
+            kwargs=kwargs,
             timeout_s=timeout_s,
             retry=retry,
-        )
-        for name in ordered
-    ]
+            cache_key=job_key(target, kwargs),
+        ))
+    return specs
 
 
 # -- sweep targets (cli.py cmd_sweep) ----------------------------------
@@ -183,19 +188,27 @@ def sweep_specs(workload: str, ratios: list[float], n_iterations: int,
                 time_scale: float, timeout_s: float | None = 600.0,
                 telemetry_dir: str | None = None,
                 ) -> list[JobSpec]:
+    from repro.cache import job_key
+
     common = {"workload": workload, "n_iterations": n_iterations,
               "time_scale": time_scale}
     if telemetry_dir is not None:
         common["telemetry_dir"] = telemetry_dir
-    return [
-        JobSpec(
+    target = "repro.harness.suite_jobs:run_sweep_point"
+    specs = []
+    for ratio in ratios:
+        kwargs = {**common, "r": ratio}
+        specs.append(JobSpec(
             name=f"r={ratio:.4f}",
-            target="repro.harness.suite_jobs:run_sweep_point",
-            kwargs={**common, "r": ratio},
+            target=target,
+            kwargs=kwargs,
             timeout_s=timeout_s,
-        )
-        for ratio in ratios
-    ]
+            # A telemetry-exporting point has filesystem side effects a
+            # cache hit would silently skip; only plain points are keyed.
+            cache_key=None if telemetry_dir is not None
+            else job_key(target, kwargs),
+        ))
+    return specs
 
 
 # -- reproduce targets (cli.py cmd_reproduce) --------------------------

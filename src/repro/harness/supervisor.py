@@ -75,6 +75,7 @@ class HarnessReport:
     jobs_total: int = 0
     succeeded: int = 0
     resumed: int = 0
+    cached: int = 0           # served from the content-addressed result cache
     retries: int = 0          # extra attempts beyond each job's first
     timeouts: int = 0         # attempts killed on their deadline
     quarantined: int = 0      # circuit breaker tripped: attempts exhausted
@@ -93,6 +94,7 @@ class HarnessReport:
     def summary_line(self) -> str:
         return (
             f"harness: {self.succeeded} ok, {self.resumed} resumed, "
+            f"{self.cached} cached, "
             f"{self.retries} retried, {self.timeouts} timed out, "
             f"{self.quarantined} quarantined, {self.dep_skipped} dep-skipped "
             f"({self.elapsed_s:.1f}s)"
@@ -103,6 +105,7 @@ class HarnessReport:
             f"jobs        : {self.jobs_total}",
             f"succeeded   : {self.succeeded}",
             f"resumed     : {self.resumed}",
+            f"cached      : {self.cached}",
             f"retries     : {self.retries}",
             f"timeouts    : {self.timeouts}",
             f"quarantined : {self.quarantined}",
@@ -158,6 +161,7 @@ class Supervisor:
         isolate: bool = True,
         progress: Callable[[ProgressEvent], None] | None = None,
         telemetry=None,
+        cache=None,
     ) -> None:
         self.specs = validate_dag(list(specs))
         self.spec_order = [s.name for s in specs]  # declaration order
@@ -169,6 +173,7 @@ class Supervisor:
         self.isolate = isolate
         self.progress = progress
         self.telemetry = telemetry
+        self.cache = cache
         self._ctx = multiprocessing.get_context("spawn")
         self._stop_signal: int | None = None
 
@@ -203,6 +208,7 @@ class Supervisor:
                     isolate=self.isolate,
                 )
                 self._resume_pass(prior, outcomes, report, journal, started)
+                self._cache_pass(outcomes, report, journal, started)
                 self._schedule(outcomes, report, journal, started)
                 report.elapsed_s = time.perf_counter() - started
                 if self._stop_signal is not None:
@@ -248,6 +254,7 @@ class Supervisor:
             ("harness_jobs_total", report.jobs_total),
             ("harness_succeeded_total", report.succeeded),
             ("harness_resumed_total", report.resumed),
+            ("harness_cached_total", report.cached),
             ("harness_retries_total", report.retries),
             ("harness_timeouts_total", report.timeouts),
             ("harness_quarantined_total", report.quarantined),
@@ -309,6 +316,35 @@ class Supervisor:
             report.resumed += 1
             journal.record("job_skipped", job=name, reason="resumed")
             self._emit_progress(outcomes, name, run_started)
+
+    # -- result cache --------------------------------------------------
+
+    def _cache_pass(self, outcomes: dict[str, JobOutcome],
+                    report: HarnessReport, journal: Journal,
+                    run_started: float) -> None:
+        """Serve still-pending keyed jobs from the result cache.
+
+        Runs after the resume pass (a verified on-disk artifact wins —
+        it belongs to *this* run directory) and before scheduling.  Each
+        hit is journaled as ``job_skipped reason=cache`` with its key,
+        so ``--resume`` of an interrupted run and any later audit can
+        see exactly which points were never simulated.
+        """
+        if self.cache is None:
+            return
+        for spec in self.specs:
+            outcome = outcomes[spec.name]
+            if spec.cache_key is None or outcome.state is not JobState.PENDING:
+                continue
+            entry = self.cache.get(spec.cache_key)
+            if entry is None or "payload" not in entry:
+                continue
+            outcome.state = JobState.SKIPPED_CACHED
+            outcome.payload = entry["payload"]
+            report.cached += 1
+            journal.record("job_skipped", job=spec.name, reason="cache",
+                           cache_key=spec.cache_key)
+            self._emit_progress(outcomes, spec.name, run_started)
 
     # -- scheduling ----------------------------------------------------
 
@@ -523,6 +559,8 @@ class Supervisor:
                        elapsed_s=round(elapsed, 3),
                        artifact=os.path.relpath(path, self.run_dir),
                        sha256=sha)
+        if self.cache is not None and spec.cache_key is not None:
+            self.cache.put(spec.cache_key, {"payload": payload})
         self._emit_progress(outcomes, spec.name, run_started)
 
     def _attempt_failed(self, spec: JobSpec, error: str,
@@ -577,9 +615,10 @@ def run_jobs(
     isolate: bool = True,
     progress: Callable[[ProgressEvent], None] | None = None,
     telemetry=None,
+    cache=None,
 ) -> HarnessResult:
     """Run a job DAG under supervision; see :class:`Supervisor`."""
     supervisor = Supervisor(specs, run_dir, parallel=parallel, resume=resume,
                             isolate=isolate, progress=progress,
-                            telemetry=telemetry)
+                            telemetry=telemetry, cache=cache)
     return supervisor.run()

@@ -13,6 +13,14 @@ on real hardware:
 See DESIGN.md §1 for the substitution rationale.
 """
 
+# Version of the simulation engine's *numerical behavior*.  Bump on any
+# change that can alter a run's results (power models, roofline timing,
+# meter integration, event ordering) — it is folded into every
+# content-addressed cache key (repro.cache) so stale results can never be
+# served across engine revisions.  Pure-speed refactors that are proven
+# bit-identical (the paired-oracle test) do not need a bump.
+ENGINE_SCHEMA_VERSION = 1
+
 from repro.sim.frequency import FrequencyLadder
 from repro.sim.perf import ExecutionEstimate, RooflineModel
 from repro.sim.power import CpuPowerModel, GpuPowerModel
@@ -25,6 +33,7 @@ from repro.sim.platform import HeteroSystem, TestbedConfig, make_testbed
 from repro.sim.trace import Trace, TraceRecorder
 
 __all__ = [
+    "ENGINE_SCHEMA_VERSION",
     "FrequencyLadder",
     "ExecutionEstimate",
     "RooflineModel",

@@ -24,7 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import FrequencyError, SimulationError
-from repro.sim.activity import ActivityQueue, KernelActivity, TransferActivity
+from repro.sim.activity import (
+    Activity,
+    ActivityQueue,
+    KernelActivity,
+    TransferActivity,
+)
 from repro.sim.frequency import FrequencyLadder
 from repro.sim.perf import ExecutionEstimate, RooflineModel
 from repro.sim.power import CpuPowerModel
@@ -72,6 +77,27 @@ class CpuDevice:
         self.spin_energy_j = 0.0
         self.elapsed_seconds = 0.0
         self.freq_transitions = 0
+        # Epoch-keyed caches; same contract as GpuDevice (docs/performance.md).
+        self._epoch = 0
+        self._power_epoch = -1
+        self._power_w = 0.0
+        self._est_epoch = -1
+        self._est: ExecutionEstimate | None = None
+        self._head_epoch = -1
+        self._head: Activity | None = None
+        self._refresh_rates()
+
+    def _refresh_rates(self) -> None:
+        self._f_ratio = self._f / self.spec.ladder.peak
+        self._compute_rate = self.spec.peak_compute_rate * self._f_ratio
+
+    def _bump(self) -> None:
+        """Invalidate the power/estimate caches (state-change epoch)."""
+        self._epoch += 1
+
+    def invalidate_caches(self) -> None:
+        """Public cache invalidation (reference path and tests)."""
+        self._bump()
 
     # -- P-state control (cpufreq surface) -------------------------------------
 
@@ -91,7 +117,9 @@ class CpuDevice:
             raise FrequencyError(f"{f} Hz is not a P-state of {self.spec.name}")
         if f != self._f:
             self.freq_transitions += 1
+            self._bump()
         self._f = f
+        self._refresh_rates()
 
     def set_peak(self) -> None:
         self.set_frequency(self.spec.ladder.peak)
@@ -100,36 +128,41 @@ class CpuDevice:
 
     @property
     def f_ratio(self) -> float:
-        return self._f / self.spec.ladder.peak
+        return self._f_ratio
 
     @property
     def compute_rate(self) -> float:
         """Aggregate compute rate in flop/s at the current P-state."""
-        return self.spec.peak_compute_rate * self.f_ratio
+        return self._compute_rate
 
     # -- work submission ----------------------------------------------------------
 
     def submit_kernel(self, kernel: KernelActivity) -> None:
         """Enqueue a CPU kernel (the OpenMP share of an iteration)."""
         self._queue.push(kernel)
+        self._bump()
 
     @property
     def has_work(self) -> bool:
         """True while queued kernels are unfinished (spin does not count)."""
-        return self._queue.busy
+        return self._current_head() is not None
 
     @property
     def busy(self) -> bool:
         """True while working or spinning (what /proc/stat reports)."""
-        return self._queue.busy or self._spinning
+        return self._current_head() is not None or self._spinning
 
     def spin(self) -> None:
         """Enter busy-wait (synchronized GPU communication)."""
-        self._spinning = True
+        if not self._spinning:
+            self._spinning = True
+            self._bump()
 
     def stop_spin(self) -> None:
         """Leave busy-wait."""
-        self._spinning = False
+        if self._spinning:
+            self._spinning = False
+            self._bump()
 
     @property
     def spinning(self) -> bool:
@@ -138,6 +171,7 @@ class CpuDevice:
     def cancel_all(self) -> None:
         self._queue.clear()
         self._spinning = False
+        self._bump()
 
     # -- simulation stepping --------------------------------------------------
 
@@ -151,28 +185,58 @@ class CpuDevice:
             phase.stall_s,
         )
 
+    def _cached_estimate(self, kernel: KernelActivity) -> ExecutionEstimate:
+        """Roofline estimate for the head phase, constant within an epoch."""
+        if self._est_epoch != self._epoch:
+            self._est = self._phase_estimate(kernel)
+            self._est_epoch = self._epoch
+        return self._est
+
+    def _current_head(self) -> Activity | None:
+        """Head activity, constant within an epoch (see GpuDevice)."""
+        if self._head_epoch != self._epoch:
+            self._head = self._queue.head
+            self._head_epoch = self._epoch
+        return self._head
+
     def time_to_event(self) -> float | None:
         """Seconds to the next internal event; None when idle or spinning."""
-        head = self._queue.head
+        head = self._current_head()
         if head is None:
             return None
         if isinstance(head, TransferActivity):
             return head.remaining_s
         assert isinstance(head, KernelActivity)
-        est = self._phase_estimate(head)
+        est = self._cached_estimate(head)
         if est.seconds == 0.0:
             return 0.0
         return (1.0 - head.phase_fraction) * est.seconds
 
     def instantaneous_utilization(self) -> float:
         """Package utilization as /proc/stat would report it."""
-        if self._queue.busy or self._spinning:
+        if self._current_head() is not None or self._spinning:
             return 1.0
         return 0.0
 
     def instantaneous_power(self) -> float:
-        """Current package power in watts."""
-        return self.spec.power.power(self.f_ratio, self.instantaneous_utilization())
+        """Current package power in watts (epoch-cached)."""
+        if self._power_epoch != self._epoch:
+            self._power_w = self.spec.power.power_unchecked(
+                self._f_ratio, self.instantaneous_utilization()
+            )
+            self._power_epoch = self._epoch
+        return self._power_w
+
+    def instantaneous_power_uncached(self) -> float:
+        """Current package power recomputed from scratch (reference path).
+
+        Bypasses the epoch cache and goes through the checked public
+        power-model API; bit-identical to :meth:`instantaneous_power`
+        whenever the caches are coherent.
+        """
+        return self.spec.power.power(
+            self._f / self.spec.ladder.peak, self.instantaneous_utilization()
+        )
 
     def advance(self, dt: float) -> None:
         """Advance the device by ``dt`` seconds of simulated time."""
@@ -187,8 +251,8 @@ class CpuDevice:
         power = self.instantaneous_power()
         self.energy_j += power * dt
         self.elapsed_seconds += dt
-        working = self._queue.busy
-        if working:
+        head = self._current_head()
+        if head is not None:
             self.busy_seconds += dt
             self.work_seconds += dt
         elif self._spinning:
@@ -196,24 +260,28 @@ class CpuDevice:
             self.spin_seconds += dt
             self.spin_energy_j += power * dt
 
-        head = self._queue.head
         if head is not None:
             if isinstance(head, TransferActivity):
                 head.advance_time(min(dt, head.remaining_s))
+                if head.done:
+                    self._bump()
             else:
                 assert isinstance(head, KernelActivity)
-                est = self._phase_estimate(head)
+                est = self._cached_estimate(head)
+                index = head.phase_index
                 if est.seconds == 0.0:
                     head.advance_fraction(1.0 - head.phase_fraction)
                 else:
                     head.advance_fraction(
                         min(dt / est.seconds, 1.0 - head.phase_fraction)
                     )
+                if head.done or head.phase_index != index:
+                    self._bump()
         self._drain_zero_time_heads()
 
     def _drain_zero_time_heads(self) -> None:
         while True:
-            head = self._queue.head
+            head = self._current_head()
             if head is None:
                 return
             if isinstance(head, TransferActivity):
@@ -222,10 +290,11 @@ class CpuDevice:
                 head.advance_time(head.remaining_s)
             else:
                 assert isinstance(head, KernelActivity)
-                est = self._phase_estimate(head)
+                est = self._cached_estimate(head)
                 if est.seconds > _EPS:
                     return
                 head.advance_fraction(1.0 - head.phase_fraction)
+            self._bump()
 
     # -- Fig. 6c emulation helper -------------------------------------------------
 

@@ -49,6 +49,10 @@ class FrequencyLadder:
         # store descending: index 0 is the peak frequency
         self._levels: tuple[float, ...] = tuple(reversed(levels))
 
+    def cache_state(self) -> tuple[float, ...]:
+        """Canonical state for content-addressed cache keys (repro.cache)."""
+        return self._levels
+
     # -- construction helpers -------------------------------------------------
 
     @classmethod

@@ -81,6 +81,14 @@ class RooflineModel:
             )
         self.overlap_exponent = float(overlap_exponent)
 
+    def cache_state(self) -> str:
+        """Canonical state for content-addressed cache keys (repro.cache).
+
+        A string, because ``inf`` is a legal exponent and JSON has no
+        portable spelling for it.
+        """
+        return repr(self.overlap_exponent)
+
     def combine(self, t_compute: float, t_memory: float, t_stall: float = 0.0) -> float:
         """Combined execution time for component times (seconds)."""
         parts = (t_compute, t_memory, t_stall)

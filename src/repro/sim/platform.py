@@ -38,6 +38,9 @@ class TestbedConfig:
     meter2_overhead_w: float = 5.0    # standalone ATX supply idle draw
     meter2_efficiency: float = 0.78   # that supply's conversion efficiency
     meter_sample_period_s: float = 1.0
+    # Bound on each meter's sample log; None keeps every window (historical
+    # behavior).  When set, a full log is decimated 2:1 (see PowerMeter).
+    sample_log_cap: int | None = None
 
 
 class HeteroSystem:
@@ -56,6 +59,7 @@ class HeteroSystem:
             overhead_w=config.meter1_overhead_w,
             efficiency=config.meter1_efficiency,
             sample_period_s=config.meter_sample_period_s,
+            sample_log_cap=config.sample_log_cap,
         )
         # Meter2: wall power of the GPU card's dedicated ATX supply.
         self.meter_gpu = PowerMeter(
@@ -64,6 +68,7 @@ class HeteroSystem:
             overhead_w=config.meter2_overhead_w,
             efficiency=config.meter2_efficiency,
             sample_period_s=config.meter_sample_period_s,
+            sample_log_cap=config.sample_log_cap,
         )
 
     # -- measurement -----------------------------------------------------------
@@ -100,6 +105,11 @@ class HeteroSystem:
         self.meter_cpu.reset()
         self.meter_gpu.reset()
 
+    def finalize_meters(self) -> None:
+        """Flush both meters' trailing partial sample windows (end of run)."""
+        self.meter_cpu.finalize()
+        self.meter_gpu.finalize()
+
     # -- stepping -----------------------------------------------------------------
 
     def _next_dt(self, horizon: float | None) -> float:
@@ -127,10 +137,74 @@ class HeteroSystem:
         meters at the *current* powers, advance both devices, then advance
         the clock (firing any due controller callbacks, which may change
         frequencies or submit work for subsequent steps).
+
+        This is the hot path: the next-event search runs inline over
+        locals with no candidate-list allocation, and device powers come
+        from the epoch caches.  :meth:`_step_reference` is the kept
+        uncached oracle; the paired property test pins the two to
+        bit-identical trajectories.
         """
+        clock = self.clock
+        gpu = self.gpu
+        cpu = self.cpu
+        dt: float | None = None
+        deadline = clock.next_deadline()
+        if deadline is not None:
+            dt = deadline - clock.now
+            if dt < 0.0:
+                dt = 0.0
+        tte = gpu.time_to_event()
+        if tte is not None and (dt is None or tte < dt):
+            dt = tte
+        tte = cpu.time_to_event()
+        if tte is not None and (dt is None or tte < dt):
+            dt = tte
+        if horizon is not None:
+            if horizon < 0.0:
+                raise SimulationError("horizon must be non-negative")
+            if dt is None or horizon < dt:
+                dt = horizon
+        if dt is None:
+            raise SimulationError(
+                "nothing to simulate: no device work, no scheduled tasks, no horizon"
+            )
+        # Feed the meters from the devices' epoch-cached powers with the
+        # exact expression accumulate() would use for a single source.
+        meter = self.meter_cpu
+        meter.accumulate_from(
+            (cpu.instantaneous_power() + meter.overhead_w) / meter.efficiency, dt
+        )
+        meter = self.meter_gpu
+        meter.accumulate_from(
+            (gpu.instantaneous_power() + meter.overhead_w) / meter.efficiency, dt
+        )
+        gpu.advance(dt)
+        cpu.advance(dt)
+        clock.advance_by(dt)
+        return dt
+
+    def _step_reference(self, horizon: float | None = None) -> float:
+        """Pre-optimization step loop, kept as the correctness oracle.
+
+        Invalidates every epoch cache up front and feeds the meters from
+        the devices' from-scratch checked power path, so nothing here
+        depends on cache coherence.  Must stay bit-identical to
+        :meth:`step` — the paired-oracle property test replays whole runs
+        through both and compares every integral exactly.
+        """
+        self.gpu.invalidate_caches()
+        self.cpu.invalidate_caches()
         dt = self._next_dt(horizon)
-        self.meter_cpu.accumulate(dt)
-        self.meter_gpu.accumulate(dt)
+        self.meter_cpu.accumulate_from(
+            (self.cpu.instantaneous_power_uncached() + self.meter_cpu.overhead_w)
+            / self.meter_cpu.efficiency,
+            dt,
+        )
+        self.meter_gpu.accumulate_from(
+            (self.gpu.instantaneous_power_uncached() + self.meter_gpu.overhead_w)
+            / self.meter_gpu.efficiency,
+            dt,
+        )
         self.gpu.advance(dt)
         self.cpu.advance(dt)
         self.clock.advance_by(dt)

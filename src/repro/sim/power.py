@@ -85,6 +85,23 @@ class GpuPowerModel:
             raise ConfigError("frequency ratios must be positive")
         _check_fraction("u_core", u_core)
         _check_fraction("u_mem", u_mem)
+        return self.power_unchecked(f_core_ratio, f_mem_ratio, u_core, u_mem)
+
+    def power_unchecked(
+        self,
+        f_core_ratio: float,
+        f_mem_ratio: float,
+        u_core: float,
+        u_mem: float,
+    ) -> float:
+        """:meth:`power` with range validation hoisted to the caller.
+
+        The simulator's hot path validates inputs once at the actuation
+        boundary (ladder membership guarantees positive ratios, the
+        roofline model guarantees utilizations in [0, 1]) and then calls
+        this per event.  Both entry points share the same arithmetic, so
+        results are bit-identical.
+        """
         return (
             self.static_w
             + self.clock_core_w * f_core_ratio
@@ -145,6 +162,16 @@ class CpuPowerModel:
         if f_ratio <= 0.0:
             raise ConfigError("frequency ratio must be positive")
         _check_fraction("u", u)
+        return self.power_unchecked(f_ratio, u)
+
+    def power_unchecked(self, f_ratio: float, u: float) -> float:
+        """:meth:`power` with range validation hoisted to the caller.
+
+        Same contract as :meth:`GpuPowerModel.power_unchecked`: the P-state
+        ladder guarantees a positive ratio and the device guarantees a
+        utilization in [0, 1], so the hot path skips the checks.  Shared
+        arithmetic keeps both entry points bit-identical.
+        """
         v = self.voltage_ratio(f_ratio)
         return self.static_w + self.active_w * u * f_ratio * v * v
 

@@ -142,6 +142,17 @@ class Workload:
     def default_iterations(self) -> int:
         return 20
 
+    def cache_fingerprint(self):
+        """Canonicalizable description of all demand-shaping state.
+
+        Used by :mod:`repro.cache` to content-address run results.  The
+        default ``None`` opts out of caching — correct for arbitrary
+        subclasses, whose phase generators may close over anything.
+        Subclasses whose demands are a pure function of declarative state
+        should return that state (see :class:`DemandModelWorkload`).
+        """
+        return None
+
 
 class DemandModelWorkload(Workload):
     """Workload whose demands are synthesized from a :class:`WorkloadProfile`.
@@ -161,6 +172,8 @@ class DemandModelWorkload(Workload):
     def __init__(self, profile: WorkloadProfile, gpu: GpuSpec, cpu: CpuSpec):
         self.profile = profile
         self.name = profile.name
+        self._gpu_spec = gpu
+        self._cpu_spec = cpu
         self._gpu_unit_phases = self._build_gpu_unit_phases(profile, gpu)
         self._gpu_serial_phase = self._build_gpu_serial_phase(profile, gpu)
         self._cpu_unit_phase = self._build_cpu_unit_phase(profile, cpu)
@@ -268,3 +281,11 @@ class DemandModelWorkload(Workload):
     @property
     def default_iterations(self) -> int:
         return self.profile.default_iterations
+
+    def cache_fingerprint(self):
+        """Profile plus the device specs the demands were calibrated against."""
+        return {
+            "profile": self.profile,
+            "gpu_spec": self._gpu_spec,
+            "cpu_spec": self._cpu_spec,
+        }

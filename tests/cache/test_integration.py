@@ -1,0 +1,146 @@
+"""End-to-end cache behavior through the executor and the harness."""
+
+import pytest
+
+from repro.analysis.serialize import result_to_dict
+from repro.cache import ResultCache, job_key, run_key
+from repro.core.policies import GreenGpuPolicy
+from repro.experiments.common import (
+    scaled_config,
+    scaled_options,
+    scaled_workload,
+)
+from repro.harness.job import JobSpec, JobState
+from repro.harness.journal import JOURNAL_NAME, read_journal
+from repro.harness.supervisor import run_jobs
+from repro.runtime.executor import run_workload
+from repro.sim.platform import make_testbed
+
+TESTJOBS = "repro.harness._testjobs"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _run(cache=None, **kwargs):
+    time_scale = 0.05
+    return run_workload(
+        scaled_workload("kmeans", time_scale),
+        GreenGpuPolicy(config=scaled_config(time_scale)),
+        n_iterations=1,
+        options=scaled_options(time_scale),
+        cache=cache,
+        **kwargs,
+    )
+
+
+class TestExecutorCache:
+    def test_second_run_served_from_cache(self, cache):
+        first = _run(cache)
+        assert cache.stores == 1
+        second = _run(cache)
+        assert cache.hits == 1
+        assert result_to_dict(second) == result_to_dict(first)
+
+    def test_no_cache_means_no_files(self, cache):
+        _run(None)
+        assert cache.stats().entries == 0
+
+    def test_live_system_bypasses_cache(self, cache):
+        _run(cache)
+        _run(cache, system=make_testbed())
+        # Neither served nor stored for the instrumented run.
+        assert cache.hits == 0
+        assert cache.stores == 1
+
+    def test_telemetry_run_stores_but_is_not_served(self, cache):
+        from repro.telemetry import Telemetry
+
+        _run(cache, telemetry=Telemetry())
+        assert cache.stores == 1
+        _run(cache, telemetry=Telemetry())
+        assert cache.hits == 0
+        assert cache.stores == 2
+
+    def test_telemetry_snapshot_stored_alongside_result(self, cache):
+        from repro.telemetry import Telemetry
+
+        _run(cache, telemetry=Telemetry())
+        wl = scaled_workload("kmeans", 0.05)
+        key = run_key(wl, GreenGpuPolicy(config=scaled_config(0.05)), 1,
+                      options=scaled_options(0.05))
+        entry = cache.get(key)
+        assert "telemetry" in entry
+
+    def test_corrupt_entry_recomputed(self, cache):
+        first = _run(cache)
+        wl = scaled_workload("kmeans", 0.05)
+        key = run_key(wl, GreenGpuPolicy(config=scaled_config(0.05)), 1,
+                      options=scaled_options(0.05))
+        path = cache.root / key[:2] / f"{key}.json"
+        assert path.is_file()
+        path.write_text("garbage")
+        second = _run(cache)
+        assert result_to_dict(second) == result_to_dict(first)
+        assert cache.stores == 2  # recomputed and re-stored
+
+
+def ok_spec(name, value, keyed=True):
+    target = f"{TESTJOBS}:ok"
+    kwargs = {"value": value}
+    return JobSpec(name=name, target=target, kwargs=kwargs,
+                   cache_key=job_key(target, kwargs) if keyed else None)
+
+
+class TestHarnessCache:
+    def test_second_run_serves_cached_payloads(self, tmp_path, cache):
+        specs = [ok_spec("a", 1), ok_spec("b", 2)]
+        first = run_jobs(specs, tmp_path / "run1", isolate=False, cache=cache)
+        assert first.report.ok and first.report.cached == 0
+        assert cache.stores == 2
+
+        second = run_jobs(specs, tmp_path / "run2", isolate=False, cache=cache)
+        assert second.report.ok
+        assert second.report.cached == 2
+        assert second.report.succeeded == 0
+        for name in ("a", "b"):
+            assert second.outcomes[name].state is JobState.SKIPPED_CACHED
+        assert second.payloads == first.payloads
+
+    def test_unkeyed_jobs_always_run(self, tmp_path, cache):
+        specs = [ok_spec("a", 1, keyed=False)]
+        run_jobs(specs, tmp_path / "run1", isolate=False, cache=cache)
+        second = run_jobs(specs, tmp_path / "run2", isolate=False, cache=cache)
+        assert second.report.cached == 0
+        assert second.outcomes["a"].state is JobState.SUCCEEDED
+
+    def test_cache_hit_journaled(self, tmp_path, cache):
+        specs = [ok_spec("a", 1)]
+        run_jobs(specs, tmp_path / "run1", isolate=False, cache=cache)
+        run_jobs(specs, tmp_path / "run2", isolate=False, cache=cache)
+        events = read_journal(tmp_path / "run2" / JOURNAL_NAME)
+        skips = [e for e in events if e.get("event") == "job_skipped"
+                 and e.get("reason") == "cache"]
+        assert len(skips) == 1
+        assert skips[0]["cache_key"] == specs[0].cache_key
+
+    def test_cached_satisfies_dependencies(self, tmp_path, cache):
+        upstream = ok_spec("up", 1)
+        specs = [upstream,
+                 JobSpec(name="down", target=f"{TESTJOBS}:ok",
+                         kwargs={"value": 2}, depends_on=("up",))]
+        run_jobs([upstream], tmp_path / "run1", isolate=False, cache=cache)
+        result = run_jobs(specs, tmp_path / "run2", isolate=False, cache=cache)
+        assert result.outcomes["up"].state is JobState.SKIPPED_CACHED
+        assert result.outcomes["down"].state is JobState.SUCCEEDED
+
+    def test_resume_takes_precedence_over_cache(self, tmp_path, cache):
+        specs = [ok_spec("a", 1)]
+        run_dir = tmp_path / "run"
+        run_jobs(specs, run_dir, isolate=False, cache=cache)
+        resumed = run_jobs(specs, run_dir, isolate=False, resume=True,
+                           cache=cache)
+        assert resumed.outcomes["a"].state is JobState.SKIPPED_RESUMED
+        assert resumed.report.cached == 0

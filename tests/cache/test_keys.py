@@ -1,0 +1,164 @@
+"""Tests for cache-key derivation: canonicalization and sensitivity."""
+
+import dataclasses
+import enum
+
+import pytest
+
+from repro.cache import canonicalize, fingerprint, job_key, run_key
+from repro.core.policies import BestPerformancePolicy, GreenGpuPolicy
+from repro.errors import ConfigError
+from repro.experiments.common import (
+    scaled_config,
+    scaled_options,
+    scaled_workload,
+)
+from repro.faults.injector import fault_profile
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclasses.dataclass(frozen=True)
+class Point:
+    x: float
+    y: float
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        assert canonicalize(None) is None
+        assert canonicalize(True) is True
+        assert canonicalize(3) == 3
+        assert canonicalize(1.5) == 1.5
+        assert canonicalize("s") == "s"
+
+    def test_nonfinite_floats_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigError):
+                canonicalize(bad)
+
+    def test_enum_tagged_by_type(self):
+        assert canonicalize(Color.RED) == {"__enum__": "Color", "value": "red"}
+
+    def test_dataclass_tagged_by_class_name(self):
+        assert canonicalize(Point(1.0, 2.0)) == {
+            "__kind__": "Point", "x": 1.0, "y": 2.0
+        }
+
+    def test_dict_keys_sorted_and_string_only(self):
+        assert list(canonicalize({"b": 1, "a": 2})) == ["a", "b"]
+        with pytest.raises(ConfigError):
+            canonicalize({1: "x"})
+
+    def test_tuples_become_lists(self):
+        assert canonicalize((1, 2)) == [1, 2]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigError):
+            canonicalize(object())
+        with pytest.raises(ConfigError):
+            canonicalize(lambda: None)
+
+    def test_cache_state_protocol(self):
+        class Ladder:
+            def cache_state(self):
+                return (1.0, 2.0)
+
+        assert canonicalize(Ladder()) == {"__kind__": "Ladder",
+                                          "state": [1.0, 2.0]}
+
+
+class TestFingerprint:
+    def test_deterministic_across_dict_order(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_distinct_values_distinct_digests(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_is_hex_sha256(self):
+        digest = fingerprint("x")
+        assert len(digest) == 64
+        assert all(c in "0123456789abcdef" for c in digest)
+
+
+def _key(workload="kmeans", policy=None, n_iterations=2, time_scale=0.05,
+         warmup_s=0.0):
+    wl = scaled_workload(workload, time_scale)
+    if policy is None:
+        policy = GreenGpuPolicy(config=scaled_config(time_scale))
+    return run_key(wl, policy, n_iterations,
+                   options=scaled_options(time_scale), warmup_s=warmup_s)
+
+
+class TestRunKey:
+    def test_deterministic(self):
+        assert _key() == _key()
+        assert _key() is not None
+
+    def test_sensitive_to_workload(self):
+        assert _key(workload="kmeans") != _key(workload="hotspot")
+
+    def test_sensitive_to_policy_type(self):
+        assert _key() != _key(policy=BestPerformancePolicy())
+
+    def test_sensitive_to_policy_config(self):
+        assert _key(time_scale=0.05) != _key(time_scale=0.1)
+
+    def test_sensitive_to_iterations(self):
+        assert _key(n_iterations=2) != _key(n_iterations=3)
+
+    def test_sensitive_to_warmup(self):
+        assert _key(warmup_s=0.0) != _key(warmup_s=1.0)
+
+    def test_sensitive_to_fault_plan_and_seed(self):
+        base = GreenGpuPolicy(config=scaled_config(0.05))
+        faulted0 = base.with_faults(fault_profile("moderate", seed=0))
+        faulted1 = base.with_faults(fault_profile("moderate", seed=1))
+        keys = {_key(policy=p) for p in (base, faulted0, faulted1)}
+        assert len(keys) == 3
+
+    def test_none_iterations_resolves_to_default(self):
+        wl = scaled_workload("kmeans", 0.05)
+        policy = GreenGpuPolicy(config=scaled_config(0.05))
+        options = scaled_options(0.05)
+        assert (run_key(wl, policy, None, options=options)
+                == run_key(wl, policy, wl.default_iterations, options=options))
+
+    def test_workload_without_fingerprint_is_uncacheable(self):
+        class Opaque:
+            pass
+
+        assert run_key(Opaque(), GreenGpuPolicy(), 1) is None
+
+    def test_workload_opting_out_is_uncacheable(self):
+        class OptOut:
+            def cache_fingerprint(self):
+                return None
+
+        assert run_key(OptOut(), GreenGpuPolicy(), 1) is None
+
+    def test_uncanonicalizable_policy_is_uncacheable(self):
+        wl = scaled_workload("kmeans", 0.05)
+        assert run_key(wl, object(), 2) is None
+
+
+class TestJobKey:
+    def test_deterministic_and_sensitive(self):
+        k = job_key("m:f", {"a": 1})
+        assert k == job_key("m:f", {"a": 1})
+        assert k != job_key("m:g", {"a": 1})
+        assert k != job_key("m:f", {"a": 2})
+
+    def test_uncanonicalizable_kwargs_uncacheable(self):
+        assert job_key("m:f", {"a": object()}) is None
+
+    def test_engine_schema_version_in_key(self, monkeypatch):
+        import repro.cache.keys as keys_mod
+
+        before = job_key("m:f", {})
+        monkeypatch.setattr(keys_mod, "ENGINE_SCHEMA_VERSION",
+                            keys_mod.ENGINE_SCHEMA_VERSION + 1)
+        assert job_key("m:f", {}) != before

@@ -1,0 +1,127 @@
+"""Tests for the on-disk content-addressed store."""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import CacheStats, ResultCache, default_cache_dir
+from repro.cache.store import CACHE_SCHEMA_VERSION
+from repro.errors import ConfigError
+
+KEY_A = "ab" + "0" * 62
+KEY_B = "cd" + "1" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_put_get(self, cache):
+        cache.put(KEY_A, {"result": {"x": 1}})
+        entry = cache.get(KEY_A)
+        assert entry["result"] == {"x": 1}
+        assert entry["key"] == KEY_A
+        assert entry["cache_schema"] == CACHE_SCHEMA_VERSION
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_miss_on_absent_key(self, cache):
+        assert cache.get(KEY_A) is None
+        assert cache.misses == 1
+
+    def test_sharded_layout(self, cache):
+        cache.put(KEY_A, {"result": 1})
+        assert (cache.root / KEY_A[:2] / f"{KEY_A}.json").is_file()
+
+    def test_put_overwrites(self, cache):
+        cache.put(KEY_A, {"result": 1})
+        cache.put(KEY_A, {"result": 2})
+        assert cache.get(KEY_A)["result"] == 2
+
+    def test_malformed_key_rejected(self, cache):
+        for bad in ("", "ab", "../../etc/passwd", "XYZ123"):
+            with pytest.raises(ConfigError):
+                cache.get(bad)
+
+
+class TestCorruption:
+    def _entry_path(self, cache, key=KEY_A):
+        return cache.root / key[:2] / f"{key}.json"
+
+    def test_truncated_json_quarantined(self, cache):
+        cache.put(KEY_A, {"result": 1})
+        path = self._entry_path(cache)
+        path.write_text(path.read_text()[:10])
+        assert cache.get(KEY_A) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_recompute_after_quarantine(self, cache):
+        cache.put(KEY_A, {"result": 1})
+        self._entry_path(cache).write_text("{not json")
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, {"result": 2})  # the "recompute"
+        assert cache.get(KEY_A)["result"] == 2
+
+    def test_wrong_embedded_key_quarantined(self, cache):
+        cache.put(KEY_B, {"result": 1})
+        src = self._entry_path(cache, KEY_B)
+        dst = self._entry_path(cache, KEY_A)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(src, dst)  # entry now lies about its address
+        assert cache.get(KEY_A) is None
+        assert dst.with_suffix(".corrupt").exists()
+
+    def test_future_schema_quarantined(self, cache):
+        cache.put(KEY_A, {"result": 1})
+        path = self._entry_path(cache)
+        doc = json.loads(path.read_text())
+        doc["cache_schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc))
+        assert cache.get(KEY_A) is None
+
+    def test_non_dict_document_quarantined(self, cache):
+        path = self._entry_path(cache)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[1, 2, 3]")
+        assert cache.get(KEY_A) is None
+
+
+class TestAdmin:
+    def test_stats_empty(self, cache):
+        stats = cache.stats()
+        assert stats == CacheStats(root=str(cache.root), entries=0,
+                                   total_bytes=0, corrupt=0)
+
+    def test_stats_counts_entries_and_corrupt(self, cache):
+        cache.put(KEY_A, {"result": 1})
+        cache.put(KEY_B, {"result": 2})
+        (cache.root / KEY_A[:2] / f"{KEY_A}.json").write_text("broken")
+        cache.get(KEY_A)  # quarantines
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.corrupt == 1
+        assert stats.total_bytes > 0
+
+    def test_clear_removes_everything(self, cache):
+        cache.put(KEY_A, {"result": 1})
+        cache.put(KEY_B, {"result": 2})
+        removed = cache.clear()
+        assert removed == 2
+        assert cache.stats().entries == 0
+        assert cache.get(KEY_A) is None
+
+    def test_clear_on_missing_root(self, cache):
+        assert cache.clear() == 0
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("GREENGPU_CACHE_DIR", "/tmp/elsewhere")
+        assert default_cache_dir() == "/tmp/elsewhere"
+
+    def test_falls_back_to_home(self, monkeypatch):
+        monkeypatch.delenv("GREENGPU_CACHE_DIR", raising=False)
+        assert default_cache_dir().endswith(os.path.join(".cache", "greengpu"))

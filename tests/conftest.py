@@ -24,6 +24,19 @@ from repro.workloads.characteristics import make_workload
 FAST_SCALE = 0.05
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path_factory, monkeypatch):
+    """Keep the result cache out of ``~/.cache`` and out of other tests.
+
+    CLI commands consult the content-addressed cache by default; tests
+    must neither pollute the user's real cache nor serve each other
+    stale results across parametrizations.
+    """
+    monkeypatch.setenv(
+        "GREENGPU_CACHE_DIR", str(tmp_path_factory.mktemp("result-cache"))
+    )
+
+
 @pytest.fixture
 def gpu_spec():
     return geforce_8800_gtx_spec()

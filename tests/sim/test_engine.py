@@ -103,6 +103,48 @@ class TestPeriodicTasks:
         assert SimClock().next_deadline() is None
 
 
+class TestPruneAccounting:
+    def test_pruned_total_counts_cancelled_pops(self):
+        clock = SimClock()
+        handles = [clock.every(1.0, lambda t: None) for _ in range(3)]
+        for h in handles:
+            h.cancel()
+        assert clock.pruned_total == 0  # nothing pruned until observed
+        assert clock.next_deadline() is None
+        assert clock.pruned_total == 3
+
+    def test_pruning_during_advance_counts_once(self):
+        clock = SimClock()
+        h = clock.every(1.0, lambda t: None)
+        clock.every(2.0, lambda t: None)
+        h.cancel()
+        clock.advance_to(4.0)
+        assert clock.pruned_total == 1
+
+    def test_prune_telemetry_counter(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        clock = SimClock()
+        clock.set_telemetry(telemetry)
+        handles = [clock.every(1.0, lambda t: None) for _ in range(2)]
+        for h in handles:
+            h.cancel()
+        clock.advance_to(1.0)
+        assert telemetry.registry.counter("clock_pruned_total").value == 2.0
+        assert clock.pruned_total == 2
+
+    def test_no_telemetry_counter_without_prunes(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        clock = SimClock()
+        clock.set_telemetry(telemetry)
+        clock.every(1.0, lambda t: None)
+        clock.advance_to(3.0)
+        assert clock.pruned_total == 0
+
+
 class TestOneShot:
     def test_at_fires_once(self):
         clock = SimClock()

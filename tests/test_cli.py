@@ -230,6 +230,50 @@ class TestReproduce:
             main([])
 
 
+class TestCache:
+    def test_run_twice_populates_and_reports_stats(self, capsys, tmp_path,
+                                                   fast):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "--workload", "kmeans", "--cache-dir", cache_dir, *fast]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert second == first  # served result renders identically
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 1" in out
+
+    def test_no_cache_leaves_no_entries(self, capsys, tmp_path, fast):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "--workload", "kmeans", "--cache-dir", cache_dir,
+                     "--no-cache", *fast]) == 0
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+
+    def test_cache_clear(self, capsys, tmp_path, fast):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "--workload", "kmeans", "--cache-dir", cache_dir,
+                     *fast]) == 0
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1 files" in capsys.readouterr().out
+
+    def test_sweep_warm_cache_skips_points(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--workload", "kmeans", "--iterations", "1",
+                "--time-scale", "0.03", "--step", "0.15",
+                "--max-ratio", "0.45", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "4 cached" in warm.out
+        assert "skipped_cached" in warm.err
+        # The rendered sweep table is identical either way.
+        table = [l for l in cold.out.splitlines() if l.startswith("0.")]
+        assert [l for l in warm.out.splitlines() if l.startswith("0.")] == table
+
+
 @pytest.fixture
 def audited_run(capsys, tmp_path, fast):
     """One telemetry run with an audit trail, shared per test."""
