@@ -22,10 +22,11 @@ so any behavioral engine change (which must bump the version — see
 """
 
 from repro.cache.keys import canonicalize, fingerprint, job_key, run_key
-from repro.cache.store import CacheStats, ResultCache, default_cache_dir
+from repro.cache.store import CacheStats, ClearStats, ResultCache, default_cache_dir
 
 __all__ = [
     "CacheStats",
+    "ClearStats",
     "ResultCache",
     "canonicalize",
     "default_cache_dir",

@@ -31,10 +31,16 @@ _ENV_VAR = "GREENGPU_CACHE_DIR"
 
 
 def default_cache_dir() -> str:
-    """Resolve the cache root: ``$GREENGPU_CACHE_DIR`` or ``~/.cache/greengpu``."""
+    """Resolve the cache root: ``$GREENGPU_CACHE_DIR`` or ``~/.cache/greengpu``.
+
+    The environment override gets the same ``~`` expansion a shell gives
+    ``--cache-dir``, so ``GREENGPU_CACHE_DIR='~/scratch'`` set outside a
+    shell (systemd units, CI YAML) lands in the user's home rather than
+    a literal ``./~`` directory.
+    """
     override = os.environ.get(_ENV_VAR)
     if override:
-        return override
+        return os.path.expanduser(override)
     return os.path.join(os.path.expanduser("~"), ".cache", "greengpu")
 
 
@@ -46,6 +52,16 @@ class CacheStats:
     entries: int
     total_bytes: int
     corrupt: int
+
+
+@dataclass(frozen=True)
+class ClearStats:
+    """What ``repro cache clear`` reclaimed."""
+
+    root: str
+    entries: int          # live entries removed
+    files: int            # every file removed (entries + corrupt + tmp)
+    reclaimed_bytes: int
 
 
 class ResultCache:
@@ -136,21 +152,28 @@ class ResultCache:
             corrupt=corrupt,
         )
 
-    def clear(self) -> int:
-        """Delete every entry (and quarantined file); return the count removed."""
-        removed = 0
+    def clear(self) -> ClearStats:
+        """Delete every entry (and quarantined/tmp file); report what was
+        reclaimed.  A missing root is an empty cache, not an error."""
+        entries = files = reclaimed = 0
         if not self.root.is_dir():
-            return removed
+            return ClearStats(root=str(self.root), entries=0, files=0,
+                              reclaimed_bytes=0)
         for pattern in ("??/*.json", "??/*.corrupt", "??/*.tmp"):
             for path in self.root.glob(pattern):
                 try:
+                    size = path.stat().st_size
                     path.unlink()
-                    removed += 1
                 except OSError:
-                    pass
+                    continue
+                files += 1
+                reclaimed += size
+                if pattern == "??/*.json":
+                    entries += 1
         for shard in self.root.glob("??"):
             try:
                 shard.rmdir()
             except OSError:
                 pass
-        return removed
+        return ClearStats(root=str(self.root), entries=entries, files=files,
+                          reclaimed_bytes=reclaimed)

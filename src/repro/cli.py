@@ -422,9 +422,20 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"total bytes: {stats.total_bytes}")
         print(f"corrupt    : {stats.corrupt}")
         return 0
-    removed = cache.clear()
-    print(f"removed {removed} files from {cache.root}")
+    cleared = cache.clear()
+    print(f"cache root : {cleared.root}")
+    print(f"entries    : {cleared.entries} removed")
+    print(f"files      : {cleared.files} removed")
+    print(f"reclaimed  : {cleared.reclaimed_bytes} bytes")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.run import serve_until_signalled
+
+    return asyncio.run(serve_until_signalled(args))
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -537,6 +548,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache root (default: $GREENGPU_CACHE_DIR or "
                         "~/.cache/greengpu)")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("serve",
+                       help="run the simulation-as-a-service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8100,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent spawn-isolated simulation workers")
+    p.add_argument("--run-dir", default="runs/service", metavar="DIR",
+                   help="journal + artifact directory (resume point)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache root (default: $GREENGPU_CACHE_DIR "
+                        "or ~/.cache/greengpu); 'off' disables caching")
+    p.add_argument("--tenant-queue-limit", type=int, default=64)
+    p.add_argument("--global-high-water", type=int, default=256)
+    p.add_argument("--rate-per-tenant", type=float, default=50.0,
+                   help="token-bucket refill rate (submissions/s)")
+    p.add_argument("--burst-per-tenant", type=float, default=100.0)
+    p.add_argument("--job-timeout", type=float, default=120.0,
+                   metavar="SECONDS", dest="job_timeout_s")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS", dest="drain_timeout_s")
+    p.add_argument("--no-isolate", action="store_true",
+                   help="run jobs in threads instead of spawned processes "
+                        "(faster, but no kill-on-timeout; for testing)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("report",
                        help="self-contained HTML report for a run directory")

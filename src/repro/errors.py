@@ -72,3 +72,7 @@ class SerializationError(ReproError):
 
 class HarnessError(ReproError):
     """The supervised job harness was configured or driven incorrectly."""
+
+
+class ServiceError(ReproError):
+    """The simulation service was configured or driven incorrectly."""

@@ -18,7 +18,7 @@ from repro.faults.injector import (
     FaultPlan,
     fault_profile,
 )
-from repro.faults.retry import RetryPolicy, call_with_retry
+from repro.faults.retry import BackoffState, RetryPolicy, call_with_retry
 from repro.faults.wrappers import (
     FaultyCpuStat,
     FaultyGpuActuator,
@@ -29,6 +29,7 @@ from repro.faults.wrappers import (
 __all__ = [
     "FAULT_KIND_RATES",
     "FAULT_PROFILES",
+    "BackoffState",
     "ControlHealth",
     "FaultInjector",
     "FaultPlan",

@@ -67,18 +67,23 @@ def read_journal(path: str | os.PathLike[str]) -> list[dict[str, Any]]:
     :class:`SerializationError` naming the path.
     """
     path = os.fspath(path)
-    with open(path, encoding="utf-8") as handle:
+    # Read bytes and decode per line: a crash mid-append can truncate the
+    # tail inside a multi-byte UTF-8 sequence, which a whole-file decode
+    # would turn into a spurious UnicodeDecodeError for the entire
+    # journal instead of a droppable partial last line.
+    with open(path, "rb") as handle:
         lines = handle.read().splitlines()
     records: list[dict[str, Any]] = []
     for index, line in enumerate(lines):
         if not line.strip():
             continue
         try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError as exc:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             if index == len(lines) - 1:
                 break  # the crash signature: half-written tail record
             raise SerializationError(
                 f"{path}: corrupt journal line {index + 1} ({exc})"
             ) from exc
+        records.append(record)
     return records

@@ -176,6 +176,9 @@ class Supervisor:
         self.cache = cache
         self._ctx = multiprocessing.get_context("spawn")
         self._stop_signal: int | None = None
+        # Per-job backoff sequences, salted by job name so seeded
+        # decorrelated-jitter policies desynchronize across jobs.
+        self._backoffs: dict[str, Any] = {}
 
     # -- paths ---------------------------------------------------------
 
@@ -573,7 +576,11 @@ class Supervisor:
         outcome.elapsed_s += elapsed
         used = attempts[spec.name]
         if used < spec.retry.max_attempts:
-            backoff = spec.retry.backoff_s(used - 1)
+            if spec.name not in self._backoffs:
+                self._backoffs[spec.name] = spec.retry.backoff_state(
+                    salt=spec.name
+                )
+            backoff = self._backoffs[spec.name].next_backoff()
             report.retries += 1
             ready_at[spec.name] = time.monotonic() + backoff
             journal.record("job_retry", job=spec.name, attempt=used,

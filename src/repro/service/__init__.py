@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: the daemon serving layer.
+
+See ``docs/service.md`` for the operational story.  The package splits
+along failure-domain lines:
+
+- :mod:`~repro.service.config` — one frozen, validated config object.
+- :mod:`~repro.service.models` — request parsing, job records, phases.
+- :mod:`~repro.service.admission` — token buckets, bounded tenant
+  queues, weighted-fair dequeue, Retry-After math.
+- :mod:`~repro.service.breaker` — the cache-only/open degradation ladder.
+- :mod:`~repro.service.daemon` — orchestration: workers, deadlines,
+  journal, recovery, drain.
+- :mod:`~repro.service.http` — the asyncio HTTP/1.1 front-end.
+- :mod:`~repro.service.client` — blocking stdlib client.
+- :mod:`~repro.service.testing` — in-process runner for tests/benchmarks.
+"""
+
+from repro.service.admission import AdmissionRefused, FairTenantQueues, TokenBucket
+from repro.service.breaker import BreakerState, CircuitBreaker
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.config import DEFAULT_TENANT, ServiceConfig
+from repro.service.daemon import SimulationService, Unavailable
+from repro.service.http import HttpFrontend
+from repro.service.models import (
+    JOB_TARGET,
+    JobPhase,
+    JobRecord,
+    JobRequest,
+    TERMINAL_PHASES,
+    parse_request,
+)
+
+__all__ = [
+    "AdmissionRefused",
+    "BreakerState",
+    "CircuitBreaker",
+    "DEFAULT_TENANT",
+    "FairTenantQueues",
+    "HttpFrontend",
+    "JOB_TARGET",
+    "JobPhase",
+    "JobRecord",
+    "JobRequest",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "SimulationService",
+    "TERMINAL_PHASES",
+    "TokenBucket",
+    "Unavailable",
+]

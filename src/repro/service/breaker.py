@@ -1,0 +1,127 @@
+"""Circuit breaker with a graceful-degradation ladder, not a binary trip.
+
+Mirrors the hardened controller's fallback -> skip -> safe-state ladder
+(docs/architecture.md) at the serving layer:
+
+- ``CLOSED`` — normal: simulate misses, serve hits.
+- ``CACHE_ONLY`` — after ``cache_only_after`` *consecutive* worker
+  failures: stop dispatching simulations (workers pause, the queue
+  holds), keep serving content-addressed cache hits.  Identical
+  resubmissions of anything ever computed still succeed while the
+  backend is sick.
+- ``OPEN`` — failures kept coming (``hard_open_after``): hard-reject
+  everything until the cooldown elapses.
+
+Recovery is probe-based: after ``cooldown_s`` in a degraded state the
+breaker *half-opens* — exactly one queued job is allowed through as a
+canary.  Success closes the breaker and resets the failure count; a
+failed canary re-arms the cooldown and keeps the consecutive-failure
+count climbing toward ``OPEN`` (degradation is sticky, the way the
+controller's watchdog escalates rather than oscillates).
+
+Only *worker* failures count: process deaths, timeouts, unreadable
+artifacts.  A simulation that raises a clean application error is the
+submission's problem, not the backend's, and must not trip the breaker.
+
+The breaker takes an injectable monotonic ``clock`` for deterministic
+tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    CACHE_ONLY = "cache_only"
+    OPEN = "open"
+
+
+class CircuitBreaker:
+    def __init__(self, cache_only_after: int = 3, hard_open_after: int = 6,
+                 cooldown_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.cache_only_after = cache_only_after
+        self.hard_open_after = hard_open_after
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._state = BreakerState.CLOSED
+        self._opened_at: float | None = None
+        self._probe_out = False
+        self.transitions: list[tuple[str, str]] = []  # (from, to) audit
+
+    # -- observations ---------------------------------------------------
+
+    def record_success(self) -> None:
+        """A worker attempt completed; close and forgive everything."""
+        self._consecutive_failures = 0
+        self._probe_out = False
+        self._set_state(BreakerState.CLOSED)
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        """A worker-level failure (death/timeout/unreadable artifact)."""
+        self._consecutive_failures += 1
+        self._probe_out = False
+        if self._consecutive_failures >= self.hard_open_after:
+            self._trip(BreakerState.OPEN)
+        elif self._consecutive_failures >= self.cache_only_after:
+            self._trip(BreakerState.CACHE_ONLY)
+
+    def release_probe(self) -> None:
+        """Retire an outstanding canary that reached no verdict (the job
+        was cancelled or its deadline expired).  Without this a degraded
+        breaker would wait forever for a probe result that never comes."""
+        self._probe_out = False
+
+    def _trip(self, state: BreakerState) -> None:
+        self._set_state(state)
+        self._opened_at = self._clock()
+
+    def _set_state(self, state: BreakerState) -> None:
+        if state is not self._state:
+            self.transitions.append((self._state.value, state.value))
+            self._state = state
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def cooldown_remaining_s(self) -> float:
+        """Seconds until a half-open probe (0 when closed or due)."""
+        if self._state is BreakerState.CLOSED or self._opened_at is None:
+            return 0.0
+        return max(0.0, self._opened_at + self.cooldown_s - self._clock())
+
+    def allow_execution(self) -> bool:
+        """May a worker dispatch the next queued job right now?
+
+        In a degraded state, only the single half-open canary passes
+        (and only after the cooldown); its success/failure is reported
+        back via ``record_success``/``record_failure``, which also
+        retires the probe flag.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._probe_out or self.cooldown_remaining_s() > 0.0:
+            return False
+        self._probe_out = True
+        return True
+
+    def allow_cache_serve(self) -> bool:
+        """Cache hits flow in every state except hard-open."""
+        return self._state is not BreakerState.OPEN
+
+    def allow_enqueue(self) -> bool:
+        """New work may queue unless the breaker is hard-open."""
+        return self._state is not BreakerState.OPEN

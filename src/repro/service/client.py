@@ -1,0 +1,116 @@
+"""Blocking stdlib client for the simulation service.
+
+Used by the benchmark, the chaos suite, and the CI smoke job; also a
+reasonable programmatic API for anything else that wants to talk to the
+daemon without pulling in an HTTP library.
+
+Every call returns ``(status_code, decoded_json, headers)`` —
+the client never raises on HTTP error statuses (429/503 are *expected*
+answers under load; callers decide how to react).  Connection-level
+failures raise :class:`ServiceClientError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from repro.errors import ServiceError
+
+
+class ServiceClientError(ServiceError):
+    """The daemon was unreachable or the response was not HTTP."""
+
+
+class ServiceClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8100,
+                 timeout_s: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing -------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str, body: Any = None,
+                ) -> tuple[int, Any, dict[str, str]]:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):  # one transparent reconnect on a dead keep-alive
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, OSError) as exc:
+                self.close()
+                if attempt:
+                    raise ServiceClientError(
+                        f"{method} {path}: {type(exc).__name__}: {exc}"
+                    ) from exc
+        out_headers = {k.lower(): v for k, v in response.getheaders()}
+        if not raw:
+            return response.status, None, out_headers
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError:
+            decoded = raw.decode("utf-8", "replace")
+        return response.status, decoded, out_headers
+
+    # -- the API --------------------------------------------------------
+
+    def submit(self, **job: Any) -> tuple[int, Any, dict[str, str]]:
+        """POST /jobs.  Kwargs form the submission body verbatim."""
+        return self.request("POST", "/jobs", job)
+
+    def status(self, job_id: str) -> tuple[int, Any, dict[str, str]]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> tuple[int, Any, dict[str, str]]:
+        return self.request("DELETE", f"/jobs/{job_id}")
+
+    def healthz(self) -> tuple[int, Any, dict[str, str]]:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> tuple[int, Any, dict[str, str]]:
+        return self.request("GET", "/readyz")
+
+    def metrics_text(self) -> str:
+        status, body, _ = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceClientError(f"/metrics returned {status}")
+        return body if isinstance(body, str) else json.dumps(body)
+
+    def wait(self, job_id: str, timeout_s: float = 60.0,
+             poll_s: float = 0.05) -> dict[str, Any]:
+        """Poll GET /jobs/<id> until the job reaches a terminal phase."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status, body, _ = self.status(job_id)
+            if status == 200 and body.get("phase") in (
+                    "done", "failed", "expired", "cancelled"):
+                return body
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id} not terminal after {timeout_s:.1f}s "
+                    f"(last: {status} {body})"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,594 @@
+"""The simulation-as-a-service daemon: orchestration and lifecycle.
+
+:class:`SimulationService` owns the whole serving pipeline::
+
+    HTTP -> admission (breaker, cache, token bucket, bounded queues)
+         -> weighted-fair dequeue -> spawn-isolated execution
+         -> journal + content-addressed cache -> status/result endpoints
+
+Robustness properties, and where they live:
+
+- **No lost or duplicated results.**  Every submission is journaled
+  (write-ahead, fsynced — :class:`repro.harness.journal.Journal`) before
+  it is queued, every completion is journaled with the artifact's
+  SHA-256, and recovery re-enqueues exactly the submitted-but-unfinished
+  jobs; finished jobs whose artifact bytes still hash correctly are
+  served from disk, never re-simulated.
+- **Backpressure, not collapse.**  Admission refusals are typed
+  (:class:`~repro.service.admission.AdmissionRefused`) and carry a
+  ``Retry-After`` derived from queue depth and the observed service
+  rate; the HTTP layer turns them into 429s.
+- **Deadlines end-to-end.**  A reaper expires queued jobs; the worker
+  loop kills in-flight processes at their deadline; both paths journal
+  ``job_expired``.
+- **Degradation ladder.**  Consecutive worker failures walk the
+  :class:`~repro.service.breaker.CircuitBreaker` through
+  cache-only -> hard-reject; recovery is canary-probed.
+- **Drain-then-exit.**  ``shutdown()`` stops admission, lets workers
+  finish (bounded by ``drain_timeout_s``), kills and journals the rest,
+  and flushes the journal; a restart with the same run directory
+  resumes them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.faults.retry import RetryPolicy
+from repro.harness.journal import JOURNAL_NAME, Journal, read_journal
+from repro.harness.worker import read_artifact, run_job_inline, worker_main
+from repro.ioutil import sha256_file
+from repro.service.admission import AdmissionRefused, FairTenantQueues
+from repro.service.breaker import BreakerState, CircuitBreaker
+from repro.service.config import ServiceConfig
+from repro.service.models import (
+    JOB_TARGET,
+    JobPhase,
+    JobRecord,
+    JobRequest,
+    parse_request,
+    request_from_dict,
+)
+
+_POLL_S = 0.01
+
+#: Numeric breaker-state gauge (Prometheus-friendly).
+_BREAKER_LEVEL = {
+    BreakerState.CLOSED: 0, BreakerState.CACHE_ONLY: 1, BreakerState.OPEN: 2,
+}
+
+
+class Unavailable(ServiceError):
+    """The service cannot take this submission right now (HTTP 503)."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(f"unavailable: {reason}")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class SimulationService:
+    """One daemon instance bound to one run directory."""
+
+    def __init__(self, config: ServiceConfig,
+                 run_dir: str | os.PathLike[str],
+                 cache=None, telemetry=None) -> None:
+        from repro.telemetry import Telemetry
+
+        self.config = config
+        self.run_dir = os.fspath(run_dir)
+        self.artifact_dir = os.path.join(self.run_dir, "artifacts")
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.records: dict[str, JobRecord] = {}
+        self.queues = FairTenantQueues(config)
+        self.breaker = CircuitBreaker(
+            cache_only_after=config.breaker_cache_only_after,
+            hard_open_after=config.breaker_hard_open_after,
+            cooldown_s=config.breaker_cooldown_s,
+        )
+        self.retry = RetryPolicy(
+            max_attempts=config.retry_max_attempts,
+            base_backoff_s=config.retry_base_backoff_s,
+            max_backoff_s=config.retry_max_backoff_s,
+            jitter="decorrelated",
+            jitter_seed=config.retry_jitter_seed,
+        )
+        self._seq = 0
+        self.draining = False           # admission gate (503 when True)
+        self._shutdown_started = False  # shutdown() re-entrancy guard
+        self.started = False
+        self._journal: Journal | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._stopped = asyncio.Event()
+        #: In-flight worker processes by job id (chaos tests reach in).
+        self.running_procs: dict[str, Any] = {}
+        import multiprocessing
+
+        self._ctx = multiprocessing.get_context("spawn")
+
+    # -- metrics shorthand ---------------------------------------------
+
+    def _count(self, name: str, **labels: Any) -> None:
+        self.telemetry.counter(name, **labels).inc()
+
+    def _set_gauges(self) -> None:
+        tel = self.telemetry
+        tel.gauge("service_queue_depth").set(float(self.queues.depth()))
+        tel.gauge("service_running_jobs").set(float(len(self.running_procs)))
+        tel.gauge("service_breaker_level").set(
+            float(_BREAKER_LEVEL[self.breaker.state])
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the journal, recover prior state, launch workers+reaper."""
+        os.makedirs(self.artifact_dir, exist_ok=True)
+        journal_path = os.path.join(self.run_dir, JOURNAL_NAME)
+        prior = read_journal(journal_path) if os.path.exists(journal_path) else []
+        self._journal = Journal(journal_path)
+        self._journal.record("service_start",
+                             workers=self.config.workers,
+                             resume=bool(prior))
+        if prior:
+            self._recover(prior)
+        for index in range(self.config.workers):
+            self._tasks.append(
+                asyncio.create_task(self._worker_loop(index),
+                                    name=f"service-worker-{index}")
+            )
+        self._tasks.append(
+            asyncio.create_task(self._reaper_loop(), name="service-reaper")
+        )
+        self.started = True
+        self._set_gauges()
+
+    def _recover(self, prior: list[dict[str, Any]]) -> None:
+        """Rebuild state from a previous incarnation's journal.
+
+        Submitted-but-unfinished jobs re-enter their tenant queues (in
+        submission order, bypassing rate limits — they were already
+        admitted once); finished jobs whose artifact still verifies are
+        served from disk.  Nothing runs twice, nothing vanishes.
+        """
+        now = time.monotonic()
+        now_unix = time.time()
+        submitted: dict[str, JobRecord] = {}
+        finished: set[str] = set()
+        for rec in prior:
+            event = rec.get("event")
+            job_id = rec.get("job")
+            if event == "job_submitted" and job_id:
+                request = request_from_dict(rec["request"])
+                record = JobRecord(job_id=job_id, request=request)
+                record.submitted_unix = rec.get("submitted_unix", now_unix)
+                deadline_unix = rec.get("deadline_unix")
+                if deadline_unix is not None:
+                    record.deadline_monotonic = now + (deadline_unix - now_unix)
+                submitted[job_id] = record
+                number = int(job_id.rsplit("-", 1)[-1])
+                self._seq = max(self._seq, number)
+            elif event == "job_cached" and job_id in submitted:
+                record = submitted[job_id]
+                record.phase = JobPhase.DONE
+                record.served_from_cache = True
+                if self.cache is not None and record.request.cache_key:
+                    entry = self.cache.get(record.request.cache_key)
+                    if entry is not None:
+                        record.result = entry.get("payload")
+                finished.add(job_id)
+            elif event == "job_success" and job_id in submitted:
+                record = submitted[job_id]
+                path = self._artifact_path(job_id)
+                sha = rec.get("sha256")
+                if os.path.exists(path) and sha256_file(path) == sha:
+                    try:
+                        record.result = read_artifact(path)
+                    except Exception:
+                        continue  # unreadable: stays queued, re-runs
+                    record.phase = JobPhase.DONE
+                    record.artifact_sha256 = sha
+                    finished.add(job_id)
+            elif event in ("job_failed", "job_expired", "job_cancelled") \
+                    and job_id in submitted:
+                phase = {"job_failed": JobPhase.FAILED,
+                         "job_expired": JobPhase.EXPIRED,
+                         "job_cancelled": JobPhase.CANCELLED}[event]
+                submitted[job_id].phase = phase
+                finished.add(job_id)
+        resumed = 0
+        for job_id, record in submitted.items():
+            self.records[job_id] = record
+            if job_id in finished:
+                continue
+            if record.result is not None:
+                continue
+            if record.expired(now):
+                self._finish_expired(record, where="recovery")
+                continue
+            record.phase = JobPhase.QUEUED
+            self.queues.requeue(record.request.tenant, job_id)
+            resumed += 1
+        if resumed:
+            self._journal.record("service_resumed", jobs=resumed)
+            self.telemetry.counter("service_resumed_jobs_total").inc(resumed)
+
+    async def shutdown(self, *, reason: str = "shutdown") -> None:
+        """Drain-then-exit: stop admission, finish work, flush, stop."""
+        if self._shutdown_started:
+            await self._stopped.wait()
+            return
+        self._shutdown_started = True
+        self.draining = True
+        if self._journal is not None:
+            self._journal.record("service_drain", reason=reason)
+        deadline = time.monotonic() + self.config.drain_timeout_s
+
+        def outstanding() -> int:
+            return self.queues.depth() + len(self.running_procs)
+
+        while outstanding() and time.monotonic() < deadline \
+                and self.breaker.state is BreakerState.CLOSED:
+            await asyncio.sleep(_POLL_S)
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        # Whatever survived the drain window stays journaled as
+        # submitted-without-terminal-event: the resume contract.
+        for job_id, proc in list(self.running_procs.items()):
+            try:
+                proc.kill()
+                proc.join()
+            except Exception:
+                pass
+            record = self.records.get(job_id)
+            if record is not None and record.phase is JobPhase.RUNNING:
+                record.phase = JobPhase.QUEUED  # will re-run on resume
+        self.running_procs.clear()
+        abandoned = self.queues.drain_all()
+        if self._journal is not None:
+            self._journal.record(
+                "service_stop",
+                outstanding=len(abandoned),
+                done=sum(1 for r in self.records.values()
+                         if r.phase is JobPhase.DONE),
+            )
+            self._journal.close()
+            self._journal = None
+        self.started = False
+        self._stopped.set()
+
+    # -- admission ------------------------------------------------------
+
+    def admit(self, body: Any) -> tuple[JobRecord, bool]:
+        """Admit one decoded submission; returns ``(record, was_cached)``.
+
+        Raises :class:`ServiceError` (400), :class:`AdmissionRefused`
+        (429) or :class:`Unavailable` (503); the HTTP layer maps them.
+        """
+        t0 = time.perf_counter()
+        try:
+            return self._admit_inner(body)
+        finally:
+            self.telemetry.histogram("service_admission_latency_s").observe(
+                time.perf_counter() - t0
+            )
+            self._set_gauges()
+
+    def _admit_inner(self, body: Any) -> tuple[JobRecord, bool]:
+        if self.draining or not self.started:
+            self._count("service_rejected_total", reason="draining")
+            raise Unavailable("draining", self.config.drain_timeout_s)
+        request = parse_request(body, self.config)
+        self._count("service_submissions_total", tenant=request.tenant)
+
+        cached = self._try_cache(request)
+        if cached is not None:
+            return cached, True
+
+        state = self.breaker.state
+        if state is BreakerState.OPEN:
+            self._count("service_rejected_total", reason="breaker_open")
+            raise Unavailable("breaker_open",
+                              max(self.breaker.cooldown_remaining_s(), 0.5))
+        if state is BreakerState.CACHE_ONLY \
+                and self.breaker.cooldown_remaining_s() > 0.0:
+            self._count("service_rejected_total", reason="cache_only_miss")
+            raise Unavailable("cache_only_miss",
+                              self.breaker.cooldown_remaining_s())
+
+        job_id = self._next_job_id()
+        try:
+            self.queues.admit(request.tenant, job_id)
+        except AdmissionRefused as exc:
+            self._count("service_shed_total", reason=exc.reason)
+            raise
+        record = JobRecord(job_id=job_id, request=request)
+        if request.deadline_s is not None:
+            record.deadline_monotonic = time.monotonic() + request.deadline_s
+        self.records[job_id] = record
+        self._journal_submit(record)
+        self._count("service_accepted_total", tenant=request.tenant)
+        return record, False
+
+    def _try_cache(self, request: JobRequest) -> JobRecord | None:
+        """Serve an identical prior submission from the result store."""
+        if self.cache is None or request.cache_key is None \
+                or not self.breaker.allow_cache_serve():
+            return None
+        entry = self.cache.get(request.cache_key)
+        if entry is None or "payload" not in entry:
+            return None
+        job_id = self._next_job_id()
+        record = JobRecord(job_id=job_id, request=request,
+                           phase=JobPhase.DONE, served_from_cache=True)
+        record.result = entry["payload"]
+        record.finished_unix = time.time()
+        self.records[job_id] = record
+        self._journal_submit(record)
+        assert self._journal is not None
+        self._journal.record("job_cached", job=job_id,
+                             cache_key=request.cache_key)
+        self._count("service_cache_hits_total", tenant=request.tenant)
+        return record
+
+    def _journal_submit(self, record: JobRecord) -> None:
+        assert self._journal is not None
+        deadline_unix = None
+        if record.request.deadline_s is not None:
+            deadline_unix = record.submitted_unix + record.request.deadline_s
+        self._journal.record(
+            "job_submitted", job=record.job_id,
+            tenant=record.request.tenant,
+            request=record.request.as_dict(),
+            submitted_unix=record.submitted_unix,
+            deadline_unix=deadline_unix,
+        )
+
+    def _next_job_id(self) -> str:
+        self._seq += 1
+        return f"job-{self._seq:06d}"
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job (running/finished jobs are left alone)."""
+        record = self.records.get(job_id)
+        if record is None:
+            raise KeyError(job_id)
+        if record.phase is JobPhase.QUEUED:
+            self.queues.drain_expired(lambda item: item == job_id)
+            record.phase = JobPhase.CANCELLED
+            record.finished_unix = time.time()
+            if self._journal is not None:
+                self._journal.record("job_cancelled", job=job_id)
+            self._count("service_cancelled_total")
+            self._set_gauges()
+        return record
+
+    # -- health surfaces ------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "breaker": self.breaker.state.value,
+            "breaker_consecutive_failures": self.breaker.consecutive_failures,
+            "queue_depth": self.queues.depth(),
+            "running": len(self.running_procs),
+            "jobs_tracked": len(self.records),
+            "workers": self.config.workers,
+        }
+
+    def ready(self) -> bool:
+        """Readiness: accepting new submissions at full service."""
+        return (self.started and not self.draining
+                and self.breaker.state is BreakerState.CLOSED)
+
+    # -- the worker loop ------------------------------------------------
+
+    async def _worker_loop(self, index: int) -> None:
+        while True:
+            if self.queues.depth() == 0:
+                await asyncio.sleep(_POLL_S)
+                continue
+            if not self.breaker.allow_execution():
+                await asyncio.sleep(_POLL_S)
+                continue
+            job_id = self.queues.take()
+            if job_id is None:
+                self.breaker.release_probe()
+                continue
+            record = self.records[job_id]
+            if record.phase is not JobPhase.QUEUED:
+                self.breaker.release_probe()
+                continue  # cancelled/expired while queued
+            if record.expired(time.monotonic()):
+                self._finish_expired(record, where="queued")
+                self.breaker.release_probe()
+                continue
+            record.phase = JobPhase.RUNNING
+            self._set_gauges()
+            try:
+                await self._execute(record)
+            finally:
+                self._set_gauges()
+
+    async def _execute(self, record: JobRecord) -> None:
+        """Run one job to a terminal phase, honoring retry + deadline."""
+        backoff = self.retry.backoff_state(salt=record.job_id)
+        started = time.perf_counter()
+        while True:
+            record.attempts += 1
+            assert self._journal is not None
+            self._journal.record("job_start", job=record.job_id,
+                                 attempt=record.attempts)
+            outcome, error = await self._run_attempt(record)
+            if outcome == "success":
+                elapsed = time.perf_counter() - started
+                self._finish_success(record, elapsed)
+                return
+            if outcome == "expired":
+                self._finish_expired(record, where="running")
+                self.breaker.release_probe()
+                return
+            if outcome == "worker_failure":
+                self.breaker.record_failure()
+                self._count("service_worker_failures_total")
+            else:  # clean application error: backend is healthy
+                self.breaker.record_success()
+            if record.attempts >= self.retry.max_attempts or self.draining \
+                    or self.breaker.state is not BreakerState.CLOSED:
+                self._finish_failed(record, error)
+                return
+            self._count("service_retries_total")
+            await asyncio.sleep(backoff.next_backoff())
+
+    async def _run_attempt(self, record: JobRecord) -> tuple[str, str | None]:
+        """One attempt; returns ``(outcome, error)`` with outcome in
+        ``{"success", "expired", "worker_failure", "job_error"}``."""
+        if not self.config.isolate:
+            return await self._run_attempt_inline(record)
+        artifact = self._artifact_path(record.job_id)
+        error_path = artifact + ".error"
+        try:
+            os.unlink(error_path)
+        except OSError:
+            pass
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(record.job_id, JOB_TARGET, record.request.kwargs(),
+                  artifact, error_path),
+            name=f"service-{record.job_id}",
+        )
+        proc.start()
+        self.running_procs[record.job_id] = proc
+        self._set_gauges()
+        timeout_at = time.monotonic() + self.config.job_timeout_s
+        try:
+            while proc.exitcode is None:
+                now = time.monotonic()
+                if record.expired(now):
+                    proc.kill()
+                    proc.join()
+                    return "expired", None
+                if now >= timeout_at:
+                    proc.kill()
+                    proc.join()
+                    return ("worker_failure",
+                            f"timeout: killed after {self.config.job_timeout_s:.1f}s")
+                await asyncio.sleep(_POLL_S)
+            proc.join()
+        except asyncio.CancelledError:
+            # Worker task cancelled (shutdown): never leak a live child.
+            proc.kill()
+            proc.join()
+            raise
+        finally:
+            self.running_procs.pop(record.job_id, None)
+        exitcode = proc.exitcode
+        if exitcode == 0:
+            try:
+                record.result = read_artifact(artifact)
+            except Exception as exc:
+                return "worker_failure", f"unreadable artifact: {exc}"
+            record.artifact_sha256 = sha256_file(artifact)
+            return "success", None
+        error = self._read_error_file(error_path)
+        if error is not None:
+            return "job_error", error
+        if exitcode is not None and exitcode < 0:
+            return "worker_failure", f"killed by signal {-exitcode}"
+        return "worker_failure", f"worker exited with code {exitcode}"
+
+    async def _run_attempt_inline(self, record: JobRecord) -> tuple[str, str | None]:
+        """Threaded attempt for ``isolate=False`` (no kill capability)."""
+        loop = asyncio.get_running_loop()
+        artifact = self._artifact_path(record.job_id)
+        try:
+            payload = await loop.run_in_executor(
+                None, lambda: run_job_inline(
+                    record.job_id, JOB_TARGET, record.request.kwargs(), artifact
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 — job error, not ours
+            return "job_error", f"{type(exc).__name__}: {exc}"
+        record.result = payload
+        record.artifact_sha256 = sha256_file(artifact)
+        return "success", None
+
+    @staticmethod
+    def _read_error_file(path: str) -> str | None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return handle.read().strip() or None
+        except OSError:
+            return None
+
+    # -- terminal transitions ------------------------------------------
+
+    def _finish_success(self, record: JobRecord, elapsed: float) -> None:
+        record.phase = JobPhase.DONE
+        record.finished_unix = time.time()
+        assert self._journal is not None
+        self._journal.record(
+            "job_success", job=record.job_id, attempt=record.attempts,
+            elapsed_s=round(elapsed, 3),
+            artifact=os.path.relpath(self._artifact_path(record.job_id),
+                                     self.run_dir),
+            sha256=record.artifact_sha256,
+        )
+        self.breaker.record_success()
+        self.queues.observe_service_time(elapsed)
+        if self.cache is not None and record.request.cache_key is not None:
+            # read_artifact returned the payload; store it under the
+            # same envelope shape the harness uses.
+            self.cache.put(record.request.cache_key,
+                           {"payload": record.result})
+        self._count("service_jobs_done_total", tenant=record.request.tenant)
+        self.telemetry.histogram("service_job_wall_s").observe(elapsed)
+
+    def _finish_failed(self, record: JobRecord, error: str | None) -> None:
+        record.phase = JobPhase.FAILED
+        record.error = error or "unknown failure"
+        record.finished_unix = time.time()
+        assert self._journal is not None
+        self._journal.record("job_failed", job=record.job_id,
+                             attempts=record.attempts,
+                             error=record.error)
+        self._count("service_jobs_failed_total", tenant=record.request.tenant)
+
+    def _finish_expired(self, record: JobRecord, where: str) -> None:
+        record.phase = JobPhase.EXPIRED
+        record.error = f"deadline expired ({where})"
+        record.finished_unix = time.time()
+        if self._journal is not None:
+            self._journal.record("job_expired", job=record.job_id, where=where)
+        self._count("service_jobs_expired_total", where=where)
+
+    # -- the reaper -----------------------------------------------------
+
+    async def _reaper_loop(self) -> None:
+        """Expire queued jobs whose deadline passed (in-flight expiry is
+        enforced by the attempt poll loop)."""
+        while True:
+            now = time.monotonic()
+
+            def queued_and_expired(job_id: str) -> bool:
+                record = self.records.get(job_id)
+                return record is not None and record.expired(now)
+
+            for job_id in self.queues.drain_expired(queued_and_expired):
+                record = self.records[job_id]
+                if record.phase is JobPhase.QUEUED:
+                    self._finish_expired(record, where="queued")
+            self._set_gauges()
+            await asyncio.sleep(5 * _POLL_S)
+
+    # -- paths ----------------------------------------------------------
+
+    def _artifact_path(self, job_id: str) -> str:
+        return os.path.join(self.artifact_dir, f"{job_id}.json")

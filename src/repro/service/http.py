@@ -1,0 +1,301 @@
+"""Minimal asyncio HTTP/1.1 front-end for the simulation service.
+
+Stdlib-only by design (the container bakes no web framework), and small
+enough to reason about under fault injection.  The server is defensive
+against the clients the chaos suite throws at it:
+
+- **Slow clients** cannot hold a connection open mid-request: the
+  request line, each header, and the body all read under
+  ``slow_client_timeout_s``; a stall gets a 408 and a closed socket,
+  and never blocks admission for anyone else.
+- **Oversized requests** (body over 64 KiB, too many/long headers) are
+  cut off with 4xx before any allocation grows with attacker input.
+- **Keep-alive** is honored with an idle timeout so load generators can
+  reuse connections (that's what makes the ≥1000 jobs/min benchmark
+  cheap), but an idle socket is dropped after ``keepalive_timeout_s``.
+
+Routes::
+
+    POST   /jobs        submit  -> 200 (cached) | 202 (queued) |
+                                   400 | 429 + Retry-After | 503 + Retry-After
+    GET    /jobs/<id>   status/result -> 200 | 404
+    DELETE /jobs/<id>   cancel a queued job -> 200 | 404 | 409
+    GET    /healthz     liveness + breaker/queue snapshot (always 200)
+    GET    /readyz      200 only when accepting work at full service
+    GET    /metrics     Prometheus text exposition
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.service.admission import AdmissionRefused
+from repro.service.daemon import SimulationService, Unavailable
+from repro.service.models import JobPhase, TERMINAL_PHASES
+
+MAX_BODY_BYTES = 64 * 1024
+MAX_HEADER_LINES = 64
+MAX_LINE_BYTES = 8 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def _response(status: int, body: bytes, content_type: str,
+              extra: dict[str, str] | None = None,
+              keep_alive: bool = True) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for key, value in (extra or {}).items():
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def json_response(status: int, payload: Any,
+                  extra: dict[str, str] | None = None,
+                  keep_alive: bool = True) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _response(status, body, "application/json", extra, keep_alive)
+
+
+class HttpFrontend:
+    """Binds a :class:`SimulationService` to a TCP port."""
+
+    def __init__(self, service: SimulationService) -> None:
+        self.service = service
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        config = self.service.config
+        self._server = await asyncio.start_server(
+            self._handle_connection, config.host, config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        config = self.service.config
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            first = True
+            while True:
+                idle = config.keepalive_timeout_s if not first \
+                    else config.slow_client_timeout_s
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(), timeout=idle
+                    )
+                except asyncio.TimeoutError:
+                    if not first:
+                        break  # idle keep-alive expiry: just close
+                    writer.write(json_response(
+                        408, {"error": "timed out reading request"},
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                first = False
+                if not request_line:
+                    break
+                keep_alive = await self._handle_request(
+                    request_line, reader, writer
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_request(self, request_line: bytes,
+                              reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> bool:
+        """Parse and dispatch one request; returns keep-alive decision."""
+        config = self.service.config
+        try:
+            method, path, _version = (
+                request_line.decode("ascii", "replace").split(None, 2)
+            )
+        except ValueError:
+            writer.write(json_response(400, {"error": "malformed request line"},
+                                       keep_alive=False))
+            await writer.drain()
+            return False
+
+        headers: dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=config.slow_client_timeout_s
+                )
+            except asyncio.TimeoutError:
+                writer.write(json_response(
+                    408, {"error": "timed out reading headers"},
+                    keep_alive=False))
+                await writer.drain()
+                return False
+            if len(line) > MAX_LINE_BYTES:
+                writer.write(json_response(400, {"error": "header too long"},
+                                           keep_alive=False))
+                await writer.drain()
+                return False
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            writer.write(json_response(400, {"error": "too many headers"},
+                                       keep_alive=False))
+            await writer.drain()
+            return False
+
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                n = -1
+            if n < 0 or n > MAX_BODY_BYTES:
+                writer.write(json_response(
+                    413, {"error": f"body must be <= {MAX_BODY_BYTES} bytes"},
+                    keep_alive=False))
+                await writer.drain()
+                return False
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(n),
+                    timeout=config.slow_client_timeout_s,
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                writer.write(json_response(
+                    408, {"error": "timed out reading body"},
+                    keep_alive=False))
+                await writer.drain()
+                return False
+
+        wants_close = headers.get("connection", "").lower() == "close"
+        response = self._route(method.upper(), path, body)
+        if wants_close:
+            # Re-render with Connection: close (cheap; bodies are small).
+            response = response.replace(
+                b"Connection: keep-alive", b"Connection: close", 1
+            )
+        writer.write(response)
+        await writer.drain()
+        return not wants_close
+
+    # -- routing --------------------------------------------------------
+
+    def _route(self, method: str, path: str, body: bytes) -> bytes:
+        self.service.telemetry.counter(
+            "service_http_requests_total", method=method
+        ).inc()
+        try:
+            if path == "/jobs" and method == "POST":
+                return self._submit(body)
+            if path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                if method == "GET":
+                    return self._job_status(job_id)
+                if method == "DELETE":
+                    return self._job_cancel(job_id)
+                return json_response(405, {"error": "method not allowed"})
+            if path == "/healthz" and method == "GET":
+                return json_response(200, self.service.health())
+            if path == "/readyz" and method == "GET":
+                if self.service.ready():
+                    return json_response(200, {"ready": True})
+                return json_response(503, {
+                    "ready": False,
+                    "breaker": self.service.breaker.state.value,
+                    "draining": self.service.draining,
+                })
+            if path == "/metrics" and method == "GET":
+                from repro.telemetry.exporters import render_prometheus
+
+                text = render_prometheus(self.service.telemetry.registry)
+                return _response(200, text.encode("utf-8"),
+                                 "text/plain; version=0.0.4")
+            return json_response(404, {"error": f"no route {method} {path}"})
+        except Exception as exc:  # noqa: BLE001 — never kill the connection loop
+            return json_response(500, {"error": f"internal error: {exc}"})
+
+    def _submit(self, body: bytes) -> bytes:
+        try:
+            decoded = json.loads(body.decode("utf-8")) if body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return json_response(400, {"error": "body is not valid JSON"})
+        try:
+            record, was_cached = self.service.admit(decoded)
+        except AdmissionRefused as exc:
+            return json_response(
+                429,
+                {"error": exc.reason, "tenant": exc.tenant,
+                 "retry_after_s": round(exc.retry_after_s, 3)},
+                extra={"Retry-After": str(max(1, round(exc.retry_after_s)))},
+            )
+        except Unavailable as exc:
+            return json_response(
+                503,
+                {"error": exc.reason,
+                 "retry_after_s": round(exc.retry_after_s, 3)},
+                extra={"Retry-After": str(max(1, round(exc.retry_after_s)))},
+            )
+        except ServiceError as exc:
+            return json_response(400, {"error": str(exc)})
+        status = 200 if was_cached else 202
+        return json_response(status, record.status_dict())
+
+    def _job_status(self, job_id: str) -> bytes:
+        record = self.service.records.get(job_id)
+        if record is None:
+            return json_response(404, {"error": f"unknown job {job_id!r}"})
+        return json_response(200, record.status_dict())
+
+    def _job_cancel(self, job_id: str) -> bytes:
+        try:
+            record = self.service.cancel(job_id)
+        except KeyError:
+            return json_response(404, {"error": f"unknown job {job_id!r}"})
+        if record.phase is JobPhase.CANCELLED:
+            return json_response(200, record.status_dict())
+        if record.phase in TERMINAL_PHASES or record.phase is JobPhase.RUNNING:
+            return json_response(
+                409, {"error": f"job is {record.phase.value}, not cancellable",
+                      **record.status_dict()})
+        return json_response(200, record.status_dict())

@@ -1,0 +1,48 @@
+"""Worker-side job targets for the service daemon.
+
+Service jobs execute through the same mechanism as harness jobs: a
+dotted ``module:function`` target plus JSON kwargs, run by
+:func:`repro.harness.worker.worker_main` in a spawn-isolated process
+that atomically writes an artifact and exits.  Keeping the target here
+(in the package, importable from a fresh interpreter) is what lets a
+drained-and-restarted daemon re-run journaled in-flight jobs
+byte-identically.
+
+The payload is intentionally a *summary* (energies, time, health), not
+the full trace blob — it is what gets journaled, cached, and returned
+over HTTP to thousands of clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def run_simulation(workload: str, policy: str, n_iterations: int,
+                   time_scale: float) -> dict[str, Any]:
+    """One service submission: run ``workload`` under ``policy``.
+
+    Deterministic in all arguments (the simulator is seeded and
+    event-ordered), which is what makes the content-addressed cache key
+    over these kwargs a sound dedup address.
+    """
+    from repro.cli import _make_policy
+    from repro.experiments.common import scaled_options, scaled_workload
+    from repro.runtime.executor import run_workload
+
+    result = run_workload(
+        scaled_workload(workload, time_scale),
+        _make_policy(policy, time_scale),
+        n_iterations=n_iterations,
+        options=scaled_options(time_scale),
+    )
+    return {
+        "workload": result.workload,
+        "policy": result.policy,
+        "iterations": result.n_iterations,
+        "total_s": result.total_s,
+        "total_energy_j": result.total_energy_j,
+        "gpu_energy_j": result.gpu_energy_j,
+        "cpu_energy_j": result.cpu_energy_j,
+        "final_ratio": result.final_ratio,
+    }

@@ -1,0 +1,119 @@
+"""In-process service runner for tests, benchmarks, and the CI smoke job.
+
+:class:`ServiceThread` boots a full :class:`SimulationService` + HTTP
+front-end on its own asyncio loop in a daemon thread, binds an ephemeral
+port, and exposes the live service object so chaos tests can reach into
+the daemon (SIGKILL its worker processes, inspect the breaker) while
+real HTTP clients hammer the socket from the test thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.daemon import SimulationService
+from repro.service.http import HttpFrontend
+
+
+class ServiceThread:
+    """Run a daemon on a background thread; ``start()`` blocks until the
+    port is bound, ``stop()`` runs the full drain-then-exit path."""
+
+    def __init__(self, config: ServiceConfig, run_dir: str,
+                 cache: Any = None, telemetry: Any = None) -> None:
+        self.config = config
+        self.run_dir = run_dir
+        self.cache = cache
+        self.telemetry = telemetry
+        self.service: SimulationService | None = None
+        self.frontend: HttpFrontend | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._boot_error: BaseException | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, timeout_s: float = 30.0) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._run, name="service-thread", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise RuntimeError("service failed to start in time")
+        if self._boot_error is not None:
+            raise RuntimeError("service failed to boot") from self._boot_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._boot())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to start()
+            self._boot_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    async def _boot(self) -> None:
+        self.service = SimulationService(
+            self.config, self.run_dir,
+            cache=self.cache, telemetry=self.telemetry,
+        )
+        await self.service.start()
+        self.frontend = HttpFrontend(self.service)
+        await self.frontend.start()
+        self.port = self.frontend.port
+
+    def stop(self, timeout_s: float = 60.0) -> None:
+        """Drain-then-exit, mirroring the SIGTERM path."""
+        if self._loop is None or self.service is None:
+            return
+
+        async def _shutdown() -> None:
+            assert self.frontend is not None and self.service is not None
+            await self.frontend.stop()
+            await self.service.shutdown()
+            asyncio.get_running_loop().stop()
+
+        asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
+        assert self._thread is not None
+        self._thread.join(timeout_s)
+        if self._thread.is_alive():
+            raise RuntimeError("service thread did not stop in time")
+
+    # -- conveniences ---------------------------------------------------
+
+    def client(self, timeout_s: float = 10.0) -> ServiceClient:
+        assert self.port is not None
+        return ServiceClient(self.config.host, self.port, timeout_s=timeout_s)
+
+    def call(self, fn, *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn(service, ...)`` on the service loop and return its
+        result — the safe way for tests to poke daemon internals."""
+        assert self._loop is not None and self.service is not None
+
+        async def _invoke() -> Any:
+            result = fn(self.service, *args, **kwargs)
+            if asyncio.iscoroutine(result):
+                result = await result
+            return result
+
+        future = asyncio.run_coroutine_threadsafe(_invoke(), self._loop)
+        return future.result(timeout=30.0)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()

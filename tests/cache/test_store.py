@@ -108,19 +108,40 @@ class TestAdmin:
     def test_clear_removes_everything(self, cache):
         cache.put(KEY_A, {"result": 1})
         cache.put(KEY_B, {"result": 2})
-        removed = cache.clear()
-        assert removed == 2
+        expected_bytes = cache.stats().total_bytes
+        cleared = cache.clear()
+        assert cleared.entries == 2
+        assert cleared.files == 2
+        assert cleared.reclaimed_bytes == expected_bytes
         assert cache.stats().entries == 0
         assert cache.get(KEY_A) is None
 
+    def test_clear_counts_quarantined_files_separately(self, cache):
+        cache.put(KEY_A, {"result": 1})
+        (cache.root / KEY_B[:2]).mkdir(parents=True, exist_ok=True)
+        (cache.root / KEY_B[:2] / f"{KEY_B}.corrupt").write_text("junk")
+        cleared = cache.clear()
+        assert cleared.entries == 1
+        assert cleared.files == 2
+        assert cleared.reclaimed_bytes > 0
+
     def test_clear_on_missing_root(self, cache):
-        assert cache.clear() == 0
+        cleared = cache.clear()
+        assert (cleared.entries, cleared.files, cleared.reclaimed_bytes) == (0, 0, 0)
 
 
 class TestDefaultDir:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("GREENGPU_CACHE_DIR", "/tmp/elsewhere")
         assert default_cache_dir() == "/tmp/elsewhere"
+
+    def test_env_override_expands_tilde(self, monkeypatch):
+        # Parity with --cache-dir, where the shell expands ~ before we
+        # ever see it; env vars set from CI YAML or unit files don't.
+        monkeypatch.setenv("GREENGPU_CACHE_DIR", "~/elsewhere")
+        assert default_cache_dir() == os.path.join(
+            os.path.expanduser("~"), "elsewhere"
+        )
 
     def test_falls_back_to_home(self, monkeypatch):
         monkeypatch.delenv("GREENGPU_CACHE_DIR", raising=False)

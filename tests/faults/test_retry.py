@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ActuationError, MonitorError
+from repro.errors import ActuationError, ConfigError, MonitorError
 from repro.faults.retry import RetryPolicy, call_with_retry
 
 
@@ -16,6 +16,54 @@ class TestRetryPolicy:
     def test_backoff_is_capped(self):
         policy = RetryPolicy(base_backoff_s=0.1, backoff_factor=10.0, max_backoff_s=0.5)
         assert policy.backoff_s(5) == pytest.approx(0.5)
+
+    def test_unknown_jitter_mode_rejected(self):
+        with pytest.raises(ConfigError, match="jitter"):
+            RetryPolicy(jitter="full")
+
+
+class TestDecorrelatedJitter:
+    POLICY = RetryPolicy(max_attempts=10, base_backoff_s=0.05,
+                         max_backoff_s=2.0, jitter="decorrelated",
+                         jitter_seed=42)
+
+    def test_draws_stay_inside_envelope(self):
+        state = self.POLICY.backoff_state("job")
+        prev = self.POLICY.base_backoff_s
+        for _ in range(50):
+            backoff = state.next_backoff()
+            assert self.POLICY.base_backoff_s <= backoff <= self.POLICY.max_backoff_s
+            assert backoff <= max(prev * 3.0, self.POLICY.base_backoff_s)
+            prev = backoff
+
+    def test_seeded_streams_are_deterministic(self):
+        a = [self.POLICY.backoff_state("job").next_backoff() for _ in range(3)]
+        assert a == [a[0]] * 3  # fresh state, same salt: same first draw
+        s1 = self.POLICY.backoff_state("job")
+        s2 = self.POLICY.backoff_state("job")
+        assert [s1.next_backoff() for _ in range(8)] == \
+               [s2.next_backoff() for _ in range(8)]
+
+    def test_salts_decorrelate_jobs_sharing_one_policy(self):
+        # The thundering-herd property: a fleet retrying under the same
+        # seeded policy must not sleep in lockstep.
+        firsts = {self.POLICY.backoff_state(f"job-{i}").next_backoff()
+                  for i in range(16)}
+        assert len(firsts) == 16
+
+    def test_jitter_none_matches_legacy_schedule(self):
+        policy = RetryPolicy(base_backoff_s=0.1, backoff_factor=2.0,
+                             max_backoff_s=10.0)
+        state = policy.backoff_state("anything")
+        assert [state.next_backoff() for _ in range(3)] == \
+               [policy.backoff_s(i) for i in range(3)]
+
+    def test_unseeded_jitter_still_bounded(self):
+        policy = RetryPolicy(jitter="decorrelated")
+        state = policy.backoff_state()
+        for _ in range(20):
+            backoff = state.next_backoff()
+            assert policy.base_backoff_s <= backoff <= policy.max_backoff_s
 
 
 class TestCallWithRetry:

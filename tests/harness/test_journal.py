@@ -49,6 +49,37 @@ class TestJournal:
         records = read_journal(path)
         assert [r["event"] for r in records] == ["run_start", "job_start"]
 
+    def test_truncation_at_every_byte_of_last_record(self, tmp_path):
+        # Crash-mid-append can cut the tail at *any* byte — including
+        # inside a multi-byte UTF-8 sequence (the non-ASCII error text
+        # below).  Every prefix must read as a clean two-record journal,
+        # never as corruption.
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.record("run_start", jobs=["a"])
+            journal.record("job_start", job="a", attempt=1)
+            journal.record("job_retry", job="a", attempt=1,
+                           error="café über résumé — ¡kaboom! ✂")
+        full = path.read_bytes()
+        lines = full.splitlines(keepends=True)
+        prefix = b"".join(lines[:-1])
+        last = lines[-1]
+        for cut in range(len(last)):
+            path.write_bytes(prefix + last[:cut])
+            records = read_journal(path)
+            events = [r["event"] for r in records]
+            if cut == len(last) - 1:
+                # Only the newline is missing: the record is complete
+                # and keeping it is correct.
+                assert events == ["run_start", "job_start", "job_retry"]
+            else:
+                assert events == ["run_start", "job_start"], (
+                    f"truncation at byte {cut} of the last record"
+                )
+        # The intact journal still reads all three.
+        path.write_bytes(full)
+        assert len(read_journal(path)) == 3
+
     def test_mid_file_corruption_raises(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         good = json.dumps({"event": "run_start"})

@@ -1,0 +1,105 @@
+"""SIGTERM coverage for the ``sweep`` CLI harness path (satellite of
+the service PR; complements the suite-level SIGKILL/SIGTERM tests).
+
+Contract under test: when a supervised ``greengpu sweep --run-dir`` run
+receives SIGTERM, the supervisor (a) kills and reaps its in-flight
+spawned workers, (b) finalizes the journal — ``run_interrupted`` is
+recorded and ``run_end`` is the last record, i.e. the file is flushed,
+not half-written — and (c) exits with the conventional nonzero 130.
+A follow-up ``--resume`` must then complete the sweep reusing every
+journaled success.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.harness.journal import read_journal
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+DEADLINE_S = 120.0
+
+
+def sweep_cmd(run_dir, *extra):
+    return [
+        sys.executable, "-m", "repro.cli", "sweep",
+        "--workload", "kmeans", "--time-scale", "0.05",
+        "--step", "0.3", "--max-ratio", "0.9",
+        "--run-dir", str(run_dir), "--parallel", "2", *extra,
+    ]
+
+
+def sweep_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (os.path.abspath(SRC) + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    return env
+
+
+def wait_for_journal(run_dir, predicate, deadline_s=DEADLINE_S):
+    journal = os.path.join(str(run_dir), "journal.jsonl")
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        if os.path.exists(journal):
+            try:
+                records = read_journal(journal)
+            except Exception:
+                records = []
+            if predicate(records):
+                return records
+        time.sleep(0.01)
+    raise AssertionError("journal never reached the awaited state")
+
+
+class TestSweepSigterm:
+    def test_sigterm_flushes_journal_and_exits_130(self, tmp_path):
+        run_dir = tmp_path / "sweep"
+        proc = subprocess.Popen(sweep_cmd(run_dir), env=sweep_env(),
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE, text=True)
+        try:
+            wait_for_journal(
+                run_dir,
+                lambda recs: any(r["event"] == "job_start" for r in recs),
+            )
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=DEADLINE_S)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 130, (stdout, stderr)
+        assert "interrupted" in stderr
+
+        # The journal was finalized, not abandoned: interruption is
+        # recorded and run_end is the last (complete) record.
+        records = read_journal(run_dir / "journal.jsonl")
+        events = [r["event"] for r in records]
+        assert "run_interrupted" in events
+        assert events[-1] == "run_end"
+        end = records[-1]
+        assert end["interrupted"] is True
+
+        # Workers were killed and reaped by the supervisor: in-flight
+        # jobs have starts but no successes, and no stray artifact tmp
+        # files were left mid-write.
+        artifact_dir = run_dir / "artifacts"
+        if artifact_dir.exists():
+            assert not [n for n in os.listdir(artifact_dir)
+                        if n.endswith(".tmp")]
+
+        # --resume completes the sweep and reuses journaled successes.
+        done_before = {r["job"] for r in records
+                       if r["event"] == "job_success"}
+        resumed = subprocess.run(sweep_cmd(run_dir, "--resume"),
+                                 env=sweep_env(), capture_output=True,
+                                 text=True, timeout=DEADLINE_S)
+        assert resumed.returncode == 0, resumed.stderr
+        records = read_journal(run_dir / "journal.jsonl")
+        skipped = {r["job"] for r in records
+                   if r["event"] == "job_skipped"
+                   and r.get("reason") == "resumed"}
+        assert done_before <= skipped
+        assert "energy minimum" in resumed.stdout

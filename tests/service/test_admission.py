@@ -1,0 +1,159 @@
+"""Unit tests for the admission layer: buckets, queues, fair dequeue.
+
+Everything runs on a hand-cranked clock — no sleeps, no wall time.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.admission import AdmissionRefused, FairTenantQueues, TokenBucket
+from repro.service.config import ServiceConfig
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_exact_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            ok, _ = bucket.try_take()
+            assert ok
+        ok, retry_after = bucket.try_take()
+        assert not ok
+        # Empty bucket at 2 tokens/s: one token lands in 0.5 s.
+        assert retry_after == pytest.approx(0.5)
+
+    def test_refills_at_rate_and_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        for _ in range(3):
+            bucket.try_take()
+        clock.advance(1.0)  # 2 tokens back
+        assert bucket.try_take()[0]
+        assert bucket.try_take()[0]
+        assert not bucket.try_take()[0]
+        clock.advance(100.0)  # far past burst: capacity caps at 3
+        for _ in range(3):
+            assert bucket.try_take()[0]
+        assert not bucket.try_take()[0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ServiceError):
+            TokenBucket(rate=1.0, burst=-1.0)
+
+
+def make_queues(**overrides):
+    defaults = dict(
+        port=0, workers=2, tenant_queue_limit=3, global_high_water=10,
+        rate_per_tenant=1000.0, burst_per_tenant=1000.0,
+    )
+    defaults.update(overrides)
+    clock = FakeClock()
+    return FairTenantQueues(ServiceConfig(**defaults), clock=clock), clock
+
+
+class TestFairTenantQueues:
+    def test_per_tenant_bound_is_isolated(self):
+        queues, _ = make_queues()
+        for i in range(3):
+            queues.admit("a", f"a{i}")
+        with pytest.raises(AdmissionRefused) as exc:
+            queues.admit("a", "a3")
+        assert exc.value.reason == "queue_full"
+        assert exc.value.retry_after_s > 0.0
+        # Tenant b is unaffected by a's full queue.
+        queues.admit("b", "b0")
+        assert queues.depth("b") == 1
+
+    def test_global_high_water_sheds_everyone(self):
+        queues, _ = make_queues(tenant_queue_limit=100, global_high_water=4)
+        for i in range(4):
+            queues.admit(f"t{i}", i)
+        with pytest.raises(AdmissionRefused) as exc:
+            queues.admit("fresh-tenant", 99)
+        assert exc.value.reason == "high_water"
+        assert exc.value.retry_after_s > 0.0
+
+    def test_rate_limit_refusal_carries_tenant_and_wait(self):
+        queues, _ = make_queues(rate_per_tenant=1.0, burst_per_tenant=2.0)
+        queues.admit("a", 1)
+        queues.admit("a", 2)
+        with pytest.raises(AdmissionRefused) as exc:
+            queues.admit("a", 3)
+        assert exc.value.reason == "rate_limited"
+        assert exc.value.tenant == "a"
+        assert exc.value.retry_after_s == pytest.approx(1.0)
+
+    def test_weighted_fair_dequeue_interleaves_by_weight(self):
+        queues, _ = make_queues(
+            tenant_queue_limit=100,
+            global_high_water=1000,
+            tenant_weights={"heavy": 2.0, "light": 1.0},
+        )
+        for i in range(6):
+            queues.admit("heavy", ("heavy", i))
+        for i in range(3):
+            queues.admit("light", ("light", i))
+        order = [queues.take()[0] for _ in range(9)]
+        # Over any window, heavy gets ~2 slots per light slot — smooth
+        # WRR, not a burst of all-heavy then all-light.
+        assert order.count("heavy") == 6
+        first_six = order[:6]
+        assert first_six.count("light") >= 2, order
+
+    def test_fifo_within_tenant(self):
+        queues, _ = make_queues()
+        for i in range(3):
+            queues.admit("a", i)
+        assert [queues.take() for _ in range(3)] == [0, 1, 2]
+        assert queues.take() is None
+
+    def test_idle_tenant_does_not_bank_wrr_credit(self):
+        queues, _ = make_queues(tenant_queue_limit=100)
+        queues.admit("a", "a0")
+        assert queues.take() == "a0"
+        # a drained; its accumulated credit must not give it priority
+        # over b when both return later.
+        for item in ("b0", "b1"):
+            queues.admit("b", item)
+        queues.admit("a", "a1")
+        first_two = {queues.take(), queues.take()}
+        assert "b0" in first_two
+
+    def test_drain_expired_removes_only_flagged(self):
+        queues, _ = make_queues()
+        for i in range(3):
+            queues.admit("a", i)
+        removed = queues.drain_expired(lambda item: item == 1)
+        assert removed == [1]
+        assert queues.depth() == 2
+        assert [queues.take(), queues.take()] == [0, 2]
+
+    def test_drain_all_empties_everything(self):
+        queues, _ = make_queues()
+        queues.admit("a", 1)
+        queues.admit("b", 2)
+        assert sorted(queues.drain_all()) == [1, 2]
+        assert queues.depth() == 0
+
+    def test_shed_retry_after_tracks_service_rate(self):
+        queues, _ = make_queues(workers=2, global_high_water=4,
+                                tenant_queue_limit=100)
+        for i in range(4):
+            queues.admit("a", i)
+        before = queues.shed_retry_after_s()
+        for _ in range(20):
+            queues.observe_service_time(4.0)  # jobs got much slower
+        assert queues.shed_retry_after_s() > before

@@ -1,0 +1,110 @@
+"""Unit tests for the degradation-ladder circuit breaker (fake clock)."""
+
+from repro.service.breaker import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_breaker(**kw):
+    clock = FakeClock()
+    defaults = dict(cache_only_after=2, hard_open_after=4, cooldown_s=5.0)
+    defaults.update(kw)
+    return CircuitBreaker(clock=clock, **defaults), clock
+
+
+class TestLadder:
+    def test_walks_closed_to_cache_only_to_open(self):
+        breaker, _ = make_breaker()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CACHE_ONLY
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.transitions == [
+            ("closed", "cache_only"), ("cache_only", "open"),
+        ]
+
+    def test_success_resets_everything(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CACHE_ONLY
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+        assert breaker.cooldown_remaining_s() == 0.0
+
+    def test_success_interleaved_keeps_closed(self):
+        breaker, _ = make_breaker()
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestHalfOpenProbe:
+    def test_no_execution_during_cooldown(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.allow_execution()
+        clock.now = 4.9
+        assert not breaker.allow_execution()
+
+    def test_single_canary_after_cooldown(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow_execution()     # the canary
+        assert not breaker.allow_execution()  # only one out at a time
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow_execution()
+
+    def test_failed_canary_rearms_cooldown_and_escalates(self):
+        breaker, clock = make_breaker(cache_only_after=2, hard_open_after=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow_execution()
+        breaker.record_failure()  # canary died: escalate toward OPEN
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow_execution()
+        clock.now = 5.1
+        assert not breaker.allow_execution()  # new cooldown re-armed
+        clock.now = 10.0
+        assert breaker.allow_execution()
+
+    def test_release_probe_unsticks_a_verdictless_canary(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow_execution()
+        # Canary got cancelled/expired: no success, no failure.
+        breaker.release_probe()
+        assert breaker.allow_execution()  # a new canary may go out
+
+
+class TestServingGates:
+    def test_cache_serves_in_cache_only_but_not_open(self):
+        breaker, _ = make_breaker(cache_only_after=1, hard_open_after=2)
+        assert breaker.allow_cache_serve()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CACHE_ONLY
+        assert breaker.allow_cache_serve()
+        assert breaker.allow_enqueue()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow_cache_serve()
+        assert not breaker.allow_enqueue()

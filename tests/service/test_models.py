@@ -1,0 +1,94 @@
+"""Unit tests for submission parsing and the job record model."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.models import (
+    JobPhase,
+    JobRecord,
+    parse_request,
+    request_from_dict,
+)
+
+CONFIG = ServiceConfig(port=0)
+
+
+class TestParseRequest:
+    def test_defaults_fill_in(self):
+        request = parse_request({}, CONFIG)
+        assert request.workload == "kmeans"
+        assert request.policy == "greengpu"
+        assert request.tenant == "public"
+        assert request.cache_key is not None
+
+    def test_alias_canonicalized_to_shared_cache_key(self):
+        a = parse_request({"workload": "PF"}, CONFIG)
+        b = parse_request({"workload": "pathfinder"}, CONFIG)
+        assert a.workload == b.workload == "pathfinder"
+        assert a.cache_key == b.cache_key
+
+    def test_distinct_submissions_get_distinct_keys(self):
+        a = parse_request({"iterations": 2}, CONFIG)
+        b = parse_request({"iterations": 3}, CONFIG)
+        assert a.cache_key != b.cache_key
+
+    def test_tenant_does_not_affect_cache_key(self):
+        # The result of a simulation is tenant-independent; sharing the
+        # content address across tenants is what makes a warm cache warm.
+        a = parse_request({"tenant": "team-a"}, CONFIG)
+        b = parse_request({"tenant": "team-b"}, CONFIG)
+        assert a.cache_key == b.cache_key
+
+    @pytest.mark.parametrize("body,fragment", [
+        ([], "JSON object"),
+        ({"workload": "no-such-kernel"}, "unknown workload"),
+        ({"workload": 7}, "workload must be a string"),
+        ({"policy": "no-such-policy"}, "unknown policy"),
+        ({"tenant": ""}, "tenant"),
+        ({"tenant": "x" * 65}, "tenant"),
+        ({"iterations": 0}, "iterations"),
+        ({"iterations": 10_000}, "iterations"),
+        ({"iterations": True}, "iterations"),
+        ({"time_scale": 0.0}, "time_scale"),
+        ({"time_scale": 99.0}, "time_scale"),
+        ({"deadline_s": -1.0}, "deadline_s"),
+        ({"deadline_s": "soon"}, "deadline_s"),
+    ])
+    def test_rejects_malformed(self, body, fragment):
+        with pytest.raises(ServiceError, match=fragment):
+            parse_request(body, CONFIG)
+
+    def test_deadline_clamped_to_ceiling(self):
+        request = parse_request({"deadline_s": 10_000_000.0}, CONFIG)
+        assert request.deadline_s == CONFIG.max_deadline_s
+
+    def test_journal_round_trip_is_identity(self):
+        request = parse_request(
+            {"workload": "srad", "policy": "scaling-only", "iterations": 3,
+             "time_scale": 0.1, "tenant": "t", "deadline_s": 9.0},
+            CONFIG,
+        )
+        assert request_from_dict(request.as_dict()) == request
+
+
+class TestJobRecord:
+    def test_expiry_against_monotonic_deadline(self):
+        request = parse_request({"deadline_s": 5.0}, CONFIG)
+        record = JobRecord(job_id="job-000001", request=request)
+        record.deadline_monotonic = 100.0
+        assert not record.expired(99.9)
+        assert record.expired(100.0)
+
+    def test_no_deadline_never_expires(self):
+        record = JobRecord(job_id="j", request=parse_request({}, CONFIG))
+        assert not record.expired(1e12)
+
+    def test_status_dict_shape(self):
+        record = JobRecord(job_id="j", request=parse_request({}, CONFIG))
+        status = record.status_dict()
+        assert status["phase"] == "queued"
+        assert "result" not in status and "error" not in status
+        record.phase = JobPhase.DONE
+        record.result = {"total_energy_j": 1.0}
+        assert record.status_dict()["result"] == {"total_energy_j": 1.0}

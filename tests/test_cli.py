@@ -256,7 +256,34 @@ class TestCache:
         assert main(["run", "--workload", "kmeans", "--cache-dir", cache_dir,
                      *fast]) == 0
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
-        assert "removed 1 files" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "entries    : 1 removed" in out
+        assert "files      : 1 removed" in out
+        assert "reclaimed  : " in out and " 0 bytes" not in out
+
+    def test_cache_clear_honors_env_dir(self, capsys, tmp_path, fast,
+                                        monkeypatch):
+        cache_dir = str(tmp_path / "env-cache")
+        monkeypatch.setenv("GREENGPU_CACHE_DIR", cache_dir)
+        assert main(["run", "--workload", "kmeans", *fast]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert f"cache root : {cache_dir}" in out
+        assert "entries    : 1 removed" in out
+        assert main(["cache", "stats"]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+
+    def test_cache_admin_on_missing_dir_exits_zero(self, capsys, tmp_path,
+                                                   monkeypatch):
+        missing = str(tmp_path / "never-created")
+        monkeypatch.setenv("GREENGPU_CACHE_DIR", missing)
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 0" in out
+        assert "total bytes: 0" in out
+        assert main(["cache", "clear"]) == 0
+        assert "entries    : 0 removed" in capsys.readouterr().out
 
     def test_sweep_warm_cache_skips_points(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
