@@ -1,0 +1,176 @@
+"""Fleet-scale gate: 1000 nodes, one budget, three allocators.
+
+Runs the canonical fleet benchmark — a 1000-node diurnal scenario under
+a tight datacenter budget (35 % of the fleet's headroom above its floor
+draw) — once per allocator, and records the numbers the fleet subsystem
+promises:
+
+- **equal enforcement** — every allocator ends with the same cap
+  violation count (zero: caps are enforced as conservative frequency
+  ceilings, so no policy can trade violations for energy);
+- **the demand-aware win** — the efficiency-weighted allocator finishes
+  the fleet's backlog sooner than the static uniform cap and therefore
+  spends less total wall energy to the fleet makespan (the idle-tail
+  margin of racing the datacenter to idle).
+
+The simulation is deterministic, so the committed baseline
+(``BENCH_8.json``) transfers across machines; ``--check`` re-measures
+and gates both the invariants above and the per-allocator energies
+against the baseline.
+
+Modes::
+
+    python benchmarks/fleet_scale.py                  # measure + print
+    python benchmarks/fleet_scale.py --out BENCH_8.json    # write baseline
+    python benchmarks/fleet_scale.py --check BENCH_8.json  # CI gate
+    python benchmarks/fleet_scale.py --nodes 100           # quick look
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.fleet import make_scenario, run_fleet
+
+N_NODES = 1000
+SEED = 42
+BUDGET_FRAC = 0.35
+SCENARIO = "diurnal"
+ALLOCATORS = ("uniform-cap", "proportional-share", "efficiency-weighted")
+
+#: The gate's absolute floor on the efficiency-weighted allocator's
+#: energy saving over the uniform cap (fraction of uniform energy).
+SAVING_FLOOR = 0.005
+
+
+def measure(n_nodes: int = N_NODES) -> dict:
+    scenario = make_scenario(SCENARIO, n_nodes=n_nodes, seed=SEED,
+                             budget_frac=BUDGET_FRAC)
+    allocators = {}
+    for name in ALLOCATORS:
+        t0 = time.perf_counter()
+        result = run_fleet(scenario, name)
+        allocators[name] = {
+            "energy_j": round(result.energy_j, 3),
+            "measured_energy_j": round(result.measured_energy_j, 3),
+            "idle_tail_energy_j": round(result.idle_tail_energy_j, 3),
+            "makespan_s": round(result.makespan_s, 6),
+            "violation_ticks": result.violation_ticks,
+            "plan_ticks": result.plan_ticks,
+            "wall_s": round(time.perf_counter() - t0, 3),
+        }
+    uniform = allocators["uniform-cap"]["energy_j"]
+    efficient = allocators["efficiency-weighted"]["energy_j"]
+    return {
+        "bench_schema": 1,
+        "scenario": SCENARIO,
+        "n_nodes": n_nodes,
+        "seed": SEED,
+        "budget_frac": BUDGET_FRAC,
+        "saving_floor": SAVING_FLOOR,
+        "allocators": allocators,
+        "saving_frac": round((uniform - efficient) / uniform, 6),
+    }
+
+
+def report(results: dict) -> None:
+    print(f"fleet_scale: {results['n_nodes']} nodes, {results['scenario']}, "
+          f"budget {results['budget_frac']:.0%} of headroom, "
+          f"seed {results['seed']}")
+    for name, row in results["allocators"].items():
+        print(f"  {name:22s} energy {row['energy_j'] / 1e6:9.4f} MJ   "
+              f"makespan {row['makespan_s']:8.1f} s   "
+              f"violations {row['violation_ticks']}   "
+              f"({row['wall_s']:.1f}s wall)")
+    print(f"  efficiency-weighted saves {100 * results['saving_frac']:.2f}% "
+          "fleet energy vs uniform-cap")
+
+
+def check(results: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+
+    rows = results["allocators"]
+    violations = {name: row["violation_ticks"] for name, row in rows.items()}
+    if len(set(violations.values())) != 1:
+        failures.append(f"cap violation counts differ: {violations}")
+    base_violations = {
+        name: row["violation_ticks"]
+        for name, row in baseline["allocators"].items()
+    }
+    if violations != base_violations:
+        failures.append(
+            f"violation counts {violations} != baseline {base_violations}"
+        )
+
+    uniform = rows["uniform-cap"]["energy_j"]
+    efficient = rows["efficiency-weighted"]["energy_j"]
+    if not efficient < uniform:
+        failures.append(
+            f"efficiency-weighted ({efficient:.0f} J) does not beat "
+            f"uniform-cap ({uniform:.0f} J)"
+        )
+    floor = baseline.get("saving_floor", SAVING_FLOOR)
+    if results["saving_frac"] < floor:
+        failures.append(
+            f"saving {results['saving_frac']:.4f} below floor {floor:.4f}"
+        )
+
+    for name, row in baseline["allocators"].items():
+        measured = rows.get(name)
+        if measured is None:
+            failures.append(f"allocator {name} missing from measurement")
+            continue
+        base_energy = row["energy_j"]
+        drift = abs(measured["energy_j"] - base_energy) / base_energy
+        if drift > tolerance:
+            failures.append(
+                f"{name}: energy {measured['energy_j']:.0f} J drifts "
+                f"{100 * drift:.2f}% from baseline {base_energy:.0f} J "
+                f"(tolerance {100 * tolerance:.2f}%)"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("fleet_scale gate OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None, metavar="FILE",
+                        help="write measured results as the new baseline")
+    parser.add_argument("--check", type=Path, default=None, metavar="FILE",
+                        help="gate the measurement against a committed "
+                             "baseline (CI mode)")
+    parser.add_argument("--tolerance", type=float, default=0.005,
+                        help="allowed fractional energy drift vs the "
+                             "baseline (the sim is deterministic; default "
+                             "0.5%%)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the fleet size (measure mode only)")
+    args = parser.parse_args(argv)
+
+    if args.nodes is not None and args.check is not None:
+        parser.error("--nodes cannot be combined with --check (the gate "
+                     "compares the baseline's own fleet size)")
+
+    results = measure(args.nodes if args.nodes is not None else N_NODES)
+    report(results)
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"baseline written to {args.out}")
+    if args.check is not None:
+        return check(results, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -327,9 +327,94 @@ footer {{ margin-top: 2rem; font-size: .8rem; color: {_TEXT_2}; }}
 """
 
 
+#: A run directory containing this file is a fleet run; ``report``
+#: renders the fleet layout (per-rack aggregation) instead of the
+#: single-node decision timelines.
+FLEET_SUMMARY_NAME = "fleet_summary.json"
+
+
+def _fleet_budget_panel(plan_stats: list[dict[str, Any]]) -> str:
+    """Budget vs. granted caps vs. modeled demand, per coordination tick."""
+    if not plan_stats:
+        return ""
+    t_range = (plan_stats[0]["t"], plan_stats[-1]["t"])
+    return _timeline(
+        "Datacenter budget and granted caps",
+        [("budget", _FLIP,
+          [(s["t"], s["budget_w"] / 1e3) for s in plan_stats]),
+         ("granted caps", _SERIES_1,
+          [(s["t"], s["total_cap_w"] / 1e3) for s in plan_stats]),
+         ("modeled demand", _SERIES_2,
+          [(s["t"], s["total_demand_w"] / 1e3) for s in plan_stats])],
+        t_range=t_range, y_unit="kW", step=True,
+    )
+
+
+def _fleet_rack_table(per_rack: list[dict[str, Any]]) -> str:
+    """Per-rack aggregation: the fleet report's data-table fold."""
+    rows = "".join(
+        f"<tr><td>rack {r['rack']}</td><td>{r['nodes']}</td>"
+        f"<td>{r['energy_j'] / 1e6:.3f}</td>"
+        f"<td>{_fmt(r['busy_end_s'])}</td>"
+        f"<td>{r['violation_ticks']}</td>"
+        f"<td>{r['faults_injected']}</td></tr>"
+        for r in per_rack
+    )
+    table = (
+        "<table><thead><tr><th>rack</th><th>nodes</th>"
+        "<th>energy (MJ)</th><th>last drain (s)</th>"
+        "<th>cap violations</th><th>faults</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table>"
+    )
+    return (f"<details open><summary>Per-rack aggregation "
+            f"({len(per_rack)} racks)</summary>{table}</details>")
+
+
+def _render_fleet_report(directory: str, summary: dict[str, Any]) -> str:
+    """Fleet layout: stats grid + budget panel + per-rack table."""
+    title = (f"fleet · {summary.get('scenario', '?')} · "
+             f"{summary.get('allocator', '?')}")
+    stats = [
+        ("allocator", str(summary.get("allocator", "?"))),
+        ("scenario", str(summary.get("scenario", "?"))),
+        ("nodes", str(summary.get("n_nodes", "?"))),
+        ("racks", str(summary.get("n_racks", "?"))),
+        ("fleet energy", f"{summary.get('energy_j', 0.0) / 1e6:.3f} MJ"),
+        ("makespan", f"{summary.get('makespan_s', 0.0):.1f} s"),
+        ("cap violations", str(summary.get("violation_ticks", 0))),
+        ("faults injected", str(summary.get("faults_injected", 0))),
+    ]
+    body = [
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="subtitle">GreenGPU fleet run report — '
+        f"{html.escape(directory)}</p>",
+        _meta_grid(stats),
+        _fleet_budget_panel(summary.get("plan_stats", [])),
+        _fleet_rack_table(summary.get("per_rack", [])),
+        "<footer>Self-contained report: inline SVG, no scripts, no "
+        "network fetches. Rack energies include the idle tail to the "
+        "fleet makespan; regenerate with <code>greengpu report</code>."
+        "</footer>",
+    ]
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        f"<title>{html.escape(title)} — GreenGPU run report</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n"
+        + "\n".join(part for part in body if part)
+        + "\n</body>\n</html>\n"
+    )
+
+
 def render_html_report(directory: str | os.PathLike[str]) -> str:
     """Render one run directory into a standalone HTML document."""
+    import json
+
     directory = os.fspath(directory)
+    fleet_path = os.path.join(directory, FLEET_SUMMARY_NAME)
+    if os.path.exists(fleet_path):
+        with open(fleet_path, encoding="utf-8") as fh:
+            return _render_fleet_report(directory, json.load(fh))
     snapshot = read_snapshot(os.path.join(directory, SNAPSHOT_NAME))
     records = read_audit(audit_path(directory), missing_ok=True)
     ticks = scaling_records(records)

@@ -6,6 +6,9 @@ Subcommands:
 - ``compare``      — run every policy on a workload, print the comparison;
 - ``sweep``        — static division sweep (the Fig. 2 experiment on any
   workload);
+- ``fleet``        — datacenter-scale simulation: N catalog nodes under
+  a global power budget, coordinated per tick by a cap allocator
+  (compare allocators with a comma-separated ``--allocator`` list);
 - ``characterize`` — Table-II-style utilization characterization;
 - ``oracle``       — exhaustive static frequency/division search;
 - ``reproduce``    — regenerate one or all paper artifacts;
@@ -269,6 +272,124 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return supervised(tmp)
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Fleet simulation: N nodes under one budget, per-tick cap allocation.
+
+    ``--allocator`` accepts a comma-separated list; each allocator runs
+    the same scenario and the results print as a comparison table.
+    ``--telemetry`` (single allocator only) records rack-labelled fleet
+    metrics plus run-level energy/time gauges, mergeable and diffable
+    like any other run directory, and writes a ``fleet_summary.json``
+    that ``greengpu report`` renders with per-rack aggregation.
+    """
+    import json
+    import os
+    import tempfile
+
+    from repro.fleet import make_scenario
+    from repro.fleet.shard import export_fleet_worker, shard_name
+    from repro.fleet.sim import FleetSim
+
+    allocators = [name.strip() for name in args.allocator.split(",")
+                  if name.strip()]
+    if not allocators:
+        raise ConfigError("--allocator must name at least one policy")
+    if args.telemetry and len(allocators) > 1:
+        raise ConfigError("--telemetry records one run: use a single "
+                          "--allocator with it")
+    if args.resume and not args.run_dir:
+        raise ConfigError("--resume requires --run-dir")
+    scenario = make_scenario(
+        args.scenario, n_nodes=args.nodes, seed=args.seed,
+        nodes_per_rack=args.nodes_per_rack,
+        duration_s=args.duration,
+        coordination_interval_s=args.interval,
+        budget_frac=args.budget_frac,
+    )
+
+    def run_all(run_root: str | None) -> int:
+        summaries = []
+        for name in allocators:
+            run_dir = (os.path.join(run_root, name)
+                       if run_root is not None else None)
+            sim = FleetSim(
+                scenario, name,
+                shards=args.shards, parallel=args.parallel,
+                run_dir=run_dir, resume=args.resume,
+                telemetry_dir=args.telemetry if run_dir else None,
+                cache=_make_cache(args),
+            )
+            result = sim.run()
+            if result is None:
+                report = sim.last_report
+                if report is not None and report.interrupted:
+                    where = (f" --run-dir {args.run_dir}" if args.run_dir
+                             else " (use --run-dir to make runs resumable)")
+                    print(f"interrupted — finish with --resume{where}",
+                          file=sys.stderr)
+                    return 130
+                detail = (report.summary_line() if report is not None
+                          else "no harness report")
+                print(f"fleet run failed: {detail}", file=sys.stderr)
+                return 1
+            summaries.append(result.summary())
+            if args.telemetry:
+                from repro.telemetry import Telemetry, merge_directory
+
+                if run_dir is None:
+                    # Inline runs export through the same worker path the
+                    # spawned shards use, so the merged view is identical.
+                    export_fleet_worker(
+                        list(result.nodes), args.telemetry,
+                        shard_name(0, scenario.n_nodes), name,
+                    )
+                summary = Telemetry(base_labels={
+                    "scenario": scenario.name, "allocator": name,
+                })
+                summary.gauge("run_total_energy_j").set(
+                    result.energy_j, t=result.makespan_s)
+                summary.gauge("run_time_s").set(
+                    result.makespan_s, t=result.makespan_s)
+                merge_directory(args.telemetry, extra=[summary])
+                with open(os.path.join(args.telemetry,
+                                       "fleet_summary.json"), "w",
+                          encoding="utf-8") as fh:
+                    json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+                print(f"telemetry merged into {args.telemetry} "
+                      f"(render with: greengpu report {args.telemetry})",
+                      file=sys.stderr)
+
+        rows = [
+            (s["allocator"], s["energy_j"] / 1e6, s["makespan_s"],
+             str(s["violation_ticks"]), str(s["faults_injected"]))
+            for s in summaries
+        ]
+        print(format_table(
+            ["allocator", "energy (MJ)", "makespan (s)", "cap violations",
+             "faults"],
+            rows,
+            title=(f"fleet — {scenario.name}, {scenario.n_nodes} nodes / "
+                   f"{scenario.n_racks} racks, budget {args.budget_frac:.0%}"
+                   " of headroom"),
+        ))
+        if len(summaries) > 1:
+            best = min(summaries, key=lambda s: s["energy_j"])
+            print(f"\nlowest fleet energy: {best['allocator']} "
+                  f"({best['energy_j'] / 1e6:.3f} MJ)")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(summaries, fh, indent=2, sort_keys=True)
+            print(f"summary written to {args.out}", file=sys.stderr)
+        return 0
+
+    if args.run_dir is not None:
+        return run_all(args.run_dir)
+    if args.shards > 1:
+        with tempfile.TemporaryDirectory(prefix="greengpu-fleet-") as tmp:
+            return run_all(tmp)
+    return run_all(None)
+
+
 def cmd_characterize(args: argparse.Namespace) -> int:
     from repro.experiments import table2
 
@@ -493,6 +614,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--isolate", action="store_true",
                    help="run each point in its own process even with --parallel 1")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("fleet", help="datacenter fleet under a power budget")
+    p.add_argument("--nodes", type=int, default=100,
+                   help="fleet size (catalog nodes, mixed by the scenario)")
+    p.add_argument("--scenario", default="diurnal",
+                   choices=["diurnal", "rolling-caps", "fault-bursts"],
+                   help="fleet workload generator")
+    p.add_argument("--allocator", default="efficiency-weighted",
+                   help="cap allocator, or a comma-separated list to "
+                        "compare (uniform-cap, proportional-share, "
+                        "efficiency-weighted)")
+    p.add_argument("--budget-frac", type=float, default=0.5,
+                   help="datacenter budget as a fraction of the fleet's "
+                        "headroom above its floor draw")
+    p.add_argument("--duration", type=float, default=240.0,
+                   help="scenario duration in simulated seconds")
+    p.add_argument("--interval", type=float, default=12.0,
+                   help="coordination interval in simulated seconds")
+    p.add_argument("--nodes-per-rack", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed every per-node stream spawns from")
+    p.add_argument("--shards", type=int, default=1,
+                   help="split the fleet into this many harness jobs")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="worker processes to fan shards across")
+    p.add_argument("--run-dir", default=None,
+                   help="journaled run directory (enables --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip shards already completed in --run-dir")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the per-allocator summary JSON here")
+    _add_telemetry(p)
+    _add_cache(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("characterize", help="Table II utilization classes")
     p.add_argument("--iterations", type=int, default=1)

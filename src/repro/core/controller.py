@@ -68,7 +68,7 @@ flag and defers all derivation off the hot tick.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.config import GreenGpuConfig
 from repro.core.division import WorkloadDivider
@@ -170,6 +170,12 @@ class GreenGpuController:
         self._last_cpu_sample: CpuUtilizationSample | None = None
         self._consecutive_failures = 0
         self._degraded = False
+        # Frequency-ladder ceiling (power-cap enforcement): WMA decisions
+        # are clamped to level indices >= these (index 0 = peak), so a
+        # fleet coordinator can bound this node's draw without touching
+        # the learning loop.  (0, 0) — the default — is a no-op and the
+        # controller is bit-identical to the unceilinged one.
+        self._level_ceiling: tuple[int, int] = (0, 0)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -261,6 +267,73 @@ class GreenGpuController:
         self._consecutive_failures = 0
         self._degraded = False
 
+    # -- power-cap ceiling ---------------------------------------------------------
+
+    @property
+    def level_ceiling(self) -> tuple[int, int]:
+        """Current (core, mem) ladder-ceiling indices; (0, 0) = uncapped."""
+        return self._level_ceiling
+
+    def set_level_ceiling(self, core_level: int, mem_level: int) -> None:
+        """Cap the GPU at ladder levels no faster than the given indices.
+
+        Index 0 is each ladder's peak, so a ceiling of ``(i, j)`` forbids
+        levels above ``i``/``j`` — the enforcement half of a fleet power
+        cap, which a coordinator derives from the node's worst-case wall
+        power at each level pair.  Scaling decisions (and the watchdog's
+        safe state) are clamped to the ceiling; the WMA table itself
+        keeps learning over the full ladder, so lifting the cap restores
+        full-range control instantly.  If the controller is attached and
+        the clocks currently sit above the new ceiling, they are pushed
+        down immediately (best effort, like the safe state).
+
+        The ceiling is operator configuration, not learned state: it
+        survives :meth:`detach` until explicitly changed.
+        """
+        if core_level < 0 or mem_level < 0:
+            raise SimulationError("ceiling level indices must be >= 0")
+        self._level_ceiling = (core_level, mem_level)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "cap_ceiling_set",
+                t_sim=self._system.now if self._system is not None else 0.0,
+                core_level=core_level, mem_level=mem_level,
+            )
+        system = self._system
+        if system is None or not self.mode.scaling_enabled:
+            return
+        spec = system.gpu.spec
+        ci, cj = self._clamped_ceiling(spec)
+        f_core_max = spec.core_ladder[ci]
+        f_mem_max = spec.mem_ladder[cj]
+        if (system.gpu.f_core > f_core_max or system.gpu.f_mem > f_mem_max):
+            target = (min(system.gpu.f_core, f_core_max),
+                      min(system.gpu.f_mem, f_mem_max))
+            try:
+                (self._actuator or system.gpu).set_frequencies(*target)
+            except ActuationError:
+                pass  # retried by the next scaling tick's clamp
+
+    def _clamped_ceiling(self, spec) -> tuple[int, int]:
+        """Ceiling indices clipped into this system's ladder ranges."""
+        ci, cj = self._level_ceiling
+        return (min(ci, len(spec.core_ladder) - 1),
+                min(cj, len(spec.mem_ladder) - 1))
+
+    def _apply_ceiling(self, decision):
+        """Clamp one scaling decision to the ladder ceiling (if any)."""
+        if self._level_ceiling == (0, 0):
+            return decision
+        assert self._system is not None
+        spec = self._system.gpu.spec
+        ci, cj = self._clamped_ceiling(spec)
+        i = max(decision.core_level, ci)
+        j = max(decision.mem_level, cj)
+        if (i, j) == (decision.core_level, decision.mem_level):
+            return decision
+        return replace(decision, core_level=i, mem_level=j,
+                       f_core=spec.core_ladder[i], f_mem=spec.mem_ladder[j])
+
     # -- hardening plumbing --------------------------------------------------------
 
     def _record_event(self, channel: str, t: float, value: float = 1.0) -> None:
@@ -351,14 +424,18 @@ class GreenGpuController:
         """Best-effort push to peak frequencies (the watchdog's safe state).
 
         Peak is safe in the paper's sense: it can only cost energy, never
-        correctness or deadline — the best-performance baseline.  The
-        write may itself fail (e.g. during a throttle episode); it is
+        correctness or deadline — the best-performance baseline.  Under a
+        power-cap ceiling the safe state is the ceiling pair instead:
+        exceeding the node's cap is not "safe" in a coordinated fleet.
+        The write may itself fail (e.g. during a throttle episode); it is
         retried on every degraded tick until it lands.
         """
         assert self._system is not None and self._actuator is not None
         spec = self._system.gpu.spec
+        ci, cj = self._clamped_ceiling(spec)
         try:
-            self._actuator.set_frequencies(spec.core_ladder.peak, spec.mem_ladder.peak)
+            self._actuator.set_frequencies(spec.core_ladder[ci],
+                                           spec.mem_ladder[cj])
         except ActuationError:
             pass
 
@@ -405,6 +482,7 @@ class GreenGpuController:
                 decision = self.scaler.step(sample.u_core, sample.u_mem)
         else:
             decision = self.scaler.step(sample.u_core, sample.u_mem)
+        decision = self._apply_ceiling(decision)
         if tel_on:
             telemetry.event(
                 "wma_update", t_sim=t,

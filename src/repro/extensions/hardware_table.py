@@ -1,4 +1,17 @@
-"""The §VI on-chip hardware sketch: an 8-bit fixed-point weight table.
+"""Hardware tables: the node catalog and the §VI fixed-point sketch.
+
+Two related things live here:
+
+1. **The hardware catalog** (:data:`HARDWARE_TABLE`) — named, validated
+   :class:`HardwareEntry` node classes a fleet simulation mixes: the
+   paper's calibrated testbed, a DVFS-capable variant of the same card,
+   and two synthetic 2012-era classes (a low-power efficiency node and a
+   high-performance node).  :func:`validate` / :func:`validate_all`
+   check every entry's frequency ladders and power figures before a
+   fleet instantiates thousands of copies — one bad entry would
+   otherwise become a silent fleet-wide error.
+
+2. **The §VI on-chip sketch** — an 8-bit fixed-point weight table.
 
 The paper argues the frequency-scaling tier is cheap enough to implement
 on-chip: a 36-byte table (6 x 6 pairs x 8 bits), shift-add multipliers for
@@ -34,14 +47,315 @@ performance, consistent with the paper's priorities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
 from repro.core.config import GreenGpuConfig
 from repro.core.loss import loss_vector, total_loss_matrix
 from repro.errors import ConfigError
+from repro.sim.bus import PcieBus
+from repro.sim.calibration import default_testbed_config
+from repro.sim.cpu import CpuSpec
 from repro.sim.frequency import FrequencyLadder
+from repro.sim.gpu import GpuSpec
+from repro.sim.perf import RooflineModel
+from repro.sim.platform import TestbedConfig
+from repro.sim.power import CpuPowerModel, GpuPowerModel
+from repro.units import ghz, mhz
+
+
+# -- the hardware catalog ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HardwareEntry:
+    """One node class a fleet can instantiate.
+
+    ``factory`` builds a fresh :class:`TestbedConfig` per call (specs are
+    frozen but devices built from them are stateful, so sharing a config
+    between nodes is fine while sharing devices is not).
+    """
+
+    key: str
+    description: str
+    factory: Callable[[], TestbedConfig]
+
+    def make_config(self, sample_log_cap: int | None = None) -> TestbedConfig:
+        """A fresh testbed config (optionally bounding meter sample logs)."""
+        config = self.factory()
+        if sample_log_cap is not None:
+            config = replace(config, sample_log_cap=sample_log_cap)
+        return config
+
+
+def wall_power_bound_w(config: TestbedConfig, core_level: int,
+                       mem_level: int) -> float:
+    """Worst-case node wall draw with the GPU held at a ladder pair.
+
+    Upper bound used to translate a power cap into a frequency-ladder
+    ceiling: GPU fully busy at ``(core_level, mem_level)``, CPU fully
+    busy at its peak P-state, both meters' overheads and conversion
+    losses included.  Every term in the power models is monotone in
+    utilization and frequency, so capping the ladder at a pair whose
+    bound fits the cap guarantees the measured wall power fits too.
+    """
+    gpu, cpu = config.gpu, config.cpu
+    fc = gpu.core_ladder[core_level] / gpu.core_ladder.peak
+    fm = gpu.mem_ladder[mem_level] / gpu.mem_ladder.peak
+    gpu_w = gpu.power.power_unchecked(fc, fm, 1.0, 1.0)
+    cpu_w = cpu.power.power_unchecked(1.0, 1.0)
+    return ((gpu_w + config.meter2_overhead_w) / config.meter2_efficiency
+            + (cpu_w + config.meter1_overhead_w) / config.meter1_efficiency)
+
+
+def peak_wall_power_w(config: TestbedConfig) -> float:
+    """Worst-case wall draw with every clock at its peak."""
+    return wall_power_bound_w(config, 0, 0)
+
+
+def floor_wall_power_w(config: TestbedConfig) -> float:
+    """Worst-case wall draw with the GPU pinned to its ladder floors.
+
+    This is the least power a cap can usefully demand of a node: below
+    it, no frequency ceiling can honour the cap while the node works.
+    """
+    return wall_power_bound_w(config, len(config.gpu.core_ladder) - 1,
+                              len(config.gpu.mem_ladder) - 1)
+
+
+def _paper_testbed() -> TestbedConfig:
+    """The calibrated 8800 GTX + Phenom II node (the paper's testbed)."""
+    return default_testbed_config()
+
+
+def _paper_testbed_dvfs() -> TestbedConfig:
+    """Same card, but voltage-and-frequency scaling (§VII-C expectation)."""
+    from repro.extensions.gpu_dvfs import DvfsGpuPowerModel
+
+    config = default_testbed_config()
+    base = config.gpu.power
+    return replace(config, gpu=replace(config.gpu, power=DvfsGpuPowerModel(
+        static_w=base.static_w,
+        clock_core_w=base.clock_core_w,
+        clock_mem_w=base.clock_mem_w,
+        active_core_w=base.active_core_w,
+        active_mem_w=base.active_mem_w,
+        v_floor_ratio=0.80,
+    )))
+
+
+def _efficiency_node() -> TestbedConfig:
+    """Synthetic low-power node: small card, small CPU, lean PSU.
+
+    Roughly a GeForce 9600-GT-class card on a 45 W dual-core — a third
+    of the paper testbed's wall draw at a quarter of its throughput, so
+    its *marginal* perf/W headroom differs sharply from the big nodes'.
+    """
+    gpu = GpuSpec(
+        name="Synthetic 9600 GT class",
+        core_ladder=FrequencyLadder.equally_spaced(mhz(325), mhz(650), 6),
+        mem_ladder=FrequencyLadder.equally_spaced(mhz(450), mhz(900), 6),
+        peak_compute_rate=208.0e9,
+        peak_bandwidth=57.6e9,
+        power=GpuPowerModel(static_w=22.0, clock_core_w=12.0,
+                            clock_mem_w=13.0, active_core_w=9.0,
+                            active_mem_w=5.0),
+        roofline=RooflineModel(4.0),
+        launch_overhead_s=1.0e-4,
+    )
+    cpu = CpuSpec(
+        name="Synthetic 45 W dual-core",
+        ladder=FrequencyLadder([ghz(v) for v in (2.4, 1.8, 1.2)]),
+        cores=2,
+        peak_compute_rate=19.2e9,
+        host_bandwidth=8.0e9,
+        power=CpuPowerModel(static_w=8.0, active_w=22.0, v_floor_ratio=0.78,
+                            f_floor_ratio=1.2 / 2.4),
+        roofline=RooflineModel(2.0),
+    )
+    return TestbedConfig(
+        gpu=gpu, cpu=cpu, bus=PcieBus(bandwidth=3.0e9, latency_s=10.0e-6),
+        meter1_overhead_w=35.0, meter1_efficiency=0.84,
+        meter2_overhead_w=4.0, meter2_efficiency=0.82,
+    )
+
+
+def _highperf_node() -> TestbedConfig:
+    """Synthetic high-performance node: Fermi-class card, quad-core host.
+
+    Twice the paper testbed's throughput at roughly twice the wall
+    draw — the fleet's best absolute performer but with a wide power
+    swing, so it is the node an efficiency-weighted allocator throttles
+    first when the datacenter budget tightens.
+    """
+    gpu = GpuSpec(
+        name="Synthetic GTX 480 class",
+        core_ladder=FrequencyLadder.equally_spaced(mhz(350), mhz(700), 6),
+        mem_ladder=FrequencyLadder.equally_spaced(mhz(924), mhz(1848), 6),
+        peak_compute_rate=1344.0e9,
+        peak_bandwidth=177.4e9,
+        power=GpuPowerModel(static_w=90.0, clock_core_w=48.0,
+                            clock_mem_w=42.0, active_core_w=45.0,
+                            active_mem_w=25.0),
+        roofline=RooflineModel(4.0),
+        launch_overhead_s=0.8e-4,
+    )
+    cpu = CpuSpec(
+        name="Synthetic 95 W quad-core",
+        ladder=FrequencyLadder([ghz(v) for v in (3.2, 2.4, 1.6, 0.8)]),
+        cores=4,
+        peak_compute_rate=51.2e9,
+        host_bandwidth=12.8e9,
+        power=CpuPowerModel(static_w=20.0, active_w=55.0, v_floor_ratio=0.72,
+                            f_floor_ratio=0.8 / 3.2),
+        roofline=RooflineModel(2.0),
+    )
+    return TestbedConfig(
+        gpu=gpu, cpu=cpu, bus=PcieBus(bandwidth=6.0e9, latency_s=8.0e-6),
+        meter1_overhead_w=70.0, meter1_efficiency=0.82,
+        meter2_overhead_w=6.0, meter2_efficiency=0.80,
+    )
+
+
+#: Every node class a fleet can mix, keyed by its catalog name.
+HARDWARE_TABLE: dict[str, HardwareEntry] = {
+    entry.key: entry
+    for entry in (
+        HardwareEntry(
+            key="paper-8800gtx",
+            description="Calibrated paper testbed: 8800 GTX + Phenom II X2",
+            factory=_paper_testbed,
+        ),
+        HardwareEntry(
+            key="paper-8800gtx-dvfs",
+            description="Paper testbed with a DVFS-capable GPU power model",
+            factory=_paper_testbed_dvfs,
+        ),
+        HardwareEntry(
+            key="efficiency-node",
+            description="Low-power 9600-GT-class node (lean PSU, 45 W host)",
+            factory=_efficiency_node,
+        ),
+        HardwareEntry(
+            key="highperf-node",
+            description="Fermi-class high-performance node (quad-core host)",
+            factory=_highperf_node,
+        ),
+    )
+}
+
+
+def hardware_keys() -> tuple[str, ...]:
+    """Catalog keys, in table order."""
+    return tuple(HARDWARE_TABLE)
+
+
+def hardware_entry(key: str) -> HardwareEntry:
+    """Look up one catalog entry by key."""
+    try:
+        return HARDWARE_TABLE[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown hardware entry {key!r}; choose from {sorted(HARDWARE_TABLE)}"
+        ) from None
+
+
+#: Sanity band for a single node's wall draw: anything outside almost
+#: certainly mixed up units (kW vs W, MHz vs Hz).
+_WALL_POWER_BAND_W = (20.0, 3000.0)
+
+
+def _check_ladder(problems: list[str], label: str,
+                  ladder: FrequencyLadder) -> None:
+    levels = ladder.levels
+    if any(f <= 0.0 for f in levels):
+        problems.append(f"{label}: non-positive frequency level")
+    if any(a <= b for a, b in zip(levels, levels[1:])):
+        problems.append(f"{label}: levels not strictly descending")
+    if levels and not 1.0e6 <= levels[0] <= 1.0e10:
+        problems.append(
+            f"{label}: peak {levels[0]:g} Hz outside the 1 MHz..10 GHz "
+            "band (Hz/MHz mixup?)"
+        )
+
+
+def validate(entry: HardwareEntry) -> list[str]:
+    """Validate one catalog entry; returns a list of problems (empty = ok).
+
+    Checks the frequency ladders (strictly positive, strictly
+    descending, plausible units) and the power figures for unit
+    consistency: non-negative coefficients, idle strictly below peak,
+    monotone wall-power bounds, and node wall draw inside a sane band.
+    """
+    problems: list[str] = []
+    try:
+        config = entry.make_config()
+    except Exception as exc:  # a broken factory is itself the finding
+        return [f"{entry.key}: factory failed: {exc!r}"]
+
+    gpu, cpu = config.gpu, config.cpu
+    _check_ladder(problems, f"{entry.key}: gpu core ladder", gpu.core_ladder)
+    _check_ladder(problems, f"{entry.key}: gpu mem ladder", gpu.mem_ladder)
+    _check_ladder(problems, f"{entry.key}: cpu ladder", cpu.ladder)
+
+    for name, value in (
+        ("gpu static_w", gpu.power.static_w),
+        ("gpu clock_core_w", gpu.power.clock_core_w),
+        ("gpu clock_mem_w", gpu.power.clock_mem_w),
+        ("gpu active_core_w", gpu.power.active_core_w),
+        ("gpu active_mem_w", gpu.power.active_mem_w),
+        ("cpu static_w", cpu.power.static_w),
+        ("cpu active_w", cpu.power.active_w),
+        ("meter1_overhead_w", config.meter1_overhead_w),
+        ("meter2_overhead_w", config.meter2_overhead_w),
+    ):
+        if value < 0.0:
+            problems.append(f"{entry.key}: {name} is negative ({value:g})")
+    for name, value in (("meter1_efficiency", config.meter1_efficiency),
+                        ("meter2_efficiency", config.meter2_efficiency)):
+        if not 0.0 < value <= 1.0:
+            problems.append(f"{entry.key}: {name} must be in (0, 1], "
+                            f"got {value:g}")
+
+    fc_floor = gpu.core_ladder.floor / gpu.core_ladder.peak
+    fm_floor = gpu.mem_ladder.floor / gpu.mem_ladder.peak
+    if gpu.power.idle_power(fc_floor, fm_floor) >= gpu.power.peak_power:
+        problems.append(f"{entry.key}: gpu idle power >= peak power")
+    if cpu.power.idle_power(cpu.power.f_floor_ratio) >= cpu.power.peak_power:
+        problems.append(f"{entry.key}: cpu idle power >= peak power")
+
+    if not problems:
+        floor_w = floor_wall_power_w(config)
+        peak_w = peak_wall_power_w(config)
+        if not floor_w < peak_w:
+            problems.append(
+                f"{entry.key}: wall floor {floor_w:.1f} W not below wall "
+                f"peak {peak_w:.1f} W (no cap headroom)"
+            )
+        lo, hi = _WALL_POWER_BAND_W
+        if not lo <= peak_w <= hi:
+            problems.append(
+                f"{entry.key}: peak wall draw {peak_w:.1f} W outside the "
+                f"[{lo:g}, {hi:g}] W sanity band (unit mixup?)"
+            )
+    return problems
+
+
+def validate_all(table: dict[str, HardwareEntry] | None = None) -> None:
+    """Validate every catalog entry; raises :class:`ConfigError` listing
+    all problems found (fleet startup calls this before mixing nodes)."""
+    problems: list[str] = []
+    for entry in (table or HARDWARE_TABLE).values():
+        problems.extend(validate(entry))
+    if problems:
+        raise ConfigError(
+            "hardware table validation failed:\n  " + "\n  ".join(problems)
+        )
+
+
+# -- the §VI on-chip fixed-point sketch ---------------------------------------
 
 
 class QuantizedWeightTable:

@@ -26,11 +26,12 @@ frequency write / meter sample and act on its verdicts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.seeding import spawn_seed
 from repro.telemetry import NOOP, MetricsRegistry
 
 #: Every fault kind the injector can fire, mapped to its plan rate field.
@@ -103,6 +104,16 @@ class FaultPlan:
             return getattr(self, FAULT_KIND_RATES[kind])
         except KeyError:
             raise ConfigError(f"unknown fault kind {kind!r}") from None
+
+    def for_node(self, node_id: int, *path: int) -> "FaultPlan":
+        """This plan re-seeded for one node of a larger simulation.
+
+        The child seed comes from :func:`repro.seeding.spawn_seed`, so
+        sibling nodes get decorrelated draw streams (a ``seed + i``
+        derivation would hand adjacent nodes near-identical fault
+        schedules).  Rates and episodes are unchanged.
+        """
+        return replace(self, seed=spawn_seed(self.seed, node_id, *path))
 
 
 #: Named fault profiles for the CLI's ``--faults`` flag.  Rates cover

@@ -1,0 +1,233 @@
+"""Power-budget allocators: one datacenter budget, N node caps.
+
+Every coordination tick the :class:`~repro.fleet.coordinator.
+PowerCapCoordinator` hands an allocator the fleet's per-node demands and
+the global budget; the allocator returns one wall-power cap per node.
+All allocators share the same two-phase shape:
+
+1. **floors first** — every node is granted its ``floor_w``, the
+   worst-case wall draw with its GPU pinned to the ladder floors.  A cap
+   below that is unenforceable (no frequency ceiling honours it while
+   the node works), so a budget below the sum of floors is rejected as
+   infeasible up front.
+2. **headroom by policy** — the remaining budget is divided as headroom
+   above the floors.  This is where the allocators differ, and where
+   slack reclamation happens: a node whose demand sits at its floor (an
+   idle node) donates its share of the pool, and bursting nodes borrow
+   it, subject to the policy.
+
+Conservation is a hard invariant, not a hope: grants are drawn from a
+monotonically decreasing remainder (plus a final float-settlement pass),
+so ``sum(caps) <= budget_w`` holds exactly at every tick — the property
+test in ``tests/properties/test_prop_fleet_budget.py`` pins it for all
+allocators under rolling budget changes and fault bursts.
+
+The three policies:
+
+- **uniform-cap** — equal headroom to every node (water-filling on the
+  node headrooms), blind to demand.  The classic static rack budget;
+  the baseline the demand-aware policies are judged against.
+- **proportional-share** — headroom in proportion to requested demand
+  above floor.  Demand-aware but efficiency-blind.
+- **efficiency-weighted** — requested headroom granted greedily in
+  descending marginal perf/W order (the "sweet-spot" chase of the
+  energy-efficiency literature): watts go where they buy the most
+  throughput, so under a tight budget the fleet drains its backlog —
+  and races the whole datacenter to idle — soonest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.errors import ConfigError
+
+#: Float-settlement slack: grants are corrected until the overshoot is
+#: below this (absolute watts across the whole fleet).
+_EPS_W = 1e-9
+
+
+@dataclass(frozen=True)
+class NodeDemand:
+    """One node's standing at a coordination tick, in wall watts.
+
+    ``floor_w``/``peak_w`` bound the enforceable cap range (GPU ladder
+    floor / everything at peak, worst case).  ``demand_w`` is the wall
+    power the node's demand model asks for this tick — ``floor_w`` when
+    idle, up to ``peak_w`` when bursting.  ``efficiency`` is the node's
+    marginal performance per watt of headroom (flop/s per W), the
+    quantity the efficiency-weighted allocator ranks by.
+    """
+
+    node_id: int
+    floor_w: float
+    peak_w: float
+    demand_w: float
+    efficiency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.floor_w <= 0.0:
+            raise ConfigError(f"node {self.node_id}: floor_w must be positive")
+        if self.peak_w < self.floor_w:
+            raise ConfigError(
+                f"node {self.node_id}: peak_w {self.peak_w:g} below "
+                f"floor_w {self.floor_w:g}"
+            )
+        if not self.floor_w <= self.demand_w <= self.peak_w:
+            raise ConfigError(
+                f"node {self.node_id}: demand_w {self.demand_w:g} outside "
+                f"[floor_w, peak_w]"
+            )
+        if self.efficiency < 0.0:
+            raise ConfigError(
+                f"node {self.node_id}: efficiency must be non-negative"
+            )
+
+    @property
+    def headroom_w(self) -> float:
+        """Cap range above the floor (watts)."""
+        return self.peak_w - self.floor_w
+
+    @property
+    def want_w(self) -> float:
+        """Requested headroom above the floor (watts)."""
+        return self.demand_w - self.floor_w
+
+
+class Allocator(Protocol):
+    """The allocator protocol: demands + budget in, per-node caps out."""
+
+    name: str
+
+    def allocate(self, demands: Sequence[NodeDemand],
+                 budget_w: float) -> list[float]:
+        """Per-node caps (watts), aligned with ``demands``.
+
+        Must satisfy ``demands[i].floor_w <= caps[i] <= demands[i].peak_w``
+        for every node and ``sum(caps) <= budget_w`` exactly.
+        """
+        ...
+
+
+def spare_budget(demands: Sequence[NodeDemand], budget_w: float) -> float:
+    """Budget left after every node's floor, or raise if infeasible."""
+    floors = sum(d.floor_w for d in demands)
+    if budget_w < floors - _EPS_W:
+        raise ConfigError(
+            f"budget {budget_w:.1f} W below the fleet floor {floors:.1f} W "
+            f"({len(demands)} nodes): no allocation can enforce it"
+        )
+    return max(0.0, budget_w - floors)
+
+
+def _settle(caps: list[float], demands: Sequence[NodeDemand],
+            budget_w: float) -> list[float]:
+    """Exact-conservation pass: trim any float overshoot, floors intact."""
+    excess = sum(caps) - budget_w
+    if excess <= 0.0:
+        return caps
+    order = sorted(range(len(caps)),
+                   key=lambda i: caps[i] - demands[i].floor_w, reverse=True)
+    for i in order:
+        if excess <= 0.0:
+            break
+        take = min(excess, caps[i] - demands[i].floor_w)
+        caps[i] -= take
+        excess -= take
+    return caps
+
+
+def _water_level(headrooms: Sequence[float], extra_w: float) -> float:
+    """Largest uniform headroom ``h`` with ``sum(min(h, hr)) <= extra_w``."""
+    level = 0.0
+    remaining = extra_w
+    pending = sorted(headrooms)
+    for index, hr in enumerate(pending):
+        nodes_left = len(pending) - index
+        step = (hr - level) * nodes_left
+        if step >= remaining:
+            return level + remaining / nodes_left
+        remaining -= step
+        level = hr
+    return level  # every node saturated; leftover budget stays unallocated
+
+
+class UniformCapAllocator:
+    """Equal headroom for every node, demand-blind (the static baseline)."""
+
+    name = "uniform-cap"
+
+    def allocate(self, demands: Sequence[NodeDemand],
+                 budget_w: float) -> list[float]:
+        extra = spare_budget(demands, budget_w)
+        level = _water_level([d.headroom_w for d in demands], extra)
+        caps = [d.floor_w + min(level, d.headroom_w) for d in demands]
+        return _settle(caps, demands, budget_w)
+
+
+class ProportionalShareAllocator:
+    """Headroom in proportion to requested demand above the floor."""
+
+    name = "proportional-share"
+
+    def allocate(self, demands: Sequence[NodeDemand],
+                 budget_w: float) -> list[float]:
+        extra = spare_budget(demands, budget_w)
+        wants = [d.want_w for d in demands]
+        total_want = sum(wants)
+        if total_want <= 0.0:
+            caps = [d.floor_w for d in demands]
+        elif total_want <= extra:
+            # Everyone's request fits; the leftover slack stays banked.
+            caps = [d.floor_w + want for d, want in zip(demands, wants)]
+        else:
+            share = extra / total_want
+            caps = [d.floor_w + want * share
+                    for d, want in zip(demands, wants)]
+        return _settle(caps, demands, budget_w)
+
+
+class EfficiencyWeightedAllocator:
+    """Requested headroom granted in descending marginal perf/W order.
+
+    Watts go to the nodes where a watt of headroom buys the most
+    throughput; ties break on node id so the allocation is a pure
+    function of its inputs.  Nodes requesting nothing donate their
+    entire share — slack reclamation falls out of the greedy order.
+    """
+
+    name = "efficiency-weighted"
+
+    def allocate(self, demands: Sequence[NodeDemand],
+                 budget_w: float) -> list[float]:
+        remaining = spare_budget(demands, budget_w)
+        caps = [d.floor_w for d in demands]
+        order = sorted(range(len(demands)),
+                       key=lambda i: (-demands[i].efficiency,
+                                      demands[i].node_id))
+        for i in order:
+            if remaining <= 0.0:
+                break
+            grant = min(demands[i].want_w, remaining)
+            caps[i] += grant
+            remaining -= grant
+        return _settle(caps, demands, budget_w)
+
+
+#: Allocator registry, keyed by policy name (CLI ``--allocator`` values).
+ALLOCATORS: dict[str, Allocator] = {
+    allocator.name: allocator
+    for allocator in (UniformCapAllocator(), ProportionalShareAllocator(),
+                      EfficiencyWeightedAllocator())
+}
+
+
+def get_allocator(name: str) -> Allocator:
+    """Look up an allocator by policy name."""
+    try:
+        return ALLOCATORS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown allocator {name!r}; choose from {sorted(ALLOCATORS)}"
+        ) from None

@@ -1,0 +1,63 @@
+"""Deterministic seed derivation for hierarchical simulations.
+
+Fleet runs instantiate thousands of nodes, each carrying its own seeded
+random state (fault draw streams, workload mixes, load-phase jitter).
+Deriving those seeds as ``seed + i`` makes adjacent nodes' streams
+trivially correlated (PCG64 and friends only guarantee independence for
+well-separated seeds) and collides across dimensions (node 3's faults
+vs. window 3's jitter).  This module provides one shared, well-mixed
+derivation used everywhere a child seed is spawned:
+
+- :func:`spawn_seed` hashes a root seed and a path of child indices
+  through the SplitMix64 finalizer — the mixer Vigna designed exactly
+  for turning counter-like inputs into decorrelated seed material;
+- :func:`spawn_uniform` maps a spawned seed onto ``[0, 1)`` for
+  stateless deterministic jitter (no RNG object to thread or pickle,
+  so a node's draw is identical no matter which shard simulates it).
+
+All arithmetic is mod 2**64; results are non-negative Python ints that
+fit ``np.random.default_rng`` and JSON alike.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+#: 2**64 / golden ratio — SplitMix64's stream increment.
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a 64-bit avalanche permutation."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def spawn_seed(root_seed: int, *path: int) -> int:
+    """Derive a child seed from ``root_seed`` and a path of indices.
+
+    ``spawn_seed(s, a, b)`` is the seed of child ``b`` of child ``a`` of
+    the root — each level applies one SplitMix64 step, so siblings,
+    cousins and the root all get decorrelated streams.  With an empty
+    path the root seed itself is mixed once (still deterministic).
+
+    Path components may be negative (they are folded mod 2**64); the
+    result is always in ``[0, 2**63)`` so it is valid anywhere a
+    non-negative seed is expected.
+    """
+    state = _mix64(root_seed)
+    for component in path:
+        state = _mix64(state + _GOLDEN * ((component & _MASK64) + 1))
+    return state >> 1  # 63 bits: non-negative everywhere
+
+
+def spawn_uniform(root_seed: int, *path: int) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` for the given path.
+
+    Stateless: the value depends only on the seed and the path, never on
+    call order — which is what makes scenario jitter identical across
+    shardings of the same fleet.
+    """
+    return spawn_seed(root_seed, *path) / float(1 << 63)

@@ -120,3 +120,75 @@ class TestQuantizedScaler:
                 dq = hi.step(*u)
                 df = ref.step(*u)
             assert (dq.core_level, dq.mem_level) == (df.core_level, df.mem_level)
+
+
+class TestHardwareCatalog:
+    def test_every_shipped_entry_validates(self):
+        from repro.extensions.hardware_table import (
+            HARDWARE_TABLE,
+            validate,
+            validate_all,
+        )
+
+        for entry in HARDWARE_TABLE.values():
+            assert validate(entry) == [], entry.key
+        validate_all()  # must not raise
+
+    def test_wall_power_bounds_ordered(self):
+        from repro.extensions.hardware_table import (
+            HARDWARE_TABLE,
+            floor_wall_power_w,
+            peak_wall_power_w,
+        )
+
+        for entry in HARDWARE_TABLE.values():
+            config = entry.make_config()
+            assert 0.0 < floor_wall_power_w(config) < peak_wall_power_w(config)
+
+    def test_entry_lookup(self):
+        from repro.extensions.hardware_table import hardware_entry, hardware_keys
+
+        assert "paper-8800gtx" in hardware_keys()
+        assert hardware_entry("paper-8800gtx").key == "paper-8800gtx"
+        with pytest.raises(ConfigError, match="unknown hardware entry"):
+            hardware_entry("abacus")
+
+    def test_broken_entry_detected(self):
+        """A kW/W unit mixup surfaces, and validate_all names the entry."""
+        from dataclasses import replace
+
+        from repro.extensions.hardware_table import (
+            HardwareEntry,
+            hardware_entry,
+            validate,
+            validate_all,
+        )
+
+        base = hardware_entry("paper-8800gtx")
+
+        def hot_psu():
+            config = base.factory()
+            return replace(config, meter1_overhead_w=5000.0)
+
+        problems = validate(HardwareEntry("hot", "kW mixup", hot_psu))
+        assert any("sanity band" in p for p in problems)
+
+        def negative_overhead():
+            config = base.factory()
+            return replace(config, meter2_overhead_w=-1.0)
+
+        problems = validate(HardwareEntry("neg", "negative overhead",
+                                          negative_overhead))
+        assert any("negative" in p for p in problems)
+
+        with pytest.raises(ConfigError, match="validation failed"):
+            validate_all({"hot": HardwareEntry("hot", "kW mixup", hot_psu)})
+
+    def test_crashing_factory_is_a_finding(self):
+        from repro.extensions.hardware_table import HardwareEntry, validate
+
+        def boom():
+            raise RuntimeError("no such card")
+
+        problems = validate(HardwareEntry("boom", "broken", boom))
+        assert problems and "factory failed" in problems[0]

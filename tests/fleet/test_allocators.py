@@ -1,0 +1,123 @@
+"""Allocator unit tests: floors, conservation, slack, policy shape."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.allocators import (
+    ALLOCATORS,
+    NodeDemand,
+    get_allocator,
+    spare_budget,
+)
+
+
+def demand(node_id, floor=100.0, peak=300.0, want=None, eff=1.0):
+    d = floor + (want if want is not None else peak - floor)
+    return NodeDemand(node_id=node_id, floor_w=floor, peak_w=peak,
+                      demand_w=d, efficiency=eff)
+
+
+ALL_NAMES = sorted(ALLOCATORS)
+
+
+class TestNodeDemand:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            NodeDemand(0, floor_w=0.0, peak_w=100.0, demand_w=50.0)
+        with pytest.raises(ConfigError):
+            NodeDemand(0, floor_w=200.0, peak_w=100.0, demand_w=150.0)
+        with pytest.raises(ConfigError):
+            NodeDemand(0, floor_w=100.0, peak_w=200.0, demand_w=250.0)
+        with pytest.raises(ConfigError):
+            NodeDemand(0, floor_w=100.0, peak_w=200.0, demand_w=150.0,
+                       efficiency=-1.0)
+
+    def test_headroom_and_want(self):
+        d = demand(0, floor=100.0, peak=300.0, want=50.0)
+        assert d.headroom_w == pytest.approx(200.0)
+        assert d.want_w == pytest.approx(50.0)
+
+
+class TestRegistry:
+    def test_get_allocator_known(self):
+        for name in ALL_NAMES:
+            assert get_allocator(name).name == name
+
+    def test_get_allocator_unknown(self):
+        with pytest.raises(ConfigError, match="unknown allocator"):
+            get_allocator("round-robin")
+
+
+class TestFloorsAndConservation:
+    def test_infeasible_budget_rejected(self):
+        demands = [demand(i) for i in range(4)]
+        with pytest.raises(ConfigError, match="below the fleet floor"):
+            spare_budget(demands, 399.0)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_floors_always_granted(self, name):
+        demands = [demand(i, want=0.0 if i % 2 else 150.0) for i in range(6)]
+        caps = get_allocator(name).allocate(demands, 650.0)
+        for d, cap in zip(demands, caps):
+            assert cap >= d.floor_w - 1e-9
+            assert cap <= d.peak_w + 1e-9
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_sum_never_exceeds_budget(self, name):
+        demands = [demand(i, floor=90.0 + i, peak=310.0 - i,
+                          want=17.3 * (i % 5), eff=float(i % 3))
+                   for i in range(9)]
+        for budget in (846.0, 1000.0, 1234.5, 5000.0):
+            caps = get_allocator(name).allocate(demands, budget)
+            assert sum(caps) <= budget + 1e-6
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_budget_exactly_at_floor_sum(self, name):
+        demands = [demand(i, want=100.0) for i in range(5)]
+        caps = get_allocator(name).allocate(demands, 500.0)
+        assert caps == pytest.approx([100.0] * 5)
+
+
+class TestPolicies:
+    def test_uniform_is_demand_blind(self):
+        starving = [demand(0, want=200.0), demand(1, want=0.0)]
+        caps = get_allocator("uniform-cap").allocate(starving, 300.0)
+        # 100 W of headroom split evenly regardless of who asked.
+        assert caps == pytest.approx([150.0, 150.0])
+
+    def test_proportional_follows_demand(self):
+        demands = [demand(0, want=150.0), demand(1, want=50.0)]
+        caps = get_allocator("proportional-share").allocate(demands, 300.0)
+        assert caps == pytest.approx([175.0, 125.0])
+
+    def test_proportional_banks_slack_when_demand_fits(self):
+        demands = [demand(0, want=30.0), demand(1, want=10.0)]
+        caps = get_allocator("proportional-share").allocate(demands, 400.0)
+        assert caps == pytest.approx([130.0, 110.0])
+        assert sum(caps) < 400.0  # slack stays at the coordinator
+
+    def test_efficiency_weighted_greedy_order(self):
+        demands = [demand(0, want=150.0, eff=1.0),
+                   demand(1, want=150.0, eff=5.0)]
+        caps = get_allocator("efficiency-weighted").allocate(demands, 300.0)
+        # The efficient node drains the whole 100 W pool first.
+        assert caps == pytest.approx([100.0, 200.0])
+
+    def test_efficiency_ties_break_on_node_id(self):
+        demands = [demand(0, want=150.0, eff=2.0),
+                   demand(1, want=150.0, eff=2.0)]
+        caps = get_allocator("efficiency-weighted").allocate(demands, 300.0)
+        assert caps == pytest.approx([200.0, 100.0])
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_idle_nodes_donate_slack(self, name):
+        demands = [demand(0, want=0.0), demand(1, want=0.0),
+                   demand(2, want=200.0, eff=3.0)]
+        caps = get_allocator(name).allocate(demands, 420.0)
+        # 120 W of headroom; the idle pair holds its floor under the
+        # demand-aware policies, so the busy node borrows their share.
+        if name != "uniform-cap":
+            assert caps[0] == pytest.approx(100.0)
+            assert caps[1] == pytest.approx(100.0)
+            assert caps[2] == pytest.approx(220.0)
+        assert sum(caps) <= 420.0 + 1e-6

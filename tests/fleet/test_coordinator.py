@@ -1,0 +1,90 @@
+"""Coordinator tests: budget schedule, demand model, plan invariants."""
+
+import pytest
+
+from repro.fleet.coordinator import PowerCapCoordinator
+from repro.fleet.scenario import make_scenario
+
+
+def coordinator(name="diurnal", n_nodes=12, allocator="efficiency-weighted",
+                **overrides):
+    overrides.setdefault("duration_s", 48.0)
+    overrides.setdefault("day_length_s", 48.0)
+    overrides.setdefault("nodes_per_rack", 4)
+    scenario = make_scenario(name, n_nodes=n_nodes, seed=9, **overrides)
+    return PowerCapCoordinator(scenario, allocator)
+
+
+class TestBudget:
+    def test_budget_interpolates_floor_to_peak(self):
+        coord = coordinator(budget_frac=0.0)
+        assert coord.budget_at(0.0) == pytest.approx(coord._total_floor_w)
+        coord = coordinator(budget_frac=1.0)
+        assert coord.budget_at(0.0) == pytest.approx(
+            coord._total_floor_w + coord._total_headroom_w)
+
+    def test_budget_follows_rolling_changes(self):
+        coord = coordinator("rolling-caps", budget_frac=0.6)
+        third = coord.scenario.duration_s / 3.0
+        assert coord.budget_at(third) < coord.budget_at(0.0)
+        assert coord.budget_at(2.0 * third) > coord.budget_at(third)
+
+
+class TestPlan:
+    @pytest.mark.parametrize("allocator", ["uniform-cap",
+                                           "proportional-share",
+                                           "efficiency-weighted"])
+    def test_plan_covers_scenario_and_drains(self, allocator):
+        coord = coordinator(allocator=allocator, budget_frac=0.3)
+        plan = coord.plan()
+        assert plan.allocator == allocator
+        assert plan.scenario_windows == coord.scenario.n_windows
+        assert plan.n_ticks >= plan.scenario_windows
+        assert plan.n_nodes == coord.scenario.n_nodes
+        # The drain horizon ends with the modeled fleet fully idle.
+        assert plan.stats[-1].backlogged_nodes >= 0
+
+    def test_caps_within_node_bounds(self):
+        coord = coordinator(budget_frac=0.3)
+        plan = coord.plan()
+        for row in plan.caps:
+            for node_id, cap in enumerate(row):
+                profile = coord.profiles[node_id]
+                assert profile.floor_w - 1e-9 <= cap <= profile.peak_w + 1e-9
+
+    def test_caps_conserve_budget_every_tick(self):
+        coord = coordinator("rolling-caps", budget_frac=0.4)
+        plan = coord.plan()
+        for row, stat in zip(plan.caps, plan.stats):
+            assert sum(row) <= stat.budget_w + 1e-6
+            assert stat.total_cap_w == pytest.approx(sum(row))
+
+    def test_caps_for_returns_full_column(self):
+        coord = coordinator()
+        plan = coord.plan()
+        column = plan.caps_for(3)
+        assert len(column) == plan.n_ticks
+        assert column == [row[3] for row in plan.caps]
+
+    def test_burst_nodes_demand_their_floor(self):
+        coord = coordinator("fault-bursts", n_nodes=40, budget_frac=0.5,
+                            fault_burst_rack_frac=0.5)
+        scenario = coord.scenario
+        burst_nodes = [i for i in range(scenario.n_nodes)
+                       if scenario.node_in_burst(i)]
+        assert burst_nodes
+        start, _ = scenario.fault_burst_windows[0]
+        node = burst_nodes[0]
+        demand = coord._demand(node, backlog_s=100.0, t=start)
+        assert demand.demand_w == pytest.approx(
+            coord.profiles[node].floor_w)
+        # Outside the burst the same backlog asks for real headroom.
+        demand = coord._demand(node, backlog_s=100.0, t=0.0)
+        assert demand.demand_w > coord.profiles[node].floor_w
+
+    def test_idle_fleet_plans_exactly_the_scenario(self):
+        """Zero offered load: no backlog survives the scenario end, so
+        the drain horizon adds no ticks."""
+        coord = coordinator(load_floor=0.0, load_peak=0.0)
+        plan = coord.plan()
+        assert plan.n_ticks == plan.scenario_windows

@@ -1,0 +1,121 @@
+"""FleetSim tests: aggregation math, inline/sharded parity, resume."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.coordinator import PowerCapCoordinator
+from repro.fleet.scenario import make_scenario
+from repro.fleet.sim import FleetSim, aggregate, run_fleet
+
+
+def tiny_scenario(n_nodes=6, **overrides):
+    overrides.setdefault("duration_s", 36.0)
+    overrides.setdefault("day_length_s", 36.0)
+    overrides.setdefault("nodes_per_rack", 3)
+    overrides.setdefault("budget_frac", 0.35)
+    return make_scenario("diurnal", n_nodes=n_nodes, seed=13, **overrides)
+
+
+def fake_record(node_id, rack, energy, busy_end, idle_w):
+    return {
+        "node_id": node_id, "rack": rack, "hardware": "paper-8800gtx",
+        "energy_j": energy, "busy_end_s": busy_end, "idle_power_w": idle_w,
+        "violation_ticks": 0, "windows": 3, "submitted_work_s": 10.0,
+        "faults_injected": 0, "degraded_entries": 0,
+    }
+
+
+class TestAggregate:
+    def test_idle_tail_equalization(self):
+        scenario = tiny_scenario(n_nodes=2, nodes_per_rack=1)
+        plan = PowerCapCoordinator(scenario, "uniform-cap").plan()
+        records = [
+            fake_record(0, 0, energy=1000.0, busy_end=40.0, idle_w=100.0),
+            fake_record(1, 1, energy=2000.0, busy_end=50.0, idle_w=200.0),
+        ]
+        result = aggregate(scenario, plan, records)
+        assert result.makespan_s == pytest.approx(50.0)
+        assert result.measured_energy_j == pytest.approx(3000.0)
+        # Node 0 idles 10 s at 100 W until node 1 finishes.
+        assert result.idle_tail_energy_j == pytest.approx(1000.0)
+        assert result.energy_j == pytest.approx(4000.0)
+        racks = {r["rack"]: r for r in result.per_rack}
+        assert racks[0]["energy_j"] == pytest.approx(2000.0)
+        assert racks[1]["energy_j"] == pytest.approx(2000.0)
+
+    def test_rejects_wrong_record_count(self):
+        scenario = tiny_scenario(n_nodes=3)
+        plan = PowerCapCoordinator(scenario, "uniform-cap").plan()
+        with pytest.raises(ConfigError, match="node results"):
+            aggregate(scenario, plan, [fake_record(0, 0, 1.0, 1.0, 1.0)])
+
+    def test_records_sorted_by_node_id(self):
+        scenario = tiny_scenario(n_nodes=2, nodes_per_rack=1)
+        plan = PowerCapCoordinator(scenario, "uniform-cap").plan()
+        records = [
+            fake_record(1, 1, energy=2.0, busy_end=1.0, idle_w=0.0),
+            fake_record(0, 0, energy=1.0, busy_end=1.0, idle_w=0.0),
+        ]
+        result = aggregate(scenario, plan, records)
+        assert [r["node_id"] for r in result.nodes] == [0, 1]
+
+
+class TestInlineRun:
+    def test_inline_run_completes(self):
+        result = run_fleet(tiny_scenario(), "efficiency-weighted")
+        assert result.n_nodes == 6
+        assert result.violation_ticks == 0
+        assert result.energy_j > 0.0
+        assert result.makespan_s > 0.0
+        assert len(result.nodes) == 6
+        assert sum(r["nodes"] for r in result.per_rack) == 6
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        result = run_fleet(tiny_scenario(n_nodes=2), "uniform-cap")
+        encoded = json.dumps(result.to_dict())
+        decoded = json.loads(encoded)
+        assert decoded["allocator"] == "uniform-cap"
+        assert "nodes" not in decoded
+        assert decoded["plan_stats"]
+
+    def test_sharded_without_run_dir_rejected(self):
+        with pytest.raises(ConfigError, match="run directory"):
+            FleetSim(tiny_scenario(), "uniform-cap", shards=2)
+
+    def test_shard_ranges_cover_fleet(self, tmp_path):
+        sim = FleetSim(tiny_scenario(n_nodes=7), "uniform-cap", shards=3,
+                       run_dir=str(tmp_path))
+        ranges = sim.shard_ranges()
+        assert ranges == [(0, 3), (3, 5), (5, 7)]
+
+    def test_shards_clamped_to_fleet_size(self, tmp_path):
+        sim = FleetSim(tiny_scenario(n_nodes=2), "uniform-cap", shards=8,
+                       run_dir=str(tmp_path))
+        assert sim.shards == 2
+
+
+class TestShardedRun:
+    def test_sharded_matches_inline_bit_for_bit(self, tmp_path):
+        scenario = tiny_scenario()
+        inline = run_fleet(scenario, "efficiency-weighted")
+        sharded = run_fleet(scenario, "efficiency-weighted", shards=3,
+                            parallel=2, run_dir=str(tmp_path / "run"))
+        assert sharded.energy_j == inline.energy_j
+        assert sharded.makespan_s == inline.makespan_s
+        assert sharded.nodes == inline.nodes
+
+    def test_resume_serves_completed_shards(self, tmp_path):
+        scenario = tiny_scenario()
+        run_dir = str(tmp_path / "run")
+        first = FleetSim(scenario, "uniform-cap", shards=3, parallel=2,
+                         run_dir=run_dir)
+        result = first.run()
+        assert result is not None
+        again = FleetSim(scenario, "uniform-cap", shards=3, parallel=2,
+                         run_dir=run_dir, resume=True)
+        resumed = again.run()
+        assert resumed is not None
+        assert "resumed" in again.last_report.summary_line()
+        assert resumed.energy_j == result.energy_j

@@ -1,0 +1,123 @@
+"""Property tests: fleet budget conservation, for every allocator.
+
+The allocators' contract (``repro.fleet.allocators``) is that at every
+coordination tick, for any feasible budget:
+
+1. **conservation** — ``sum(caps) <= budget`` exactly (a datacenter
+   breaker does not care about float round-off in its favour);
+2. **enforceability** — every cap sits inside the node's
+   ``[floor_w, peak_w]`` band, so a frequency ceiling can honour it;
+3. **infeasibility is loud** — a budget below the fleet's floor draw
+   raises instead of silently shaving floors.
+
+Two layers of cases pin this: synthetic demand vectors drawn directly by
+Hypothesis (wider and nastier than any scenario generator produces), and
+full coordinator plans over generated scenarios including rolling budget
+steps and correlated fault bursts (the drain horizon included).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.fleet.allocators import ALLOCATORS, NodeDemand, get_allocator
+from repro.fleet.coordinator import PowerCapCoordinator
+from repro.fleet.scenario import FleetScenario
+
+ALL_NAMES = sorted(ALLOCATORS)
+
+#: Absolute conservation slack (watts, whole fleet) — covers only the
+#: comparison itself, not an allocation error.
+EPS_W = 1e-6
+
+
+@st.composite
+def demand_vectors(draw):
+    """A fleet of synthetic, mutually unrelated node demands."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    demands = []
+    for node_id in range(n):
+        floor = draw(st.floats(min_value=10.0, max_value=500.0))
+        headroom = draw(st.floats(min_value=0.0, max_value=400.0))
+        want_frac = draw(st.floats(min_value=0.0, max_value=1.0))
+        efficiency = draw(st.floats(min_value=0.0, max_value=1e12))
+        demands.append(NodeDemand(
+            node_id=node_id, floor_w=floor, peak_w=floor + headroom,
+            demand_w=floor + want_frac * headroom, efficiency=efficiency,
+        ))
+    floors = sum(d.floor_w for d in demands)
+    peaks = sum(d.peak_w for d in demands)
+    # From exactly-at-floor through beyond-saturation.
+    budget = draw(st.floats(min_value=floors, max_value=2.0 * peaks + 1.0))
+    return demands, budget
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@given(case=demand_vectors())
+@settings(max_examples=60, deadline=None)
+def test_synthetic_demands_conserve_budget(name, case):
+    demands, budget = case
+    caps = get_allocator(name).allocate(demands, budget)
+    assert len(caps) == len(demands)
+    assert sum(caps) <= budget + EPS_W
+    for demand, cap in zip(demands, caps):
+        assert demand.floor_w - EPS_W <= cap <= demand.peak_w + EPS_W
+        assert math.isfinite(cap)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_infeasible_budget_raises(name):
+    demands = [NodeDemand(i, floor_w=100.0, peak_w=200.0, demand_w=150.0)
+               for i in range(3)]
+    with pytest.raises(ConfigError):
+        get_allocator(name).allocate(demands, 299.0)
+
+
+@st.composite
+def scenarios(draw):
+    """Small but fully-featured fleet scenarios (bursts, rolling caps)."""
+    n_nodes = draw(st.integers(min_value=1, max_value=24))
+    duration = draw(st.sampled_from([24.0, 36.0, 60.0]))
+    budget_frac = draw(st.floats(min_value=0.0, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    changes = ()
+    if draw(st.booleans()):
+        changes = (
+            (duration / 3.0, draw(st.floats(min_value=0.0, max_value=1.0))),
+            (2.0 * duration / 3.0,
+             draw(st.floats(min_value=0.0, max_value=1.0))),
+        )
+    bursts = ()
+    burst_frac = 0.25
+    if draw(st.booleans()):
+        bursts = ((duration * 0.25, 18.0),)
+        burst_frac = draw(st.floats(min_value=0.0, max_value=1.0))
+    return FleetScenario(
+        name="prop", n_nodes=n_nodes,
+        nodes_per_rack=draw(st.integers(min_value=1, max_value=8)),
+        duration_s=duration, coordination_interval_s=12.0,
+        day_length_s=duration, budget_frac=budget_frac,
+        budget_changes=changes, fault_burst_windows=bursts,
+        fault_burst_rack_frac=burst_frac, seed=seed,
+    )
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@given(scenario=scenarios())
+@settings(max_examples=20, deadline=None)
+def test_full_plans_conserve_budget_every_tick(name, scenario):
+    """Conservation holds at every tick of a real coordinator plan —
+    scenario windows and drain horizon alike, budget steps included."""
+    coordinator = PowerCapCoordinator(scenario, name)
+    plan = coordinator.plan()
+    assert plan.n_ticks >= scenario.n_windows
+    for row, stats in zip(plan.caps, plan.stats):
+        assert stats.budget_w == pytest.approx(
+            coordinator.budget_at(stats.t))
+        assert sum(row) <= stats.budget_w + EPS_W
+        for node_id, cap in enumerate(row):
+            profile = coordinator.profiles[node_id]
+            assert profile.floor_w - EPS_W <= cap <= profile.peak_w + EPS_W
