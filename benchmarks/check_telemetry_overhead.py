@@ -24,6 +24,15 @@ audit-enabled tick must stay within ``--audit-budget`` (default 5 %) of
 the bare tick.  Measured the same way: real controller, real testbed,
 minimum over trials.
 
+The distributed-tracing layer rides the same span sites, so the same
+disabled-path gate covers it: a disabled run never derives a span id.
+Two informational rows size the *enabled* tracing cost — the null
+facade's trace surface (``current_context``/``child_context``/
+``record_span`` no-ops, what library code pays when it threads contexts
+unconditionally) and a live span enter/exit including deterministic id
+derivation — so a regression in either is visible in the CI log before
+it is felt in a run.
+
 Run:  python benchmarks/check_telemetry_overhead.py [--budget 0.03]
           [--audit-budget 0.05]
 """
@@ -83,6 +92,28 @@ def bench_probes() -> float:
     return time.perf_counter() - t0
 
 
+def bench_noop_trace() -> float:
+    """The disabled facade's tracing surface, per call triple."""
+    t0 = time.perf_counter()
+    for _ in range(TICKS):
+        context = NOOP.current_context()
+        NOOP.child_context("tick")
+        NOOP.record_span(context, "tick", wall_s=0.0)
+    return time.perf_counter() - t0
+
+
+def bench_enabled_span() -> float:
+    """Live span enter/exit: stack push/pop + deterministic id derivation."""
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    t0 = time.perf_counter()
+    for _ in range(TICKS):
+        with telemetry.span("tick"):
+            pass
+    return time.perf_counter() - t0
+
+
 def bench_tick(audit: bool = False) -> float:
     """Real scaling ticks: monitor query, WMA step, actuate + verify."""
     from repro.telemetry.audit import AuditTrail
@@ -112,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = min(bench_baseline() for _ in range(TRIALS))
     probes = min(bench_probes() for _ in range(TRIALS))
+    noop_trace = min(bench_noop_trace() for _ in range(TRIALS))
+    enabled_span = min(bench_enabled_span() for _ in range(TRIALS))
     tick = min(bench_tick() for _ in range(TRIALS))
     tick_audit = min(bench_tick(audit=True) for _ in range(TRIALS))
     probe_cost = max(probes - baseline, 0.0)
@@ -121,6 +154,12 @@ def main(argv: list[str] | None = None) -> int:
     per_tick = 1e9 / TICKS
     print(f"probe sequence : {probe_cost * per_tick:9.1f} ns/tick "
           f"(min of {TRIALS}, {TICKS} ticks)")
+    print(f"noop trace api : "
+          f"{max(noop_trace - baseline, 0.0) * per_tick:9.1f} ns/triple "
+          f"(informational)")
+    print(f"enabled span   : "
+          f"{max(enabled_span - baseline, 0.0) * per_tick:9.1f} ns/span "
+          f"(informational)")
     print(f"scaling tick   : {tick * per_tick:9.1f} ns/tick")
     print(f"audited tick   : {tick_audit * per_tick:9.1f} ns/tick")
     print(f"disabled-telemetry overhead: {overhead:+.2%} "

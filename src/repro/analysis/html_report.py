@@ -282,6 +282,87 @@ def _audit_table(decides: list[dict[str, Any]],
             f")</summary>{table}{div_table}</details>")
 
 
+#: Spans shown in the HTML trace waterfall before eliding the tail.
+_MAX_TRACE_ROWS = 48
+
+
+def _trace_panel(directory: str) -> str:
+    """Stitched-trace waterfall: one bar per span on the run's wall clock.
+
+    Rendered only when the directory has a merged event stream with
+    traced spans; wider label gutter than the timelines because span
+    names carry tree indentation.
+    """
+    from repro.telemetry.exporters import EVENTS_NAME, read_events
+    from repro.telemetry.traceview import _iter_depth_first, stitch_spans
+
+    path = os.path.join(directory, EVENTS_NAME)
+    if not os.path.exists(path):
+        return ""
+    roots = stitch_spans(read_events(path))
+    rows = [(node, depth) for node, depth in _iter_depth_first(roots)
+            if node.t_unix0 is not None]
+    if not rows:
+        return ""
+    total = len(rows)
+    rows = rows[:_MAX_TRACE_ROWS]
+    t0 = min(node.t_unix0 for node, _ in rows)
+    extent = max(max(node.t_unix0 + node.wall_s for node, _ in rows) - t0,
+                 1e-9)
+    left = 210.0
+    inner = _W - left - _MR
+
+    def to_x(t: float) -> float:
+        return left + t / extent * inner
+
+    row_h = 16.0
+    height = _MT + row_h * len(rows) + _MB
+    parts = [f'<svg viewBox="0 0 {_W} {height:.0f}" role="img" '
+             f'aria-label="distributed trace waterfall">']
+    for k in range(5):
+        t = extent * k / 4
+        x = to_x(t)
+        parts.append(f'<line class="grid" x1="{x:.1f}" y1="{_MT}" '
+                     f'x2="{x:.1f}" y2="{height - _MB:.0f}"/>')
+        parts.append(f'<text class="tick" x="{x:.1f}" '
+                     f'y="{height - _MB + 16:.0f}" text-anchor="middle">'
+                     f'{t * 1e3:.0f} ms</text>')
+    for row, (node, depth) in enumerate(rows):
+        y = _MT + row * row_h
+        label = (" " * 2 * min(depth, 8) + node.name)[:36]
+        parts.append(f'<text class="tick" x="{left - 8:.0f}" '
+                     f'y="{y + row_h - 5:.1f}" text-anchor="end">'
+                     f'{html.escape(label)}</text>')
+        x0 = to_x(node.t_unix0 - t0)
+        x1 = max(to_x(node.t_unix0 - t0 + node.wall_s), x0 + 1.5)
+        color = _SERIES_1 if node.ok else _SERIES_2
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y + 2:.1f}" '
+            f'width="{x1 - x0:.1f}" height="{row_h - 5:.1f}" rx="2" '
+            f'fill="{color}"><title>{html.escape(node.name)} — '
+            f'{node.wall_s * 1e3:.2f} ms, worker '
+            f'{html.escape(node.job or "-")}, span {node.span_id}'
+            f'{"" if node.ok else " (failed)"}</title></rect>'
+        )
+    parts.append("</svg>")
+
+    elided = (f" First {len(rows)} of {total} spans shown; the full tree "
+              f"is in <code>greengpu trace</code>." if total > len(rows)
+              else "")
+    return (
+        "<section><h2>Distributed trace</h2>"
+        '<div class="legend">'
+        f'<span class="chip"><span class="swatch" style="background:'
+        f'{_SERIES_1}"></span>span</span>'
+        f'<span class="chip"><span class="swatch" style="background:'
+        f'{_SERIES_2}"></span>failed span</span></div>'
+        f"{''.join(parts)}"
+        f'<p class="note">Spans stitched across processes by deterministic '
+        f"trace ids; open <code>trace.json</code> in Perfetto for the "
+        f"interactive view.{elided}</p></section>"
+    )
+
+
 def _meta_grid(items: list[tuple[str, str]]) -> str:
     cells = "".join(
         f'<div class="stat"><div class="stat-label">{html.escape(k)}</div>'
@@ -390,6 +471,7 @@ def _render_fleet_report(directory: str, summary: dict[str, Any]) -> str:
         f"{html.escape(directory)}</p>",
         _meta_grid(stats),
         _fleet_budget_panel(summary.get("plan_stats", [])),
+        _trace_panel(directory),
         _fleet_rack_table(summary.get("per_rack", [])),
         "<footer>Self-contained report: inline SVG, no scripts, no "
         "network fetches. Rack energies include the idle tail to the "
@@ -507,6 +589,7 @@ def render_html_report(directory: str | os.PathLike[str]) -> str:
         _meta_grid(stats),
         freq, util, power, division,
         _heatmap(decides),
+        _trace_panel(directory),
         _audit_table(decides, divisions),
         "<footer>Self-contained report: inline SVG, no scripts, no "
         "network fetches. Dashed rules mark decision flips; regenerate "

@@ -15,7 +15,14 @@ Subcommands:
 - ``replay``       — build a workload from a ``time,u_core,u_mem`` CSV
   trace (e.g. a polled nvidia-smi log) and run a policy on it;
 - ``metrics``      — render the telemetry exported by a previous
-  ``--telemetry DIR`` run (span stats, counters, gauges, WMA trace);
+  ``--telemetry DIR`` run (span stats, counters, gauges, WMA trace;
+  ``--format {table,csv,json}``);
+- ``trace``        — render a run's stitched distributed trace as a
+  text waterfall (span tree, wall-clock bars, per-worker provenance);
+  the same spans export as ``trace.json`` for Perfetto;
+- ``slo``          — evaluate service-level objectives (compliance +
+  multi-window burn rates) against a run directory; ``--fail-on
+  violations=0,burn=2`` turns it into a CI gate;
 - ``explain``      — narrate a run's decision audit trail tick by tick
   (``--tick N`` shows one decision's full evidence);
 - ``diff``         — compare two run directories (energy/time deltas,
@@ -338,11 +345,21 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
                 if run_dir is None:
                     # Inline runs export through the same worker path the
-                    # spawned shards use, so the merged view is identical.
-                    export_fleet_worker(
-                        list(result.nodes), args.telemetry,
-                        shard_name(0, scenario.n_nodes), name,
+                    # spawned shards use — under the same derived trace
+                    # context the harness would hand a single spawned
+                    # shard — so the merged view (metrics *and* stitched
+                    # trace) is identical either way.
+                    from repro.telemetry.tracecontext import (
+                        default_context,
+                        propagation_env,
                     )
+
+                    whole = shard_name(0, scenario.n_nodes)
+                    shard_trace = default_context().child("job", whole)
+                    with propagation_env(shard_trace):
+                        export_fleet_worker(
+                            list(result.nodes), args.telemetry, whole, name,
+                        )
                 summary = Telemetry(base_labels={
                     "scenario": scenario.name, "allocator": name,
                 })
@@ -499,10 +516,63 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    from repro.telemetry import format_metrics_report
+    if args.format == "table":
+        from repro.telemetry import format_metrics_report
 
-    print(format_metrics_report(args.dir), end="")
+        print(format_metrics_report(args.dir), end="")
+        return 0
+
+    import json
+    import os
+
+    from repro.errors import SerializationError
+    from repro.telemetry.exporters import (
+        SNAPSHOT_NAME,
+        read_snapshot,
+        render_csv,
+    )
+    from repro.telemetry.registry import MetricsRegistry
+
+    snapshot_path = os.path.join(args.dir, SNAPSHOT_NAME)
+    if not os.path.exists(snapshot_path):
+        raise SerializationError(
+            f"{snapshot_path}: no telemetry snapshot found (was the run "
+            "started with --telemetry, or the directory merged?)"
+        )
+    snapshot = read_snapshot(snapshot_path)
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_csv(MetricsRegistry.from_snapshot(snapshot)), end="")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import format_trace_report
+
+    print(format_trace_report(args.dir, limit=args.limit), end="")
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    from repro.telemetry.slo import (
+        DEFAULT_SLOS,
+        DEFAULT_WINDOWS,
+        check_slos,
+        evaluate_directory,
+        format_slo_report,
+        load_slo_file,
+        parse_fail_on,
+    )
+
+    specs = load_slo_file(args.slo) if args.slo else DEFAULT_SLOS
+    windows = tuple(args.window) if args.window else DEFAULT_WINDOWS
+    results = evaluate_directory(args.dir, specs=specs, windows=windows)
+    print(format_slo_report(results))
+    failures = check_slos(results, parse_fail_on(args.fail_on))
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -677,7 +747,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("metrics", help="render a --telemetry directory")
     p.add_argument("dir", help="directory written by a --telemetry run")
+    p.add_argument("--format", default="table",
+                   choices=["table", "csv", "json"],
+                   help="table (human), csv (one row per instrument), or "
+                        "json (the raw merged snapshot)")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("trace",
+                       help="render a run's stitched trace waterfall")
+    p.add_argument("dir", help="directory written by a --telemetry run")
+    p.add_argument("--limit", type=int, default=80,
+                   help="maximum spans to print before truncating")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("slo",
+                       help="evaluate SLO compliance and burn rates")
+    p.add_argument("action", choices=["check"])
+    p.add_argument("dir", help="directory written by a --telemetry run")
+    p.add_argument("--slo", default=None, metavar="FILE",
+                   help="JSON objective file (default: built-in objectives)")
+    p.add_argument("--window", type=float, action="append", default=None,
+                   metavar="SECONDS",
+                   help="burn-rate window (repeatable; default: 60, 300)")
+    p.add_argument("--fail-on", action="append", default=None,
+                   metavar="KEY=VAL",
+                   help="exit 1 past a gate, e.g. violations=0, burn=2 "
+                        "(repeat or comma-separate)")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("explain",
                        help="narrate a run's decision audit trail")
@@ -728,6 +824,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-isolate", action="store_true",
                    help="run jobs in threads instead of spawned processes "
                         "(faster, but no kill-on-timeout; for testing)")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="export per-job worker telemetry under DIR and "
+                        "merge it (plus the daemon's own stream) into one "
+                        "stitched trace at shutdown")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("report",

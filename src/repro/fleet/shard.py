@@ -61,18 +61,23 @@ def export_fleet_worker(nodes: list[dict[str, Any]], telemetry_dir: str,
     """
     from repro.telemetry import Telemetry, export_worker
 
+    # The Telemetry roots at the ambient trace context — propagated via
+    # TRACEPARENT_ENV by the harness for spawned shards and set by the
+    # inline runner around this call — so the shard's span stitches into
+    # the fleet run's trace identically either way.
     telemetry = Telemetry(base_labels={"allocator": allocator})
-    for record in nodes:
-        rack = str(record["rack"])
-        telemetry.counter("fleet_nodes_total", rack=rack).inc()
-        telemetry.counter("fleet_cap_violation_ticks_total",
-                          rack=rack).inc(record["violation_ticks"])
-        telemetry.counter("fleet_faults_injected_total",
-                          rack=rack).inc(record["faults_injected"])
-        telemetry.histogram("fleet_node_energy_j",
-                            rack=rack).observe(record["energy_j"])
-        telemetry.histogram("fleet_node_busy_end_s",
-                            rack=rack).observe(record["busy_end_s"])
+    with telemetry.span("fleet_shard", shard=name):
+        for record in nodes:
+            rack = str(record["rack"])
+            telemetry.counter("fleet_nodes_total", rack=rack).inc()
+            telemetry.counter("fleet_cap_violation_ticks_total",
+                              rack=rack).inc(record["violation_ticks"])
+            telemetry.counter("fleet_faults_injected_total",
+                              rack=rack).inc(record["faults_injected"])
+            telemetry.histogram("fleet_node_energy_j",
+                                rack=rack).observe(record["energy_j"])
+            telemetry.histogram("fleet_node_busy_end_s",
+                                rack=rack).observe(record["busy_end_s"])
     export_worker(telemetry, telemetry_dir, name)
 
 

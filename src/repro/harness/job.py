@@ -70,6 +70,13 @@ class JobSpec:
     # Content address of this job's payload (repro.cache.job_key); None
     # means the job is uncacheable (side effects, unfingerprintable args).
     cache_key: str | None = None
+    # Explicit trace position for this job (a serialized traceparent,
+    # see repro.telemetry.tracecontext).  None — the overwhelmingly
+    # common case — lets the supervisor derive a deterministic child of
+    # its own context, so serial and parallel runs agree; set it only to
+    # graft the job under an externally-owned trace (the service does
+    # this for served jobs).
+    traceparent: str | None = None
 
     def __post_init__(self) -> None:
         if not _NAME_RE.match(self.name):
@@ -85,6 +92,13 @@ class JobSpec:
             )
         if self.timeout_s is not None and self.timeout_s <= 0.0:
             raise HarnessError(f"job {self.name!r}: timeout_s must be positive")
+        if self.traceparent is not None:
+            from repro.telemetry.tracecontext import TraceContext
+            if TraceContext.parse(self.traceparent) is None:
+                raise HarnessError(
+                    f"job {self.name!r}: invalid traceparent "
+                    f"{self.traceparent!r}"
+                )
 
 
 @dataclass

@@ -42,6 +42,7 @@ from repro.harness.job import (
 from repro.harness.journal import JOURNAL_NAME, Journal, read_journal
 from repro.harness.worker import read_artifact, run_job_inline, worker_main
 from repro.ioutil import sha256_file
+from repro.telemetry.tracecontext import TraceContext, default_context
 
 POLL_INTERVAL_S = 0.02
 
@@ -175,6 +176,14 @@ class Supervisor:
         self.telemetry = telemetry
         self.cache = cache
         self._ctx = multiprocessing.get_context("spawn")
+        # Trace root for this run: the telemetry's context when enabled,
+        # else the ambient (env-propagated or fixed) one.  Per-job child
+        # contexts derive from it by name alone, so serial and parallel
+        # executions of the same specs stitch into identical trace trees.
+        if telemetry is not None and telemetry.enabled:
+            self._trace = telemetry.current_context()
+        else:
+            self._trace = default_context()
         self._stop_signal: int | None = None
         # Per-job backoff sequences, salted by job name so seeded
         # decorrelated-jitter policies desynchronize across jobs.
@@ -187,6 +196,16 @@ class Supervisor:
 
     def error_path(self, name: str) -> str:
         return os.path.join(self.artifact_dir, f"{name}.error")
+
+    # -- tracing -------------------------------------------------------
+
+    def job_context(self, spec: JobSpec) -> TraceContext:
+        """The trace position a job's worker roots its spans under."""
+        if spec.traceparent is not None:
+            parsed = TraceContext.parse(spec.traceparent)
+            if parsed is not None:
+                return parsed
+        return self._trace.child("job", spec.name)
 
     # -- the run -------------------------------------------------------
 
@@ -272,6 +291,16 @@ class Supervisor:
                 tel.histogram("harness_job_wall_s").observe(outcome.elapsed_s)
             tel.event("harness_job", job=name, state=outcome.state.value,
                       attempts=outcome.attempts)
+            # Record the job's span at its propagated trace position, so
+            # spans the worker exported (rooted under this context via
+            # the traceparent hand-off) stitch as this span's children.
+            tel.record_span(
+                self.job_context(self.by_name[name]), "harness_job",
+                wall_s=outcome.elapsed_s,
+                ok=outcome.state in SATISFIED_STATES,
+                labels={"state": outcome.state.value},
+                event_extra={"job": name},
+            )
 
     # -- signal finalization -------------------------------------------
 
@@ -446,7 +475,8 @@ class Supervisor:
         proc = self._ctx.Process(
             target=worker_main,
             args=(spec.name, spec.target, spec.kwargs,
-                  self.artifact_path(spec.name), self.error_path(spec.name)),
+                  self.artifact_path(spec.name), self.error_path(spec.name),
+                  self.job_context(spec).to_traceparent()),
             name=f"harness-{spec.name}",
         )
         # When the parent was launched as ``python -m repro.experiments.
@@ -475,7 +505,8 @@ class Supervisor:
         started = time.monotonic()
         try:
             payload = run_job_inline(spec.name, spec.target, spec.kwargs,
-                                     self.artifact_path(spec.name))
+                                     self.artifact_path(spec.name),
+                                     self.job_context(spec).to_traceparent())
         except Exception as exc:  # noqa: BLE001 — quarantine, don't crash
             self._attempt_failed(
                 spec, f"{type(exc).__name__}: {exc}", outcomes, attempts,

@@ -6,6 +6,15 @@ Success is communicated through the filesystem: the worker atomically
 writes the artifact JSON and exits 0.  Failure writes the traceback to a
 sidecar ``<artifact>.error`` file and exits 1 — the supervisor reads it
 back for the journal, so a crashing job never scrambles the parent.
+
+Trace propagation: the supervisor derives a deterministic child
+:class:`~repro.telemetry.tracecontext.TraceContext` per job and ships
+its ``traceparent`` string through the worker argument list.  It is
+installed in :data:`~repro.telemetry.tracecontext.TRACEPARENT_ENV`
+around the job target — in the *worker* for spawned jobs, briefly in
+the supervisor's process for inline ones — so any ``Telemetry()`` the
+target constructs roots its spans under the harness job's span and the
+merged streams stitch into one tree.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from typing import Any, Callable
 
 from repro.errors import HarnessError, SerializationError
 from repro.ioutil import atomic_write_json, atomic_write_text
+from repro.telemetry.tracecontext import TraceContext, propagation_env
 
 ARTIFACT_SCHEMA = 1
 
@@ -65,19 +75,21 @@ def read_artifact(path: str) -> Any:
 
 
 def run_job_inline(name: str, target: str, kwargs: dict[str, Any],
-                   artifact_path: str) -> Any:
+                   artifact_path: str, traceparent: str | None = None) -> Any:
     """Execute a job in this process and persist its artifact."""
     fn = resolve_target(target)
-    payload = fn(**kwargs)
+    with propagation_env(TraceContext.parse(traceparent)):
+        payload = fn(**kwargs)
     write_artifact(artifact_path, name, target, payload)
     return payload
 
 
 def worker_main(name: str, target: str, kwargs: dict[str, Any],
-                artifact_path: str, error_path: str) -> None:
+                artifact_path: str, error_path: str,
+                traceparent: str | None = None) -> None:
     """Spawned-process entry point (must stay a picklable top-level fn)."""
     try:
-        run_job_inline(name, target, kwargs, artifact_path)
+        run_job_inline(name, target, kwargs, artifact_path, traceparent)
     except BaseException:
         try:
             atomic_write_text(error_path, traceback.format_exc())

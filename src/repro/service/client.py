@@ -31,6 +31,14 @@ class ServiceClient:
         self.port = port
         self.timeout_s = timeout_s
         self._conn: http.client.HTTPConnection | None = None
+        # Client-side trace root: every submission sends a distinct child
+        # as a ``traceparent`` header so the daemon grafts the job under
+        # this client rather than minting a per-request root.  Seeded by
+        # endpoint, not wall clock, so replayed runs stitch identically.
+        from repro.telemetry.tracecontext import TraceContext
+
+        self.trace = TraceContext.root("client", f"{host}:{port}")
+        self._submit_seq = 0
 
     # -- plumbing -------------------------------------------------------
 
@@ -47,9 +55,10 @@ class ServiceClient:
             self._conn = None
 
     def request(self, method: str, path: str, body: Any = None,
+                extra_headers: dict[str, str] | None = None,
                 ) -> tuple[int, Any, dict[str, str]]:
         payload = None
-        headers = {}
+        headers = dict(extra_headers or {})
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -79,7 +88,11 @@ class ServiceClient:
 
     def submit(self, **job: Any) -> tuple[int, Any, dict[str, str]]:
         """POST /jobs.  Kwargs form the submission body verbatim."""
-        return self.request("POST", "/jobs", job)
+        self._submit_seq += 1
+        child = self.trace.child("submit", self._submit_seq)
+        return self.request("POST", "/jobs", job,
+                            extra_headers={"traceparent":
+                                           child.to_traceparent()})
 
     def status(self, job_id: str) -> tuple[int, Any, dict[str, str]]:
         return self.request("GET", f"/jobs/{job_id}")

@@ -60,6 +60,12 @@ class ServiceConfig:
     keepalive_timeout_s: float = 10.0    # idle persistent connections
     isolate: bool = True              # spawn-isolated workers (False: threads)
 
+    # -- observability ---------------------------------------------------
+    # When set, served jobs export per-worker telemetry under this
+    # directory (workers/<job-id>/) and shutdown merges them, plus the
+    # daemon's own stream, into run-level exports — one stitched trace.
+    telemetry_dir: str | None = None
+
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigError("need at least one worker")

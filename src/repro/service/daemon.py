@@ -53,6 +53,8 @@ from repro.service.models import (
     parse_request,
     request_from_dict,
 )
+from repro.telemetry.slo import DEFAULT_SLOS, DEFAULT_WINDOWS, evaluate_slos
+from repro.telemetry.tracecontext import TraceContext
 
 _POLL_S = 0.01
 
@@ -99,6 +101,7 @@ class SimulationService:
             jitter_seed=config.retry_jitter_seed,
         )
         self._seq = 0
+        self._req_seq = 0               # trace roots for headerless requests
         self.draining = False           # admission gate (503 when True)
         self._shutdown_started = False  # shutdown() re-entrancy guard
         self.started = False
@@ -123,6 +126,34 @@ class SimulationService:
         tel.gauge("service_breaker_level").set(
             float(_BREAKER_LEVEL[self.breaker.state])
         )
+
+    def refresh_slo_gauges(self) -> None:
+        """Re-evaluate the declared SLOs into ``slo_*`` gauges.
+
+        Called before every ``/metrics`` render: compliance and burn
+        rates come from the same registry + event stream a scraper sees,
+        so the gauges are always consistent with the raw series.
+        """
+        if not self.telemetry.enabled:
+            return
+        results = evaluate_slos(self.telemetry.registry, self.telemetry.events,
+                                specs=DEFAULT_SLOS, windows=DEFAULT_WINDOWS,
+                                now=time.time())
+        tel = self.telemetry
+        for result in results:
+            name = result.spec.name
+            tel.gauge("slo_target", slo=name).set(result.spec.target)
+            if result.compliance is not None:
+                tel.gauge("slo_compliance", slo=name).set(result.compliance)
+            if result.burn is not None:
+                tel.gauge("slo_burn_rate", slo=name,
+                          window="run").set(result.burn)
+            for window, burn in result.window_burns.items():
+                if burn is not None:
+                    tel.gauge("slo_burn_rate", slo=name,
+                              window=window).set(burn)
+            tel.gauge("slo_violated", slo=name).set(
+                1.0 if result.violated else 0.0)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -166,6 +197,7 @@ class SimulationService:
             if event == "job_submitted" and job_id:
                 request = request_from_dict(rec["request"])
                 record = JobRecord(job_id=job_id, request=request)
+                record.trace = TraceContext.parse(rec.get("traceparent"))
                 record.submitted_unix = rec.get("submitted_unix", now_unix)
                 deadline_unix = rec.get("deadline_unix")
                 if deadline_unix is not None:
@@ -261,24 +293,46 @@ class SimulationService:
             )
             self._journal.close()
             self._journal = None
+        if self.config.telemetry_dir and self.telemetry.enabled:
+            # Fold the per-job worker exports and the daemon's own
+            # stream into run-level files: the single stitched trace.
+            from repro.telemetry.merge import merge_directory
+
+            self.refresh_slo_gauges()
+            merge_directory(self.config.telemetry_dir,
+                            extra=[self.telemetry])
         self.started = False
         self._stopped.set()
 
     # -- admission ------------------------------------------------------
 
-    def admit(self, body: Any) -> tuple[JobRecord, bool]:
+    def admit(self, body: Any,
+              trace: TraceContext | None = None) -> tuple[JobRecord, bool]:
         """Admit one decoded submission; returns ``(record, was_cached)``.
 
         Raises :class:`ServiceError` (400), :class:`AdmissionRefused`
         (429) or :class:`Unavailable` (503); the HTTP layer maps them.
+
+        ``trace`` is the client-propagated context (the ``traceparent``
+        header); without one each request roots its own trace.  Admission
+        runs synchronously on the event loop, so the ``http_request``
+        span safely brackets it, and the job's own trace position is
+        derived under that span (see ``_admit_inner``).
         """
         t0 = time.perf_counter()
+        self._req_seq += 1
+        context = trace if trace is not None \
+            else TraceContext.root("service-request", self._req_seq)
         try:
-            return self._admit_inner(body)
+            with self.telemetry.span("http_request", trace=context):
+                return self._admit_inner(body)
         finally:
+            latency = time.perf_counter() - t0
             self.telemetry.histogram("service_admission_latency_s").observe(
-                time.perf_counter() - t0
+                latency
             )
+            self.telemetry.event("service_admission", t_unix=time.time(),
+                                 latency_s=latency)
             self._set_gauges()
 
     def _admit_inner(self, body: Any) -> tuple[JobRecord, bool]:
@@ -310,6 +364,8 @@ class SimulationService:
             self._count("service_shed_total", reason=exc.reason)
             raise
         record = JobRecord(job_id=job_id, request=request)
+        # Child of the open http_request span: the job's trace position.
+        record.trace = self.telemetry.child_context("job", job_id)
         if request.deadline_s is not None:
             record.deadline_monotonic = time.monotonic() + request.deadline_s
         self.records[job_id] = record
@@ -328,6 +384,7 @@ class SimulationService:
         job_id = self._next_job_id()
         record = JobRecord(job_id=job_id, request=request,
                            phase=JobPhase.DONE, served_from_cache=True)
+        record.trace = self.telemetry.child_context("job", job_id)
         record.result = entry["payload"]
         record.finished_unix = time.time()
         self.records[job_id] = record
@@ -336,6 +393,7 @@ class SimulationService:
         self._journal.record("job_cached", job=job_id,
                              cache_key=request.cache_key)
         self._count("service_cache_hits_total", tenant=request.tenant)
+        self._record_job_trace(record)
         return record
 
     def _journal_submit(self, record: JobRecord) -> None:
@@ -349,6 +407,8 @@ class SimulationService:
             request=record.request.as_dict(),
             submitted_unix=record.submitted_unix,
             deadline_unix=deadline_unix,
+            traceparent=(record.trace.to_traceparent()
+                         if record.trace is not None else None),
         )
 
     def _next_job_id(self) -> str:
@@ -411,6 +471,8 @@ class SimulationService:
                 self.breaker.release_probe()
                 continue
             record.phase = JobPhase.RUNNING
+            if record.started_unix is None:
+                record.started_unix = time.time()
             self._set_gauges()
             try:
                 await self._execute(record)
@@ -447,6 +509,25 @@ class SimulationService:
             self._count("service_retries_total")
             await asyncio.sleep(backoff.next_backoff())
 
+    def _job_kwargs(self, record: JobRecord) -> dict[str, Any]:
+        """Worker kwargs for one attempt.
+
+        Extends the *request* kwargs — never mutating them, so the
+        content-addressed cache key stays a pure function of the request
+        — with telemetry export and trace propagation when the service
+        runs with a telemetry directory.  The traceparent travels as an
+        explicit kwarg (not the env var): spawn inherits the parent's
+        environment at fork time, and inline attempts run on executor
+        threads where a process-global env var would race.
+        """
+        kwargs = dict(record.request.kwargs())
+        if self.config.telemetry_dir:
+            kwargs["telemetry_dir"] = self.config.telemetry_dir
+            kwargs["job_name"] = record.job_id
+            if record.trace is not None:
+                kwargs["traceparent"] = record.trace.to_traceparent()
+        return kwargs
+
     async def _run_attempt(self, record: JobRecord) -> tuple[str, str | None]:
         """One attempt; returns ``(outcome, error)`` with outcome in
         ``{"success", "expired", "worker_failure", "job_error"}``."""
@@ -460,7 +541,7 @@ class SimulationService:
             pass
         proc = self._ctx.Process(
             target=worker_main,
-            args=(record.job_id, JOB_TARGET, record.request.kwargs(),
+            args=(record.job_id, JOB_TARGET, self._job_kwargs(record),
                   artifact, error_path),
             name=f"service-{record.job_id}",
         )
@@ -511,7 +592,8 @@ class SimulationService:
         try:
             payload = await loop.run_in_executor(
                 None, lambda: run_job_inline(
-                    record.job_id, JOB_TARGET, record.request.kwargs(), artifact
+                    record.job_id, JOB_TARGET, self._job_kwargs(record),
+                    artifact
                 )
             )
         except Exception as exc:  # noqa: BLE001 — job error, not ours
@@ -529,6 +611,50 @@ class SimulationService:
             return None
 
     # -- terminal transitions ------------------------------------------
+
+    def _record_job_trace(self, record: JobRecord) -> None:
+        """Record the job's lifecycle spans at its terminal transition.
+
+        The span lives across ``await`` points, so it cannot be a
+        ``with`` block on the tracer's LIFO stack; instead the terminal
+        transition records it (and its queue-wait/execute children) at
+        the job's propagated trace position via ``record_at``.  Worker
+        spans parent to ``record.trace`` directly, making ``service_job``
+        the stitch point between the daemon's stream and the worker's.
+        Also emits the ``service_job`` event the SLO burn-rate windows
+        sample.
+        """
+        tel = self.telemetry
+        trace = record.trace
+        done = record.phase is JobPhase.DONE
+        t0 = record.submitted_unix
+        t_run = record.started_unix
+        t_end = record.finished_unix if record.finished_unix is not None \
+            else (t_run if t_run is not None else t0)
+        if trace is not None and tel.enabled:
+            tel.record_span(
+                trace, "service_job",
+                wall_s=max(0.0, t_end - t0), t_unix0=t0, ok=done,
+                labels={"phase": record.phase.value},
+                event_extra={"job": record.job_id},
+            )
+            tel.record_span(
+                trace.child("queue_wait"), "service_queue_wait",
+                wall_s=max(0.0, (t_run if t_run is not None else t_end) - t0),
+                t_unix0=t0, ok=True,
+                event_extra={"job": record.job_id},
+            )
+            if t_run is not None:
+                tel.record_span(
+                    trace.child("execute"), "service_execute",
+                    wall_s=max(0.0, t_end - t_run), t_unix0=t_run, ok=done,
+                    event_extra={"job": record.job_id},
+                )
+        tel.event("service_job", job=record.job_id,
+                  phase=record.phase.value, tenant=record.request.tenant,
+                  cached=record.served_from_cache,
+                  t_unix=t_end if record.finished_unix is not None
+                  else time.time())
 
     def _finish_success(self, record: JobRecord, elapsed: float) -> None:
         record.phase = JobPhase.DONE
@@ -550,6 +676,7 @@ class SimulationService:
                            {"payload": record.result})
         self._count("service_jobs_done_total", tenant=record.request.tenant)
         self.telemetry.histogram("service_job_wall_s").observe(elapsed)
+        self._record_job_trace(record)
 
     def _finish_failed(self, record: JobRecord, error: str | None) -> None:
         record.phase = JobPhase.FAILED
@@ -560,6 +687,7 @@ class SimulationService:
                              attempts=record.attempts,
                              error=record.error)
         self._count("service_jobs_failed_total", tenant=record.request.tenant)
+        self._record_job_trace(record)
 
     def _finish_expired(self, record: JobRecord, where: str) -> None:
         record.phase = JobPhase.EXPIRED
@@ -568,6 +696,7 @@ class SimulationService:
         if self._journal is not None:
             self._journal.record("job_expired", job=record.job_id, where=where)
         self._count("service_jobs_expired_total", where=where)
+        self._record_job_trace(record)
 
     # -- the reaper -----------------------------------------------------
 

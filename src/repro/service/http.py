@@ -209,7 +209,7 @@ class HttpFrontend:
                 return False
 
         wants_close = headers.get("connection", "").lower() == "close"
-        response = self._route(method.upper(), path, body)
+        response = self._route(method.upper(), path, body, headers)
         if wants_close:
             # Re-render with Connection: close (cheap; bodies are small).
             response = response.replace(
@@ -221,13 +221,14 @@ class HttpFrontend:
 
     # -- routing --------------------------------------------------------
 
-    def _route(self, method: str, path: str, body: bytes) -> bytes:
+    def _route(self, method: str, path: str, body: bytes,
+               headers: dict[str, str] | None = None) -> bytes:
         self.service.telemetry.counter(
             "service_http_requests_total", method=method
         ).inc()
         try:
             if path == "/jobs" and method == "POST":
-                return self._submit(body)
+                return self._submit(body, (headers or {}).get("traceparent"))
             if path.startswith("/jobs/"):
                 job_id = path[len("/jobs/"):]
                 if method == "GET":
@@ -248,6 +249,7 @@ class HttpFrontend:
             if path == "/metrics" and method == "GET":
                 from repro.telemetry.exporters import render_prometheus
 
+                self.service.refresh_slo_gauges()
                 text = render_prometheus(self.service.telemetry.registry)
                 return _response(200, text.encode("utf-8"),
                                  "text/plain; version=0.0.4")
@@ -255,13 +257,17 @@ class HttpFrontend:
         except Exception as exc:  # noqa: BLE001 — never kill the connection loop
             return json_response(500, {"error": f"internal error: {exc}"})
 
-    def _submit(self, body: bytes) -> bytes:
+    def _submit(self, body: bytes, traceparent: str | None = None) -> bytes:
         try:
             decoded = json.loads(body.decode("utf-8")) if body else {}
         except (json.JSONDecodeError, UnicodeDecodeError):
             return json_response(400, {"error": "body is not valid JSON"})
+        from repro.telemetry.tracecontext import TraceContext
+
         try:
-            record, was_cached = self.service.admit(decoded)
+            record, was_cached = self.service.admit(
+                decoded, trace=TraceContext.parse(traceparent)
+            )
         except AdmissionRefused as exc:
             return json_response(
                 429,
@@ -279,7 +285,12 @@ class HttpFrontend:
         except ServiceError as exc:
             return json_response(400, {"error": str(exc)})
         status = 200 if was_cached else 202
-        return json_response(status, record.status_dict())
+        extra = None
+        if record.trace is not None:
+            # Echo the job's trace position so callers can stitch their
+            # own spans (or follow up with `greengpu trace`) by id.
+            extra = {"traceparent": record.trace.to_traceparent()}
+        return json_response(status, record.status_dict(), extra=extra)
 
     def _job_status(self, job_id: str) -> bytes:
         record = self.service.records.get(job_id)

@@ -19,23 +19,46 @@ from typing import Any
 
 
 def run_simulation(workload: str, policy: str, n_iterations: int,
-                   time_scale: float) -> dict[str, Any]:
+                   time_scale: float,
+                   telemetry_dir: str | None = None,
+                   job_name: str | None = None,
+                   traceparent: str | None = None) -> dict[str, Any]:
     """One service submission: run ``workload`` under ``policy``.
 
-    Deterministic in all arguments (the simulator is seeded and
-    event-ordered), which is what makes the content-addressed cache key
-    over these kwargs a sound dedup address.
+    Deterministic in all simulation arguments (the simulator is seeded
+    and event-ordered), which is what makes the content-addressed cache
+    key over those kwargs a sound dedup address.  The three telemetry
+    kwargs are *not* part of the cache key — the daemon appends them
+    after admission — so observability never perturbs dedup.  With a
+    ``telemetry_dir``, the run's spans export under
+    ``<dir>/workers/<job_name>/`` rooted at ``traceparent``, which is
+    how a served job's worker spans stitch under the admitting HTTP
+    request in the merged trace.
     """
     from repro.cli import _make_policy
     from repro.experiments.common import scaled_options, scaled_workload
     from repro.runtime.executor import run_workload
+
+    telemetry = None
+    if telemetry_dir is not None:
+        from repro.telemetry import Telemetry
+        from repro.telemetry.tracecontext import TraceContext
+
+        telemetry = Telemetry(base_labels={"workload": workload,
+                                           "policy": policy},
+                              trace=TraceContext.parse(traceparent))
 
     result = run_workload(
         scaled_workload(workload, time_scale),
         _make_policy(policy, time_scale),
         n_iterations=n_iterations,
         options=scaled_options(time_scale),
+        telemetry=telemetry,
     )
+    if telemetry is not None and telemetry_dir is not None:
+        from repro.telemetry import export_worker
+
+        export_worker(telemetry, telemetry_dir, job_name or "job")
     return {
         "workload": result.workload,
         "policy": result.policy,

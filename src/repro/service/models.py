@@ -177,6 +177,11 @@ class JobRecord:
     served_from_cache: bool = False
     artifact_sha256: str | None = None
     finished_unix: float | None = None
+    started_unix: float | None = None         # first RUNNING transition
+    # Trace position of this job's span (repro.telemetry.tracecontext).
+    # Derived under the admitting HTTP request's span, journaled, and
+    # propagated to the worker so its spans stitch under this node.
+    trace: Any = None
 
     def expired(self, now: float) -> bool:
         return (self.deadline_monotonic is not None
@@ -201,4 +206,6 @@ class JobRecord:
             out["error"] = self.error
         if self.finished_unix is not None:
             out["finished_unix"] = self.finished_unix
+        if self.trace is not None:
+            out["traceparent"] = self.trace.to_traceparent()
         return out

@@ -17,7 +17,12 @@ fields) with a single instrumented path:
 - the per-decision audit trail and the ``repro explain`` narrative
   renderer (:mod:`repro.telemetry.audit`);
 - the run-diff engine behind ``repro diff`` and the CI regression gate
-  (:mod:`repro.telemetry.diff`).
+  (:mod:`repro.telemetry.diff`);
+- deterministic distributed tracing: W3C-style trace-context propagation
+  across process boundaries (:mod:`repro.telemetry.tracecontext`), trace
+  stitching and waterfall rendering (:mod:`repro.telemetry.traceview`);
+- declared SLOs with multi-window burn-rate evaluation
+  (:mod:`repro.telemetry.slo`).
 
 Instrumented code takes an optional ``telemetry`` argument and
 normalizes it with ``telemetry or NOOP``: the disabled backend has the
@@ -37,9 +42,39 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.slo import (
+    DEFAULT_SLOS,
+    SloResult,
+    SloSpec,
+    evaluate_slos,
+)
 from repro.telemetry.spans import Span, SpanTracer
+from repro.telemetry.tracecontext import (
+    TRACEPARENT_ENV,
+    TraceContext,
+    default_context,
+    derive_id,
+    propagation_env,
+)
+from repro.telemetry.traceview import (
+    format_trace_report,
+    stitch_spans,
+    tree_signature,
+)
 
 __all__ = [
+    "DEFAULT_SLOS",
+    "TRACEPARENT_ENV",
+    "TraceContext",
+    "SloResult",
+    "SloSpec",
+    "default_context",
+    "derive_id",
+    "evaluate_slos",
+    "format_trace_report",
+    "propagation_env",
+    "stitch_spans",
+    "tree_signature",
     "NOOP",
     "NullTelemetry",
     "Telemetry",

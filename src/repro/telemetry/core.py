@@ -27,6 +27,7 @@ from typing import Any, Callable
 
 from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.spans import Span, SpanTracer
+from repro.telemetry.tracecontext import TraceContext, default_context
 
 
 class Telemetry:
@@ -34,11 +35,13 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, base_labels: dict[str, Any] | None = None):
+    def __init__(self, base_labels: dict[str, Any] | None = None,
+                 trace: TraceContext | None = None):
         self.registry = MetricsRegistry()
         self.events: list[dict[str, Any]] = []
         self.base_labels: dict[str, Any] = dict(base_labels or {})
-        self.tracer = SpanTracer(self.registry, self.events, self.base_labels)
+        self.tracer = SpanTracer(self.registry, self.events, self.base_labels,
+                                 trace=trace)
         self._clock_fn: Callable[[], float] | None = None
 
     # -- wiring --------------------------------------------------------
@@ -57,6 +60,29 @@ class Telemetry:
     def now_sim(self) -> float:
         """Current simulated time (-1.0 before a clock is bound)."""
         return self._clock_fn() if self._clock_fn is not None else -1.0
+
+    # -- tracing -------------------------------------------------------
+
+    @property
+    def trace(self) -> TraceContext:
+        """This telemetry's root trace context."""
+        return self.tracer.trace
+
+    def current_context(self) -> TraceContext:
+        """Context of the innermost open span, else the root."""
+        return self.tracer.current_context()
+
+    def child_context(self, *parts: Any) -> TraceContext:
+        """Derive a child of the current context (for process hand-off)."""
+        return self.tracer.child_context(*parts)
+
+    def record_span(self, context: TraceContext, name: str, *,
+                    wall_s: float, **kwargs: Any) -> None:
+        """Record a finished span at an explicit trace position.
+
+        See :meth:`repro.telemetry.spans.SpanTracer.record_at`.
+        """
+        self.tracer.record_at(context, name, wall_s=wall_s, **kwargs)
 
     # -- instruments ---------------------------------------------------
 
@@ -165,6 +191,20 @@ class NullTelemetry:
     now_sim = -1.0
 
     def bind_clock(self, clock: Any) -> None:
+        pass
+
+    @property
+    def trace(self) -> TraceContext:
+        return default_context()
+
+    def current_context(self) -> TraceContext:
+        return default_context()
+
+    def child_context(self, *parts: Any) -> TraceContext:
+        return default_context().child(*parts)
+
+    def record_span(self, context: TraceContext, name: str, *,
+                    wall_s: float, **kwargs: Any) -> None:
         pass
 
     def set_base_labels(self, **labels: Any) -> None:

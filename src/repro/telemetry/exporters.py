@@ -9,6 +9,7 @@ One run directory holds every rendering of the same state::
                        histogram summaries with p50/p95/p99 quantiles)
       summary.csv      one row per instrument, machine-diffable
       summary.md       the same summary as human-readable tables
+      trace.json       Chrome-trace / Perfetto JSON of the span events
 
 Exports are deterministic: instruments iterate in sorted order, floats
 render via ``repr``, and all files are written atomically.  The JSONL
@@ -35,6 +36,7 @@ EVENTS_NAME = "telemetry.jsonl"
 PROMETHEUS_NAME = "metrics.prom"
 CSV_NAME = "summary.csv"
 MARKDOWN_NAME = "summary.md"
+CHROME_TRACE_NAME = "trace.json"
 
 
 def _labels_text(labels: tuple[tuple[str, str], ...],
@@ -105,6 +107,69 @@ def render_jsonl(events: list[dict[str, Any]]) -> str:
                    default=_json_default) + "\n"
         for event in events
     )
+
+
+def _span_ts(event: dict[str, Any], base_unix: float | None) -> float:
+    """Span start time in seconds on the trace's shared axis.
+
+    Prefers wall-clock epoch (``t_unix0``, relative to the earliest span
+    in the stream); falls back to sim time for streams recorded before
+    the field existed; last resort is 0 so the event still renders.
+    """
+    t_unix0 = event.get("t_unix0")
+    if t_unix0 is not None and base_unix is not None:
+        return float(t_unix0) - base_unix
+    sim_t0 = float(event.get("sim_t0", -1.0))
+    return sim_t0 if sim_t0 >= 0.0 else 0.0
+
+
+def render_chrome_trace(events: list[dict[str, Any]]) -> str:
+    """Span events -> Chrome-trace (``chrome://tracing`` / Perfetto) JSON.
+
+    Emits one complete (``"ph": "X"``) event per span, grouped into one
+    trace-viewer *process* per merged worker (the ``job`` annotation
+    added by :func:`repro.telemetry.merge.merge_directory`; un-annotated
+    spans land in the run-level process).  Trace ids, span ids, and
+    labels ride in ``args`` so Perfetto's flow queries can follow the
+    stitched tree.  Timestamps are microseconds from the earliest span.
+    """
+    spans = [e for e in events if e.get("type") == "span"]
+    unix_starts = [float(e["t_unix0"]) for e in spans
+                   if e.get("t_unix0") is not None]
+    base_unix = min(unix_starts) if unix_starts else None
+
+    pids: dict[str, int] = {}
+    trace_events: list[dict[str, Any]] = []
+    for event in spans:
+        process = str(event.get("job", "run"))
+        if process not in pids:
+            pids[process] = len(pids) + 1
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pids[process],
+                "tid": 0, "args": {"name": process},
+            })
+        args: dict[str, Any] = dict(event.get("labels") or {})
+        for key in ("trace_id", "span_id", "parent_id"):
+            if event.get(key) is not None:
+                args[key] = event[key]
+        args["ok"] = bool(event.get("ok", True))
+        if float(event.get("sim_t0", -1.0)) >= 0.0:
+            args["sim_t0"] = event["sim_t0"]
+            args["sim_t1"] = event["sim_t1"]
+        trace_events.append({
+            "name": str(event.get("name", "span")),
+            "cat": "greengpu",
+            "ph": "X",
+            "ts": round(_span_ts(event, base_unix) * 1e6, 3),
+            "dur": max(round(float(event.get("wall_s", 0.0)) * 1e6, 3), 0.001),
+            "pid": pids[process],
+            "tid": int(event.get("depth", 0)) + 1,
+            "args": args,
+        })
+    return json.dumps(
+        {"traceEvents": trace_events, "displayTimeUnit": "ms"},
+        sort_keys=True, separators=(",", ":"), default=_json_default,
+    ) + "\n"
 
 
 def _labels_csv(labels: tuple[tuple[str, str], ...]) -> str:
@@ -194,6 +259,8 @@ def write_exports(directory: str | os.PathLike[str],
     atomic_write_text(os.path.join(directory, CSV_NAME), render_csv(registry))
     atomic_write_text(os.path.join(directory, MARKDOWN_NAME),
                       render_markdown(registry))
+    atomic_write_text(os.path.join(directory, CHROME_TRACE_NAME),
+                      render_chrome_trace(events))
 
 
 def export_telemetry(telemetry: Any, directory: str | os.PathLike[str]) -> None:

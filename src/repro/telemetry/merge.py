@@ -83,7 +83,12 @@ def merge_directory(
             if not os.path.isdir(wdir) or not os.path.exists(snapshot_path):
                 continue
             merged.merge_snapshot(read_snapshot(snapshot_path))
-            events.extend(read_events(os.path.join(wdir, EVENTS_NAME)))
+            # Annotate each worker's events with the worker that emitted
+            # them (mirroring the audit merge) so trace stitching and the
+            # Chrome-trace exporter can attribute spans to processes.
+            events.extend({**event, "job": name}
+                          for event in read_events(os.path.join(wdir,
+                                                                EVENTS_NAME)))
             worker_audit = read_audit(audit_path(wdir), missing_ok=True)
             if os.path.exists(audit_path(wdir)):
                 saw_worker_audit = True

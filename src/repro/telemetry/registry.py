@@ -134,6 +134,11 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The retained (decimated) observations, in arrival order."""
+        return tuple(self._samples)
+
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile from the retained samples."""
         if not 0.0 <= q <= 1.0:

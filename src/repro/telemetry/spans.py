@@ -18,6 +18,20 @@ nest: the tracer keeps an explicit stack, and each event records its
 depth and parent span name.  The ``_wall_s``/``wall_s`` naming is a
 contract: merge-parity checks exclude exactly those fields, nothing
 else.
+
+Every span also carries a deterministic distributed-tracing identity
+(``trace_id``/``span_id``/``parent_id``, see
+:mod:`repro.telemetry.tracecontext`): ids derive from the parent
+context, the span name, and a per-(parent, name) occurrence counter, so
+reruns — and serial vs parallel executions of the same jobs — produce
+identical trace trees.  ``t_unix0`` (wall-clock epoch at entry) rides
+along for waterfall/Chrome-trace rendering; like ``wall_s`` it is
+excluded from parity comparisons, which only inspect snapshots.
+
+For spans whose lifetime cannot bracket a ``with`` block — an asyncio
+daemon awaiting between start and finish would corrupt the LIFO stack —
+:meth:`SpanTracer.record_at` records a completed span directly against
+an explicit :class:`~repro.telemetry.tracecontext.TraceContext`.
 """
 
 from __future__ import annotations
@@ -27,22 +41,42 @@ from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracecontext import (
+    TraceContext,
+    default_context,
+    derive_id,
+    format_span_id,
+    format_trace_id,
+)
 
 
 class Span:
     """One active span; a reusable-per-call context manager."""
 
-    __slots__ = ("tracer", "name", "labels", "t_sim_start", "t_wall_start")
+    __slots__ = ("tracer", "name", "labels", "trace", "t_sim_start",
+                 "t_wall_start", "t_unix_start", "trace_id", "span_id",
+                 "parent_id")
 
     def __init__(self, tracer: "SpanTracer", name: str,
-                 labels: dict[str, Any]):
+                 labels: dict[str, Any],
+                 trace: TraceContext | None = None):
         self.tracer = tracer
         self.name = name
         self.labels = labels
+        self.trace = trace
 
     def __enter__(self) -> "Span":
-        self.t_sim_start = self.tracer.now_sim()
-        self.tracer._stack.append(self.name)
+        tracer = self.tracer
+        self.t_sim_start = tracer.now_sim()
+        base = self.trace if self.trace is not None else tracer.current_context()
+        seq_key = (base.span_id, self.name)
+        n = tracer._span_seq.get(seq_key, 0)
+        tracer._span_seq[seq_key] = n + 1
+        self.trace_id = base.trace_id
+        self.parent_id = base.span_id
+        self.span_id = derive_id(base.trace_id, base.span_id, self.name, n)
+        tracer._stack.append((self.name, self.trace_id, self.span_id))
+        self.t_unix_start = time.time()
         self.t_wall_start = time.perf_counter()
         return self
 
@@ -50,10 +84,22 @@ class Span:
         wall_s = time.perf_counter() - self.t_wall_start
         tracer = self.tracer
         stack = tracer._stack
-        if not stack or stack[-1] != self.name:
-            raise SimulationError(
-                f"span {self.name!r} closed out of order (stack: {stack})"
-            )
+        if not stack or stack[-1][2] != self.span_id:
+            if exc_type is None:
+                names = [entry[0] for entry in stack]
+                raise SimulationError(
+                    f"span {self.name!r} closed out of order (stack: {names})"
+                )
+            # An exception is already propagating; raising here would
+            # mask it.  Best-effort resync — drop through this span if
+            # it is still on the stack — record the failure, and let the
+            # original error through untouched.
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i][2] == self.span_id:
+                    del stack[i:]
+                    break
+            tracer._finish(self, wall_s, ok=False)
+            return False
         stack.pop()
         tracer._finish(self, wall_s, ok=exc_type is None)
         return False  # never swallow the exception
@@ -64,11 +110,14 @@ class SpanTracer:
 
     def __init__(self, registry: MetricsRegistry,
                  events: list[dict[str, Any]],
-                 base_labels: dict[str, Any] | None = None):
+                 base_labels: dict[str, Any] | None = None,
+                 trace: TraceContext | None = None):
         self.registry = registry
         self.events = events
         self.base_labels = dict(base_labels or {})
-        self._stack: list[str] = []
+        self.trace = trace if trace is not None else default_context()
+        self._stack: list[tuple[str, int, int]] = []
+        self._span_seq: dict[tuple[int, str], int] = {}
         self._clock_fn: Callable[[], float] | None = None
 
     def bind_clock(self, clock_fn: Callable[[], float]) -> None:
@@ -84,9 +133,70 @@ class SpanTracer:
         """Current nesting depth (0 outside any span)."""
         return len(self._stack)
 
-    def span(self, name: str, **labels: Any) -> Span:
+    def current_context(self) -> TraceContext:
+        """Context of the innermost open span, else the tracer's root."""
+        if self._stack:
+            _name, trace_id, span_id = self._stack[-1]
+            return TraceContext(trace_id=trace_id, span_id=span_id)
+        return self.trace
+
+    def child_context(self, *parts: Any) -> TraceContext:
+        """Derive a child of the current context (for handing to workers)."""
+        return self.current_context().child(*parts)
+
+    def span(self, name: str, trace: TraceContext | None = None,
+             **labels: Any) -> Span:
         merged = {**self.base_labels, **labels} if labels else self.base_labels
-        return Span(self, name, merged)
+        return Span(self, name, merged, trace=trace)
+
+    def record_at(self, context: TraceContext, name: str, *,
+                  wall_s: float, t_unix0: float | None = None,
+                  sim_t0: float = -1.0, sim_t1: float = -1.0,
+                  ok: bool = True,
+                  labels: dict[str, Any] | None = None,
+                  event_extra: dict[str, Any] | None = None) -> None:
+        """Record an already-finished span at an explicit trace position.
+
+        Bypasses the nesting stack entirely, so it is safe from code
+        that cannot hold a ``with`` block open across its span's
+        lifetime (the asyncio service daemon, the harness supervisor
+        attributing work to finished jobs).  ``context`` *is* the span's
+        identity — callers derive it via
+        :meth:`~repro.telemetry.tracecontext.TraceContext.child`.
+        ``labels`` feed the metric instruments (keep cardinality
+        bounded); ``event_extra`` fields land only on the event.
+        """
+        merged = {**self.base_labels, **(labels or {})}
+        self.registry.histogram("span_sim_s", span=name, **merged).observe(
+            max(0.0, sim_t1 - sim_t0)
+        )
+        self.registry.histogram("span_wall_s", span=name, **merged).observe(
+            wall_s
+        )
+        self.registry.counter("span_total", span=name, **merged).inc()
+        if not ok:
+            self.registry.counter("span_errors_total", span=name,
+                                  **merged).inc()
+        record: dict[str, Any] = {
+            "type": "span",
+            "name": name,
+            "labels": {str(k): str(v) for k, v in merged.items()},
+            "sim_t0": sim_t0,
+            "sim_t1": sim_t1,
+            "wall_s": wall_s,
+            "depth": 0,
+            "parent": None,
+            "ok": ok,
+            "trace_id": format_trace_id(context.trace_id),
+            "span_id": format_span_id(context.span_id),
+            "parent_id": (format_span_id(context.parent_id)
+                          if context.parent_id is not None else None),
+        }
+        if t_unix0 is not None:
+            record["t_unix0"] = t_unix0
+        if event_extra:
+            record.update(event_extra)
+        self.events.append(record)
 
     def _finish(self, span: Span, wall_s: float, ok: bool) -> None:
         t_sim_end = self.now_sim()
@@ -109,6 +219,10 @@ class SpanTracer:
             "sim_t1": t_sim_end,
             "wall_s": wall_s,
             "depth": len(self._stack),
-            "parent": self._stack[-1] if self._stack else None,
+            "parent": self._stack[-1][0] if self._stack else None,
             "ok": ok,
+            "trace_id": format_trace_id(span.trace_id),
+            "span_id": format_span_id(span.span_id),
+            "parent_id": format_span_id(span.parent_id),
+            "t_unix0": span.t_unix_start,
         })

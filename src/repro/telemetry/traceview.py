@@ -1,0 +1,196 @@
+"""Stitch span events into trace trees and render them.
+
+The merged event stream (``telemetry.jsonl``) interleaves spans from
+every process that took part in a run: the service daemon, the harness
+supervisor, spawned job workers, fleet shards.  Each span event carries
+its deterministic ``trace_id``/``span_id``/``parent_id`` (see
+:mod:`repro.telemetry.tracecontext`), so reassembly needs no timestamps
+and no process coordination: index by ``span_id``, link by
+``parent_id``, and whatever has no in-stream parent is a root.
+
+Two consumers:
+
+- ``greengpu trace <run-dir>`` renders the text waterfall
+  (:func:`format_trace_waterfall`);
+- tests compare :func:`tree_signature` — the tree *shape* (ids, names,
+  parent links) with all timing stripped — which is identical for
+  serial vs ``--parallel`` harness runs and inline vs sharded fleet
+  runs by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.telemetry.exporters import EVENTS_NAME, read_events
+
+
+@dataclass
+class SpanNode:
+    """One stitched span plus its children."""
+
+    span_id: str
+    trace_id: str
+    parent_id: str | None
+    name: str
+    job: str | None
+    ok: bool
+    wall_s: float
+    t_unix0: float | None
+    sim_t0: float
+    sim_t1: float
+    labels: dict[str, str]
+    children: list["SpanNode"] = field(default_factory=list)
+
+
+def stitch_spans(events: list[dict[str, Any]]) -> list[SpanNode]:
+    """Reassemble span events into a forest of trace trees.
+
+    Spans without trace ids (streams from before tracing existed) are
+    skipped.  A span whose ``parent_id`` does not appear in the stream
+    becomes a root — that parent lived in a process that did not export
+    telemetry (e.g. the fixed ambient root).  Roots and children are
+    ordered deterministically by (trace_id, span_id); display callers
+    re-sort by time as needed.
+    """
+    nodes: dict[str, SpanNode] = {}
+    order: list[str] = []
+    for event in events:
+        if event.get("type") != "span" or not event.get("span_id"):
+            continue
+        span_id = str(event["span_id"])
+        if span_id in nodes:
+            continue  # record_at replays (e.g. resumed runs) dedupe by id
+        nodes[span_id] = SpanNode(
+            span_id=span_id,
+            trace_id=str(event.get("trace_id", "")),
+            parent_id=event.get("parent_id"),
+            name=str(event.get("name", "span")),
+            job=event.get("job"),
+            ok=bool(event.get("ok", True)),
+            wall_s=float(event.get("wall_s", 0.0)),
+            t_unix0=(float(event["t_unix0"])
+                     if event.get("t_unix0") is not None else None),
+            sim_t0=float(event.get("sim_t0", -1.0)),
+            sim_t1=float(event.get("sim_t1", -1.0)),
+            labels=dict(event.get("labels") or {}),
+        )
+        order.append(span_id)
+
+    roots: list[SpanNode] = []
+    for span_id in order:
+        node = nodes[span_id]
+        parent = nodes.get(node.parent_id) if node.parent_id else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: (n.trace_id, n.span_id))
+    roots.sort(key=lambda n: (n.trace_id, n.span_id))
+    return roots
+
+
+def tree_signature(roots: list[SpanNode]) -> list[Any]:
+    """Timing-free structural fingerprint of a stitched forest.
+
+    Serial vs parallel executions of the same jobs must produce equal
+    signatures — ids and links are derived from the causal path alone.
+    """
+    def node_sig(node: SpanNode) -> dict[str, Any]:
+        return {
+            "span_id": node.span_id,
+            "trace_id": node.trace_id,
+            "parent_id": node.parent_id,
+            "name": node.name,
+            "labels": dict(sorted(node.labels.items())),
+            "children": [node_sig(child) for child in node.children],
+        }
+    return [node_sig(root) for root in roots]
+
+
+def _iter_depth_first(roots: list[SpanNode]):
+    stack = [(root, 0) for root in reversed(roots)]
+    while stack:
+        node, depth = stack.pop()
+        yield node, depth
+        children = sorted(node.children,
+                          key=lambda n: (n.t_unix0 if n.t_unix0 is not None
+                                         else float("inf"),
+                                         n.trace_id, n.span_id))
+        for child in reversed(children):
+            stack.append((child, depth + 1))
+
+
+def _count(roots: list[SpanNode]) -> int:
+    return sum(1 + _count(node.children) for node in roots)
+
+
+def format_trace_waterfall(events: list[dict[str, Any]], *,
+                           limit: int = 80, bar_width: int = 32) -> str:
+    """Render stitched traces as an indented text waterfall.
+
+    One row per span: tree-indented name, a proportional start/duration
+    bar on the run's wall-clock axis, duration, owning worker, and the
+    span id (the handle for Perfetto / ``trace.json`` cross-reference).
+    """
+    roots = stitch_spans(events)
+    if not roots:
+        return "no traced spans found\n"
+
+    rows = list(_iter_depth_first(roots))
+    total = len(rows)
+    if limit > 0:
+        rows = rows[:limit]
+
+    starts = [n.t_unix0 for n, _ in rows if n.t_unix0 is not None]
+    t0 = min(starts) if starts else 0.0
+    t1 = max((n.t_unix0 + n.wall_s for n, _ in rows
+              if n.t_unix0 is not None), default=t0)
+    extent = max(t1 - t0, 1e-9)
+
+    out = [
+        f"{_count(roots)} span(s) in "
+        f"{len({n.trace_id for n in roots})} trace(s), "
+        f"{len(roots)} root(s)",
+        "",
+        f"{'span':<44} {'waterfall':<{bar_width}} {'dur':>10}  "
+        f"{'worker':<18} span_id",
+    ]
+    for node, depth in rows:
+        label = ("  " * depth + node.name)[:43]
+        if not node.ok:
+            label += "!"
+        if node.t_unix0 is not None:
+            lo = int((node.t_unix0 - t0) / extent * (bar_width - 1))
+            hi = int((node.t_unix0 - t0 + node.wall_s)
+                     / extent * (bar_width - 1))
+            hi = min(max(hi, lo), bar_width - 1)
+            bar = ("." * lo + "#" * (hi - lo + 1)).ljust(bar_width)
+        else:
+            bar = "?".ljust(bar_width)
+        dur = f"{node.wall_s * 1e3:.2f}ms"
+        out.append(
+            f"{label:<44} {bar} {dur:>10}  "
+            f"{(node.job or '-'):<18} {node.span_id}"
+        )
+    if total > len(rows):
+        out.append(f"... {total - len(rows)} more span(s) "
+                   f"(raise --limit to see them)")
+    return "\n".join(out) + "\n"
+
+
+def format_trace_report(directory: str | os.PathLike[str], *,
+                        limit: int = 80) -> str:
+    """Waterfall for a run directory's merged ``telemetry.jsonl``."""
+    directory = os.fspath(directory)
+    path = os.path.join(directory, EVENTS_NAME)
+    if not os.path.exists(path):
+        raise SerializationError(
+            f"{path}: no telemetry event stream "
+            f"(re-run with --telemetry to record one)"
+        )
+    return format_trace_waterfall(read_events(path), limit=limit)

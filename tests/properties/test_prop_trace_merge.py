@@ -1,0 +1,91 @@
+"""Property: stitched trace trees are execution-strategy invariant.
+
+Trace ids derive from the causal path (parent ids + names + occurrence
+counters), never from wall clocks, pids, or randomness — so the same
+jobs must stitch into the *same* tree no matter how they were executed:
+serial or ``--parallel``, inline or spawn-isolated, one fleet process
+or supervised shard workers.  These tests pin that contract, which is
+what makes trace diffs between runs meaningful.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.job import JobSpec
+from repro.harness.supervisor import run_jobs
+from repro.telemetry import Telemetry
+from repro.telemetry.exporters import EVENTS_NAME, read_events
+from repro.telemetry.traceview import stitch_spans, tree_signature
+
+TESTJOBS = "repro.harness._testjobs"
+
+job_names = st.lists(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"]),
+    unique=True, min_size=1, max_size=4,
+)
+
+
+def harness_signature(names, *, parallel=1, isolate=False):
+    telemetry = Telemetry()
+    specs = [JobSpec(name=name, target=f"{TESTJOBS}:ok",
+                     kwargs={"value": index})
+             for index, name in enumerate(names)]
+    with tempfile.TemporaryDirectory(prefix="trace-prop-") as run_dir:
+        run_jobs(specs, run_dir, parallel=parallel, isolate=isolate,
+                 telemetry=telemetry)
+    return tree_signature(stitch_spans(telemetry.events))
+
+
+class TestHarnessParity:
+    @given(names=job_names)
+    @settings(max_examples=10, deadline=None)
+    def test_signature_independent_of_submission_order(self, names):
+        assert harness_signature(names) == harness_signature(
+            list(reversed(names))
+        )
+
+    def test_serial_equals_parallel_spawn(self):
+        names = ["alpha", "beta", "gamma"]
+        serial = harness_signature(names, parallel=1, isolate=True)
+        fanned = harness_signature(names, parallel=2, isolate=True)
+        assert serial == fanned
+        # And the spawn boundary itself must not perturb ids.
+        assert serial == harness_signature(names, isolate=False)
+
+
+def fleet_signature(tmp, *, sharded):
+    from repro.fleet import make_scenario
+    from repro.fleet.shard import export_fleet_worker, shard_name
+    from repro.fleet.sim import FleetSim
+    from repro.telemetry import merge_directory
+    from repro.telemetry.tracecontext import default_context, propagation_env
+
+    scenario = make_scenario("diurnal", n_nodes=4, seed=0, nodes_per_rack=2,
+                             duration_s=6.0, coordination_interval_s=3.0,
+                             budget_frac=0.5)
+    telemetry_dir = os.path.join(tmp, "tel")
+    if sharded:
+        sim = FleetSim(scenario, "uniform-cap", shards=1,
+                       run_dir=os.path.join(tmp, "run"),
+                       telemetry_dir=telemetry_dir)
+        assert sim.run() is not None
+    else:
+        result = FleetSim(scenario, "uniform-cap").run()
+        whole = shard_name(0, scenario.n_nodes)
+        with propagation_env(default_context().child("job", whole)):
+            export_fleet_worker(list(result.nodes), telemetry_dir, whole,
+                                "uniform-cap")
+    merge_directory(telemetry_dir)
+    events = read_events(os.path.join(telemetry_dir, EVENTS_NAME))
+    return tree_signature(stitch_spans(events))
+
+
+class TestFleetParity:
+    def test_inline_equals_sharded(self, tmp_path):
+        inline = fleet_signature(str(tmp_path / "inline"), sharded=False)
+        sharded = fleet_signature(str(tmp_path / "sharded"), sharded=True)
+        assert inline  # the fleet_shard span made it into the stream
+        assert inline == sharded

@@ -82,6 +82,72 @@ class TestGoldenRenders:
             small_registry()
         )
 
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", path='say "hi"\nback\\slash').inc()
+        text = render_prometheus(registry)
+        assert r'path="say \"hi\"\nback\\slash"' in text
+        # The exposition must stay line-oriented: no raw newline leaks
+        # out of the label value into the sample line.
+        sample_lines = [l for l in text.splitlines() if "c_total{" in l]
+        assert len(sample_lines) == 1
+
+
+class TestChromeTrace:
+    def span_events(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        return tel.events
+
+    def test_perfetto_shape(self):
+        from repro.telemetry.exporters import render_chrome_trace
+
+        data = json.loads(render_chrome_trace(self.span_events()))
+        assert set(data) == {"traceEvents", "displayTimeUnit"}
+        assert data["displayTimeUnit"] == "ms"
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 2
+        for event in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                    "args"} <= set(event)
+            assert event["dur"] > 0.0
+            assert len(event["args"]["span_id"]) == 16
+
+    def test_process_metadata_per_job(self):
+        from repro.telemetry.exporters import render_chrome_trace
+
+        events = [dict(e, job="w1") for e in self.span_events()]
+        events += [dict(e, job="w2") for e in self.span_events()]
+        data = json.loads(render_chrome_trace(events))
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert sorted(m["args"]["name"] for m in meta) == ["w1", "w2"]
+        pids = {e["pid"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) == 2
+
+    def test_tid_is_depth(self):
+        from repro.telemetry.exporters import render_chrome_trace
+
+        data = json.loads(render_chrome_trace(self.span_events()))
+        by_name = {e["name"]: e for e in data["traceEvents"]
+                   if e["ph"] == "X"}
+        assert by_name["outer"]["tid"] == 1
+        assert by_name["inner"]["tid"] == 2
+
+    def test_non_span_events_are_ignored(self):
+        from repro.telemetry.exporters import render_chrome_trace
+
+        data = json.loads(render_chrome_trace(
+            [{"type": "event", "name": "x", "t_unix": 1.0}]))
+        assert data["traceEvents"] == []
+
+    def test_write_exports_includes_trace_json(self, tmp_path):
+        from repro.telemetry.exporters import CHROME_TRACE_NAME
+
+        write_exports(tmp_path, small_registry(), self.span_events())
+        assert (tmp_path / CHROME_TRACE_NAME).exists()
+
 
 class TestWriteExports:
     def test_all_files_written(self, tmp_path):

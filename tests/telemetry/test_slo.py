@@ -1,0 +1,169 @@
+"""SLO evaluation: compliance, burn rates, windows, gates, SLO files."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, SerializationError
+from repro.telemetry import Telemetry
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.slo import (
+    DEFAULT_SLOS,
+    SloSpec,
+    burn_rate,
+    check_slos,
+    compliance_from_registry,
+    evaluate_directory,
+    evaluate_slos,
+    load_slo_file,
+    parse_fail_on,
+    windowed_compliance,
+)
+
+
+def ratio_spec(target=0.9):
+    return SloSpec(name="t", description="", target=target,
+                   good=("good_total",), total=("all_total",))
+
+
+class TestSpecValidation:
+    def test_target_bounds(self):
+        with pytest.raises(ConfigError, match="target"):
+            SloSpec(name="x", description="", target=1.0, bad=("b",))
+
+    def test_quantile_needs_histogram(self):
+        with pytest.raises(ConfigError, match="quantile"):
+            SloSpec(name="x", description="", target=0.5, kind="quantile")
+
+    def test_ratio_needs_counters(self):
+        with pytest.raises(ConfigError, match="ratio"):
+            SloSpec(name="x", description="", target=0.5)
+
+    def test_unknown_source(self):
+        with pytest.raises(ConfigError, match="source"):
+            SloSpec(name="x", description="", target=0.5, bad=("b",),
+                    source="nope")
+
+
+class TestCompliance:
+    def test_ratio_good_over_total(self):
+        registry = MetricsRegistry()
+        registry.counter("good_total").inc(9)
+        registry.counter("all_total").inc(10)
+        compliance, n = compliance_from_registry(ratio_spec(), registry)
+        assert compliance == pytest.approx(0.9)
+        assert n == 10
+
+    def test_ratio_infers_good_from_bad(self):
+        spec = SloSpec(name="t", description="", target=0.9,
+                       bad=("bad_total",), total=("all_total",))
+        registry = MetricsRegistry()
+        registry.counter("bad_total").inc(2)
+        registry.counter("all_total").inc(10)
+        compliance, _ = compliance_from_registry(spec, registry)
+        assert compliance == pytest.approx(0.8)
+
+    def test_no_data_is_none(self):
+        assert compliance_from_registry(ratio_spec(),
+                                        MetricsRegistry()) == (None, 0)
+
+    def test_quantile_fraction_within_threshold(self):
+        spec = SloSpec(name="q", description="", target=0.5, kind="quantile",
+                       histogram="lat_s", threshold=0.25)
+        registry = MetricsRegistry()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            registry.histogram("lat_s").observe(v)
+        compliance, n = compliance_from_registry(spec, registry)
+        assert compliance == pytest.approx(0.5)
+        assert n == 4
+
+    def test_burn_rate_normalizes_error_budget(self):
+        assert burn_rate(0.98, 0.99) == pytest.approx(2.0)
+        assert burn_rate(None, 0.99) is None
+
+
+class TestWindows:
+    def test_window_filters_old_samples(self):
+        samples = [(0.0, False), (100.0, True), (110.0, True)]
+        assert windowed_compliance(samples, 60.0, 120.0) == pytest.approx(1.0)
+        assert windowed_compliance(samples, 1000.0, 120.0) == pytest.approx(2 / 3)
+        assert windowed_compliance([], 60.0, 120.0) is None
+
+    def test_evaluate_slos_spans(self):
+        tel = Telemetry()
+        with tel.span("ok_tick"):
+            pass
+        with pytest.raises(ValueError):
+            with tel.span("bad_tick"):
+                raise ValueError("boom")
+        results = evaluate_slos(tel.registry, tel.events,
+                                specs=DEFAULT_SLOS, windows=(60.0,))
+        span_slo = next(r for r in results if r.spec.name == "span-success")
+        assert span_slo.compliance == pytest.approx(0.5)
+        assert span_slo.violated
+        assert span_slo.window_burns["60s"] == pytest.approx(50.0)
+
+    def test_service_slos_read_no_data_outside_served_runs(self):
+        results = evaluate_slos(MetricsRegistry(), [])
+        deadline = next(r for r in results
+                        if r.spec.name == "deadline-hit-rate")
+        assert deadline.compliance is None
+        assert not deadline.violated
+
+
+class TestGates:
+    def test_parse_fail_on(self):
+        assert parse_fail_on(["violations=0,burn=2"]) == {
+            "violations": 0.0, "burn": 2.0}
+        with pytest.raises(ConfigError, match="fail-on"):
+            parse_fail_on(["nope=1"])
+
+    def test_violations_gate(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("tick"):
+                raise ValueError("boom")
+        results = evaluate_slos(tel.registry, tel.events)
+        failures = check_slos(results, {"violations": 0.0})
+        assert failures and "span-success" in failures[0]
+        assert check_slos(results, {"violations": 1.0}) == []
+
+    def test_burn_gate_skips_informational_targets(self):
+        tel = Telemetry()
+        with tel.span("tick"):
+            pass
+        # cache-hit-ratio (target 0) always "burns"; the gate must not fire.
+        results = evaluate_slos(tel.registry, tel.events)
+        assert check_slos(results, {"burn": 2.0}) == []
+
+
+class TestDirectoryAndFiles:
+    def test_evaluate_directory_requires_snapshot(self, tmp_path):
+        with pytest.raises(SerializationError, match="--telemetry"):
+            evaluate_directory(tmp_path)
+
+    def test_evaluate_directory_round_trip(self, tmp_path):
+        from repro.telemetry import export_telemetry
+
+        tel = Telemetry()
+        with tel.span("tick"):
+            pass
+        export_telemetry(tel, tmp_path)
+        results = evaluate_directory(tmp_path)
+        span_slo = next(r for r in results if r.spec.name == "span-success")
+        assert span_slo.compliance == pytest.approx(1.0)
+
+    def test_load_slo_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"slos": [
+            {"name": "custom", "target": 0.5, "bad": ["bad_total"],
+             "total": ["all_total"]},
+        ]}))
+        specs = load_slo_file(str(path))
+        assert len(specs) == 1 and specs[0].name == "custom"
+
+    def test_load_slo_file_rejects_malformed(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{}")
+        with pytest.raises(ConfigError, match="slos"):
+            load_slo_file(str(path))

@@ -68,6 +68,26 @@ class TestNesting:
         with pytest.raises(SimulationError, match="out of order"):
             outer.__exit__(None, None, None)
 
+    def test_out_of_order_close_does_not_mask_inflight_exception(self):
+        # An exception that unwinds through a mis-nested ``with`` stack
+        # must surface itself, not the bookkeeping error about the stack.
+        tel = Telemetry()
+        with pytest.raises(ValueError, match="boom"):
+            with tel.span("outer"):
+                tel.span("inner").__enter__()  # never exited
+                raise ValueError("boom")
+
+    def test_resync_after_inflight_exception_close(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("outer"):
+                tel.span("inner").__enter__()
+                raise ValueError("boom")
+        # The stack resynced: new spans nest under the root again.
+        with tel.span("fresh"):
+            pass
+        assert tel.events[-1]["depth"] == 0
+
 
 class TestErrors:
     def test_exception_propagates_and_is_counted(self):
@@ -105,3 +125,68 @@ class TestLabels:
         tel.event("fault_injected", kind="monitor_timeout")
         assert tel.events[-1]["t_sim"] == 4.0
         assert tel.events[-1]["kind"] == "monitor_timeout"
+
+
+class TestTracing:
+    def test_span_events_carry_trace_ids(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        inner, outer = tel.events[-2], tel.events[-1]
+        assert len(outer["trace_id"]) == 32 and len(outer["span_id"]) == 16
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["t_unix0"] is not None
+
+    def test_ids_are_deterministic_across_tracers(self):
+        def run():
+            tel = Telemetry()
+            with tel.span("outer"):
+                with tel.span("inner"):
+                    pass
+            return [(e["trace_id"], e["span_id"]) for e in tel.events]
+
+        assert run() == run()
+
+    def test_repeated_sibling_names_get_distinct_ids(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+            with tel.span("inner"):
+                pass
+        a, b = tel.events[0], tel.events[1]
+        assert a["span_id"] != b["span_id"]
+
+    def test_explicit_trace_roots_span_elsewhere(self):
+        from repro.telemetry.tracecontext import TraceContext
+
+        tel = Telemetry()
+        graft = TraceContext.root("elsewhere")
+        with tel.span("tick", trace=graft):
+            pass
+        event = tel.events[-1]
+        assert event["trace_id"] == f"{graft.trace_id:032x}"
+        assert event["parent_id"] == f"{graft.span_id:016x}"
+
+    def test_record_span_matches_live_instruments(self):
+        tel = Telemetry()
+        context = tel.child_context("job", "j1")
+        tel.record_span(context, "harness_job", wall_s=0.5,
+                        labels={"state": "done"}, event_extra={"job": "j1"})
+        event = tel.events[-1]
+        assert event["type"] == "span"
+        assert event["span_id"] == f"{context.span_id:016x}"
+        assert event["job"] == "j1"
+        hist = tel.registry.histogram("span_wall_s", span="harness_job",
+                                      state="done")
+        assert hist.count == 1
+
+    def test_null_telemetry_trace_surface(self):
+        from repro.telemetry import NOOP
+
+        context = NOOP.current_context()
+        assert NOOP.child_context("x").trace_id == context.trace_id
+        NOOP.record_span(context, "tick", wall_s=0.0)  # must not record
+        assert NOOP.events == []

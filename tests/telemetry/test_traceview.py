@@ -1,0 +1,106 @@
+"""Trace stitching: forest assembly, signatures, the text waterfall."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.telemetry import Telemetry
+from repro.telemetry.traceview import (
+    format_trace_report,
+    format_trace_waterfall,
+    stitch_spans,
+    tree_signature,
+)
+
+
+def traced_events():
+    tel = Telemetry()
+    with tel.span("outer"):
+        with tel.span("inner"):
+            pass
+        with tel.span("inner"):
+            pass
+    return tel.events
+
+
+class TestStitch:
+    def test_nested_spans_link(self):
+        roots = stitch_spans(traced_events())
+        assert len(roots) == 1
+        outer = roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert all(c.parent_id == outer.span_id for c in outer.children)
+
+    def test_repeated_names_get_distinct_ids(self):
+        roots = stitch_spans(traced_events())
+        a, b = roots[0].children
+        assert a.span_id != b.span_id
+
+    def test_orphan_parent_becomes_root(self):
+        events = traced_events()
+        # Drop the outer span: the inners' parent is now out-of-stream.
+        events = [e for e in events if e.get("name") != "outer"]
+        roots = stitch_spans(events)
+        assert sorted(n.name for n in roots) == ["inner", "inner"]
+
+    def test_untraced_spans_are_skipped(self):
+        events = [{"type": "span", "name": "legacy", "wall_s": 0.1}]
+        assert stitch_spans(events) == []
+
+    def test_duplicate_span_ids_dedupe(self):
+        events = traced_events()
+        roots = stitch_spans(events + events)
+        assert len(roots) == 1
+        assert len(roots[0].children) == 2
+
+
+class TestSignature:
+    def test_signature_is_timing_free_and_stable(self):
+        sig_a = tree_signature(stitch_spans(traced_events()))
+        sig_b = tree_signature(stitch_spans(traced_events()))
+        assert sig_a == sig_b
+
+    def test_signature_distinguishes_shapes(self):
+        tel = Telemetry()
+        with tel.span("outer"):
+            with tel.span("other"):
+                pass
+        assert tree_signature(stitch_spans(tel.events)) != tree_signature(
+            stitch_spans(traced_events())
+        )
+
+
+class TestWaterfall:
+    def test_renders_tree_and_ids(self):
+        text = format_trace_waterfall(traced_events())
+        assert "3 span(s) in 1 trace(s), 1 root(s)" in text
+        assert "outer" in text and "  inner" in text
+        root = stitch_spans(traced_events())[0]
+        assert f"{root.span_id}" in text
+
+    def test_limit_elides_tail(self):
+        text = format_trace_waterfall(traced_events(), limit=1)
+        assert "2 more span(s)" in text
+
+    def test_failed_span_is_marked(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("tick"):
+                raise ValueError("boom")
+        assert "tick!" in format_trace_waterfall(tel.events)
+
+    def test_empty_stream(self):
+        assert format_trace_waterfall([]) == "no traced spans found\n"
+
+    def test_report_requires_event_stream(self, tmp_path):
+        with pytest.raises(SerializationError, match="--telemetry"):
+            format_trace_report(tmp_path)
+
+    def test_report_reads_directory(self, tmp_path):
+        from repro.telemetry import export_telemetry
+
+        tel = Telemetry()
+        with tel.span("tick"):
+            pass
+        export_telemetry(tel, tmp_path)
+        assert "tick" in format_trace_report(tmp_path)
