@@ -1,7 +1,7 @@
-"""Perf gate for the fast-path engine and the result cache.
+"""Perf gate for the fast-path engine, the result cache, and batching.
 
-Two scenarios, both reported as hardware-independent *speedup ratios* so
-the committed baseline (``BENCH_5.json``) transfers across machines:
+Four scenarios, all reported as hardware-independent *speedup ratios* so
+the committed baseline (``BENCH_10.json``) transfers across machines:
 
 - **single_run** — one GreenGPU kmeans run on the fast engine vs the
   same run on a *legacy harness* that faithfully reproduces the pre-PR
@@ -14,21 +14,31 @@ the committed baseline (``BENCH_5.json``) transfers across machines:
 - **warm_sweep** — a supervised static-division sweep with an empty
   result cache (cold) vs the identical sweep again over the same cache
   (warm, every point served as ``skipped_cached``).
+- **batched_sweep** — a 256-point static-division grid through the
+  lockstep batch engine vs the legacy supervised sweep path (run_jobs +
+  legacy harness), measured on a probe subset and extrapolated by point
+  count.  Lane equivalence against scalar ``run_workload`` is asserted
+  bit-for-bit before any timing (the run aborts on divergence).
+- **batched_sweep_vs_scalar** — the same batched grid vs the *current*
+  scalar fast path, isolating the batching win from the fast-path win.
 
 Each quantity is the minimum over several interleaved trials (minimums
 are robust to scheduler noise on shared CI runners; interleaving defeats
-thermal/frequency drift favouring whichever side runs first).
+thermal/frequency drift favouring whichever side runs first).  The two
+batched ratios divide a batch time and a per-point time measured in the
+same process moments apart, so machine-wide load cancels out.
 
 Modes::
 
     python benchmarks/perf_suite.py                  # measure + print
-    python benchmarks/perf_suite.py --out BENCH_5.json    # write baseline
-    python benchmarks/perf_suite.py --check BENCH_5.json  # CI gate
+    python benchmarks/perf_suite.py --out BENCH_10.json    # write baseline
+    python benchmarks/perf_suite.py --check BENCH_10.json  # CI gate
 
 The check mode re-measures and requires each scenario's speedup to be at
-least the absolute floor (3x single-run, 10x warm sweep — the PR's
-acceptance bar) *and* within ``--tolerance`` of the committed baseline
-ratio, whichever is stricter.  Exit status 0 iff both gates hold.
+least the absolute floor (3x single-run, 10x warm sweep, 100x batched
+sweep over legacy, 4x batched over scalar — the PRs' acceptance bars)
+*and* within ``--tolerance`` of the committed baseline ratio, whichever
+is stricter.  Exit status 0 iff all gates hold.
 """
 
 from __future__ import annotations
@@ -45,7 +55,7 @@ from pathlib import Path
 from repro.analysis.serialize import result_to_dict
 from repro.cache import ResultCache
 from repro.cache.keys import ENGINE_SCHEMA_VERSION
-from repro.core.policies import GreenGpuPolicy
+from repro.core.policies import GreenGpuPolicy, StaticPolicy
 from repro.experiments.common import scaled_config, scaled_options, scaled_workload
 from repro.harness.supervisor import run_jobs
 from repro.harness.suite_jobs import sweep_specs
@@ -57,7 +67,15 @@ from repro.sim.platform import HeteroSystem
 TRIALS = 7
 COLD_TRIALS = 3
 
-FLOORS = {"single_run": 3.0, "warm_sweep": 10.0}
+#: Width of the batched static-division grid (the N in "N=256").
+BATCH_N = 256
+
+FLOORS = {
+    "single_run": 3.0,
+    "warm_sweep": 10.0,
+    "batched_sweep": 100.0,
+    "batched_sweep_vs_scalar": 4.0,
+}
 
 # -- legacy harness (pre-PR hot path, reproduced faithfully) -----------
 
@@ -215,10 +233,103 @@ def bench_warm_sweep() -> dict:
     }
 
 
+# -- scenarios: batched_sweep / batched_sweep_vs_scalar ----------------
+
+
+def bench_batched_sweep() -> tuple[dict, dict]:
+    """Time the 256-lane lockstep grid against both baselines.
+
+    The legacy and scalar baselines run a 16-ratio probe subset of the
+    grid and extrapolate by point count — per-point cost of a static
+    sweep is ratio-independent to first order, and a full 256-point
+    legacy sweep would dominate the suite's runtime for no extra signal.
+    """
+    from repro.runtime.batch_executor import BatchExecutor, RunRequest
+
+    workload = scaled_workload("kmeans", 1.0)
+    options = scaled_options(1.0)
+    n_iterations = 6
+
+    def grid() -> list[RunRequest]:
+        return [
+            RunRequest(workload=workload,
+                       policy=StaticPolicy(0, 0, ratio=i / BATCH_N),
+                       n_iterations=n_iterations, options=options)
+            for i in range(BATCH_N)
+        ]
+
+    probe_idx = list(range(8, BATCH_N, 16))
+    subset = [i / BATCH_N for i in probe_idx]
+
+    # Equivalence gate before any timing: every probe lane must be
+    # bit-identical to its scalar run, or the ratio below would compare
+    # different computations.
+    batch_results = BatchExecutor().run_many(grid())
+    if any(r.engine != "batch" for r in batch_results):
+        raise SystemExit(
+            "FATAL: grid did not route through the batch engine"
+        )
+    for i in probe_idx:
+        scalar = run_workload(
+            workload, StaticPolicy(0, 0, ratio=i / BATCH_N),
+            n_iterations=n_iterations, options=options,
+        )
+        if result_to_dict(batch_results[i]) != result_to_dict(scalar):
+            raise SystemExit(
+                f"FATAL: batch lane {i} diverged from the scalar engine"
+            )
+
+    # Interleave the three measurements within every round: the host
+    # this runs on can swing absolute times severalfold (single-vCPU
+    # guest, noisy neighbours), so each side of the ratio must get the
+    # same shot at every quiet stretch — the minimums then come from
+    # the same window instead of whichever side dodged the bursts.
+    batch_best = scalar_best = legacy_best = float("inf")
+    with tempfile.TemporaryDirectory(prefix="perf-batched-") as tmp:
+        for trial in range(TRIALS):
+            t0 = time.perf_counter()
+            BatchExecutor().run_many(grid())
+            batch_best = min(batch_best, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            for r in subset:
+                run_workload(workload, StaticPolicy(0, 0, ratio=r),
+                             n_iterations=n_iterations, options=options)
+            scalar_best = min(scalar_best, time.perf_counter() - t0)
+            # Single-point sweep jobs take the scalar:singleton dispatch
+            # path, so the legacy patches actually govern the hot loop.
+            specs = sweep_specs("kmeans", ratios=subset,
+                                n_iterations=n_iterations, time_scale=1.0)
+            with legacy_engine():
+                t0 = time.perf_counter()
+                outcome = run_jobs(specs, Path(tmp) / f"legacy-{trial}",
+                                   isolate=False)
+                elapsed = time.perf_counter() - t0
+            if not outcome.report.ok:
+                raise SystemExit(
+                    "FATAL: legacy sweep jobs failed during the benchmark"
+                )
+            legacy_best = min(legacy_best, elapsed)
+
+    legacy_point = legacy_best / len(subset)
+    scalar_point = scalar_best / len(subset)
+    batched = {
+        "batch_s": round(batch_best, 6),
+        "legacy_point_s": round(legacy_point, 6),
+        "speedup": round(legacy_point * BATCH_N / batch_best, 3),
+    }
+    vs_scalar = {
+        "batch_s": round(batch_best, 6),
+        "scalar_point_s": round(scalar_point, 6),
+        "speedup": round(scalar_point * BATCH_N / batch_best, 3),
+    }
+    return batched, vs_scalar
+
+
 # -- driver ------------------------------------------------------------
 
 
 def measure() -> dict:
+    batched, vs_scalar = bench_batched_sweep()
     return {
         "bench_schema": 1,
         "engine_schema_version": ENGINE_SCHEMA_VERSION,
@@ -227,6 +338,8 @@ def measure() -> dict:
         "scenarios": {
             "single_run": bench_single_run(),
             "warm_sweep": bench_warm_sweep(),
+            "batched_sweep": batched,
+            "batched_sweep_vs_scalar": vs_scalar,
         },
     }
 

@@ -54,11 +54,35 @@ def sweep_divisions(
     """
     if ratios is None:
         ratios = np.arange(0.0, 0.901, 0.05)
-    points = []
+    clean = []
     for r in ratios:
         r = float(r)
         if not 0.0 <= r <= 1.0:
             raise ConfigError(f"ratio {r} out of [0, 1]")
+        clean.append(r)
+    if telemetry is None and audit is None:
+        # Uninstrumented sweeps pack all points into the lockstep batch
+        # engine (lane i is bit-identical to the scalar run for ratio i);
+        # instrumented sweeps below need live scalar runs for their
+        # side-effect artifacts.
+        from repro.runtime.batch_executor import BatchExecutor, RunRequest
+
+        requests = [
+            RunRequest(
+                workload=workload,
+                policy=StaticPolicy(0, 0, ratio=r, name=f"static-division-{r:.2f}"),
+                n_iterations=n_iterations,
+                options=options,
+            )
+            for r in clean
+        ]
+        results = BatchExecutor().run_many(requests)
+        return [
+            DivisionSweepPoint(r=r, result=result)
+            for r, result in zip(clean, results)
+        ]
+    points = []
+    for r in clean:
         result = run_workload(
             workload,
             StaticPolicy(0, 0, ratio=r, name=f"static-division-{r:.2f}"),

@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -52,6 +52,19 @@ class CacheStats:
     entries: int
     total_bytes: int
     corrupt: int
+    #: Entry count per two-hex-digit shard directory (only non-empty
+    #: shards appear), for spotting key-distribution skew.
+    shards: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (``repro cache stats --format json``)."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "corrupt": self.corrupt,
+            "shards": dict(self.shards),
+        }
 
 
 @dataclass(frozen=True)
@@ -62,6 +75,15 @@ class ClearStats:
     entries: int          # live entries removed
     files: int            # every file removed (entries + corrupt + tmp)
     reclaimed_bytes: int
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (``repro cache clear --format json``)."""
+        return {
+            "root": self.root,
+            "entries_removed": self.entries,
+            "files_removed": self.files,
+            "reclaimed_bytes": self.reclaimed_bytes,
+        }
 
 
 class ResultCache:
@@ -139,17 +161,21 @@ class ResultCache:
         """Scan the directory and summarize it."""
         entries = self._entry_files()
         total = 0
+        shards: dict[str, int] = {}
         for path in entries:
             try:
                 total += path.stat().st_size
             except OSError:
                 pass
+            shard = path.parent.name
+            shards[shard] = shards.get(shard, 0) + 1
         corrupt = len(list(self.root.glob("??/*.corrupt"))) if self.root.is_dir() else 0
         return CacheStats(
             root=str(self.root),
             entries=len(entries),
             total_bytes=total,
             corrupt=corrupt,
+            shards=shards,
         )
 
     def clear(self) -> ClearStats:

@@ -181,16 +181,31 @@ def cmd_compare(args: argparse.Namespace) -> int:
     workload = scaled_workload(args.workload, args.time_scale)
     options = scaled_options(args.time_scale)
     cache = _make_cache(args)
-    results = []
-    for name in ("rodinia-default", "scaling-only", "division-only", "greengpu"):
-        telemetry = None
-        audit = None
-        if args.telemetry:
-            from repro.telemetry import AuditTrail, Telemetry
-            from repro.telemetry.merge import export_worker, worker_dir
+    policy_names = ("rodinia-default", "scaling-only", "division-only", "greengpu")
+    if not args.telemetry:
+        # Uninstrumented comparisons pack all four policies into one
+        # lockstep batch (cache hits and faulted runs fall back per lane).
+        from repro.runtime.batch_executor import BatchExecutor, RunRequest
 
-            telemetry = Telemetry()
-            audit = AuditTrail()
+        requests = [
+            RunRequest(
+                workload=workload,
+                policy=_make_policy(name, args.time_scale, args),
+                n_iterations=args.iterations,
+                options=options,
+            )
+            for name in policy_names
+        ]
+        results = BatchExecutor(cache=cache).run_many(requests)
+        print(comparison_report(results, baseline_index=0))
+        return 0
+    results = []
+    for name in policy_names:
+        from repro.telemetry import AuditTrail, Telemetry
+        from repro.telemetry.merge import export_worker, worker_dir
+
+        telemetry = Telemetry()
+        audit = AuditTrail()
         results.append(run_workload(
             workload, _make_policy(name, args.time_scale, args),
             n_iterations=args.iterations, options=options,
@@ -227,6 +242,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ratios = [round(args.step * i, 4) for i in range(int(args.max_ratio / args.step) + 1)]
     specs = sweep_specs(args.workload, ratios, args.iterations, args.time_scale,
                         telemetry_dir=args.telemetry)
+    sweep_cache = _make_cache(args)
+    # Inline (non-isolated) sweeps hand the supervisor a prefetch hook
+    # that packs all still-pending points into one lockstep batch; each
+    # point still flows through per-job journaling, artifacts, and cache
+    # puts, so the run directory is byte-for-byte a scalar sweep's.
+    # Isolated runs (--parallel > 1 / --isolate) keep live subprocess
+    # workers — the supervisor ignores the hook there.
+    prefetch = None
+    if not args.telemetry:
+        from repro.harness.suite_jobs import sweep_prefetch
+
+        prefetch = sweep_prefetch(args.workload, args.iterations,
+                                  args.time_scale)
     supervisor_telemetry = None
     if args.telemetry:
         from repro.telemetry import Telemetry
@@ -241,7 +269,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             isolate=args.parallel > 1 or args.isolate,
             progress=stderr_progress,
             telemetry=supervisor_telemetry,
-            cache=_make_cache(args),
+            cache=sweep_cache,
+            prefetch=prefetch,
         )
         if args.telemetry:
             from repro.telemetry import merge_directory
@@ -603,17 +632,25 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.cache import ResultCache, default_cache_dir
 
     cache = ResultCache(args.cache_dir or default_cache_dir())
     if args.action == "stats":
         stats = cache.stats()
+        if args.format == "json":
+            print(_json.dumps(stats.as_dict(), indent=2, sort_keys=True))
+            return 0
         print(f"cache root : {stats.root}")
         print(f"entries    : {stats.entries}")
         print(f"total bytes: {stats.total_bytes}")
         print(f"corrupt    : {stats.corrupt}")
         return 0
     cleared = cache.clear()
+    if args.format == "json":
+        print(_json.dumps(cleared.as_dict(), indent=2, sort_keys=True))
+        return 0
     print(f"cache root : {cleared.root}")
     print(f"entries    : {cleared.entries} removed")
     print(f"files      : {cleared.files} removed")
@@ -798,6 +835,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="cache root (default: $GREENGPU_CACHE_DIR or "
                         "~/.cache/greengpu)")
+    p.add_argument("--format", default="table", choices=["table", "json"],
+                   help="output format: table (default) or json with "
+                        "per-shard entry counts / reclaimed bytes")
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("serve",

@@ -29,6 +29,7 @@ from repro.errors import ConfigError
 from repro.fleet.coordinator import CapPlan, PowerCapCoordinator
 from repro.fleet.node import FleetNode
 from repro.fleet.scenario import FleetScenario
+from repro.runtime.batch_executor import FLEET_SCALAR_REASON
 
 
 def shard_name(node_lo: int, node_hi: int) -> str:
@@ -98,5 +99,8 @@ def run_shard(scenario: dict[str, Any], allocator: str, node_lo: int,
     if telemetry_dir is not None:
         export_fleet_worker(nodes, telemetry_dir,
                             shard_name(node_lo, node_hi), allocator)
+    # Fleet nodes build their own capped, fault-injected systems, which
+    # the lockstep batch engine excludes by construction — record why so
+    # payload consumers can tell this apart from a batched sweep shard.
     return {"allocator": allocator, "node_lo": node_lo, "node_hi": node_hi,
-            "nodes": nodes}
+            "engine": FLEET_SCALAR_REASON, "nodes": nodes}

@@ -211,6 +211,48 @@ def sweep_specs(workload: str, ratios: list[float], n_iterations: int,
     return specs
 
 
+#: The only job target :func:`sweep_prefetch` will serve.
+_SWEEP_TARGET = "repro.harness.suite_jobs:run_sweep_point"
+
+
+def sweep_prefetch(workload: str, n_iterations: int, time_scale: float):
+    """Supervisor ``prefetch`` hook: batch all pending sweep points.
+
+    Returns a callable mapping pending :class:`JobSpec`\\ s to payloads.
+    Uninstrumented ``run_sweep_point`` jobs are packed into one lockstep
+    :func:`~repro.baselines.static_division.sweep_divisions` batch (lane
+    *i* is bit-identical to the scalar run the job target would have
+    performed); anything else — telemetry-exporting points included —
+    is left unserved and runs its target normally.  The supervisor still
+    journals, caches, and writes artifacts per job, so batching stays
+    invisible to the run directory, resume, and the report.
+    """
+    def _prefetch(specs: list[JobSpec]) -> dict[str, Any]:
+        from repro.baselines.static_division import sweep_divisions
+        from repro.experiments.common import scaled_options, scaled_workload
+
+        todo = [
+            spec for spec in specs
+            if spec.target == _SWEEP_TARGET
+            and "telemetry_dir" not in spec.kwargs
+        ]
+        if not todo:
+            return {}
+        points = sweep_divisions(
+            scaled_workload(workload, time_scale),
+            [spec.kwargs["r"] for spec in todo],
+            n_iterations=n_iterations,
+            options=scaled_options(time_scale),
+        )
+        return {
+            spec.name: {"r": point.r, "energy_j": point.energy_j,
+                        "time_s": point.time_s}
+            for spec, point in zip(todo, points)
+        }
+
+    return _prefetch
+
+
 # -- reproduce targets (cli.py cmd_reproduce) --------------------------
 
 

@@ -40,11 +40,19 @@ from repro.harness.job import (
     validate_dag,
 )
 from repro.harness.journal import JOURNAL_NAME, Journal, read_journal
-from repro.harness.worker import read_artifact, run_job_inline, worker_main
+from repro.harness.worker import (
+    read_artifact,
+    run_job_inline,
+    worker_main,
+    write_artifact,
+)
 from repro.ioutil import sha256_file
 from repro.telemetry.tracecontext import TraceContext, default_context
 
 POLL_INTERVAL_S = 0.02
+
+#: Sentinel distinguishing "no prefetched payload" from a falsy payload.
+_NO_PREFETCH = object()
 
 
 @dataclass(frozen=True)
@@ -163,6 +171,7 @@ class Supervisor:
         progress: Callable[[ProgressEvent], None] | None = None,
         telemetry=None,
         cache=None,
+        prefetch: Callable[[list[JobSpec]], dict[str, Any]] | None = None,
     ) -> None:
         self.specs = validate_dag(list(specs))
         self.spec_order = [s.name for s in specs]  # declaration order
@@ -175,6 +184,8 @@ class Supervisor:
         self.progress = progress
         self.telemetry = telemetry
         self.cache = cache
+        self.prefetch = prefetch
+        self._prefetched: dict[str, Any] = {}
         self._ctx = multiprocessing.get_context("spawn")
         # Trace root for this run: the telemetry's context when enabled,
         # else the ambient (env-propagated or fixed) one.  Per-job child
@@ -231,6 +242,7 @@ class Supervisor:
                 )
                 self._resume_pass(prior, outcomes, report, journal, started)
                 self._cache_pass(outcomes, report, journal, started)
+                self._prefetch_pass(outcomes)
                 self._schedule(outcomes, report, journal, started)
                 report.elapsed_s = time.perf_counter() - started
                 if self._stop_signal is not None:
@@ -378,6 +390,31 @@ class Supervisor:
                            cache_key=spec.cache_key)
             self._emit_progress(outcomes, spec.name, run_started)
 
+    # -- prefetch ------------------------------------------------------
+
+    def _prefetch_pass(self, outcomes: dict[str, JobOutcome]) -> None:
+        """Precompute pending inline jobs' payloads in one batched call.
+
+        Runs after resume and cache passes, so the hook only sees jobs
+        that will actually execute.  It may serve any subset of them
+        (unserved jobs run their target normally); each served job still
+        flows through the ordinary inline attempt — ``job_start`` /
+        ``job_success`` journaling, artifact write, cache put, progress —
+        so the batch computation is invisible to the run directory.
+        Isolated runs never prefetch: the caller asked for per-job
+        subprocess boundaries (crash containment, timeouts, signals).
+        """
+        if self.prefetch is None or self.isolate:
+            return
+        pending = [s for s in self.specs
+                   if outcomes[s.name].state is JobState.PENDING]
+        if not pending:
+            return
+        try:
+            self._prefetched = dict(self.prefetch(pending) or {})
+        except Exception:  # noqa: BLE001 — fall back to per-job execution
+            self._prefetched = {}
+
     # -- scheduling ----------------------------------------------------
 
     def _schedule(self, outcomes: dict[str, JobOutcome], report: HarnessReport,
@@ -504,9 +541,15 @@ class Supervisor:
                     run_started: float) -> None:
         started = time.monotonic()
         try:
-            payload = run_job_inline(spec.name, spec.target, spec.kwargs,
-                                     self.artifact_path(spec.name),
-                                     self.job_context(spec).to_traceparent())
+            payload = self._prefetched.pop(spec.name, _NO_PREFETCH)
+            if payload is not _NO_PREFETCH:
+                write_artifact(self.artifact_path(spec.name), spec.name,
+                               spec.target, payload)
+            else:
+                payload = run_job_inline(
+                    spec.name, spec.target, spec.kwargs,
+                    self.artifact_path(spec.name),
+                    self.job_context(spec).to_traceparent())
         except Exception as exc:  # noqa: BLE001 — quarantine, don't crash
             self._attempt_failed(
                 spec, f"{type(exc).__name__}: {exc}", outcomes, attempts,
@@ -654,9 +697,11 @@ def run_jobs(
     progress: Callable[[ProgressEvent], None] | None = None,
     telemetry=None,
     cache=None,
+    prefetch: Callable[[list[JobSpec]], dict[str, Any]] | None = None,
 ) -> HarnessResult:
     """Run a job DAG under supervision; see :class:`Supervisor`."""
     supervisor = Supervisor(specs, run_dir, parallel=parallel, resume=resume,
                             isolate=isolate, progress=progress,
-                            telemetry=telemetry, cache=cache)
+                            telemetry=telemetry, cache=cache,
+                            prefetch=prefetch)
     return supervisor.run()

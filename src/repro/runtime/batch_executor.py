@@ -1,0 +1,170 @@
+"""Dispatch layer that packs compatible runs into the batched engine.
+
+``BatchExecutor.run_many`` takes a list of ``run_workload``-shaped
+requests and executes them with the cheapest path that preserves
+observable behavior:
+
+- **cache**: per-lane content-addressed ``run_key`` hits are served first
+  (``engine == "cache"``), exactly like the scalar fast path would.
+- **batch**: two or more cache-miss requests that the lockstep engine can
+  represent bit-exactly (see :func:`classify`) run as lanes of one
+  :func:`repro.sim.batch.run_batch` call (``engine == "batch"``).
+- **scalar**: everything else — faulted policies, instrumented runs,
+  caller-supplied systems or recorders, warmups, non-demand-model
+  workloads, or a lone eligible request not worth the numpy overhead —
+  falls back to ``run_workload`` with the reason recorded in
+  ``engine == "scalar:<reason>"``.
+
+Cache keys are computed per lane, so batch execution is invisible to the
+cache, the job journal, and resume: a warm sweep served from cache cannot
+tell which engine produced the entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.executor import ExecutorOptions, run_workload
+from repro.runtime.metrics import RunResult
+from repro.sim.batch import BatchRunRequest, batch_eligible, run_batch
+
+#: Reason recorded by fleet shard payloads: fleet nodes run caller-built
+#: systems (power-cap ceilings, per-node fault injectors) that the batch
+#: engine's fresh-default-testbed contract excludes by construction.
+FLEET_SCALAR_REASON = "scalar:fleet-custom-system"
+
+
+@dataclass(slots=True)
+class RunRequest:
+    """One logical ``run_workload`` invocation, dispatchable as a lane."""
+
+    workload: object
+    policy: object
+    n_iterations: int | None = None
+    options: ExecutorOptions | None = None
+    system: object | None = None
+    recorder: object | None = None
+    warmup_s: float = 0.0
+    telemetry: object | None = None
+    audit: object | None = None
+    extra: dict = field(default_factory=dict)
+
+
+def classify(request: RunRequest) -> str | None:
+    """Why this request cannot ride the batched engine, or None if it can.
+
+    The batch engine models exactly the scalar fast path on a fresh
+    default testbed with an unobserved controller; anything that injects
+    faults, instruments the run, or supplies external state must take the
+    scalar path so those side effects come from a live scalar run.
+    """
+    if not batch_eligible(request.workload):
+        return "workload"
+    if request.policy.fault_plan is not None:
+        return "faults"
+    if request.system is not None:
+        return "system"
+    if request.recorder is not None:
+        return "recorder"
+    if request.telemetry is not None and getattr(
+        request.telemetry, "enabled", False
+    ):
+        return "telemetry"
+    if request.audit is not None:
+        return "audit"
+    if request.warmup_s != 0.0:
+        return "warmup"
+    return None
+
+
+class BatchExecutor:
+    """Routes request lists through cache, batch, or scalar execution."""
+
+    def __init__(self, cache=None, min_batch: int = 2):
+        self.cache = cache
+        self.min_batch = min_batch
+
+    def _cache_key(self, request: RunRequest) -> str | None:
+        if self.cache is None or request.system is not None:
+            return None
+        from repro.cache import run_key
+
+        return run_key(
+            request.workload,
+            request.policy,
+            request.n_iterations,
+            request.options,
+            request.warmup_s,
+        )
+
+    def run_many(self, requests: list[RunRequest]) -> list[RunResult]:
+        """Execute every request; results come back in request order."""
+        results: list[RunResult | None] = [None] * len(requests)
+        keys: list[str | None] = [None] * len(requests)
+        batchable: list[int] = []
+        for i, request in enumerate(requests):
+            reason = classify(request)
+            if reason is not None:
+                results[i] = self._run_scalar(request, reason)
+                continue
+            key = self._cache_key(request)
+            keys[i] = key
+            if key is not None:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    from repro.analysis.serialize import result_from_dict
+
+                    try:
+                        result = result_from_dict(payload["result"])
+                        result.engine = "cache"
+                        results[i] = result
+                        continue
+                    except Exception:
+                        pass  # stale schema: recompute and overwrite below
+            batchable.append(i)
+        if len(batchable) < self.min_batch:
+            # A lone lane pays numpy dispatch overhead per tick for no
+            # amortization; the scalar fast path is strictly faster.
+            for i in batchable:
+                # run_workload handles the cache get/put itself here.
+                results[i] = self._run_scalar(requests[i], "singleton")
+            return results  # type: ignore[return-value]
+        lane_requests = [
+            BatchRunRequest(
+                workload=requests[i].workload,
+                policy=requests[i].policy,
+                n_iterations=requests[i].n_iterations,
+                options=requests[i].options,
+            )
+            for i in batchable
+        ]
+        for i, result in zip(batchable, run_batch(lane_requests)):
+            results[i] = result
+            self._store(keys[i], result)
+        return results  # type: ignore[return-value]
+
+    def _run_scalar(self, request: RunRequest, reason: str) -> RunResult:
+        result = run_workload(
+            request.workload,
+            request.policy,
+            request.n_iterations,
+            system=request.system,
+            options=request.options,
+            recorder=request.recorder,
+            warmup_s=request.warmup_s,
+            telemetry=request.telemetry,
+            audit=request.audit,
+            cache=self.cache,
+        )
+        # run_workload already tags cache hits; keep that tag, otherwise
+        # record why this request couldn't ride the batch.
+        if result.engine != "cache":
+            result.engine = f"scalar:{reason}"
+        return result
+
+    def _store(self, key: str | None, result: RunResult) -> None:
+        if key is None or result.engine == "cache":
+            return
+        from repro.analysis.serialize import result_to_dict
+
+        self.cache.put(key, {"result": result_to_dict(result)})

@@ -229,7 +229,9 @@ def run_workload(
                 from repro.analysis.serialize import result_from_dict
 
                 try:
-                    return result_from_dict(payload["result"])
+                    result = result_from_dict(payload["result"])
+                    result.engine = "cache"
+                    return result
                 except Exception:
                     # Entry parsed but does not round-trip (e.g. written
                     # by an incompatible revision): recompute, and the
@@ -264,9 +266,11 @@ def run_workload(
     finally:
         controller.detach()
         system.clock.set_telemetry(None)
-    # The 1 Hz logs must cover the full measurement, including the
-    # trailing partial sampling window.
-    system.finalize_meters()
+        # The 1 Hz logs must cover the full measurement, including the
+        # trailing partial sampling window — even when an iteration dies
+        # mid-horizon (timeout, step explosion): a caller-owned system's
+        # meter logs must never be left with an unflushed partial window.
+        system.finalize_meters()
 
     result = RunResult(
         workload=workload.name,

@@ -53,6 +53,11 @@ class RunResult:
     final_ratio: float = 0.0
     traces: dict = field(default_factory=dict)
     health: ControlHealth = field(default_factory=ControlHealth)
+    # Which executor path produced this result: "scalar", "batch", "cache",
+    # or "scalar:<reason>" when the batch executor fell back.  Execution
+    # provenance only — deliberately excluded from result_to_dict so batch
+    # and scalar runs serialize (and cache) identically.
+    engine: str = "scalar"
 
     @property
     def n_iterations(self) -> int:

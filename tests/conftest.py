@@ -9,6 +9,7 @@ the same factor, preserving the control-loop ratios.
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings as _hypothesis_settings
 
 from repro.core.config import GreenGpuConfig
 from repro.runtime.executor import ExecutorOptions
@@ -22,6 +23,12 @@ from repro.workloads.characteristics import make_workload
 
 #: One simulated-time scale used across the suite's fast runs.
 FAST_SCALE = 0.05
+
+# Nightly CI runs the property suites at `--hypothesis-profile=ci-long`
+# for a deeper search than the default per-test example counts; the
+# profile must be registered before pytest tries to select it.
+_hypothesis_settings.register_profile("ci-long", max_examples=200,
+                                      deadline=None)
 
 
 @pytest.fixture(autouse=True)
